@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Ablation bench for the design choices DESIGN.md calls out:
+ *   - SM-level store coalescer in front of the remote write queue
+ *   - virtually vs. physically addressed write queue (Section 5.3:
+ *     physical addressing needs one entry per subscriber copy)
+ * Reports geomean GPS speedup and interconnect traffic for each
+ * configuration against the default.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+struct Variant
+{
+    std::string name;
+    bool smCoalescer;
+    bool virtualWq;
+    std::uint32_t wqEntries;
+};
+
+const std::vector<Variant> variants = {
+    {"default", true, true, 512},
+    {"no_sm_coalescer", false, true, 512},
+    {"physical_wq", true, false, 512},
+    {"tiny_wq_2", true, true, 2},
+};
+
+std::map<std::string, std::vector<double>> speedups;
+std::map<std::string, double> trafficMb;
+BaselineCache baselines;
+
+void
+BM_abl(benchmark::State& state, const std::string& workload,
+       const Variant& variant)
+{
+    RunConfig config = defaultConfig();
+    config.paradigm = ParadigmKind::Gps;
+    config.system.gps.smCoalescerEnabled = variant.smCoalescer;
+    config.system.gps.virtuallyAddressedWq = variant.virtualWq;
+    config.system.gps.wqEntries = variant.wqEntries;
+    const RunResult& base = baselines.get(workload, config);
+    for (auto _ : state) {
+        const RunResult result = runWorkload(workload, config);
+        const double speedup = speedupOver(base, result);
+        speedups[variant.name].push_back(speedup);
+        trafficMb[variant.name] +=
+            static_cast<double>(result.interconnectBytes) / 1e6;
+        state.counters["speedup"] = speedup;
+        state.counters["wq_hit_pct"] = result.wqHitRate * 100.0;
+    }
+}
+
+void
+printTable()
+{
+    Table table({"variant", "geomean_speedup", "traffic_MB_total"});
+    for (const Variant& variant : variants) {
+        table.row({variant.name, fmt(geomean(speedups[variant.name])),
+                   fmt(trafficMb[variant.name], 0)});
+    }
+    table.print("Ablation: SM coalescer & WQ addressing "
+                "(virtual WQ and SM coalescing should win)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const Variant& variant : variants) {
+        for (const std::string& app : gps::workloadNames()) {
+            benchmark::RegisterBenchmark(
+                ("abl/" + variant.name + "/" + app).c_str(),
+                [app, &variant](benchmark::State& state) {
+                    BM_abl(state, app, variant);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared bench harness: runs (workload x paradigm) cells with a cached
+ * single-GPU baseline and prints paper-style tables next to the paper's
+ * reference values. Each bench binary regenerates one table or figure.
+ */
+
+#ifndef GPS_BENCH_BENCH_COMMON_HH
+#define GPS_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/runner.hh"
+#include "apps/workload.hh"
+
+namespace gps::bench
+{
+
+/** Default evaluated system: Table 1, 4 GPUs, PCIe 3.0. */
+inline RunConfig
+defaultConfig()
+{
+    RunConfig config;
+    config.system.numGpus = 4;
+    config.system.interconnect = InterconnectKind::Pcie3;
+    config.scale = 1.0;
+    return config;
+}
+
+/** Single-GPU reference runs, cached per (workload, scale). */
+class BaselineCache
+{
+  public:
+    const RunResult&
+    get(const std::string& workload, const RunConfig& config)
+    {
+        const std::string key =
+            workload + "@" + std::to_string(config.scale) + "@" +
+            std::to_string(config.system.pageBytes);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            RunConfig base = config;
+            base.system.numGpus = 1;
+            // With one GPU every paradigm degenerates to local
+            // execution; memcpy has no peers to broadcast to.
+            base.paradigm = ParadigmKind::Memcpy;
+            it = cache_.emplace(key, runWorkload(workload, base)).first;
+        }
+        return it->second;
+    }
+
+  private:
+    std::map<std::string, RunResult> cache_;
+};
+
+/** Fixed-width table printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> columns)
+        : columns_(std::move(columns))
+    {}
+
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    void
+    print(const std::string& title) const
+    {
+        std::printf("\n=== %s ===\n", title.c_str());
+        printRow(columns_);
+        for (const auto& row : rows_)
+            printRow(row);
+        std::fflush(stdout);
+    }
+
+  private:
+    void
+    printRow(const std::vector<std::string>& cells) const
+    {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            std::printf("%-*s", i == 0 ? 12 : 14, cells[i].c_str());
+        std::printf("\n");
+    }
+
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits decimals. */
+inline std::string
+fmt(double value, int digits = 2)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+} // namespace gps::bench
+
+#endif // GPS_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Extension bench (beyond the paper's PCIe-only evaluation): GPS and
+ * the baselines on NVLink-class interconnects. Section 7.4 argues that
+ * "as GPUs move to higher performance interconnects, GPS will approach
+ * the limits of performance scalability"; this bench extends Figure 13
+ * past PCIe to NVLink 2 (150 GB/s) and NVLink 3 (300 GB/s).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+const std::vector<InterconnectKind> sweep = {
+    InterconnectKind::Pcie3, InterconnectKind::NvLink2,
+    InterconnectKind::NvLink3};
+
+std::map<std::string, std::map<std::string, std::vector<double>>>
+    samples;
+BaselineCache baselines;
+
+void
+BM_nvlink(benchmark::State& state, const std::string& workload,
+          InterconnectKind interconnect, ParadigmKind paradigm)
+{
+    RunConfig config = defaultConfig();
+    config.system.interconnect = interconnect;
+    config.paradigm = paradigm;
+    const RunResult& base = baselines.get(workload, config);
+    for (auto _ : state) {
+        const RunResult result = runWorkload(workload, config);
+        const double speedup = speedupOver(base, result);
+        samples[to_string(interconnect)][to_string(paradigm)].push_back(
+            speedup);
+        state.counters["speedup"] = speedup;
+    }
+}
+
+void
+printTable()
+{
+    Table table({"interconnect", "Memcpy", "RDL", "GPS", "InfBW"});
+    for (const InterconnectKind ic : sweep) {
+        std::vector<std::string> row{to_string(ic)};
+        for (const ParadigmKind paradigm :
+             {ParadigmKind::Memcpy, ParadigmKind::Rdl, ParadigmKind::Gps,
+              ParadigmKind::InfiniteBw}) {
+            row.push_back(fmt(geomean(
+                samples[to_string(ic)][to_string(paradigm)])));
+        }
+        table.row(std::move(row));
+    }
+    table.print("Extension: geomean 4-GPU speedup on NVLink-class "
+                "links (GPS should saturate the bound)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const InterconnectKind ic : sweep) {
+        for (const std::string& app : gps::workloadNames()) {
+            for (const gps::ParadigmKind paradigm :
+                 {gps::ParadigmKind::Memcpy, gps::ParadigmKind::Rdl,
+                  gps::ParadigmKind::Gps,
+                  gps::ParadigmKind::InfiniteBw}) {
+                benchmark::RegisterBenchmark(
+                    ("ext_nvlink/" + gps::to_string(ic) + "/" + app +
+                     "/" + gps::to_string(paradigm))
+                        .c_str(),
+                    [app, ic, paradigm](benchmark::State& state) {
+                        BM_nvlink(state, app, ic, paradigm);
+                    })
+                    ->Iterations(1)
+                    ->Unit(benchmark::kMillisecond);
+            }
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

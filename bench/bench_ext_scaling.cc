@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Extension bench: full strong-scaling curves (1, 2, 4, 8, 16 GPUs) on
+ * projected PCIe 6.0 for GPS, the memcpy baseline and the infinite
+ * bandwidth bound. The paper reports the 4-GPU (Fig. 8) and 16-GPU
+ * (Fig. 12) endpoints; this traces the curve between them.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+const std::vector<std::size_t> gpuCounts = {2, 4, 8, 16};
+const std::vector<ParadigmKind> plotted = {
+    ParadigmKind::Memcpy, ParadigmKind::Gps, ParadigmKind::InfiniteBw};
+
+// gpus -> paradigm -> speedups
+std::map<std::size_t, std::map<std::string, std::vector<double>>>
+    samples;
+BaselineCache baselines;
+
+void
+BM_scaling(benchmark::State& state, const std::string& workload,
+           std::size_t gpus, ParadigmKind paradigm)
+{
+    RunConfig config = defaultConfig();
+    config.system.numGpus = gpus;
+    config.system.interconnect = InterconnectKind::Pcie6;
+    config.paradigm = paradigm;
+    const RunResult& base = baselines.get(workload, config);
+    for (auto _ : state) {
+        const RunResult result = runWorkload(workload, config);
+        const double speedup = speedupOver(base, result);
+        samples[gpus][to_string(paradigm)].push_back(speedup);
+        state.counters["speedup"] = speedup;
+    }
+}
+
+void
+printTable()
+{
+    Table table({"gpus", "Memcpy", "GPS", "InfBW", "GPS_captured"});
+    for (const std::size_t gpus : gpuCounts) {
+        const double gps = geomean(samples[gpus]["GPS"]);
+        const double inf = geomean(samples[gpus]["Infinite BW"]);
+        table.row({std::to_string(gpus),
+                   fmt(geomean(samples[gpus]["Memcpy"])), fmt(gps),
+                   fmt(inf),
+                   fmt(inf == 0.0 ? 0.0 : gps / inf * 100.0, 0) + "%"});
+    }
+    table.print("Extension: geomean strong-scaling curve, PCIe 6.0 "
+                "(paper endpoints: Fig. 8 at 4, Fig. 12 at 16)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const std::size_t gpus : gpuCounts) {
+        for (const std::string& app : gps::workloadNames()) {
+            for (const gps::ParadigmKind paradigm : plotted) {
+                benchmark::RegisterBenchmark(
+                    ("ext_scaling/g" + std::to_string(gpus) + "/" +
+                     app + "/" + gps::to_string(paradigm))
+                        .c_str(),
+                    [app, gpus, paradigm](benchmark::State& state) {
+                        BM_scaling(state, app, gpus, paradigm);
+                    })
+                    ->Iterations(1)
+                    ->Unit(benchmark::kMillisecond);
+            }
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

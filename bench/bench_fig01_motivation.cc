@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 1: motivation — 4-GPU strong scaling of the applications under
+ * a conventional multi-GPU port on PCIe 3.0, projected PCIe 6.0, and an
+ * infinite-bandwidth interconnect. We use the bulk-synchronous memcpy
+ * port, which Section 7.1 calls "the most common programming technique
+ * today"; the paper's own Figure 1 used the apps' native ports.
+ *
+ * Paper headline: infinite bandwidth reaches ~3x, PCIe 6.0 ~2x, and on
+ * PCIe 3.0 several applications run *slower* than one GPU (~0.7x avg).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+const std::vector<InterconnectKind> interconnects = {
+    InterconnectKind::Pcie3, InterconnectKind::Pcie6};
+
+std::map<std::string, std::map<std::string, double>> results;
+BaselineCache baselines;
+
+void
+BM_fig1(benchmark::State& state, const std::string& workload,
+        InterconnectKind interconnect, bool infinite)
+{
+    RunConfig config = defaultConfig();
+    config.system.interconnect = interconnect;
+    const RunResult& base = baselines.get(workload, config);
+    for (auto _ : state) {
+        config.paradigm = infinite ? ParadigmKind::InfiniteBw
+                                   : ParadigmKind::Memcpy;
+        const double best =
+            speedupOver(base, runWorkload(workload, config));
+        const std::string column =
+            infinite ? "Infinite" : to_string(interconnect);
+        results[workload][column] = best;
+        state.counters["speedup"] = best;
+    }
+}
+
+void
+printTable()
+{
+    Table table(
+        {"app", "PCIe3.0", "PCIe6(proj)", "InfiniteBW"});
+    std::map<std::string, std::vector<double>> cols;
+    for (const std::string& app : workloadNames()) {
+        std::vector<std::string> row{app};
+        for (const std::string& col :
+             {to_string(InterconnectKind::Pcie3),
+              to_string(InterconnectKind::Pcie6), std::string("Infinite")}) {
+            const double s = results[app][col];
+            row.push_back(fmt(s));
+            cols[col].push_back(s);
+        }
+        table.row(std::move(row));
+    }
+    table.row({"geomean",
+               fmt(geomean(cols[to_string(InterconnectKind::Pcie3)])),
+               fmt(geomean(cols[to_string(InterconnectKind::Pcie6)])),
+               fmt(geomean(cols["Infinite"]))});
+    table.print("Figure 1: conventional (memcpy) port, 4-GPU speedup "
+                "(paper: ~0.7x / ~2x / ~3x)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const std::string& app : gps::workloadNames()) {
+        for (const InterconnectKind ic : interconnects) {
+            benchmark::RegisterBenchmark(
+                ("fig1/" + app + "/" + gps::to_string(ic)).c_str(),
+                [app, ic](benchmark::State& state) {
+                    BM_fig1(state, app, ic, false);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+        benchmark::RegisterBenchmark(
+            ("fig1/" + app + "/InfiniteBW").c_str(),
+            [app](benchmark::State& state) {
+                BM_fig1(state, app, InterconnectKind::Pcie3, true);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 3: local vs. remote memory bandwidth across five GPU platform
+ * generations. Paper headline: remote bandwidth improved 38x from PCIe
+ * 3.0 to NVLink3+NVSwitch, yet a ~3x local/remote gap persists.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "interconnect/platforms.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+void
+BM_fig3(benchmark::State& state, const PlatformSpec& platform)
+{
+    for (auto _ : state) {
+        state.counters["local_GBps"] = platform.localGBps;
+        state.counters["remote_GBps"] = platform.remoteGBps;
+        state.counters["gap"] = platform.gap();
+        benchmark::DoNotOptimize(platform.gap());
+    }
+}
+
+void
+printTable()
+{
+    Table table({"platform", "local_GB/s", "remote_GB/s", "gap"});
+    const auto& platforms = figure3Platforms();
+    for (const PlatformSpec& p : platforms)
+        table.row({p.name, fmt(p.localGBps, 0), fmt(p.remoteGBps, 0),
+                   fmt(p.gap(), 1)});
+    const double improvement =
+        platforms.back().remoteGBps / platforms.front().remoteGBps;
+    table.row({"remote improvement first->last", "", "",
+               fmt(improvement, 1)});
+    table.print("Figure 3: local vs remote bandwidth (paper: 38x remote "
+                "improvement, ~3x persistent gap)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const PlatformSpec& platform : figure3Platforms()) {
+        benchmark::RegisterBenchmark(
+            ("fig3/" + platform.name).c_str(),
+            [&platform](benchmark::State& state) {
+                BM_fig3(state, platform);
+            })
+            ->Iterations(1);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

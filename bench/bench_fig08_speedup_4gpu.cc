@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 8: 4-GPU speedup over one GPU for every paradigm (UM, UM+hints,
+ * RDL, Memcpy, GPS, Infinite BW) on PCIe 3.0.
+ *
+ * Paper headline: GPS averages ~3.0x (of ~3.2x available), 2.3x over the
+ * next best paradigm; EQWP exceeds 4x from the aggregate-L2 effect.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+// Approximate bar heights read off the paper's Figure 8.
+const std::map<std::string, std::map<std::string, double>> paperFig8 = {
+    {"Jacobi", {{"UM", 0.6}, {"UM+hints", 1.4}, {"RDL", 2.4},
+                {"Memcpy", 1.2}, {"GPS", 3.2}, {"Infinite BW", 3.3}}},
+    {"Pagerank", {{"UM", 0.3}, {"UM+hints", 0.9}, {"RDL", 1.4},
+                  {"Memcpy", 0.9}, {"GPS", 3.0}, {"Infinite BW", 3.2}}},
+    {"SSSP", {{"UM", 0.3}, {"UM+hints", 0.8}, {"RDL", 1.2},
+              {"Memcpy", 0.8}, {"GPS", 2.9}, {"Infinite BW", 3.1}}},
+    {"ALS", {{"UM", 0.4}, {"UM+hints", 0.9}, {"RDL", 1.1},
+             {"Memcpy", 1.0}, {"GPS", 2.2}, {"Infinite BW", 3.0}}},
+    {"CT", {{"UM", 0.5}, {"UM+hints", 1.1}, {"RDL", 1.3},
+            {"Memcpy", 2.8}, {"GPS", 3.0}, {"Infinite BW", 3.3}}},
+    {"EQWP", {{"UM", 0.7}, {"UM+hints", 1.5}, {"RDL", 1.8},
+              {"Memcpy", 1.4}, {"GPS", 4.2}, {"Infinite BW", 4.4}}},
+    {"Diffusion", {{"UM", 0.6}, {"UM+hints", 1.0}, {"RDL", 1.9},
+                   {"Memcpy", 1.3}, {"GPS", 3.1}, {"Infinite BW", 3.3}}},
+    {"HIT", {{"UM", 0.5}, {"UM+hints", 1.2}, {"RDL", 1.6},
+             {"Memcpy", 1.1}, {"GPS", 3.0}, {"Infinite BW", 3.2}}},
+};
+
+struct Cell
+{
+    double speedup = 0.0;
+};
+
+std::map<std::string, std::map<std::string, Cell>> results;
+BaselineCache baselines;
+
+void
+BM_fig8(benchmark::State& state, const std::string& workload,
+        ParadigmKind paradigm)
+{
+    RunConfig config = defaultConfig();
+    config.paradigm = paradigm;
+    const RunResult& base = baselines.get(workload, config);
+    for (auto _ : state) {
+        const RunResult result = runWorkload(workload, config);
+        const double speedup = speedupOver(base, result);
+        results[workload][to_string(paradigm)] = {speedup};
+        state.counters["speedup"] = speedup;
+        state.counters["traffic_MB"] =
+            static_cast<double>(result.interconnectBytes) / 1e6;
+    }
+}
+
+void
+printTable()
+{
+    Table table({"app", "UM", "UM+hints", "RDL", "Memcpy", "GPS",
+                 "InfBW", "paper_GPS"});
+    std::map<std::string, std::vector<double>> per_paradigm;
+    for (const std::string& app : workloadNames()) {
+        std::vector<std::string> row{app};
+        for (const ParadigmKind paradigm : allParadigms()) {
+            const double s =
+                results[app][to_string(paradigm)].speedup;
+            row.push_back(fmt(s));
+            per_paradigm[to_string(paradigm)].push_back(s);
+        }
+        row.push_back(fmt(paperFig8.at(app).at("GPS"), 1));
+        table.row(std::move(row));
+    }
+    std::vector<std::string> geo{"geomean"};
+    for (const ParadigmKind paradigm : allParadigms())
+        geo.push_back(fmt(geomean(per_paradigm[to_string(paradigm)])));
+    geo.push_back("3.0");
+    table.row(std::move(geo));
+    table.print("Figure 8: 4-GPU speedup over 1 GPU (PCIe 3.0)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const std::string& app : gps::workloadNames()) {
+        for (const gps::ParadigmKind paradigm : gps::allParadigms()) {
+            benchmark::RegisterBenchmark(
+                ("fig8/" + app + "/" + gps::to_string(paradigm)).c_str(),
+                [app, paradigm](benchmark::State& state) {
+                    BM_fig8(state, app, paradigm);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

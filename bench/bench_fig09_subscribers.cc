@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 9: distribution of subscriber counts over shared pages (pages
+ * with more than one subscriber) at the start of the GPS execution
+ * phase, i.e. after the profiling iteration unsubscribed untouched GPUs.
+ *
+ * Paper headline: ALS/CT are dominated by 4-subscriber (all-to-all)
+ * pages; Jacobi's halo exchange leaves almost exclusively 2-subscriber
+ * pages; the graph workloads mix.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+struct Row
+{
+    double pct2 = 0.0, pct3 = 0.0, pct4 = 0.0;
+    std::uint64_t sharedPages = 0;
+};
+
+std::map<std::string, Row> results;
+
+void
+BM_fig9(benchmark::State& state, const std::string& workload)
+{
+    RunConfig config = defaultConfig();
+    config.paradigm = ParadigmKind::Gps;
+    for (auto _ : state) {
+        const RunResult result = runWorkload(workload, config);
+        Row row;
+        if (result.hasSubscriberHist) {
+            row.sharedPages = result.subscriberHist.total();
+            row.pct2 = result.subscriberHist.fraction(2) * 100.0;
+            row.pct3 = result.subscriberHist.fraction(3) * 100.0;
+            row.pct4 = result.subscriberHist.fraction(4) * 100.0;
+        }
+        results[workload] = row;
+        state.counters["pct_2sub"] = row.pct2;
+        state.counters["pct_3sub"] = row.pct3;
+        state.counters["pct_4sub"] = row.pct4;
+    }
+}
+
+void
+printTable()
+{
+    Table table({"app", "2_subs(%)", "3_subs(%)", "4_subs(%)",
+                 "shared_pages"});
+    for (const std::string& app : workloadNames()) {
+        const Row& row = results[app];
+        table.row({app, fmt(row.pct2, 1), fmt(row.pct3, 1),
+                   fmt(row.pct4, 1),
+                   std::to_string(row.sharedPages)});
+    }
+    table.print("Figure 9: subscriber distribution of shared pages "
+                "(paper: Jacobi ~100% 2-sub, ALS/CT ~100% 4-sub)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const std::string& app : gps::workloadNames()) {
+        benchmark::RegisterBenchmark(
+            ("fig9/" + app).c_str(),
+            [app](benchmark::State& state) { BM_fig9(state, app); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

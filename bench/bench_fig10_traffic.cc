@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 10: total data moved over the interconnect, normalized to the
+ * memcpy paradigm (which ships each shared update set exactly once to
+ * every GPU).
+ *
+ * Paper headlines: UM thrashes above memcpy except for Jacobi and CT
+ * (where memcpy's broadcast to non-consumers dominates); UM+hints
+ * beats UM everywhere except Diffusion (coarse prefetch over-fetch);
+ * RDL beats memcpy except ALS (no temporal locality, refetches); GPS is
+ * lowest for most applications but its uncoalescable atomics make ALS
+ * the worst case (4.4x).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+const std::vector<ParadigmKind> plotted = {
+    ParadigmKind::Um, ParadigmKind::UmHints, ParadigmKind::Rdl,
+    ParadigmKind::Gps};
+
+std::map<std::string, std::map<std::string, double>> ratio;
+std::map<std::string, double> memcpyBytes;
+
+double
+memcpyBaseline(const std::string& workload)
+{
+    auto it = memcpyBytes.find(workload);
+    if (it == memcpyBytes.end()) {
+        RunConfig config = defaultConfig();
+        config.paradigm = ParadigmKind::Memcpy;
+        const RunResult result = runWorkload(workload, config);
+        it = memcpyBytes
+                 .emplace(workload,
+                          static_cast<double>(result.interconnectBytes))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+BM_fig10(benchmark::State& state, const std::string& workload,
+         ParadigmKind paradigm)
+{
+    RunConfig config = defaultConfig();
+    config.paradigm = paradigm;
+    const double base = memcpyBaseline(workload);
+    for (auto _ : state) {
+        const RunResult result = runWorkload(workload, config);
+        const double r =
+            base == 0.0
+                ? 0.0
+                : static_cast<double>(result.interconnectBytes) / base;
+        ratio[workload][to_string(paradigm)] = r;
+        state.counters["traffic_vs_memcpy"] = r;
+        state.counters["traffic_MB"] =
+            static_cast<double>(result.interconnectBytes) / 1e6;
+    }
+}
+
+void
+printTable()
+{
+    Table table({"app", "UM", "UM+hints", "RDL", "GPS", "memcpy_MB"});
+    for (const std::string& app : workloadNames()) {
+        table.row({app, fmt(ratio[app]["UM"]),
+                   fmt(ratio[app]["UM+hints"]), fmt(ratio[app]["RDL"]),
+                   fmt(ratio[app]["GPS"]),
+                   fmt(memcpyBytes[app] / 1e6, 0)});
+    }
+    table.print("Figure 10: interconnect data moved / memcpy "
+                "(paper: GPS lowest except ALS at 4.4)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const std::string& app : gps::workloadNames()) {
+        for (const ParadigmKind paradigm : plotted) {
+            benchmark::RegisterBenchmark(
+                ("fig10/" + app + "/" + gps::to_string(paradigm)).c_str(),
+                [app, paradigm](benchmark::State& state) {
+                    BM_fig10(state, app, paradigm);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 11: performance sensitivity to subscription tracking — GPS with
+ * automatic unsubscription vs. GPS left at the all-to-all subscription.
+ *
+ * Paper headline: unsubscription is the primary factor behind GPS's
+ * scalability except for ALS and CT, whose pages are genuinely
+ * subscribed by every GPU (all-to-all transfer patterns).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+std::map<std::string, std::map<bool, double>> results;
+BaselineCache baselines;
+
+void
+BM_fig11(benchmark::State& state, const std::string& workload,
+         bool with_subscription)
+{
+    RunConfig config = defaultConfig();
+    config.paradigm = ParadigmKind::Gps;
+    config.system.gps.autoUnsubscribe = with_subscription;
+    const RunResult& base = baselines.get(workload, config);
+    for (auto _ : state) {
+        const RunResult result = runWorkload(workload, config);
+        const double speedup = speedupOver(base, result);
+        results[workload][with_subscription] = speedup;
+        state.counters["speedup"] = speedup;
+        state.counters["traffic_MB"] =
+            static_cast<double>(result.interconnectBytes) / 1e6;
+    }
+}
+
+void
+printTable()
+{
+    Table table({"app", "no_subscription", "with_subscription",
+                 "benefit"});
+    std::vector<double> with, without;
+    for (const std::string& app : workloadNames()) {
+        const double off = results[app][false];
+        const double on = results[app][true];
+        without.push_back(off);
+        with.push_back(on);
+        table.row({app, fmt(off), fmt(on),
+                   fmt(off == 0.0 ? 0.0 : on / off)});
+    }
+    table.row({"geomean", fmt(geomean(without)), fmt(geomean(with)),
+               fmt(geomean(without) == 0.0
+                       ? 0.0
+                       : geomean(with) / geomean(without))});
+    table.print("Figure 11: GPS with vs without subscription tracking "
+                "(paper: large benefit except ALS/CT)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const std::string& app : gps::workloadNames()) {
+        for (const bool with_subscription : {false, true}) {
+            benchmark::RegisterBenchmark(
+                ("fig11/" + app +
+                 (with_subscription ? "/subscribed" : "/all_to_all"))
+                    .c_str(),
+                [app, with_subscription](benchmark::State& state) {
+                    BM_fig11(state, app, with_subscription);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 12: 16-GPU speedup of every paradigm over one GPU, using the
+ * projected PCIe 6.0 interconnect (128 GB/s).
+ *
+ * Paper headline: GPS averages 7.9x, capturing over 80% of the infinite
+ * bandwidth opportunity, while conventional paradigms do not scale.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+std::map<std::string, std::map<std::string, double>> results;
+BaselineCache baselines;
+
+RunConfig
+config16()
+{
+    RunConfig config = defaultConfig();
+    config.system.numGpus = 16;
+    config.system.interconnect = InterconnectKind::Pcie6;
+    return config;
+}
+
+void
+BM_fig12(benchmark::State& state, const std::string& workload,
+         ParadigmKind paradigm)
+{
+    RunConfig config = config16();
+    config.paradigm = paradigm;
+    const RunResult& base = baselines.get(workload, config);
+    for (auto _ : state) {
+        const RunResult result = runWorkload(workload, config);
+        const double speedup = speedupOver(base, result);
+        results[workload][to_string(paradigm)] = speedup;
+        state.counters["speedup"] = speedup;
+    }
+}
+
+void
+printTable()
+{
+    Table table({"app", "UM", "UM+hints", "RDL", "Memcpy", "GPS",
+                 "InfBW", "captured"});
+    std::map<std::string, std::vector<double>> per_paradigm;
+    for (const std::string& app : workloadNames()) {
+        std::vector<std::string> row{app};
+        for (const ParadigmKind paradigm : allParadigms()) {
+            const double s = results[app][to_string(paradigm)];
+            row.push_back(fmt(s));
+            per_paradigm[to_string(paradigm)].push_back(s);
+        }
+        const double inf = results[app]["Infinite BW"];
+        row.push_back(
+            fmt(inf == 0.0 ? 0.0 : results[app]["GPS"] / inf * 100.0,
+                0) +
+            "%");
+        table.row(std::move(row));
+    }
+    std::vector<std::string> geo{"geomean"};
+    for (const ParadigmKind paradigm : allParadigms())
+        geo.push_back(fmt(geomean(per_paradigm[to_string(paradigm)])));
+    const double ginf = geomean(per_paradigm["Infinite BW"]);
+    geo.push_back(
+        fmt(ginf == 0.0 ? 0.0
+                        : geomean(per_paradigm["GPS"]) / ginf * 100.0,
+            0) +
+        "%");
+    table.row(std::move(geo));
+    table.print("Figure 12: 16-GPU speedup on projected PCIe 6.0 "
+                "(paper: GPS 7.9x avg, >80% of opportunity)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const std::string& app : gps::workloadNames()) {
+        for (const gps::ParadigmKind paradigm : gps::allParadigms()) {
+            benchmark::RegisterBenchmark(
+                ("fig12/" + app + "/" + gps::to_string(paradigm))
+                    .c_str(),
+                [app, paradigm](benchmark::State& state) {
+                    BM_fig12(state, app, paradigm);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 13: geometric-mean 4-GPU speedup of every paradigm while
+ * sweeping the interconnect from PCIe 3.0 to projected PCIe 6.0.
+ *
+ * Paper headline: conventional paradigms stay flat-ish even as link
+ * bandwidth grows 8x; GPS tracks the infinite-bandwidth bound ever more
+ * closely.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+std::map<std::string, std::map<std::string, std::vector<double>>>
+    samples; // interconnect -> paradigm -> speedups
+BaselineCache baselines;
+
+void
+BM_fig13(benchmark::State& state, const std::string& workload,
+         InterconnectKind interconnect, ParadigmKind paradigm)
+{
+    RunConfig config = defaultConfig();
+    config.system.interconnect = interconnect;
+    config.paradigm = paradigm;
+    const RunResult& base = baselines.get(workload, config);
+    for (auto _ : state) {
+        const RunResult result = runWorkload(workload, config);
+        const double speedup = speedupOver(base, result);
+        samples[to_string(interconnect)][to_string(paradigm)].push_back(
+            speedup);
+        state.counters["speedup"] = speedup;
+    }
+}
+
+void
+printTable()
+{
+    Table table({"interconnect", "UM", "UM+hints", "RDL", "Memcpy",
+                 "GPS", "InfBW"});
+    for (const InterconnectKind ic : figure13Sweep()) {
+        std::vector<std::string> row{to_string(ic)};
+        for (const ParadigmKind paradigm : allParadigms())
+            row.push_back(fmt(geomean(
+                samples[to_string(ic)][to_string(paradigm)])));
+        table.row(std::move(row));
+    }
+    table.print("Figure 13: geomean 4-GPU speedup vs interconnect "
+                "(paper: GPS approaches the bound as bandwidth grows)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const InterconnectKind ic : gps::figure13Sweep()) {
+        for (const std::string& app : gps::workloadNames()) {
+            for (const gps::ParadigmKind paradigm :
+                 gps::allParadigms()) {
+                benchmark::RegisterBenchmark(
+                    ("fig13/" + gps::to_string(ic) + "/" + app + "/" +
+                     gps::to_string(paradigm))
+                        .c_str(),
+                    [app, ic, paradigm](benchmark::State& state) {
+                        BM_fig13(state, app, ic, paradigm);
+                    })
+                    ->Iterations(1)
+                    ->Unit(benchmark::kMillisecond);
+            }
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 14: GPS remote write queue hit rate as a function of queue
+ * capacity, for the store-dominated applications (CT, EQWP, Diffusion,
+ * HIT).
+ *
+ * Paper headlines: hit rates ramp with capacity and saturate by 512
+ * entries; Jacobi stays at 0% (spatial locality fully captured by the
+ * SM-level coalescer) and Pagerank/ALS/SSSP stay at 0% (atomics are not
+ * coalesced).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+const std::vector<std::uint32_t> queueSizes = {16,  32,  64,  128,
+                                               256, 512, 1024};
+const std::vector<std::string> rampApps = {"CT", "EQWP", "Diffusion",
+                                           "HIT"};
+const std::vector<std::string> zeroApps = {"Jacobi", "Pagerank", "SSSP",
+                                           "ALS"};
+
+std::map<std::string, std::map<std::uint32_t, double>> results;
+
+void
+BM_fig14(benchmark::State& state, const std::string& workload,
+         std::uint32_t queue_entries)
+{
+    RunConfig config = defaultConfig();
+    config.paradigm = ParadigmKind::Gps;
+    config.system.gps.wqEntries = queue_entries;
+    for (auto _ : state) {
+        const RunResult result = runWorkload(workload, config);
+        results[workload][queue_entries] = result.wqHitRate * 100.0;
+        state.counters["wq_hit_pct"] = result.wqHitRate * 100.0;
+    }
+}
+
+void
+printTable()
+{
+    std::vector<std::string> columns{"app"};
+    for (const std::uint32_t size : queueSizes)
+        columns.push_back("q" + std::to_string(size));
+    Table table(columns);
+    for (const std::string& app : rampApps) {
+        std::vector<std::string> row{app};
+        for (const std::uint32_t size : queueSizes)
+            row.push_back(fmt(results[app][size], 1));
+        table.row(std::move(row));
+    }
+    for (const std::string& app : zeroApps) {
+        std::vector<std::string> row{app};
+        for (const std::uint32_t size : queueSizes)
+            row.push_back(fmt(results[app][size], 1));
+        table.row(std::move(row));
+    }
+    table.print("Figure 14: WQ hit rate (%) vs queue size (paper: "
+                "ramps saturating by 512; Jacobi/PR/ALS/SSSP at 0%)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const std::string& app : rampApps) {
+        for (const std::uint32_t size : queueSizes) {
+            benchmark::RegisterBenchmark(
+                ("fig14/" + app + "/q" + std::to_string(size)).c_str(),
+                [app, size](benchmark::State& state) {
+                    BM_fig14(state, app, size);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    // 0%-hit applications: measured once at the default 512 entries.
+    for (const std::string& app : zeroApps) {
+        benchmark::RegisterBenchmark(
+            ("fig14/" + app + "/q512").c_str(),
+            [app](benchmark::State& state) {
+                for (const std::uint32_t size : queueSizes)
+                    results[app][size] = -1.0;
+                BM_fig14(state, app, 512);
+                for (const std::uint32_t size : queueSizes) {
+                    if (results[app][size] < 0.0)
+                        results[app][size] = results[app][512];
+                }
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

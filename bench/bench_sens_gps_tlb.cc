@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Section 7.4 sensitivity: GPS-TLB size. The paper's finding is that the
+ * GPS-TLB reaches ~100% hit rate at just 32 entries because it services
+ * only coalesced remote writes to the GPS heap, never reads.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+const std::vector<std::uint32_t> tlbSizes = {4, 8, 16, 32, 64, 128};
+
+std::map<std::string, std::map<std::uint32_t, double>> results;
+
+void
+BM_sens(benchmark::State& state, const std::string& workload,
+        std::uint32_t entries)
+{
+    RunConfig config = defaultConfig();
+    config.paradigm = ParadigmKind::Gps;
+    config.system.gps.gpsTlbEntries = entries;
+    config.system.gps.gpsTlbWays = std::min<std::uint32_t>(entries, 8);
+    for (auto _ : state) {
+        const RunResult result = runWorkload(workload, config);
+        results[workload][entries] = result.gpsTlbHitRate * 100.0;
+        state.counters["gps_tlb_hit_pct"] =
+            result.gpsTlbHitRate * 100.0;
+    }
+}
+
+void
+printTable()
+{
+    std::vector<std::string> columns{"app"};
+    for (const std::uint32_t size : tlbSizes)
+        columns.push_back("e" + std::to_string(size));
+    Table table(columns);
+    for (const std::string& app : workloadNames()) {
+        std::vector<std::string> row{app};
+        for (const std::uint32_t size : tlbSizes)
+            row.push_back(fmt(results[app][size], 1));
+        table.row(std::move(row));
+    }
+    table.print("GPS-TLB hit rate (%) vs entries "
+                "(paper: ~100% at 32 entries)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const std::string& app : gps::workloadNames()) {
+        for (const std::uint32_t size : tlbSizes) {
+            benchmark::RegisterBenchmark(
+                ("sens_gps_tlb/" + app + "/e" + std::to_string(size))
+                    .c_str(),
+                [app, size](benchmark::State& state) {
+                    BM_sens(state, app, size);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Section 7.4 sensitivity: virtual memory page size. The paper finds
+ * 64 KB is the sweet spot: 4 KB pages thrash every TLB (42% slower) and
+ * 2 MB pages multiply false sharing and redundant remote transfers
+ * (15% slower).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+const std::vector<std::uint64_t> pageSizes = {4 * KiB, 64 * KiB,
+                                              2 * MiB};
+
+std::map<std::uint64_t, std::vector<double>> speedups;
+BaselineCache baselines;
+
+void
+BM_sens(benchmark::State& state, const std::string& workload,
+        std::uint64_t page_bytes)
+{
+    RunConfig config = defaultConfig();
+    config.paradigm = ParadigmKind::Gps;
+    config.system.pageBytes = page_bytes;
+    const RunResult& base = baselines.get(workload, config);
+    for (auto _ : state) {
+        const RunResult result = runWorkload(workload, config);
+        const double speedup = speedupOver(base, result);
+        speedups[page_bytes].push_back(speedup);
+        state.counters["speedup"] = speedup;
+        state.counters["traffic_MB"] =
+            static_cast<double>(result.interconnectBytes) / 1e6;
+        state.counters["tlb_hit_pct"] = result.tlbHitRate * 100.0;
+    }
+}
+
+void
+printTable()
+{
+    Table table({"page_size", "geomean_speedup", "vs_64KB"});
+    const double ref = geomean(speedups[64 * KiB]);
+    for (const std::uint64_t size : pageSizes) {
+        const double s = geomean(speedups[size]);
+        table.row({std::to_string(size / KiB) + " KB", fmt(s),
+                   fmt(ref == 0.0 ? 0.0 : (s / ref - 1.0) * 100.0, 1) +
+                       "%"});
+    }
+    table.print("GPS page-size sensitivity (paper: 4 KB -42%, "
+                "2 MB -15% vs 64 KB)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const std::uint64_t size : pageSizes) {
+        for (const std::string& app : gps::workloadNames()) {
+            benchmark::RegisterBenchmark(
+                ("sens_page_size/" + app + "/" +
+                 std::to_string(size / gps::KiB) + "KB")
+                    .c_str(),
+                [app, size](benchmark::State& state) {
+                    BM_sens(state, app, size);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

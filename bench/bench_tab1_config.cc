@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 1: simulation settings. Dumps the default system configuration
+ * (V100-class GPU parameters plus the GPS structure sizes) and checks
+ * the derived quantities the paper quotes: the 126-bit minimum GPS-PTE
+ * for a 4-GPU system, the ~68 KB write-queue SRAM and the 64 KB access
+ * tracking bitmap for 32 GB of GPS address space.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "api/system.hh"
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "core/access_tracker.hh"
+#include "core/gps_page_table.hh"
+#include "core/remote_write_queue.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+void
+BM_tab1(benchmark::State& state)
+{
+    const SystemConfig config;
+    MultiGpuSystem system(config);
+    for (auto _ : state) {
+        state.counters["gps_pte_bits_4gpu"] = static_cast<double>(
+            GpsPageTable::pteBits(4, 33, 31));
+        RemoteWriteQueue queue("wq", config.gps,
+                               config.gpu.cacheLineBytes,
+                               system.geometry());
+        state.counters["wq_sram_KB"] =
+            static_cast<double>(queue.sramBytes()) / 1024.0;
+        state.counters["tracking_bitmap_KB"] = static_cast<double>(
+            AccessTracker::bitmapBytes(32 * GiB, 64 * KiB)) / 1024.0;
+        benchmark::DoNotOptimize(queue.sramBytes());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    benchmark::RegisterBenchmark("tab1/config", BM_tab1)->Iterations(1);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    const SystemConfig config;
+    MultiGpuSystem system(config);
+    std::printf("\n=== Table 1: simulation settings ===\n%s",
+                system.configDump().render().c_str());
+    std::printf("derived (paper cross-checks):\n");
+    std::printf("  GPS-PTE bits (4 GPUs, 33b VPN, 31b PPN)  %llu "
+                "(paper: 126)\n",
+                static_cast<unsigned long long>(
+                    gps::GpsPageTable::pteBits(4, 33, 31)));
+    gps::RemoteWriteQueue queue("wq", config.gps,
+                                config.gpu.cacheLineBytes,
+                                system.geometry());
+    std::printf("  write queue SRAM                         %.1f KB "
+                "(paper: ~68 KB)\n",
+                static_cast<double>(queue.sramBytes()) / 1024.0);
+    std::printf("  tracking bitmap for 32 GB GPS VA         %.0f KB "
+                "(paper: 64 KB)\n",
+                static_cast<double>(gps::AccessTracker::bitmapBytes(
+                    32 * gps::GiB, 64 * gps::KiB)) / 1024.0);
+    return 0;
+}

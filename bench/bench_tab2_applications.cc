@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 2: the application suite with its predominant communication
+ * patterns, cross-checked against measured subscriber distributions
+ * (peer-to-peer apps should be dominated by 2-subscriber pages,
+ * all-to-all apps by full-subscription pages).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+std::map<std::string, std::string> measured;
+
+void
+BM_tab2(benchmark::State& state, const std::string& workload)
+{
+    RunConfig config = defaultConfig();
+    config.paradigm = ParadigmKind::Gps;
+    for (auto _ : state) {
+        const RunResult result = runWorkload(workload, config);
+        double best = 0.0;
+        std::size_t best_bucket = 0;
+        for (std::size_t b = 2; b <= config.system.numGpus; ++b) {
+            if (result.subscriberHist.fraction(b) > best) {
+                best = result.subscriberHist.fraction(b);
+                best_bucket = b;
+            }
+        }
+        measured[workload] =
+            best_bucket == config.system.numGpus
+                ? "All-to-all"
+                : (best_bucket == 2 ? "Peer-to-peer" : "Many-to-many");
+        state.counters["dominant_subs"] =
+            static_cast<double>(best_bucket);
+    }
+}
+
+void
+printTable()
+{
+    Table table({"app", "paper_pattern", "measured_pattern",
+                 "description"});
+    for (const std::string& app : workloadNames()) {
+        auto workload = makeWorkload(app);
+        table.row({app, workload->commPattern(), measured[app],
+                   workload->description().substr(0, 48)});
+    }
+    table.print("Table 2: applications under study");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const std::string& app : gps::workloadNames()) {
+        benchmark::RegisterBenchmark(
+            ("tab2/" + app).c_str(),
+            [app](benchmark::State& state) { BM_tab2(state, app); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

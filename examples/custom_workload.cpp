@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Writing your own workload against the public API: a producer/consumer
+ * ring where each GPU writes a buffer its right-hand neighbor reads in
+ * the next phase. Runs under every paradigm and prints the comparison.
+ */
+
+#include <cstdio>
+
+#include "api/runner.hh"
+#include "apps/app_common.hh"
+
+namespace
+{
+
+using namespace gps;
+
+/** Ring pipeline: GPU g produces a buffer consumed by GPU g+1. */
+class RingWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Ring"; }
+    std::string description() const override
+    {
+        return "Producer/consumer ring pipeline";
+    }
+    std::string commPattern() const override { return "Peer-to-peer"; }
+    std::size_t effectiveIterations() const override { return 100; }
+
+    void
+    setup(WorkloadContext& ctx) override
+    {
+        gpus_ = ctx.numGpus();
+        bufLines_ = 4096; // 512 KB per ring segment
+        buffers_ =
+            ctx.allocShared(segments_ * bufLines_ * 128, "ring.buf");
+    }
+
+    std::vector<Phase>
+    iteration(std::size_t iter, WorkloadContext& ctx) override
+    {
+        (void)iter;
+        (void)ctx;
+        Phase phase;
+        phase.name = "ring.step";
+        for (std::size_t g = 0; g < gpus_; ++g) {
+            const GpuId gpu = static_cast<GpuId>(g);
+            // Strong scaling: the same 8 ring segments are dealt among
+            // the GPUs; each GPU consumes its segments' upstream
+            // neighbors and produces its own.
+            std::vector<apps::Group> groups;
+            std::uint64_t owned = 0;
+            for (std::size_t s = g; s < segments_; s += gpus_) {
+                const Addr own = buffers_ + s * bufLines_ * 128;
+                const Addr upstream =
+                    buffers_ +
+                    ((s + segments_ - 1) % segments_) * bufLines_ * 128;
+                groups.push_back(apps::Group{{
+                    apps::Burst{upstream, bufLines_, 128,
+                                AccessType::Load, 128, Scope::Weak},
+                    apps::Burst{own, bufLines_, 128, AccessType::Store,
+                                128, Scope::Weak},
+                }});
+                phase.barrierBroadcasts.push_back(
+                    BroadcastRange{gpu, own, bufLines_ * 128});
+                ++owned;
+            }
+
+            KernelLaunch kernel;
+            kernel.gpu = gpu;
+            kernel.name = "ring.step";
+            kernel.computeInstrs = owned * bufLines_ * 32 * 160;
+            kernel.stream = apps::makeGroupStream(std::move(groups));
+            phase.kernels.push_back(std::move(kernel));
+        }
+        std::vector<Phase> phases;
+        phases.push_back(std::move(phase));
+        return phases;
+    }
+
+    void
+    applyUmHints(WorkloadContext& ctx) override
+    {
+        for (std::size_t s = 0; s < segments_; ++s) {
+            const Addr own = buffers_ + s * bufLines_ * 128;
+            const GpuId owner = static_cast<GpuId>(s % gpus_);
+            const GpuId reader =
+                static_cast<GpuId>((s + 1) % segments_ % gpus_);
+            ctx.driver().advisePreferredLocation(own, bufLines_ * 128,
+                                                 owner);
+            ctx.driver().adviseAccessedBy(own, bufLines_ * 128, reader);
+        }
+    }
+
+  private:
+    static constexpr std::size_t segments_ = 8;
+    std::size_t gpus_ = 0;
+    std::uint64_t bufLines_ = 0;
+    Addr buffers_ = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace gps;
+    setVerbose(false);
+
+    RunConfig config;
+    config.system.numGpus = 4;
+
+    RunConfig base_config = config;
+    base_config.system.numGpus = 1;
+    base_config.paradigm = ParadigmKind::Memcpy;
+    RingWorkload baseline_workload;
+    const RunResult baseline =
+        Runner(base_config).run(baseline_workload);
+
+    std::printf("custom 'Ring' workload, 4 GPUs vs 1 GPU "
+                "(baseline %.3f ms):\n",
+                baseline.timeMs());
+    std::printf("%-12s %10s %12s %9s\n", "paradigm", "time(ms)",
+                "traffic(MB)", "speedup");
+    for (const ParadigmKind paradigm : allParadigms()) {
+        RingWorkload workload;
+        config.paradigm = paradigm;
+        const RunResult result = Runner(config).run(workload);
+        std::printf("%-12s %10.3f %12.1f %8.2fx\n",
+                    to_string(paradigm).c_str(), result.timeMs(),
+                    static_cast<double>(result.interconnectBytes) / 1e6,
+                    speedupOver(baseline, result));
+    }
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Manual subscription on a stencil: drives the GPS driver API directly
+ * (the Section 4 programming interface) instead of going through the
+ * bundled workloads.
+ *
+ * A 1-D field is slab-partitioned over the GPUs. Each GPU subscribes
+ * only to its own slab plus its neighbors' boundary pages — exactly the
+ * subscription set automatic profiling would discover — then runs a few
+ * stencil sweeps and reports where the stores went.
+ */
+
+#include <cstdio>
+
+#include "core/gps_paradigm.hh"
+#include "trace/access.hh"
+
+int
+main()
+{
+    using namespace gps;
+    setVerbose(false);
+
+    SystemConfig config;
+    config.numGpus = 4;
+    MultiGpuSystem system(config);
+    GpsParadigm paradigm(system);
+    Driver& driver = system.driver();
+
+    const std::uint64_t page = system.geometry().bytes();
+    const std::size_t pages_per_gpu = 8;
+    const std::uint64_t field_bytes = 4 * pages_per_gpu * page;
+
+    // Allocate in the GPS address space with *manual* subscription
+    // management (the optional cudaMallocGPS parameter of Section 4).
+    const Region& field = driver.mallocGps(field_bytes, "field",
+                                           /*home=*/0, /*manual=*/true);
+    paradigm.onSetupComplete();
+
+    // Subscribe every GPU to its slab, plus the adjacent boundary page
+    // on each side (CU_MEM_ADVISE_GPS_SUBSCRIBE).
+    for (GpuId g = 0; g < 4; ++g) {
+        const Addr slab = field.base + g * pages_per_gpu * page;
+        paradigm.manualSubscribe(slab, pages_per_gpu * page, g);
+        if (g > 0)
+            paradigm.manualSubscribe(slab - page, page, g);
+        if (g < 3)
+            paradigm.manualSubscribe(slab + pages_per_gpu * page, page,
+                                     g);
+    }
+
+    // GPU0 still holds the allocation-time backing of remote slabs; an
+    // expert would unsubscribe it from pages it will not touch.
+    for (GpuId g = 1; g < 4; ++g) {
+        const Addr slab = field.base + g * pages_per_gpu * page;
+        const UnsubscribeResult result = paradigm.manualUnsubscribe(
+            slab + page, (pages_per_gpu - 2) * page, /*gpu=*/0);
+        std::printf("unsubscribe GPU0 from slab %u interior: %s\n", g,
+                    result == UnsubscribeResult::LastSubscriber
+                        ? "refused (last subscriber)"
+                        : "ok");
+    }
+
+    // Run three stencil sweeps: each GPU reads its slab + halo pages
+    // and stores its slab. Stores to boundary pages are forwarded to
+    // the subscribed neighbor only.
+    KernelCounters counters;
+    TrafficMatrix traffic(4);
+    const std::uint32_t line = config.gpu.cacheLineBytes;
+    for (int sweep = 0; sweep < 3; ++sweep) {
+        for (GpuId g = 0; g < 4; ++g) {
+            const Addr slab = field.base + g * pages_per_gpu * page;
+            const Addr lo = g > 0 ? slab - page : slab;
+            const Addr hi = g < 3 ? slab + pages_per_gpu * page
+                                  : slab + pages_per_gpu * page - page;
+            for (Addr a = lo; a < hi; a += line) {
+                const MemAccess load = MemAccess::load(a, line);
+                const PageNum vpn = system.geometry().pageNum(a);
+                const bool miss = system.gpu(g).tlbAccess(vpn, counters);
+                paradigm.access(g, load, vpn, miss, counters, traffic);
+            }
+            for (Addr a = slab; a < slab + pages_per_gpu * page;
+                 a += line) {
+                const MemAccess store = MemAccess::store(a, line);
+                const PageNum vpn = system.geometry().pageNum(a);
+                const bool miss = system.gpu(g).tlbAccess(vpn, counters);
+                paradigm.access(g, store, vpn, miss, counters, traffic);
+            }
+            paradigm.endKernel(g, counters, traffic);
+        }
+    }
+
+    std::printf("\nafter 3 sweeps on a %zu-page field:\n",
+                static_cast<std::size_t>(4 * pages_per_gpu));
+    std::printf("  remote demand loads      %llu (subscribed loads stay"
+                " local)\n",
+                static_cast<unsigned long long>(counters.remoteLoads));
+    std::printf("  write-queue drains       %llu\n",
+                static_cast<unsigned long long>(counters.wqDrains));
+    std::printf("  pushed store payload     %.2f MB\n",
+                static_cast<double>(counters.pushedStoreBytes) / 1e6);
+    for (GpuId src = 0; src < 4; ++src) {
+        std::printf("  GPU%u egress:", src);
+        for (GpuId dst = 0; dst < 4; ++dst)
+            std::printf(" %8llu",
+                        static_cast<unsigned long long>(
+                            traffic.at(src, dst)));
+        std::printf("  bytes\n");
+    }
+    std::printf(
+        "\nonly boundary pages produce inter-GPU traffic; interior\n"
+        "pages' stores have a single subscriber and were demoted to\n"
+        "conventional pages. GPU0 kept its allocation-time subscription\n"
+        "to the slab-boundary pages it was never unsubscribed from —\n"
+        "subscription lists need not be minimal to be correct (§3.2),\n"
+        "they only cost the extra forwarded bytes shown above.\n");
+    return 0;
+}

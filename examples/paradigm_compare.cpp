@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Compare every memory-management paradigm on one workload and print the
+ * detailed component statistics behind the result.
+ *
+ * Usage: paradigm_compare [workload] [num_gpus] [--stats]
+ *   workload: Jacobi | Pagerank | SSSP | ALS | CT | EQWP | Diffusion | HIT
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "api/runner.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace gps;
+    setVerbose(false);
+
+    std::string workload = argc > 1 ? argv[1] : "Jacobi";
+    std::size_t num_gpus = argc > 2 ? std::stoul(argv[2]) : 4;
+    const bool dump_stats =
+        argc > 3 && std::strcmp(argv[3], "--stats") == 0;
+
+    RunConfig config;
+    config.system.numGpus = num_gpus;
+    config.system.interconnect = InterconnectKind::Pcie3;
+
+    RunConfig base_config = config;
+    base_config.system.numGpus = 1;
+    base_config.paradigm = ParadigmKind::Memcpy;
+    const RunResult baseline = runWorkload(workload, base_config);
+    std::printf("workload %s, %zu GPUs, baseline %.3f ms\n",
+                workload.c_str(), num_gpus, baseline.timeMs());
+
+    std::printf("%-12s %10s %12s %8s %8s %8s %8s\n", "paradigm",
+                "time(ms)", "traffic(MB)", "speedup", "l2_hit",
+                "wq_hit", "faults");
+    for (const ParadigmKind paradigm : allParadigms()) {
+        config.paradigm = paradigm;
+        const RunResult result = runWorkload(workload, config);
+        std::printf("%-12s %10.3f %12.1f %7.2fx %7.1f%% %7.1f%% %8.0f\n",
+                    to_string(paradigm).c_str(), result.timeMs(),
+                    static_cast<double>(result.interconnectBytes) / 1e6,
+                    speedupOver(baseline, result),
+                    result.l2HitRate * 100.0, result.wqHitRate * 100.0,
+                    static_cast<double>(result.totals.pageFaults));
+        if (dump_stats) {
+            std::printf("%s",
+                        result.stats.dump("    ").c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Quickstart: build a 4-GPU PCIe 3.0 system, run the Jacobi workload
+ * under GPS and under plain Unified Memory, and compare.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "api/runner.hh"
+
+int
+main()
+{
+    using namespace gps;
+    setVerbose(false);
+
+    // Table 1 system: 4 V100-class GPUs on PCIe 3.0, 64 KB pages.
+    RunConfig config;
+    config.system.numGpus = 4;
+    config.system.interconnect = InterconnectKind::Pcie3;
+    config.scale = 1.0;
+
+    // Single-GPU reference (no inter-GPU communication of any kind).
+    RunConfig base_config = config;
+    base_config.system.numGpus = 1;
+    base_config.paradigm = ParadigmKind::Memcpy;
+    const RunResult baseline = runWorkload("Jacobi", base_config);
+
+    std::printf("%-12s %10s %12s %10s\n", "paradigm", "time(ms)",
+                "traffic(MB)", "speedup");
+    for (const ParadigmKind paradigm :
+         {ParadigmKind::Um, ParadigmKind::Memcpy, ParadigmKind::Gps}) {
+        config.paradigm = paradigm;
+        const RunResult result = runWorkload("Jacobi", config);
+        std::printf("%-12s %10.3f %12.1f %9.2fx\n",
+                    to_string(paradigm).c_str(), result.timeMs(),
+                    static_cast<double>(result.interconnectBytes) / 1e6,
+                    speedupOver(baseline, result));
+    }
+    std::printf("1 GPU reference: %.3f ms\n", baseline.timeMs());
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Result records produced by the Runner.
+ */
+
+#ifndef GPS_API_METRICS_HH
+#define GPS_API_METRICS_HH
+
+#include <string>
+
+#include "common/gpu_mask.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+#include "gpu/kernel_counters.hh"
+
+namespace gps
+{
+
+/** Outcome of running one workload under one paradigm. */
+struct RunResult
+{
+    std::string workload;
+    std::string paradigm;
+    std::size_t numGpus = 0;
+
+    /** Extrapolated end-to-end time of the full-length run. */
+    Tick totalTime = 0;
+
+    /** Extrapolated bytes moved over the interconnect (Fig. 10). */
+    std::uint64_t interconnectBytes = 0;
+
+    /** Simulated (not extrapolated) event counts. */
+    KernelCounters totals;
+
+    double l2HitRate = 0.0;
+    double tlbHitRate = 0.0;
+    double wqHitRate = 0.0;       ///< GPS only (Fig. 14)
+    double gpsTlbHitRate = 0.0;   ///< GPS only (§7.4)
+
+    /** Subscriber-count distribution of shared pages (Fig. 9). */
+    Histogram subscriberHist{maxGpus + 1};
+    bool hasSubscriberHist = false;
+
+    /** Full component stat dump. */
+    StatSet stats;
+
+    double timeMs() const { return ticksToMs(totalTime); }
+};
+
+/** Strong-scaling speedup of @p result over the 1-GPU @p baseline. */
+inline double
+speedupOver(const RunResult& baseline, const RunResult& result)
+{
+    return result.totalTime == 0
+               ? 0.0
+               : static_cast<double>(baseline.totalTime) /
+                     static_cast<double>(result.totalTime);
+}
+
+} // namespace gps
+
+#endif // GPS_API_METRICS_HH

@@ -1,0 +1,58 @@
+#include "api/result_export.hh"
+
+#include "common/json.hh"
+
+namespace gps
+{
+
+std::string
+resultToJson(const RunResult& result, bool include_stats)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("workload", result.workload);
+    json.field("paradigm", result.paradigm);
+    json.field("num_gpus",
+               static_cast<std::uint64_t>(result.numGpus));
+    json.field("total_time_ms", result.timeMs());
+    json.field("interconnect_bytes", result.interconnectBytes);
+    json.field("l2_hit_rate", result.l2HitRate);
+    json.field("tlb_hit_rate", result.tlbHitRate);
+    json.field("wq_hit_rate", result.wqHitRate);
+    json.field("gps_tlb_hit_rate", result.gpsTlbHitRate);
+
+    json.key("totals").beginObject();
+    json.field("accesses", result.totals.accesses);
+    json.field("loads", result.totals.loads);
+    json.field("stores", result.totals.stores);
+    json.field("atomics", result.totals.atomics);
+    json.field("page_faults", result.totals.pageFaults);
+    json.field("page_migrations", result.totals.pageMigrations);
+    json.field("remote_loads", result.totals.remoteLoads);
+    json.field("remote_atomics", result.totals.remoteAtomics);
+    json.field("pushed_store_bytes", result.totals.pushedStoreBytes);
+    json.field("wq_inserts", result.totals.wqInserts);
+    json.field("wq_coalesced", result.totals.wqCoalesced);
+    json.field("wq_drains", result.totals.wqDrains);
+    json.field("sys_collapses", result.totals.sysCollapses);
+    json.endObject();
+
+    if (result.hasSubscriberHist) {
+        json.key("subscriber_histogram").beginArray();
+        for (std::size_t b = 0; b < result.subscriberHist.size(); ++b)
+            json.value(result.subscriberHist.bucket(b));
+        json.endArray();
+    }
+
+    if (include_stats) {
+        json.key("stats").beginObject();
+        for (const auto& [name, value] : result.stats.all())
+            json.field(name, value);
+        json.endObject();
+    }
+
+    json.endObject();
+    return json.str();
+}
+
+} // namespace gps

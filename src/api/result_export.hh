@@ -1,0 +1,25 @@
+/**
+ * @file
+ * RunResult serialization for downstream tooling.
+ */
+
+#ifndef GPS_API_RESULT_EXPORT_HH
+#define GPS_API_RESULT_EXPORT_HH
+
+#include <string>
+
+#include "api/metrics.hh"
+
+namespace gps
+{
+
+/**
+ * Serialize a result as one JSON object: identity, headline metrics,
+ * the subscriber histogram, and (optionally) every component stat.
+ */
+std::string resultToJson(const RunResult& result,
+                         bool include_stats = false);
+
+} // namespace gps
+
+#endif // GPS_API_RESULT_EXPORT_HH

@@ -1,0 +1,246 @@
+#include "api/runner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gps
+{
+
+RunResult
+Runner::run(Workload& workload)
+{
+    MultiGpuSystem system(config_.system);
+    std::unique_ptr<Paradigm> paradigm =
+        makeParadigm(config_.paradigm, system);
+    WorkloadContext ctx(system, *paradigm);
+
+    workload.setScale(config_.scale);
+    workload.setup(ctx);
+    if (paradigm->kind() == ParadigmKind::UmHints)
+        workload.applyUmHints(ctx);
+    paradigm->onSetupComplete();
+
+    const std::size_t eff_requested =
+        config_.effectiveIterationsOverride != 0
+            ? config_.effectiveIterationsOverride
+            : workload.effectiveIterations();
+    const std::size_t sim_iters =
+        std::min<std::size_t>(1 + config_.steadyIterations,
+                              std::max<std::size_t>(eff_requested, 1));
+
+    RunResult result;
+    result.workload = workload.name();
+    result.paradigm = to_string(paradigm->kind());
+    result.numGpus = system.numGpus();
+
+    KernelCounters totals;
+    std::vector<Tick> iter_time;
+    std::vector<std::uint64_t> iter_bytes;
+
+    for (std::size_t iter = 0; iter < sim_iters; ++iter) {
+        paradigm->beginIteration(iter);
+        if (iter == 0)
+            paradigm->trackingStart();
+
+        const Tick t_before = system.events().now();
+        const std::uint64_t b_before =
+            system.topology().totalPayloadBytes();
+
+        std::vector<Phase> phases = workload.iteration(iter, ctx);
+        for (Phase& phase : phases)
+            executePhase(system, *paradigm, phase, totals);
+
+        if (iter == 0) {
+            paradigm->trackingStop(totals);
+            result.hasSubscriberHist =
+                paradigm->fillSubscriberHistogram(result.subscriberHist);
+        }
+
+        iter_time.push_back(system.events().now() - t_before);
+        iter_bytes.push_back(system.topology().totalPayloadBytes() -
+                             b_before);
+    }
+
+    // Extrapolate the simulated steady state to the full run length.
+    Tick total_time = iter_time.empty() ? 0 : iter_time.front();
+    double total_bytes =
+        iter_bytes.empty() ? 0.0 : static_cast<double>(iter_bytes.front());
+    if (sim_iters > 1) {
+        Tick steady_sum = 0;
+        double steady_bytes = 0.0;
+        for (std::size_t i = 1; i < sim_iters; ++i) {
+            steady_sum += iter_time[i];
+            steady_bytes += static_cast<double>(iter_bytes[i]);
+        }
+        const double steady_count = static_cast<double>(sim_iters - 1);
+        const double remaining =
+            static_cast<double>(eff_requested - 1);
+        total_time += static_cast<Tick>(
+            static_cast<double>(steady_sum) / steady_count * remaining);
+        total_bytes += steady_bytes / steady_count * remaining;
+    }
+
+    result.totalTime = total_time;
+    result.interconnectBytes = static_cast<std::uint64_t>(total_bytes);
+    result.totals = totals;
+
+    // Aggregate cache/TLB rates across GPUs.
+    std::uint64_t l2_hits = 0, l2_misses = 0;
+    std::uint64_t tlb_hits = 0, tlb_misses = 0;
+    for (std::size_t g = 0; g < system.numGpus(); ++g) {
+        const GpuModel& gpu = system.gpu(static_cast<GpuId>(g));
+        l2_hits += gpu.l2().hits();
+        l2_misses += gpu.l2().misses();
+        tlb_hits += gpu.tlb().hits();
+        tlb_misses += gpu.tlb().misses();
+    }
+    result.l2HitRate =
+        (l2_hits + l2_misses) == 0
+            ? 0.0
+            : static_cast<double>(l2_hits) /
+                  static_cast<double>(l2_hits + l2_misses);
+    result.tlbHitRate =
+        (tlb_hits + tlb_misses) == 0
+            ? 0.0
+            : static_cast<double>(tlb_hits) /
+                  static_cast<double>(tlb_hits + tlb_misses);
+
+    result.stats = system.stats();
+    paradigm->exportStats(result.stats);
+    totals.exportStats(result.stats, "totals");
+    result.wqHitRate = result.stats.get("gps.wq_hit_rate");
+    result.gpsTlbHitRate = result.stats.get("gps.gps_tlb_hit_rate");
+    return result;
+}
+
+RunResult
+Runner::runByName(const std::string& workload_name)
+{
+    std::unique_ptr<Workload> workload = makeWorkload(workload_name);
+    return run(*workload);
+}
+
+Tick
+Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
+                     Phase& phase, KernelCounters& totals)
+{
+    const std::size_t n = system.numGpus();
+    Topology& topo = system.topology();
+    EventQueue& events = system.events();
+    const PageGeometry& geo = system.geometry();
+    const Tick start = events.now();
+
+    // --- Pre-kernel stage: prefetch hints (UM+hints). Prefetches are
+    // asynchronous, so their transfers overlap with the kernels (they
+    // share the phase traffic matrix); only the API launch chain
+    // serializes. ---
+    TrafficMatrix traffic(n);
+    KernelCounters stage_counters;
+    const Tick prefetch_time =
+        paradigm.beginPhase(phase, stage_counters, traffic);
+
+    // --- Concurrent kernels: chunked round-robin replay. ---
+    std::vector<KernelCounters> counters(n);
+
+    struct Cursor
+    {
+        KernelLaunch* kernel;
+        bool done = false;
+    };
+    std::vector<Cursor> cursors;
+    for (KernelLaunch& kernel : phase.kernels) {
+        gps_assert(kernel.gpu < n, "kernel on unknown GPU");
+        gps_assert(kernel.stream != nullptr, "kernel without a stream");
+        counters[kernel.gpu].computeInstrs += kernel.computeInstrs;
+        counters[kernel.gpu].dramBytes += kernel.prechargedDramBytes;
+        cursors.push_back({&kernel, false});
+    }
+
+    std::size_t live = cursors.size();
+    MemAccess access;
+    while (live > 0) {
+        for (Cursor& cursor : cursors) {
+            if (cursor.done)
+                continue;
+            const GpuId gpu = cursor.kernel->gpu;
+            KernelCounters& c = counters[gpu];
+            for (std::size_t i = 0; i < config_.replayChunk; ++i) {
+                if (!cursor.kernel->stream->next(access)) {
+                    cursor.done = true;
+                    --live;
+                    break;
+                }
+                ++c.accesses;
+                switch (access.type) {
+                  case AccessType::Load: ++c.loads; break;
+                  case AccessType::Store: ++c.stores; break;
+                  case AccessType::Atomic: ++c.atomics; break;
+                }
+                const PageNum vpn = geo.pageNum(access.vaddr);
+                const bool tlb_miss =
+                    system.gpu(gpu).tlbAccess(vpn, c);
+                paradigm.access(gpu, access, vpn, tlb_miss, c, traffic);
+            }
+        }
+    }
+
+    // End of each grid: implicit release (GPS drains its write queues).
+    for (Cursor& cursor : cursors)
+        paradigm.endKernel(cursor.kernel->gpu, counters[cursor.kernel->gpu],
+                           traffic);
+
+    // --- Timing: per-GPU bottleneck, then the barrier max. ---
+    const Tick launch = system.config().gpu.kernelLaunchOverhead;
+    Tick slowest = 0;
+    std::vector<Tick> gpu_time(n, 0);
+    for (const Cursor& cursor : cursors) {
+        const GpuId gpu = cursor.kernel->gpu;
+        const Tick kernel_time =
+            system.gpu(gpu).kernelTime(counters[gpu], topo) + launch;
+        const Tick egress_time = topo.linkTime(traffic.egress(gpu));
+        const Tick ingress_time = topo.linkTime(traffic.ingress(gpu));
+        gpu_time[gpu] =
+            std::max({kernel_time, egress_time, ingress_time});
+        slowest = std::max(slowest, gpu_time[gpu]);
+    }
+    topo.applyPhaseTraffic(traffic);
+
+    // --- Barrier stage: bulk-synchronous broadcasts. ---
+    TrafficMatrix barrier_traffic(n);
+    const Tick barrier_overhead =
+        paradigm.atBarrier(stage_counters, barrier_traffic);
+    const Tick barrier_time =
+        topo.applyPhaseTraffic(barrier_traffic) + barrier_overhead;
+
+    const Tick phase_time = prefetch_time + slowest + barrier_time;
+
+    // Drive simulated time through the event queue: one completion event
+    // per kernel, then the barrier.
+    for (const Cursor& cursor : cursors) {
+        const GpuId gpu = cursor.kernel->gpu;
+        events.schedule(start + prefetch_time + gpu_time[gpu],
+                        phase.name + ".kernel_done." +
+                            std::to_string(gpu),
+                        [] {});
+    }
+    events.schedule(start + phase_time, phase.name + ".barrier", [] {},
+                    barrierPriority);
+    events.run();
+    gps_assert(events.now() == start + phase_time,
+               "event queue out of sync with phase timing");
+
+    for (const KernelCounters& c : counters)
+        totals.merge(c);
+    totals.merge(stage_counters);
+    return phase_time;
+}
+
+RunResult
+runWorkload(const std::string& workload_name, const RunConfig& config)
+{
+    Runner runner(config);
+    return runner.runByName(workload_name);
+}
+
+} // namespace gps

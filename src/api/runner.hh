@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Runner: executes a workload under a paradigm on a fresh system.
+ *
+ * Replay methodology: each phase's per-GPU kernels are replayed
+ * concurrently by interleaving their access streams round-robin in fixed
+ * chunks (so UM page thrashing between GPUs emerges); the analytic GPU
+ * timing model converts each kernel's event counts into a duration; the
+ * event queue sequences kernel completions and barriers.
+ *
+ * Iteration methodology: iteration 0 is simulated in full (it carries the
+ * GPS profiling phase and the UM first-touch transient), followed by a
+ * few steady-state iterations. Time and interconnect traffic are then
+ * extrapolated to the workload's full iteration count, exactly as the
+ * paper's full-length runs amortize one profiling iteration over
+ * hundreds of execution iterations.
+ */
+
+#ifndef GPS_API_RUNNER_HH
+#define GPS_API_RUNNER_HH
+
+#include <memory>
+
+#include "api/metrics.hh"
+#include "api/system.hh"
+#include "apps/workload.hh"
+#include "paradigm/paradigm.hh"
+
+namespace gps
+{
+
+/** Everything needed to run one (workload, paradigm, system) triple. */
+struct RunConfig
+{
+    SystemConfig system;
+    ParadigmKind paradigm = ParadigmKind::Gps;
+
+    /** Problem-size scale passed to the workload. */
+    double scale = 1.0;
+
+    /** Steady-state iterations simulated after the profiling iteration. */
+    std::size_t steadyIterations = 4;
+
+    /** Accesses replayed per GPU per round-robin turn. */
+    std::size_t replayChunk = 128;
+
+    /**
+     * Override the workload's effective (extrapolated) iteration count;
+     * 0 keeps the workload default.
+     */
+    std::size_t effectiveIterationsOverride = 0;
+};
+
+/** Executes workloads and produces RunResults. */
+class Runner
+{
+  public:
+    explicit Runner(RunConfig config)
+        : config_(std::move(config))
+    {}
+
+    /**
+     * Run @p workload on a freshly constructed system.
+     * @param workload a fresh instance (setup state is per-run)
+     */
+    RunResult run(Workload& workload);
+
+    /** Convenience: construct the named workload and run it. */
+    RunResult runByName(const std::string& workload_name);
+
+    const RunConfig& config() const { return config_; }
+
+  private:
+    /** @return the phase's end-to-end duration. */
+    Tick executePhase(MultiGpuSystem& system, Paradigm& paradigm,
+                      Phase& phase, KernelCounters& totals);
+
+    RunConfig config_;
+};
+
+/** One-call helper used throughout the benches. */
+RunResult runWorkload(const std::string& workload_name,
+                      const RunConfig& config);
+
+} // namespace gps
+
+#endif // GPS_API_RUNNER_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Public facade: a configured multi-GPU system instance.
+ *
+ * Owns the GPUs, interconnect, shared VA space, driver and event queue.
+ * Paradigms and the runner operate on a MultiGpuSystem; library users
+ * construct one from a SystemConfig (Table 1 defaults) and either run the
+ * bundled workloads through Runner or drive the Driver API directly.
+ */
+
+#ifndef GPS_API_SYSTEM_HH
+#define GPS_API_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/units.hh"
+#include "core/gps_config.hh"
+#include "driver/driver.hh"
+#include "gpu/gpu_config.hh"
+#include "gpu/gpu_model.hh"
+#include "interconnect/pcie.hh"
+#include "interconnect/topology.hh"
+#include "mem/address_space.hh"
+#include "sim/event_queue.hh"
+
+namespace gps
+{
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    std::size_t numGpus = 4;
+    InterconnectKind interconnect = InterconnectKind::Pcie3;
+
+    /** GPS allocations use 64 KB pages by default (Section 5.2). */
+    std::uint64_t pageBytes = 64 * KiB;
+
+    GpuConfig gpu;
+    GpsConfig gps;
+};
+
+/** A simulated multi-GPU system. */
+class MultiGpuSystem
+{
+  public:
+    explicit MultiGpuSystem(const SystemConfig& config);
+
+    MultiGpuSystem(const MultiGpuSystem&) = delete;
+    MultiGpuSystem& operator=(const MultiGpuSystem&) = delete;
+
+    const SystemConfig& config() const { return config_; }
+    std::size_t numGpus() const { return gpus_.size(); }
+
+    GpuModel& gpu(GpuId id) { return *gpus_.at(id); }
+    const GpuModel& gpu(GpuId id) const { return *gpus_.at(id); }
+
+    Driver& driver() { return *driver_; }
+    Topology& topology() { return *topology_; }
+    const Topology& topology() const { return *topology_; }
+    EventQueue& events() { return events_; }
+    AddressSpace& addressSpace() { return vas_; }
+    const PageGeometry& geometry() const { return vas_.geometry(); }
+
+    /** Table 1 style parameter dump. */
+    ConfigDump configDump() const;
+
+    /** Snapshot of every component's statistics. */
+    StatSet stats() const;
+
+    void resetStats();
+
+  private:
+    SystemConfig config_;
+    AddressSpace vas_;
+    std::vector<std::unique_ptr<GpuModel>> gpus_;
+    std::unique_ptr<Topology> topology_;
+    std::unique_ptr<Driver> driver_;
+    EventQueue events_;
+};
+
+} // namespace gps
+
+#endif // GPS_API_SYSTEM_HH

@@ -1,0 +1,126 @@
+#include "apps/als.hh"
+
+#include <algorithm>
+
+#include "apps/app_common.hh"
+#include "common/rng.hh"
+
+namespace gps::apps
+{
+
+namespace
+{
+/** Rank-32 dot products and gradient update per rating sample. */
+constexpr std::uint64_t instrsPerRating = 500;
+
+/** Rating record plus two random factor-row gathers per sample. */
+constexpr std::uint64_t dramBytesPerRating = 8 + 2 * 128;
+} // namespace
+
+void
+AlsWorkload::setup(WorkloadContext& ctx)
+{
+    numGpus_ = ctx.numGpus();
+    users_ = std::max<std::uint64_t>(
+        2048, static_cast<std::uint64_t>(24576 * scale_));
+    items_ = users_;
+
+    // One factor row per line (rank 32 floats).
+    userFactors_ = ctx.allocShared(users_ * lineBytes, "als.user", 0);
+    itemFactors_ = ctx.allocShared(items_ * lineBytes, "als.item", 0);
+
+    epochTrace_.assign(numGpus_, {});
+    ratings_.assign(numGpus_, 0);
+    for (std::size_t g = 0; g < numGpus_; ++g) {
+        const std::uint64_t ufirst = users_ * g / numGpus_;
+        const std::uint64_t uend = users_ * (g + 1) / numGpus_;
+        const std::uint64_t num_ratings =
+            (uend - ufirst) * ratingsPerUser_;
+        ratings_[g] = ctx.allocPrivate(num_ratings * 8,
+                                       "als.ratings." + std::to_string(g),
+                                       static_cast<GpuId>(g));
+
+        // With ~128 ratings per user, an epoch touches every item row
+        // and every owned user row many times; the LSU aggregates the
+        // per-sample atomics so each factor row produces one read and
+        // one aggregated atomic update per epoch. The per-sample random
+        // gathers enter the DRAM model through prechargedDramBytes.
+        auto& trace = epochTrace_[g];
+        trace.reserve(items_ + (uend - ufirst));
+        for (std::uint64_t i = 0; i < items_; ++i) {
+            const Addr i_row = itemFactors_ + i * lineBytes;
+            trace.push_back(MemAccess::load(i_row, lineBytes));
+            trace.push_back(MemAccess::atomic(i_row, lineBytes));
+        }
+        for (std::uint64_t u = ufirst; u < uend; ++u) {
+            const Addr u_row = userFactors_ + u * lineBytes;
+            trace.push_back(MemAccess::load(u_row, lineBytes));
+            trace.push_back(MemAccess::atomic(u_row, lineBytes));
+        }
+    }
+}
+
+std::vector<Phase>
+AlsWorkload::iteration(std::size_t iter, WorkloadContext& ctx)
+{
+    (void)iter;
+    (void)ctx;
+    Phase epoch;
+    epoch.name = "als.sgd_epoch";
+    for (std::size_t g = 0; g < numGpus_; ++g) {
+        const GpuId gpu = static_cast<GpuId>(g);
+        const std::uint64_t ufirst = users_ * g / numGpus_;
+        const std::uint64_t uend = users_ * (g + 1) / numGpus_;
+        const std::uint64_t num_ratings =
+            (uend - ufirst) * ratingsPerUser_;
+
+        KernelLaunch kernel;
+        kernel.gpu = gpu;
+        kernel.name = "als.sgd";
+        kernel.computeInstrs = num_ratings * instrsPerRating;
+        kernel.prechargedDramBytes = num_ratings * dramBytesPerRating;
+        kernel.stream = std::make_unique<ReplayStream>(&epochTrace_[g]);
+        epoch.kernels.push_back(std::move(kernel));
+
+        // Memcpy port: the partitioned-ALS variant broadcasts its own
+        // factor slabs after each epoch.
+        epoch.barrierBroadcasts.push_back(BroadcastRange{
+            gpu, userFactors_ + ufirst * lineBytes,
+            (uend - ufirst) * lineBytes});
+        const std::uint64_t ifirst = items_ * g / numGpus_;
+        const std::uint64_t iend = items_ * (g + 1) / numGpus_;
+        epoch.barrierBroadcasts.push_back(BroadcastRange{
+            gpu, itemFactors_ + ifirst * lineBytes,
+            (iend - ifirst) * lineBytes});
+    }
+
+    std::vector<Phase> phases;
+    phases.push_back(std::move(epoch));
+    return phases;
+}
+
+void
+AlsWorkload::applyUmHints(WorkloadContext& ctx)
+{
+    Driver& drv = ctx.driver();
+    for (std::size_t g = 0; g < numGpus_; ++g) {
+        const GpuId gpu = static_cast<GpuId>(g);
+        const std::uint64_t ufirst = users_ * g / numGpus_;
+        const std::uint64_t ulen =
+            (users_ * (g + 1) / numGpus_ - ufirst) * lineBytes;
+        drv.advisePreferredLocation(userFactors_ + ufirst * lineBytes,
+                                    ulen, gpu);
+        drv.advisePreferredLocation(itemFactors_ + ufirst * lineBytes,
+                                    ulen, gpu);
+        for (std::size_t o = 0; o < numGpus_; ++o) {
+            if (o == g)
+                continue;
+            drv.adviseAccessedBy(userFactors_ + ufirst * lineBytes, ulen,
+                                 static_cast<GpuId>(o));
+            drv.adviseAccessedBy(itemFactors_ + ufirst * lineBytes, ulen,
+                                 static_cast<GpuId>(o));
+        }
+    }
+}
+
+} // namespace gps::apps

@@ -1,0 +1,137 @@
+#include "apps/ct.hh"
+
+#include <algorithm>
+
+#include "apps/app_common.hh"
+
+namespace gps::apps
+{
+
+namespace
+{
+/** Projection views processed per full iteration (strong scaled). */
+constexpr std::uint64_t totalViews = 1024;
+
+/** Ray accumulation ops per voxel per view. */
+constexpr std::uint64_t instrsPerVoxelView = 2;
+
+/** Back-projection accumulation tiles (lines) — mostly queue-sized. */
+const std::vector<std::uint64_t> backprojTiles = {8, 24, 56, 120,
+                                                  248, 504};
+} // namespace
+
+void
+CtWorkload::setup(WorkloadContext& ctx)
+{
+    numGpus_ = ctx.numGpus();
+    // 4 MB volume at scale 1 (32k lines).
+    volumeLines_ = std::max<std::uint64_t>(
+        4096, static_cast<std::uint64_t>(32768 * scale_));
+    sinoLinesPerGpu_ = volumeLines_ / 4;
+
+    volume_ = ctx.allocShared(volumeLines_ * lineBytes, "ct.volume", 0);
+    sinogram_ = ctx.allocShared(
+        sinoLinesPerGpu_ * numGpus_ * lineBytes, "ct.sinogram", 0);
+}
+
+std::vector<Phase>
+CtWorkload::iteration(std::size_t iter, WorkloadContext& ctx)
+{
+    (void)iter;
+    (void)ctx;
+    const Slab1D slab{volumeLines_, numGpus_};
+    std::vector<Phase> phases(2);
+
+    // Phase 1: forward projection — every GPU streams the whole volume
+    // and writes its own view subset of the sinogram.
+    Phase& forward = phases[0];
+    forward.name = "ct.forward";
+    for (std::size_t g = 0; g < numGpus_; ++g) {
+        const GpuId gpu = static_cast<GpuId>(g);
+        const Addr sino_base =
+            sinogram_ + g * sinoLinesPerGpu_ * lineBytes;
+
+        std::vector<Group> groups;
+        groups.push_back(Group{{
+            Burst{volume_, volumeLines_, lineBytes, AccessType::Load,
+                  lineBytes, Scope::Weak},
+        }});
+        groups.push_back(Group{{
+            Burst{sino_base, sinoLinesPerGpu_, lineBytes,
+                  AccessType::Store, lineBytes, Scope::Weak},
+        }});
+
+        KernelLaunch kernel;
+        kernel.gpu = gpu;
+        kernel.name = "ct.forward";
+        kernel.computeInstrs = volumeLines_ * 32 *
+                               (totalViews / numGpus_) *
+                               instrsPerVoxelView;
+        kernel.stream = makeGroupStream(std::move(groups));
+        forward.kernels.push_back(std::move(kernel));
+
+        // The naive memcpy port broadcasts every updated shared
+        // structure — including the sinogram nobody else reads.
+        forward.barrierBroadcasts.push_back(BroadcastRange{
+            gpu, sino_base, sinoLinesPerGpu_ * lineBytes});
+    }
+
+    // Phase 2: back projection — read own sinogram, accumulate into the
+    // owned volume slab with tiled multi-pass stores.
+    Phase& backward = phases[1];
+    backward.name = "ct.backproj";
+    for (std::size_t g = 0; g < numGpus_; ++g) {
+        const GpuId gpu = static_cast<GpuId>(g);
+        const std::uint64_t first = slab.first(gpu);
+        const std::uint64_t count = slab.count(gpu);
+
+        std::vector<Group> groups;
+        groups.push_back(Group{{
+            Burst{sinogram_ + g * sinoLinesPerGpu_ * lineBytes,
+                  sinoLinesPerGpu_, lineBytes, AccessType::Load,
+                  lineBytes, Scope::Weak},
+        }});
+        appendTiledStores(groups, volume_, first, count, backprojTiles,
+                          3);
+
+        KernelLaunch kernel;
+        kernel.gpu = gpu;
+        kernel.name = "ct.backproj";
+        kernel.computeInstrs = volumeLines_ * 32 *
+                               (totalViews / numGpus_) *
+                               instrsPerVoxelView;
+        kernel.stream = makeGroupStream(std::move(groups));
+        backward.kernels.push_back(std::move(kernel));
+
+        backward.barrierBroadcasts.push_back(BroadcastRange{
+            gpu, volume_ + first * lineBytes, count * lineBytes});
+
+        // UM+hints port: prefetch the volume before forward projection.
+        forward.prefetches.push_back(PrefetchRange{
+            gpu, volume_ + first * lineBytes, count * lineBytes});
+    }
+
+    return phases;
+}
+
+void
+CtWorkload::applyUmHints(WorkloadContext& ctx)
+{
+    Driver& drv = ctx.driver();
+    const Slab1D slab{volumeLines_, numGpus_};
+    for (std::size_t g = 0; g < numGpus_; ++g) {
+        const GpuId gpu = static_cast<GpuId>(g);
+        const Addr base = volume_ + slab.first(gpu) * lineBytes;
+        const std::uint64_t len = slab.count(gpu) * lineBytes;
+        drv.advisePreferredLocation(base, len, gpu);
+        for (std::size_t o = 0; o < numGpus_; ++o) {
+            if (o != g)
+                drv.adviseAccessedBy(base, len, static_cast<GpuId>(o));
+        }
+        drv.advisePreferredLocation(
+            sinogram_ + g * sinoLinesPerGpu_ * lineBytes,
+            sinoLinesPerGpu_ * lineBytes, gpu);
+    }
+}
+
+} // namespace gps::apps

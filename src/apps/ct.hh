@@ -1,0 +1,48 @@
+/**
+ * @file
+ * CT: model-based iterative reconstruction. Forward projection streams
+ * the full shared volume on every GPU (all-to-all, Table 2); back
+ * projection accumulates into each GPU's volume slab with tiled
+ * multi-pass sweeps, giving the remote write queue the temporal reuse
+ * behind its rising Figure 14 hit-rate curve. The per-GPU sinogram also
+ * lives in shared space, so the memcpy port needlessly broadcasts it —
+ * the Figure 10 exception where UM moves less data than memcpy.
+ */
+
+#ifndef GPS_APPS_CT_HH
+#define GPS_APPS_CT_HH
+
+#include "apps/workload.hh"
+
+namespace gps::apps
+{
+
+/** Iterative CT reconstruction (MBIR-style). */
+class CtWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "CT"; }
+    std::string description() const override
+    {
+        return "Model Based Iterative Reconstruction algorithm used in "
+               "CT imaging";
+    }
+    std::string commPattern() const override { return "All-to-all"; }
+
+    void setup(WorkloadContext& ctx) override;
+    std::size_t effectiveIterations() const override { return 40; }
+    std::vector<Phase> iteration(std::size_t iter,
+                                 WorkloadContext& ctx) override;
+    void applyUmHints(WorkloadContext& ctx) override;
+
+  private:
+    std::uint64_t volumeLines_ = 0;
+    std::uint64_t sinoLinesPerGpu_ = 0;
+    Addr volume_ = 0;   ///< shared reconstruction volume
+    Addr sinogram_ = 0; ///< shared (partitioned by views) sinogram
+    std::size_t numGpus_ = 0;
+};
+
+} // namespace gps::apps
+
+#endif // GPS_APPS_CT_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Diffusion: multi-GPU 3-D heat equation (plus inviscid Burgers source
+ * term) on ping-pong buffers with a slab partition and depth-1 halo
+ * planes — peer-to-peer (Table 2). Its 3-D halos are not contiguous in
+ * memory, so the hand-written UM prefetch hints cover whole neighbor
+ * slabs; this over-fetch is the paper's Figure 10 exception where
+ * UM+hints moves *more* data than plain UM.
+ */
+
+#ifndef GPS_APPS_DIFFUSION_HH
+#define GPS_APPS_DIFFUSION_HH
+
+#include "apps/workload.hh"
+
+namespace gps::apps
+{
+
+/** 3-D heat equation / Burgers step. */
+class DiffusionWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Diffusion"; }
+    std::string description() const override
+    {
+        return "A multi-GPU implementation of 3D Heat Equation and "
+               "inviscid Burgers' Equation";
+    }
+    std::string commPattern() const override { return "Peer-to-peer"; }
+
+    void setup(WorkloadContext& ctx) override;
+    std::size_t effectiveIterations() const override { return 200; }
+    std::vector<Phase> iteration(std::size_t iter,
+                                 WorkloadContext& ctx) override;
+    void applyUmHints(WorkloadContext& ctx) override;
+
+  private:
+    Phase makeStep(Addr src, Addr dst, const char* name) const;
+
+    std::uint64_t fieldLines_ = 0;
+    std::uint64_t haloLines_ = 0;
+    Addr bufA_ = 0;
+    Addr bufB_ = 0;
+    std::size_t numGpus_ = 0;
+};
+
+} // namespace gps::apps
+
+#endif // GPS_APPS_DIFFUSION_HH

@@ -1,0 +1,159 @@
+#include "apps/eqwp.hh"
+
+#include <algorithm>
+
+#include "apps/app_common.hh"
+
+namespace gps::apps
+{
+
+namespace
+{
+/** 4th-order FD: ~25 flops per element. */
+constexpr std::uint64_t instrsPerLine = 25 * 32;
+
+/** Per-axis accumulation tiles: all within a 512-entry queue. */
+const std::vector<std::uint64_t> axisTiles = {12, 40, 90, 180,
+                                              360, 480};
+} // namespace
+
+void
+EqwpWorkload::setup(WorkloadContext& ctx)
+{
+    numGpus_ = ctx.numGpus();
+    // 8 MB per field at scale 1: one field alone overflows a single
+    // 6 MB L2 (so the re-read sweep misses on one GPU) but a quarter
+    // slab fits easily — the aggregate-capacity effect behind EQWP's
+    // superlinear scaling in Section 7.1.
+    fieldLines_ = std::max<std::uint64_t>(
+        8192, static_cast<std::uint64_t>(65536 * scale_));
+    // Depth-2 halo planes, one page worth per side (capped to an
+    // eighth of a slab for very large pages).
+    haloLines_ = std::min<std::uint64_t>(
+        ctx.pageBytes() / lineBytes,
+        std::max<std::uint64_t>(fieldLines_ / (numGpus_ * 8), 8));
+
+    velocity_ = ctx.allocShared(fieldLines_ * lineBytes, "eqwp.vel", 0);
+    stress_ = ctx.allocShared(fieldLines_ * lineBytes, "eqwp.str", 0);
+}
+
+Phase
+EqwpWorkload::makeUpdatePhase(const char* phase_name, Addr read_field,
+                              Addr written_field) const
+{
+    const Slab1D slab{fieldLines_, numGpus_};
+    Phase phase;
+    phase.name = phase_name;
+    for (std::size_t g = 0; g < numGpus_; ++g) {
+        const GpuId gpu = static_cast<GpuId>(g);
+        const std::uint64_t first = slab.first(gpu);
+        const std::uint64_t end = slab.end(gpu);
+        const std::uint64_t count = end - first;
+
+        std::vector<Group> groups;
+        // Halo planes from both neighbors, then two stencil sweeps of
+        // the read field (x/y pass and z pass re-read the slab).
+        if (first >= haloLines_) {
+            groups.push_back(Group{{
+                Burst{lineAddr(read_field, first - haloLines_),
+                      haloLines_, lineBytes, AccessType::Load, lineBytes,
+                      Scope::Weak},
+            }});
+        }
+        if (end + haloLines_ <= fieldLines_) {
+            groups.push_back(Group{{
+                Burst{lineAddr(read_field, end), haloLines_, lineBytes,
+                      AccessType::Load, lineBytes, Scope::Weak},
+            }});
+        }
+        groups.push_back(Group{{
+            Burst{lineAddr(read_field, first), count, lineBytes,
+                  AccessType::Load, lineBytes, Scope::Weak},
+        }});
+        groups.push_back(Group{{
+            Burst{lineAddr(read_field, first), count, lineBytes,
+                  AccessType::Load, lineBytes, Scope::Weak},
+            Burst{lineAddr(written_field, first), count, lineBytes,
+                  AccessType::Load, lineBytes, Scope::Weak},
+        }});
+        // Per-axis accumulation passes into the written field.
+        appendTiledStores(groups, written_field, first, count, axisTiles,
+                          3);
+
+        KernelLaunch kernel;
+        kernel.gpu = gpu;
+        kernel.name = phase_name;
+        kernel.computeInstrs = count * instrsPerLine;
+        kernel.stream = makeGroupStream(std::move(groups));
+        phase.kernels.push_back(std::move(kernel));
+
+        // Tuned memcpy port: exchange the freshly written halo planes.
+        phase.barrierBroadcasts.push_back(BroadcastRange{
+            gpu, lineAddr(written_field, first), haloLines_ * lineBytes});
+        phase.barrierBroadcasts.push_back(BroadcastRange{
+            gpu, lineAddr(written_field, end - haloLines_),
+            haloLines_ * lineBytes});
+
+        // UM+hints: prefetch the neighbor halo planes of the read
+        // field and pull the written halo planes back home first.
+        if (first >= haloLines_) {
+            phase.prefetches.push_back(PrefetchRange{
+                gpu, lineAddr(read_field, first - haloLines_),
+                haloLines_ * lineBytes});
+            phase.prefetches.push_back(PrefetchRange{
+                gpu, lineAddr(written_field, first),
+                haloLines_ * lineBytes});
+        }
+        if (end + haloLines_ <= fieldLines_) {
+            phase.prefetches.push_back(PrefetchRange{
+                gpu, lineAddr(read_field, end),
+                haloLines_ * lineBytes});
+            phase.prefetches.push_back(PrefetchRange{
+                gpu, lineAddr(written_field, end - haloLines_),
+                haloLines_ * lineBytes});
+        }
+    }
+    return phase;
+}
+
+std::vector<Phase>
+EqwpWorkload::iteration(std::size_t iter, WorkloadContext& ctx)
+{
+    (void)iter;
+    (void)ctx;
+    std::vector<Phase> phases;
+    phases.push_back(
+        makeUpdatePhase("eqwp.update_vel", stress_, velocity_));
+    phases.push_back(
+        makeUpdatePhase("eqwp.update_str", velocity_, stress_));
+    return phases;
+}
+
+void
+EqwpWorkload::applyUmHints(WorkloadContext& ctx)
+{
+    Driver& drv = ctx.driver();
+    const Slab1D slab{fieldLines_, numGpus_};
+    for (const Addr field : {velocity_, stress_}) {
+        for (std::size_t g = 0; g < numGpus_; ++g) {
+            const GpuId gpu = static_cast<GpuId>(g);
+            const Addr base = lineAddr(field, slab.first(gpu));
+            const std::uint64_t len = slab.count(gpu) * lineBytes;
+            drv.advisePreferredLocation(base, len, gpu);
+            const std::uint64_t halo_bytes = haloLines_ * lineBytes;
+            drv.adviseAccessedBy(base, halo_bytes, gpu);
+            drv.adviseAccessedBy(base + len - halo_bytes, halo_bytes,
+                                 gpu);
+            if (g > 0) {
+                drv.adviseAccessedBy(base, halo_bytes,
+                                     static_cast<GpuId>(g - 1));
+            }
+            if (g + 1 < numGpus_) {
+                drv.adviseAccessedBy(base + len - halo_bytes, halo_bytes,
+                                     static_cast<GpuId>(g + 1));
+            }
+        }
+    }
+}
+
+} // namespace gps::apps

@@ -1,0 +1,80 @@
+#include "apps/graph.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace gps::apps
+{
+
+Graph
+makePowerLawGraph(const GraphParams& params)
+{
+    gps_assert(params.numVertices > 0 && params.numParts > 0,
+               "empty graph");
+    Graph graph;
+    graph.numVertices = params.numVertices;
+    graph.numParts = params.numParts;
+    graph.rowPtr.resize(params.numVertices + 1, 0);
+    graph.targets.reserve(params.numVertices * params.avgDegree);
+
+    Rng rng(params.seed);
+    for (std::uint64_t v = 0; v < params.numVertices; ++v) {
+        graph.rowPtr[v] = graph.targets.size();
+        const GpuId part = graph.owner(v);
+        const std::uint64_t pfirst = graph.partFirst(part);
+        const std::uint64_t pcount = graph.partEnd(part) - pfirst;
+        // Degree varies 1..2*avg-1 to avoid a perfectly regular graph.
+        const std::uint32_t degree =
+            1 + static_cast<std::uint32_t>(
+                    rng.below(2 * params.avgDegree - 1));
+        for (std::uint32_t e = 0; e < degree; ++e) {
+            std::uint64_t target;
+            if (rng.chance(params.locality)) {
+                target = pfirst + rng.below(pcount);
+            } else {
+                // Remote edges hit globally popular hubs. Vertex ids
+                // follow the usual degree-sorted relabeling, so hubs
+                // cluster at low ids.
+                target = rng.zipf(params.numVertices, params.hubSkew);
+            }
+            graph.targets.push_back(static_cast<std::uint32_t>(target));
+        }
+        auto begin = graph.targets.begin() +
+                     static_cast<std::ptrdiff_t>(graph.rowPtr[v]);
+        std::sort(begin, graph.targets.end());
+    }
+    graph.rowPtr[params.numVertices] = graph.targets.size();
+    return graph;
+}
+
+std::vector<std::uint32_t>
+distinctTargets(const Graph& graph, std::size_t part)
+{
+    const std::uint64_t first = graph.partFirst(part);
+    const std::uint64_t end = graph.partEnd(part);
+    std::vector<std::uint32_t> targets(
+        graph.targets.begin() +
+            static_cast<std::ptrdiff_t>(graph.rowPtr[first]),
+        graph.targets.begin() +
+            static_cast<std::ptrdiff_t>(graph.rowPtr[end]));
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()),
+                  targets.end());
+    return targets;
+}
+
+std::vector<std::uint32_t>
+distinctTargetGroups(const Graph& graph, std::size_t part,
+                     std::uint32_t vertices_per_group)
+{
+    std::vector<std::uint32_t> groups = distinctTargets(graph, part);
+    for (auto& g : groups)
+        g /= vertices_per_group;
+    groups.erase(std::unique(groups.begin(), groups.end()),
+                 groups.end());
+    return groups;
+}
+
+} // namespace gps::apps

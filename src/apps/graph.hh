@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Synthetic partitioned power-law graph generator for the graph
+ * workloads (Pagerank, SSSP).
+ *
+ * Real-world web/social graphs have two properties that drive the
+ * paper's results: partition locality (most edges stay within a
+ * partition after a decent partitioner ran) and a heavy-tailed degree
+ * distribution (remote edges concentrate on hub vertices, so remote
+ * update sets are much smaller than V). Both are explicit parameters.
+ */
+
+#ifndef GPS_APPS_GRAPH_HH
+#define GPS_APPS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gps::apps
+{
+
+/** CSR-ish edge structure (sources implicit, targets concatenated). */
+struct Graph
+{
+    std::uint64_t numVertices = 0;
+    std::size_t numParts = 1;
+
+    /** rowPtr[v]..rowPtr[v+1] index targets of vertex v. */
+    std::vector<std::uint64_t> rowPtr;
+    std::vector<std::uint32_t> targets;
+
+    std::uint64_t numEdges() const { return targets.size(); }
+
+    /** Partition owning vertex @p v (block partition). */
+    GpuId
+    owner(std::uint64_t v) const
+    {
+        return static_cast<GpuId>(v * numParts / numVertices);
+    }
+
+    std::uint64_t
+    partFirst(std::size_t p) const
+    {
+        return numVertices * p / numParts;
+    }
+
+    std::uint64_t
+    partEnd(std::size_t p) const
+    {
+        return numVertices * (p + 1) / numParts;
+    }
+};
+
+/** Generation knobs. */
+struct GraphParams
+{
+    std::uint64_t numVertices = 1 << 18;
+    std::uint32_t avgDegree = 4;
+    std::size_t numParts = 4;
+
+    /** Fraction of edges that stay inside the source's partition. */
+    double locality = 0.8;
+
+    /** Zipf exponent for remote (hub) targets; higher = more skewed. */
+    double hubSkew = 0.75;
+
+    std::uint64_t seed = 42;
+};
+
+/** Build a partitioned power-law graph; targets sorted per vertex. */
+Graph makePowerLawGraph(const GraphParams& params);
+
+/**
+ * Distinct target vertices of edges whose source lies in partition
+ * @p part — the per-GPU publish set of a push-style graph kernel.
+ */
+std::vector<std::uint32_t> distinctTargets(const Graph& graph,
+                                           std::size_t part);
+
+/**
+ * Distinct target *groups* of @p vertices_per_group consecutive ids —
+ * the publish set after warp-level atomic aggregation merges same-line
+ * updates (32 x 4 B counters per 128 B line).
+ */
+std::vector<std::uint32_t> distinctTargetGroups(
+    const Graph& graph, std::size_t part,
+    std::uint32_t vertices_per_group);
+
+} // namespace gps::apps
+
+#endif // GPS_APPS_GRAPH_HH

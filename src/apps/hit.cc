@@ -1,0 +1,155 @@
+#include "apps/hit.hh"
+
+#include <algorithm>
+
+#include "apps/app_common.hh"
+
+namespace gps::apps
+{
+
+namespace
+{
+constexpr std::uint64_t instrsPerLine = 30 * 32;
+
+/** Nonlinear term + viscous term accumulation passes. */
+const std::vector<std::uint64_t> hitTiles = {12, 56, 130, 280,
+                                             440};
+} // namespace
+
+void
+HitWorkload::setup(WorkloadContext& ctx)
+{
+    numGpus_ = ctx.numGpus();
+    fieldLines_ = std::max<std::uint64_t>(
+        4096, static_cast<std::uint64_t>(49152 * scale_));
+    haloLines_ = std::min<std::uint64_t>(
+        ctx.pageBytes() / lineBytes,
+        std::max<std::uint64_t>(fieldLines_ / (numGpus_ * 8), 8));
+    coeffLines_ = 1024; // 128 KB spectral table
+
+    const char* names[3] = {"hit.u", "hit.v", "hit.w"};
+    for (std::size_t f = 0; f < fields_.size(); ++f) {
+        fields_[f] =
+            ctx.allocShared(fieldLines_ * lineBytes, names[f], 0);
+    }
+    coeffs_ = ctx.allocShared(coeffLines_ * lineBytes, "hit.coeffs", 0);
+}
+
+std::vector<Phase>
+HitWorkload::iteration(std::size_t iter, WorkloadContext& ctx)
+{
+    (void)iter;
+    (void)ctx;
+    const Slab1D slab{fieldLines_, numGpus_};
+
+    Phase phase;
+    phase.name = "hit.step";
+    for (std::size_t g = 0; g < numGpus_; ++g) {
+        const GpuId gpu = static_cast<GpuId>(g);
+        const std::uint64_t first = slab.first(gpu);
+        const std::uint64_t end = slab.end(gpu);
+        const std::uint64_t count = end - first;
+
+        std::vector<Group> groups;
+        // Spectral coefficients: read by every GPU every step.
+        groups.push_back(Group{{
+            Burst{coeffs_, coeffLines_, lineBytes, AccessType::Load,
+                  lineBytes, Scope::Weak},
+        }});
+        // All three components stream through the stencil together.
+        Group component_reads;
+        for (const Addr field : fields_) {
+            component_reads.bursts.push_back(
+                Burst{lineAddr(field, first), count, lineBytes,
+                      AccessType::Load, lineBytes, Scope::Weak});
+        }
+        groups.push_back(std::move(component_reads));
+        // Halo planes of each component from both neighbors.
+        for (const Addr field : fields_) {
+            if (first >= haloLines_) {
+                groups.push_back(Group{{
+                    Burst{lineAddr(field, first - haloLines_),
+                          haloLines_, lineBytes, AccessType::Load,
+                          lineBytes, Scope::Weak},
+                }});
+            }
+            if (end + haloLines_ <= fieldLines_) {
+                groups.push_back(Group{{
+                    Burst{lineAddr(field, end), haloLines_, lineBytes,
+                          AccessType::Load, lineBytes, Scope::Weak},
+                }});
+            }
+        }
+        // Nonlinear + viscous accumulation into each component.
+        for (const Addr field : fields_)
+            appendTiledStores(groups, field, first, count, hitTiles, 2);
+
+        KernelLaunch kernel;
+        kernel.gpu = gpu;
+        kernel.name = "hit.step";
+        kernel.computeInstrs = count * 3 * instrsPerLine;
+        kernel.stream = makeGroupStream(std::move(groups));
+        phase.kernels.push_back(std::move(kernel));
+
+        for (const Addr field : fields_) {
+            phase.barrierBroadcasts.push_back(BroadcastRange{
+                gpu, lineAddr(field, first), haloLines_ * lineBytes});
+            phase.barrierBroadcasts.push_back(BroadcastRange{
+                gpu, lineAddr(field, end - haloLines_),
+                haloLines_ * lineBytes});
+            if (first >= haloLines_) {
+                phase.prefetches.push_back(PrefetchRange{
+                    gpu, lineAddr(field, first - haloLines_),
+                    haloLines_ * lineBytes});
+                phase.prefetches.push_back(PrefetchRange{
+                    gpu, lineAddr(field, first),
+                    haloLines_ * lineBytes});
+            }
+            if (end + haloLines_ <= fieldLines_) {
+                phase.prefetches.push_back(PrefetchRange{
+                    gpu, lineAddr(field, end), haloLines_ * lineBytes});
+                phase.prefetches.push_back(PrefetchRange{
+                    gpu, lineAddr(field, end - haloLines_),
+                    haloLines_ * lineBytes});
+            }
+        }
+    }
+
+    std::vector<Phase> phases;
+    phases.push_back(std::move(phase));
+    return phases;
+}
+
+void
+HitWorkload::applyUmHints(WorkloadContext& ctx)
+{
+    Driver& drv = ctx.driver();
+    const Slab1D slab{fieldLines_, numGpus_};
+    for (const Addr field : fields_) {
+        for (std::size_t g = 0; g < numGpus_; ++g) {
+            const GpuId gpu = static_cast<GpuId>(g);
+            const Addr base = lineAddr(field, slab.first(gpu));
+            const std::uint64_t len = slab.count(gpu) * lineBytes;
+            const std::uint64_t halo_bytes = haloLines_ * lineBytes;
+            drv.advisePreferredLocation(base, len, gpu);
+            drv.adviseAccessedBy(base, halo_bytes, gpu);
+            drv.adviseAccessedBy(base + len - halo_bytes, halo_bytes,
+                                 gpu);
+            if (g > 0) {
+                drv.adviseAccessedBy(base, halo_bytes,
+                                     static_cast<GpuId>(g - 1));
+            }
+            if (g + 1 < numGpus_) {
+                drv.adviseAccessedBy(base + len - halo_bytes, halo_bytes,
+                                     static_cast<GpuId>(g + 1));
+            }
+        }
+    }
+    drv.advisePreferredLocation(coeffs_, coeffLines_ * lineBytes, 0);
+    for (std::size_t g = 1; g < numGpus_; ++g) {
+        drv.adviseAccessedBy(coeffs_, coeffLines_ * lineBytes,
+                             static_cast<GpuId>(g));
+    }
+}
+
+} // namespace gps::apps

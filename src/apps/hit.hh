@@ -1,0 +1,50 @@
+/**
+ * @file
+ * HIT: homogeneous isotropic turbulence — a 3-D Navier-Stokes step over
+ * three velocity-component fields with slab partitioning, halo
+ * exchange, and a small spectral-coefficient table read by every GPU.
+ * Predominantly peer-to-peer (Table 2), with a minority of
+ * multi-subscriber coefficient pages (Figure 9's tail) and multi-field
+ * store reuse that the remote write queue coalesces (Figure 14).
+ */
+
+#ifndef GPS_APPS_HIT_HH
+#define GPS_APPS_HIT_HH
+
+#include <array>
+
+#include "apps/workload.hh"
+
+namespace gps::apps
+{
+
+/** Homogeneous isotropic turbulence step. */
+class HitWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "HIT"; }
+    std::string description() const override
+    {
+        return "Simulating Homogeneous Isotropic Turbulence by solving "
+               "Navier-Stokes equations in 3D";
+    }
+    std::string commPattern() const override { return "Peer-to-peer"; }
+
+    void setup(WorkloadContext& ctx) override;
+    std::size_t effectiveIterations() const override { return 300; }
+    std::vector<Phase> iteration(std::size_t iter,
+                                 WorkloadContext& ctx) override;
+    void applyUmHints(WorkloadContext& ctx) override;
+
+  private:
+    std::uint64_t fieldLines_ = 0;
+    std::uint64_t haloLines_ = 0;
+    std::array<Addr, 3> fields_{}; ///< u, v, w velocity components
+    Addr coeffs_ = 0;              ///< spectral coefficients, read by all
+    std::uint64_t coeffLines_ = 0;
+    std::size_t numGpus_ = 0;
+};
+
+} // namespace gps::apps
+
+#endif // GPS_APPS_HIT_HH

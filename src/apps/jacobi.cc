@@ -1,0 +1,147 @@
+#include "apps/jacobi.hh"
+
+#include <algorithm>
+
+#include "apps/app_common.hh"
+
+namespace gps::apps
+{
+
+namespace
+{
+/** Non-memory instructions per stencil line (32 floats, ~6 flops each). */
+constexpr std::uint64_t instrsPerLine = 6 * 32;
+} // namespace
+
+std::uint64_t
+JacobiWorkload::rowBytes() const
+{
+    return linesPerRow_ * lineBytes;
+}
+
+void
+JacobiWorkload::setup(WorkloadContext& ctx)
+{
+    numGpus_ = ctx.numGpus();
+    linesPerRow_ =
+        std::min<std::uint64_t>(ctx.pageBytes() / lineBytes, 4096);
+    rows_ = std::max<std::uint64_t>(
+        32, static_cast<std::uint64_t>(128 * scale_));
+    // Round rows to the GPU count so slabs are equal and page aligned:
+    // a halo page holds exactly one producer's boundary row.
+    rows_ = (rows_ + numGpus_ - 1) / numGpus_ * numGpus_;
+
+    const std::uint64_t bytes = rows_ * rowBytes();
+    bufA_ = ctx.allocShared(bytes, "jacobi.a", 0);
+    bufB_ = ctx.allocShared(bytes, "jacobi.b", 0);
+}
+
+std::vector<Phase>
+JacobiWorkload::iteration(std::size_t iter, WorkloadContext& ctx)
+{
+    (void)iter;
+    // Listing 1 launches two sweeps per loop iteration (a -> b, then
+    // b -> a), so one iteration covers the full ping-pong period and
+    // the profiling iteration observes accesses to both buffers.
+    std::vector<Phase> phases;
+    phases.push_back(makeSweep(bufA_, bufB_, "jacobi.sweep_ab"));
+    phases.push_back(makeSweep(bufB_, bufA_, "jacobi.sweep_ba"));
+    (void)ctx;
+    return phases;
+}
+
+Phase
+JacobiWorkload::makeSweep(Addr src, Addr dst, const char* name) const
+{
+    const Slab1D slab{rows_, numGpus_};
+    const std::uint64_t row_bytes = rowBytes();
+
+    Phase phase;
+    phase.name = name;
+    for (std::size_t g = 0; g < numGpus_; ++g) {
+        const GpuId gpu = static_cast<GpuId>(g);
+        const std::uint64_t first = slab.first(gpu);
+        const std::uint64_t end = slab.end(gpu);
+
+        std::vector<Group> groups;
+        groups.reserve(end - first);
+        for (std::uint64_t r = first; r < end; ++r) {
+            const std::uint64_t up = r == 0 ? 0 : r - 1;
+            const std::uint64_t down = r + 1 == rows_ ? r : r + 1;
+            Group group;
+            group.bursts = {
+                Burst{src + up * row_bytes, linesPerRow_, lineBytes,
+                      AccessType::Load, lineBytes, Scope::Weak},
+                Burst{src + r * row_bytes, linesPerRow_, lineBytes,
+                      AccessType::Load, lineBytes, Scope::Weak},
+                Burst{src + down * row_bytes, linesPerRow_, lineBytes,
+                      AccessType::Load, lineBytes, Scope::Weak},
+                Burst{dst + r * row_bytes, linesPerRow_, lineBytes,
+                      AccessType::Store, lineBytes, Scope::Weak},
+            };
+            groups.push_back(std::move(group));
+        }
+
+        KernelLaunch kernel;
+        kernel.gpu = gpu;
+        kernel.name = "jacobi.mvmul";
+        kernel.computeInstrs = (end - first) * linesPerRow_ * instrsPerLine;
+        kernel.stream = makeGroupStream(std::move(groups));
+        phase.kernels.push_back(std::move(kernel));
+
+        // Tuned memcpy port: broadcast the freshly written boundary rows.
+        phase.barrierBroadcasts.push_back(
+            BroadcastRange{gpu, dst + first * row_bytes, row_bytes});
+        phase.barrierBroadcasts.push_back(
+            BroadcastRange{gpu, dst + (end - 1) * row_bytes, row_bytes});
+
+        // UM+hints port: prefetch the halo rows this kernel reads and
+        // pull the boundary rows it writes back home first.
+        if (first > 0) {
+            phase.prefetches.push_back(PrefetchRange{
+                gpu, src + (first - 1) * row_bytes, row_bytes});
+            phase.prefetches.push_back(
+                PrefetchRange{gpu, dst + first * row_bytes, row_bytes});
+        }
+        if (end < rows_) {
+            phase.prefetches.push_back(
+                PrefetchRange{gpu, src + end * row_bytes, row_bytes});
+            phase.prefetches.push_back(PrefetchRange{
+                gpu, dst + (end - 1) * row_bytes, row_bytes});
+        }
+    }
+
+    // The memcpy port deliberately ships both boundary rows of every
+    // slab to every peer: that is exactly the needless copying
+    // Figure 10 calls out.
+    return phase;
+}
+
+void
+JacobiWorkload::applyUmHints(WorkloadContext& ctx)
+{
+    Driver& drv = ctx.driver();
+    const Slab1D slab{rows_, numGpus_};
+    const std::uint64_t row_bytes = rowBytes();
+    for (const Addr buf : {bufA_, bufB_}) {
+        for (std::size_t g = 0; g < numGpus_; ++g) {
+            const GpuId gpu = static_cast<GpuId>(g);
+            const Addr base = buf + slab.first(gpu) * row_bytes;
+            const std::uint64_t len = slab.count(gpu) * row_bytes;
+            drv.advisePreferredLocation(base, len, gpu);
+            // Boundary rows are accessed by the owner and neighbors.
+            drv.adviseAccessedBy(base, row_bytes, gpu);
+            drv.adviseAccessedBy(base + len - row_bytes, row_bytes, gpu);
+            if (g > 0) {
+                drv.adviseAccessedBy(base, row_bytes,
+                                     static_cast<GpuId>(g - 1));
+            }
+            if (g + 1 < numGpus_) {
+                drv.adviseAccessedBy(base + len - row_bytes, row_bytes,
+                                     static_cast<GpuId>(g + 1));
+            }
+        }
+    }
+}
+
+} // namespace gps::apps

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Jacobi: iterative solver for a diagonally dominant linear system — a
+ * 2-D 5-point stencil over ping-pong buffers with a 1-D row partition.
+ * Predominant communication: peer-to-peer halo-row exchange (Table 2);
+ * shared pages end up with exactly two subscribers (Figure 9) and the
+ * remote write queue sees ~0% hits because every store targets a fresh
+ * line (Section 7.4).
+ */
+
+#ifndef GPS_APPS_JACOBI_HH
+#define GPS_APPS_JACOBI_HH
+
+#include "apps/workload.hh"
+
+namespace gps::apps
+{
+
+/** 2-D Jacobi stencil with halo exchange. */
+class JacobiWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Jacobi"; }
+    std::string description() const override
+    {
+        return "Iterative solver for a diagonally dominant system of "
+               "linear equations";
+    }
+    std::string commPattern() const override { return "Peer-to-peer"; }
+
+    void setup(WorkloadContext& ctx) override;
+    std::size_t effectiveIterations() const override { return 600; }
+    std::vector<Phase> iteration(std::size_t iter,
+                                 WorkloadContext& ctx) override;
+    void applyUmHints(WorkloadContext& ctx) override;
+
+    std::uint64_t rows() const { return rows_; }
+    std::uint64_t rowBytes() const;
+
+  private:
+    Phase makeSweep(Addr src, Addr dst, const char* name) const;
+
+    std::uint64_t rows_ = 0;
+    std::uint64_t linesPerRow_ = 512; ///< page-wide (64 KB) rows
+    Addr bufA_ = 0;
+    Addr bufB_ = 0;
+    std::size_t numGpus_ = 0;
+};
+
+} // namespace gps::apps
+
+#endif // GPS_APPS_JACOBI_HH

@@ -1,0 +1,89 @@
+#include "apps/nbody.hh"
+
+#include <algorithm>
+
+#include "apps/app_common.hh"
+
+namespace gps::apps
+{
+
+namespace
+{
+/** ~20 flops per body-body interaction; 4 bodies per line. */
+constexpr std::uint64_t instrsPerInteraction = 20;
+} // namespace
+
+void
+NbodyWorkload::setup(WorkloadContext& ctx)
+{
+    numGpus_ = ctx.numGpus();
+    // 16k bodies at scale 1: a 512 KB body array, O(N^2) compute.
+    const std::uint64_t bodies = std::max<std::uint64_t>(
+        2048, static_cast<std::uint64_t>(16384 * scale_));
+    bodyLines_ = bodies * 32 / lineBytes;
+    bodies_ = ctx.allocShared(bodyLines_ * lineBytes, "nbody.bodies", 0);
+}
+
+std::vector<Phase>
+NbodyWorkload::iteration(std::size_t iter, WorkloadContext& ctx)
+{
+    (void)iter;
+    (void)ctx;
+    const Slab1D slab{bodyLines_, numGpus_};
+    const std::uint64_t bodies = bodyLines_ * lineBytes / 32;
+
+    Phase phase;
+    phase.name = "nbody.step";
+    for (std::size_t g = 0; g < numGpus_; ++g) {
+        const GpuId gpu = static_cast<GpuId>(g);
+        const std::uint64_t first = slab.first(gpu);
+        const std::uint64_t count = slab.count(gpu);
+
+        // Read every body (tiled through shared memory in a real
+        // kernel: one streaming pass here), update the owned slab.
+        std::vector<Group> groups;
+        groups.push_back(Group{{
+            Burst{bodies_, bodyLines_, lineBytes, AccessType::Load,
+                  lineBytes, Scope::Weak},
+        }});
+        groups.push_back(Group{{
+            Burst{lineAddr(bodies_, first), count, lineBytes,
+                  AccessType::Store, lineBytes, Scope::Weak},
+        }});
+
+        KernelLaunch kernel;
+        kernel.gpu = gpu;
+        kernel.name = "nbody.forces";
+        // O(N^2) interactions split across GPUs.
+        kernel.computeInstrs =
+            bodies * (bodies / numGpus_) * instrsPerInteraction;
+        kernel.stream = makeGroupStream(std::move(groups));
+        phase.kernels.push_back(std::move(kernel));
+
+        phase.barrierBroadcasts.push_back(BroadcastRange{
+            gpu, lineAddr(bodies_, first), count * lineBytes});
+    }
+
+    std::vector<Phase> phases;
+    phases.push_back(std::move(phase));
+    return phases;
+}
+
+void
+NbodyWorkload::applyUmHints(WorkloadContext& ctx)
+{
+    Driver& drv = ctx.driver();
+    const Slab1D slab{bodyLines_, numGpus_};
+    for (std::size_t g = 0; g < numGpus_; ++g) {
+        const GpuId gpu = static_cast<GpuId>(g);
+        const Addr base = lineAddr(bodies_, slab.first(gpu));
+        const std::uint64_t len = slab.count(gpu) * lineBytes;
+        drv.advisePreferredLocation(base, len, gpu);
+        for (std::size_t o = 0; o < numGpus_; ++o) {
+            if (o != g)
+                drv.adviseAccessedBy(base, len, static_cast<GpuId>(o));
+        }
+    }
+}
+
+} // namespace gps::apps

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * N-Body: a compute-bound control workload.
+ *
+ * Section 6 notes that the Tartan applications whose strong scaling is
+ * *not* bound by inter-GPU communication were excluded from the paper's
+ * plots because "GPS obtains the same performance as the native
+ * version". This all-pairs N-body step is that control: each GPU reads
+ * the full (shared) body array but the O(N^2) force computation dwarfs
+ * the communication under every paradigm, so all paradigms should land
+ * within a few percent of one another (validated by
+ * test_paper_properties).
+ */
+
+#ifndef GPS_APPS_NBODY_HH
+#define GPS_APPS_NBODY_HH
+
+#include "apps/workload.hh"
+
+namespace gps::apps
+{
+
+/** All-pairs N-body step (compute-bound control). */
+class NbodyWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Nbody"; }
+    std::string description() const override
+    {
+        return "All-pairs gravitational N-body step (compute-bound "
+               "control, not in the paper's plotted suite)";
+    }
+    std::string commPattern() const override { return "All-to-all"; }
+
+    void setup(WorkloadContext& ctx) override;
+    std::size_t effectiveIterations() const override { return 50; }
+    std::vector<Phase> iteration(std::size_t iter,
+                                 WorkloadContext& ctx) override;
+    void applyUmHints(WorkloadContext& ctx) override;
+
+  private:
+    std::uint64_t bodyLines_ = 0; ///< one 128 B line per 4 bodies
+    Addr bodies_ = 0;             ///< shared positions+velocities
+    std::size_t numGpus_ = 0;
+};
+
+} // namespace gps::apps
+
+#endif // GPS_APPS_NBODY_HH

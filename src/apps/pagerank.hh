@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Pagerank: push-style PageRank over a partitioned power-law web graph.
+ * Each GPU accumulates contributions privately over its edge partition,
+ * then publishes one atomic update per distinct target vertex into the
+ * shared next-rank array. Predominantly peer-to-peer (Table 2); hub
+ * pages collect subscribers from every GPU, and the atomic-dominated
+ * write stream gives the remote write queue a 0% hit rate (Section 7.4).
+ */
+
+#ifndef GPS_APPS_PAGERANK_HH
+#define GPS_APPS_PAGERANK_HH
+
+#include "apps/graph.hh"
+#include "apps/workload.hh"
+
+namespace gps::apps
+{
+
+/** Push-style multi-GPU PageRank. */
+class PagerankWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Pagerank"; }
+    std::string description() const override
+    {
+        return "Algorithm used by Google Search to rank web pages in "
+               "their search engine results";
+    }
+    std::string commPattern() const override { return "Peer-to-peer"; }
+
+    void setup(WorkloadContext& ctx) override;
+    std::size_t effectiveIterations() const override { return 100; }
+    std::vector<Phase> iteration(std::size_t iter,
+                                 WorkloadContext& ctx) override;
+    void applyUmHints(WorkloadContext& ctx) override;
+
+    const Graph& graph() const { return graph_; }
+
+  private:
+    Graph graph_;
+    Addr rank_ = 0;       ///< shared: current ranks (read by owner)
+    Addr rankNext_ = 0;   ///< shared: atomic accumulation target
+    std::vector<Addr> edgeLists_; ///< private CSR slice per GPU
+    std::size_t numGpus_ = 0;
+
+    /** Per-GPU publish trace (atomics to distinct targets), prebuilt. */
+    std::vector<std::vector<MemAccess>> publishTrace_;
+};
+
+} // namespace gps::apps
+
+#endif // GPS_APPS_PAGERANK_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SSSP: frontier-based shortest-path relaxation (Bellman-Ford style)
+ * over a partitioned graph. Every iteration a rotating frontier of
+ * vertices relaxes its out-edges with atomicMin on the shared distance
+ * array — a many-to-many pattern (Table 2) whose atomic-dominated write
+ * stream never coalesces in the remote write queue (Section 7.4).
+ */
+
+#ifndef GPS_APPS_SSSP_HH
+#define GPS_APPS_SSSP_HH
+
+#include "apps/graph.hh"
+#include "apps/workload.hh"
+
+namespace gps::apps
+{
+
+/** Frontier-based SSSP relaxation. */
+class SsspWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "SSSP"; }
+    std::string description() const override
+    {
+        return "Shortest path computation between every pair of "
+               "vertices in a graph";
+    }
+    std::string commPattern() const override { return "Many-to-many"; }
+
+    void setup(WorkloadContext& ctx) override;
+    std::size_t effectiveIterations() const override { return 120; }
+    std::vector<Phase> iteration(std::size_t iter,
+                                 WorkloadContext& ctx) override;
+    void applyUmHints(WorkloadContext& ctx) override;
+
+  private:
+    Graph graph_;
+    Addr dist_ = 0;                ///< shared distance array
+    std::vector<Addr> edgeLists_;  ///< private CSR slice per GPU
+    std::size_t numGpus_ = 0;
+
+    /** Fraction of each partition active per iteration. */
+    static constexpr double frontierFraction = 0.3;
+
+    /** Per-GPU relax trace (atomicMin per distinct frontier target). */
+    std::vector<std::vector<MemAccess>> relaxTrace_;
+};
+
+} // namespace gps::apps
+
+#endif // GPS_APPS_SSSP_HH

@@ -1,0 +1,136 @@
+#include "apps/trace_workload.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "trace/trace_file.hh"
+
+namespace gps::apps
+{
+
+TraceReplayWorkload::TraceReplayWorkload(std::string prefix)
+    : prefix_(std::move(prefix))
+{
+    const std::string path = prefix_ + ".manifest";
+    std::ifstream in(path);
+    if (!in)
+        gps_fatal("cannot open trace manifest '", path, "'");
+
+    std::string line;
+    if (!std::getline(in, line) || line != "gps-trace-manifest 1")
+        gps_fatal("'", path, "' is not a version-1 gps-trace manifest");
+
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string directive;
+        fields >> directive;
+        if (directive == "page_bytes") {
+            fields >> pageBytes_;
+        } else if (directive == "gpus") {
+            fields >> gpus_;
+        } else if (directive == "iterations") {
+            fields >> iterations_;
+        } else if (directive == "phases") {
+            fields >> phases_;
+        } else if (directive == "region") {
+            RegionSpec region;
+            std::string kind;
+            std::uint32_t home = 0;
+            fields >> region.base >> region.size >> kind >> home;
+            std::getline(fields, region.label);
+            if (!region.label.empty() && region.label.front() == ' ')
+                region.label.erase(0, 1);
+            region.shared = kind == "shared";
+            region.home = static_cast<GpuId>(home);
+            regions_.push_back(std::move(region));
+        } else if (directive == "kernel") {
+            std::size_t iter = 0, phase = 0;
+            std::uint32_t gpu = 0;
+            KernelSpec kernel;
+            fields >> iter >> phase >> gpu >> kernel.records >>
+                kernel.computeInstrs >> kernel.prechargedDramBytes;
+            kernel.gpu = static_cast<GpuId>(gpu);
+            kernels_[iter][phase].push_back(kernel);
+        } else {
+            gps_fatal("unknown manifest directive '", directive, "' in ",
+                      path);
+        }
+        if (fields.fail())
+            gps_fatal("malformed manifest line '", line, "' in ", path);
+    }
+    if (pageBytes_ == 0 || gpus_ == 0 || iterations_ == 0 ||
+        phases_ == 0 || regions_.empty()) {
+        gps_fatal("incomplete trace manifest '", path, "'");
+    }
+}
+
+void
+TraceReplayWorkload::setup(WorkloadContext& ctx)
+{
+    if (ctx.pageBytes() != pageBytes_) {
+        gps_fatal("trace captured with ", pageBytes_,
+                  "-byte pages but the system uses ", ctx.pageBytes());
+    }
+    if (ctx.numGpus() != gpus_) {
+        gps_fatal("trace captured on ", gpus_,
+                  " GPUs but the system has ", ctx.numGpus());
+    }
+    // The VA allocator is deterministic: allocating the same sizes in
+    // the same order reproduces the captured bases exactly.
+    for (const RegionSpec& spec : regions_) {
+        const Addr base =
+            spec.shared
+                ? ctx.allocShared(spec.size, spec.label, spec.home)
+                : ctx.allocPrivate(spec.size, spec.label, spec.home);
+        if (base != spec.base) {
+            gps_fatal("VA layout mismatch replaying '", spec.label,
+                      "': captured base ", spec.base, ", replayed ",
+                      base);
+        }
+    }
+}
+
+std::string
+TraceReplayWorkload::tracePath(std::size_t iter, std::size_t phase,
+                               GpuId gpu) const
+{
+    return prefix_ + ".iter" + std::to_string(iter) + ".phase" +
+           std::to_string(phase) + ".gpu" + std::to_string(gpu) +
+           ".trc";
+}
+
+std::vector<Phase>
+TraceReplayWorkload::iteration(std::size_t iter, WorkloadContext& ctx)
+{
+    (void)ctx;
+    // Iteration 0 replays the captured profiling iteration; every
+    // later iteration replays the captured steady-state one.
+    const std::size_t captured =
+        std::min(iter, iterations_ - 1);
+    auto it = kernels_.find(captured);
+    gps_assert(it != kernels_.end(), "manifest lacks iteration ",
+               captured);
+
+    std::vector<Phase> phases;
+    for (const auto& [phase_idx, specs] : it->second) {
+        Phase phase;
+        phase.name = "trace.phase" + std::to_string(phase_idx);
+        for (const KernelSpec& spec : specs) {
+            KernelLaunch kernel;
+            kernel.gpu = spec.gpu;
+            kernel.name = phase.name;
+            kernel.computeInstrs = spec.computeInstrs;
+            kernel.prechargedDramBytes = spec.prechargedDramBytes;
+            kernel.stream = std::make_unique<TraceFileStream>(
+                tracePath(captured, phase_idx, spec.gpu));
+            phase.kernels.push_back(std::move(kernel));
+        }
+        phases.push_back(std::move(phase));
+    }
+    return phases;
+}
+
+} // namespace gps::apps

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Replaying captured traces as a workload.
+ *
+ * `gps-trace capture` writes one binary trace per (iteration, phase,
+ * GPU) plus a manifest describing the allocations and kernel structure
+ * of the capturing run. TraceReplayWorkload reads that manifest,
+ * re-creates the identical VA layout (the allocator is deterministic,
+ * so region bases match bit-for-bit) and replays the traces under any
+ * paradigm — the same capture-once/replay-many methodology the paper
+ * uses with NVBit + NVAS.
+ *
+ * Manifest format (text, one directive per line):
+ *   gps-trace-manifest 1
+ *   page_bytes <n>
+ *   gpus <n>
+ *   iterations <n>          # captured iterations (>=2: profile+steady)
+ *   phases <n>              # phases per iteration
+ *   region <base> <size> shared|private <home> <label>
+ *   kernel <iter> <phase> <gpu> <records> <compute_instrs>
+ *          <precharged_dram_bytes>
+ */
+
+#ifndef GPS_APPS_TRACE_WORKLOAD_HH
+#define GPS_APPS_TRACE_WORKLOAD_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/workload.hh"
+
+namespace gps::apps
+{
+
+/** Workload that replays trace files captured by gps-trace. */
+class TraceReplayWorkload : public Workload
+{
+  public:
+    /**
+     * @param prefix path prefix used at capture time; the manifest is
+     *        read from "<prefix>.manifest" immediately (throws
+     *        FatalError on malformed input).
+     */
+    explicit TraceReplayWorkload(std::string prefix);
+
+    std::string name() const override { return "TraceReplay"; }
+    std::string description() const override
+    {
+        return "Replays traces captured with gps-trace";
+    }
+    std::string commPattern() const override { return "As captured"; }
+
+    std::size_t effectiveIterations() const override { return 100; }
+
+    void setup(WorkloadContext& ctx) override;
+    std::vector<Phase> iteration(std::size_t iter,
+                                 WorkloadContext& ctx) override;
+
+    /** GPU count the capture was taken with. */
+    std::size_t capturedGpus() const { return gpus_; }
+    std::uint64_t pageBytes() const { return pageBytes_; }
+    std::size_t capturedIterations() const { return iterations_; }
+
+  private:
+    struct RegionSpec
+    {
+        Addr base = 0;
+        std::uint64_t size = 0;
+        bool shared = false;
+        GpuId home = 0;
+        std::string label;
+    };
+
+    struct KernelSpec
+    {
+        GpuId gpu = 0;
+        std::uint64_t records = 0;
+        std::uint64_t computeInstrs = 0;
+        std::uint64_t prechargedDramBytes = 0;
+    };
+
+    std::string tracePath(std::size_t iter, std::size_t phase,
+                          GpuId gpu) const;
+
+    std::string prefix_;
+    std::uint64_t pageBytes_ = 0;
+    std::size_t gpus_ = 0;
+    std::size_t iterations_ = 0;
+    std::size_t phases_ = 0;
+    std::vector<RegionSpec> regions_;
+    /** kernels_[iter][phase] -> per-GPU kernel specs. */
+    std::map<std::size_t, std::map<std::size_t, std::vector<KernelSpec>>>
+        kernels_;
+};
+
+} // namespace gps::apps
+
+#endif // GPS_APPS_TRACE_WORKLOAD_HH

@@ -1,0 +1,115 @@
+#include "apps/workload.hh"
+
+#include "apps/als.hh"
+#include "apps/app_common.hh"
+#include "apps/ct.hh"
+#include "apps/diffusion.hh"
+#include "apps/eqwp.hh"
+#include "apps/hit.hh"
+#include "apps/jacobi.hh"
+#include "apps/nbody.hh"
+#include "apps/pagerank.hh"
+#include "apps/sssp.hh"
+#include "common/logging.hh"
+
+namespace gps
+{
+
+Addr
+WorkloadContext::allocShared(std::uint64_t size, std::string label,
+                             GpuId home)
+{
+    Driver& drv = system_->driver();
+    switch (paradigm_->sharedKind()) {
+      case MemKind::Managed:
+        return drv.mallocManaged(size, std::move(label), home).base;
+      case MemKind::Gps:
+        return drv.mallocGps(size, std::move(label), home, false).base;
+      case MemKind::Replicated:
+        return drv.mallocReplicated(size, std::move(label), home).base;
+      case MemKind::Pinned:
+        return drv.malloc(size, home, std::move(label)).base;
+    }
+    gps_panic("unknown shared kind");
+}
+
+Addr
+WorkloadContext::allocSharedManual(std::uint64_t size, std::string label,
+                                   GpuId home)
+{
+    Driver& drv = system_->driver();
+    if (paradigm_->sharedKind() == MemKind::Gps)
+        return drv.mallocGps(size, std::move(label), home, true).base;
+    return allocShared(size, std::move(label), home);
+}
+
+Addr
+WorkloadContext::allocPrivate(std::uint64_t size, std::string label,
+                              GpuId gpu)
+{
+    return system_->driver().malloc(size, gpu, std::move(label)).base;
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"Jacobi", "Pagerank", "SSSP", "ALS",
+            "CT",     "EQWP",     "Diffusion", "HIT"};
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string& name)
+{
+    if (name == "Jacobi")
+        return std::make_unique<apps::JacobiWorkload>();
+    if (name == "Pagerank")
+        return std::make_unique<apps::PagerankWorkload>();
+    if (name == "SSSP")
+        return std::make_unique<apps::SsspWorkload>();
+    if (name == "ALS")
+        return std::make_unique<apps::AlsWorkload>();
+    if (name == "CT")
+        return std::make_unique<apps::CtWorkload>();
+    if (name == "EQWP")
+        return std::make_unique<apps::EqwpWorkload>();
+    if (name == "Diffusion")
+        return std::make_unique<apps::DiffusionWorkload>();
+    if (name == "HIT")
+        return std::make_unique<apps::HitWorkload>();
+    // Compute-bound control, available by name but not in the Table 2
+    // plotting suite (the paper excluded such apps; see nbody.hh).
+    if (name == "Nbody")
+        return std::make_unique<apps::NbodyWorkload>();
+    gps_fatal("unknown workload '", name, "'");
+}
+
+namespace apps
+{
+
+void
+appendTiledStores(std::vector<Group>& groups, Addr array_base,
+                  std::uint64_t first_line, std::uint64_t total_lines,
+                  const std::vector<std::uint64_t>& tile_sizes,
+                  unsigned passes)
+{
+    gps_assert(!tile_sizes.empty() && passes >= 1, "bad tiling request");
+    std::uint64_t line = first_line;
+    std::size_t tile_idx = 0;
+    while (line < first_line + total_lines) {
+        const std::uint64_t tile =
+            std::min<std::uint64_t>(tile_sizes[tile_idx % tile_sizes.size()],
+                                    first_line + total_lines - line);
+        for (unsigned pass = 0; pass < passes; ++pass) {
+            Group group;
+            group.bursts.push_back(Burst{lineAddr(array_base, line), tile,
+                                         lineBytes, AccessType::Store,
+                                         lineBytes, Scope::Weak});
+            groups.push_back(std::move(group));
+        }
+        line += tile;
+        ++tile_idx;
+    }
+}
+
+} // namespace apps
+} // namespace gps

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Workload framework: the paradigm-agnostic application model.
+ *
+ * A Workload allocates shared/private regions through the context (the
+ * active paradigm decides the MemKind behind "shared"), then produces
+ * barrier-separated phases of per-GPU kernels as procedural access
+ * streams. Hints (UM prefetch ranges, memcpy broadcast sets, preferred
+ * locations) are declared by the workload and honored only by the
+ * paradigms they belong to — mirroring how the paper ported each
+ * application to each paradigm without changing its partitioning.
+ */
+
+#ifndef GPS_APPS_WORKLOAD_HH
+#define GPS_APPS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/system.hh"
+#include "paradigm/paradigm.hh"
+#include "trace/kernel_trace.hh"
+
+namespace gps
+{
+
+/** Allocation and hint services offered to workloads. */
+class WorkloadContext
+{
+  public:
+    WorkloadContext(MultiGpuSystem& system, Paradigm& paradigm)
+        : system_(&system), paradigm_(&paradigm)
+    {}
+
+    std::size_t numGpus() const { return system_->numGpus(); }
+    std::uint64_t pageBytes() const
+    {
+        return system_->geometry().bytes();
+    }
+    std::uint32_t lineBytes() const
+    {
+        return system_->config().gpu.cacheLineBytes;
+    }
+
+    /**
+     * Allocate a region shared among GPUs; the active paradigm chooses
+     * the management kind (managed / replicated / GPS).
+     */
+    Addr allocShared(std::uint64_t size, std::string label,
+                     GpuId home = 0);
+
+    /** Shared region with manual GPS subscription management. */
+    Addr allocSharedManual(std::uint64_t size, std::string label,
+                           GpuId home = 0);
+
+    /** Per-GPU private allocation (cudaMalloc on @p gpu). */
+    Addr allocPrivate(std::uint64_t size, std::string label, GpuId gpu);
+
+    /** Manual GPS subscription hint (no-op under other paradigms). */
+    void
+    gpsSubscribe(Addr base, std::uint64_t len, GpuId gpu)
+    {
+        paradigm_->adviseSubscribe(base, len, gpu);
+    }
+
+    /** Manual GPS unsubscription hint; false when refused. */
+    bool
+    gpsUnsubscribe(Addr base, std::uint64_t len, GpuId gpu)
+    {
+        return paradigm_->adviseUnsubscribe(base, len, gpu);
+    }
+
+    Driver& driver() { return system_->driver(); }
+    Paradigm& paradigm() { return *paradigm_; }
+    MultiGpuSystem& system() { return *system_; }
+
+  private:
+    MultiGpuSystem* system_;
+    Paradigm* paradigm_;
+};
+
+/** Base class for the evaluated applications (Table 2). */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short name used in tables ("Jacobi"). */
+    virtual std::string name() const = 0;
+
+    /** One-line description (Table 2). */
+    virtual std::string description() const = 0;
+
+    /** Predominant communication pattern (Table 2). */
+    virtual std::string commPattern() const = 0;
+
+    /**
+     * Scale factor for problem sizes; tests use << 1 to stay fast,
+     * benches use the default 1.
+     */
+    virtual void setScale(double scale) { scale_ = scale; }
+    double scale() const { return scale_; }
+
+    /** Allocate regions and remember their bases. */
+    virtual void setup(WorkloadContext& ctx) = 0;
+
+    /**
+     * Total application iterations the real run would execute; simulated
+     * iterations are extrapolated to this count (profiling cost
+     * amortizes exactly as in the paper's full-length runs).
+     */
+    virtual std::size_t effectiveIterations() const { return 200; }
+
+    /** Build one iteration's phases (fresh streams each call). */
+    virtual std::vector<Phase> iteration(std::size_t iter,
+                                         WorkloadContext& ctx) = 0;
+
+    /** Apply preferred-location / accessed-by hints (UM+hints only). */
+    virtual void applyUmHints(WorkloadContext& ctx) { (void)ctx; }
+
+  protected:
+    double scale_ = 1.0;
+};
+
+/** Names of all bundled workloads in the paper's plotting order. */
+std::vector<std::string> workloadNames();
+
+/** Factory: construct a bundled workload by (case-sensitive) name. */
+std::unique_ptr<Workload> makeWorkload(const std::string& name);
+
+} // namespace gps
+
+#endif // GPS_APPS_WORKLOAD_HH

@@ -1,0 +1,141 @@
+#include "cache/cache_model.hh"
+
+#include "common/logging.hh"
+
+namespace gps
+{
+
+CacheModel::CacheModel(std::string name, std::uint64_t capacity_bytes,
+                       std::uint32_t line_bytes, std::uint32_t ways)
+    : SimObject(std::move(name)), capacityBytes_(capacity_bytes),
+      lineBytes_(line_bytes), ways_(ways),
+      sets_(capacity_bytes / line_bytes / ways),
+      lines_(sets_ * ways)
+{
+    gps_assert(sets_ > 0, "cache too small: ", capacity_bytes, " bytes");
+    gps_assert(capacity_bytes % (static_cast<std::uint64_t>(line_bytes) *
+                                 ways) == 0,
+               "cache capacity not divisible by line*ways");
+}
+
+CacheResult
+CacheModel::access(Addr addr, bool is_write)
+{
+    const std::uint64_t line = lineNum(addr);
+    const std::uint64_t tag = line / sets_;
+    Line* set = &lines_[setIndex(line) * ways_];
+
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lastUse = ++useClock_;
+            set[w].dirty |= is_write;
+            ++hits_;
+            return {true, 0};
+        }
+    }
+
+    ++misses_;
+    Line* victim = &set[0];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+
+    CacheResult result{false, 0};
+    if (victim->valid) {
+        ++evictions_;
+        if (victim->dirty) {
+            ++writebacks_;
+            result.writebackBytes = lineBytes_;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lastUse = ++useClock_;
+    return result;
+}
+
+bool
+CacheModel::contains(Addr addr) const
+{
+    const std::uint64_t line = lineNum(addr);
+    const std::uint64_t tag = line / sets_;
+    const Line* set = &lines_[setIndex(line) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+CacheModel::invalidatePage(Addr page_base, std::uint64_t page_bytes)
+{
+    std::uint64_t writeback = 0;
+    const std::uint64_t first = lineNum(page_base);
+    const std::uint64_t count = page_bytes / lineBytes_;
+    for (std::uint64_t l = first; l < first + count; ++l) {
+        const std::uint64_t tag = l / sets_;
+        Line* set = &lines_[setIndex(l) * ways_];
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (set[w].valid && set[w].tag == tag) {
+                if (set[w].dirty) {
+                    ++writebacks_;
+                    writeback += lineBytes_;
+                }
+                set[w].valid = false;
+            }
+        }
+    }
+    return writeback;
+}
+
+std::uint64_t
+CacheModel::flushAll()
+{
+    std::uint64_t writeback = 0;
+    for (auto& line : lines_) {
+        if (line.valid && line.dirty) {
+            ++writebacks_;
+            writeback += lineBytes_;
+        }
+        line.valid = false;
+        line.dirty = false;
+    }
+    return writeback;
+}
+
+double
+CacheModel::hitRate() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+}
+
+void
+CacheModel::exportStats(StatSet& out) const
+{
+    out.set(name() + ".hits", static_cast<double>(hits_));
+    out.set(name() + ".misses", static_cast<double>(misses_));
+    out.set(name() + ".evictions", static_cast<double>(evictions_));
+    out.set(name() + ".writebacks", static_cast<double>(writebacks_));
+    out.set(name() + ".hit_rate", hitRate());
+}
+
+void
+CacheModel::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+    writebacks_ = 0;
+}
+
+} // namespace gps

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Generic set-associative write-back cache model with true-LRU
+ * replacement, used for each GPU's L2. The aggregate-capacity effect the
+ * paper reports for EQWP (L2 hit rate rising from 55% to 68% at 4 GPUs)
+ * emerges from this model when the per-GPU working set shrinks.
+ */
+
+#ifndef GPS_CACHE_CACHE_MODEL_HH
+#define GPS_CACHE_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+
+namespace gps
+{
+
+/** Result of one cache access. */
+struct CacheResult
+{
+    bool hit = false;
+
+    /** Bytes written back to DRAM due to a dirty eviction (0 or line). */
+    std::uint32_t writebackBytes = 0;
+};
+
+/** Set-associative write-back cache (tag-only functional+stats model). */
+class CacheModel : public SimObject
+{
+  public:
+    /**
+     * @param name component name
+     * @param capacity_bytes total data capacity
+     * @param line_bytes cache line size (Table 1: 128 B)
+     * @param ways associativity
+     */
+    CacheModel(std::string name, std::uint64_t capacity_bytes,
+               std::uint32_t line_bytes, std::uint32_t ways);
+
+    /**
+     * Access the line containing @p addr, allocating on miss.
+     * @param addr byte address
+     * @param is_write marks the line dirty
+     */
+    CacheResult access(Addr addr, bool is_write);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate every line of the page containing @p addr.
+     * @return bytes of dirty data dropped/written back. */
+    std::uint64_t invalidatePage(Addr page_base, std::uint64_t page_bytes);
+
+    /** Drop all lines; dirty lines count as writebacks.
+     * @return writeback bytes. */
+    std::uint64_t flushAll();
+
+    std::uint32_t lineBytes() const { return lineBytes_; }
+    std::uint64_t capacityBytes() const { return capacityBytes_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    double hitRate() const;
+
+    void exportStats(StatSet& out) const override;
+    void resetStats() override;
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t lineNum(Addr addr) const { return addr / lineBytes_; }
+    std::size_t setIndex(std::uint64_t line) const { return line % sets_; }
+
+    std::uint64_t capacityBytes_;
+    std::uint32_t lineBytes_;
+    std::uint32_t ways_;
+    std::size_t sets_;
+    std::vector<Line> lines_;
+    std::uint64_t useClock_ = 0;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace gps
+
+#endif // GPS_CACHE_CACHE_MODEL_HH

@@ -1,0 +1,57 @@
+#include "common/config.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+namespace gps
+{
+
+void
+ConfigDump::section(const std::string& name)
+{
+    rows_.push_back({true, name, ""});
+}
+
+void
+ConfigDump::entry(const std::string& key, const std::string& value)
+{
+    rows_.push_back({false, key, value});
+}
+
+void
+ConfigDump::entry(const std::string& key, std::uint64_t value)
+{
+    rows_.push_back({false, key, std::to_string(value)});
+}
+
+void
+ConfigDump::entry(const std::string& key, double value)
+{
+    std::ostringstream os;
+    os << value;
+    rows_.push_back({false, key, os.str()});
+}
+
+std::string
+ConfigDump::render() const
+{
+    std::size_t width = 0;
+    for (const auto& row : rows_) {
+        if (!row.isSection)
+            width = std::max(width, row.key.size());
+    }
+    std::ostringstream os;
+    for (const auto& row : rows_) {
+        if (row.isSection) {
+            os << "== " << row.key << " ==\n";
+        } else {
+            os << "  " << row.key
+               << std::string(width - row.key.size() + 2, ' ') << row.value
+               << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace gps

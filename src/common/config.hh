@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ordered key/value configuration record used to render Table 1 style
+ * parameter dumps and to snapshot the settings a run was produced with.
+ */
+
+#ifndef GPS_COMMON_CONFIG_HH
+#define GPS_COMMON_CONFIG_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gps
+{
+
+/** An insertion-ordered list of (section, key, value) entries. */
+class ConfigDump
+{
+  public:
+    /** Begin a new section (e.g. "GPU Parameters"). */
+    void section(const std::string& name);
+
+    /** Record a key/value pair in the current section. */
+    void entry(const std::string& key, const std::string& value);
+    void entry(const std::string& key, std::uint64_t value);
+    void entry(const std::string& key, double value);
+
+    /** Render as an aligned two-column table. */
+    std::string render() const;
+
+    struct Row
+    {
+        bool isSection;
+        std::string key;
+        std::string value;
+    };
+
+    const std::vector<Row>& rows() const { return rows_; }
+
+  private:
+    std::vector<Row> rows_;
+};
+
+} // namespace gps
+
+#endif // GPS_COMMON_CONFIG_HH

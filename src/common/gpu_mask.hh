@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bitmask over GPU ids (up to 32 GPUs), used for subscriber sets,
+ * accessed-by hints and mapping bookkeeping.
+ */
+
+#ifndef GPS_COMMON_GPU_MASK_HH
+#define GPS_COMMON_GPU_MASK_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace gps
+{
+
+/** A set of GPUs as a bitmask. */
+using GpuMask = std::uint32_t;
+
+/** Largest GPU count a GpuMask can describe. */
+constexpr std::size_t maxGpus = 32;
+
+constexpr GpuMask
+gpuBit(GpuId gpu)
+{
+    return GpuMask(1) << gpu;
+}
+
+constexpr bool
+maskHas(GpuMask mask, GpuId gpu)
+{
+    return (mask & gpuBit(gpu)) != 0;
+}
+
+constexpr GpuMask
+maskSet(GpuMask mask, GpuId gpu)
+{
+    return mask | gpuBit(gpu);
+}
+
+constexpr GpuMask
+maskClear(GpuMask mask, GpuId gpu)
+{
+    return mask & ~gpuBit(gpu);
+}
+
+/** Number of GPUs in the set. */
+constexpr std::size_t
+maskCount(GpuMask mask)
+{
+    return static_cast<std::size_t>(std::popcount(mask));
+}
+
+/** Mask with GPUs [0, n) set. */
+constexpr GpuMask
+maskAll(std::size_t n)
+{
+    return n >= maxGpus ? ~GpuMask(0)
+                        : (GpuMask(1) << n) - 1;
+}
+
+/** Lowest GPU id in the set; invalidGpu when empty. */
+constexpr GpuId
+maskFirst(GpuMask mask)
+{
+    return mask == 0 ? invalidGpu
+                     : static_cast<GpuId>(std::countr_zero(mask));
+}
+
+/** Call @p fn(GpuId) for every GPU in the set, ascending. */
+template <typename Fn>
+void
+maskForEach(GpuMask mask, Fn&& fn)
+{
+    while (mask != 0) {
+        const GpuId gpu = static_cast<GpuId>(std::countr_zero(mask));
+        fn(gpu);
+        mask &= mask - 1;
+    }
+}
+
+} // namespace gps
+
+#endif // GPS_COMMON_GPU_MASK_HH

@@ -1,0 +1,143 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace gps
+{
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // the key already emitted its comma
+    }
+    if (!hasMember_.empty()) {
+        if (hasMember_.back())
+            out_ += ',';
+        hasMember_.back() = true;
+    }
+}
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    separate();
+    out_ += '{';
+    hasMember_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    gps_assert(!hasMember_.empty(), "endObject without beginObject");
+    hasMember_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    separate();
+    out_ += '[';
+    hasMember_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    gps_assert(!hasMember_.empty(), "endArray without beginArray");
+    hasMember_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(const std::string& name)
+{
+    separate();
+    out_ += '"';
+    out_ += escape(name);
+    out_ += "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const std::string& text)
+{
+    separate();
+    out_ += '"';
+    out_ += escape(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const char* text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter&
+JsonWriter::value(double number)
+{
+    separate();
+    if (!std::isfinite(number)) {
+        out_ += "null";
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", number);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::uint64_t number)
+{
+    separate();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(bool flag)
+{
+    separate();
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+std::string
+JsonWriter::escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace gps

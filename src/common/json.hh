@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal JSON writer for exporting results to downstream tooling
+ * (plotting scripts, dashboards). Write-only by design: the simulator
+ * never needs to parse JSON, so there is no parser to maintain.
+ */
+
+#ifndef GPS_COMMON_JSON_HH
+#define GPS_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gps
+{
+
+/** Builds one JSON value tree and serializes it. */
+class JsonWriter
+{
+  public:
+    /** Begin an object; returns *this for chaining. */
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+
+    /** Begin an array. */
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+
+    /** Key for the next value (objects only). */
+    JsonWriter& key(const std::string& name);
+
+    JsonWriter& value(const std::string& text);
+    JsonWriter& value(const char* text);
+    JsonWriter& value(double number);
+    JsonWriter& value(std::uint64_t number);
+    JsonWriter& value(bool flag);
+
+    /** Shorthand: key + value. */
+    template <typename T>
+    JsonWriter&
+    field(const std::string& name, const T& v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** Serialized document. */
+    const std::string& str() const { return out_; }
+
+    /** JSON string escaping (exposed for tests). */
+    static std::string escape(const std::string& text);
+
+  private:
+    /** Emit a comma if this container already has a member. */
+    void separate();
+
+    std::string out_;
+    std::vector<bool> hasMember_; ///< per open container
+    bool pendingKey_ = false;
+};
+
+} // namespace gps
+
+#endif // GPS_COMMON_JSON_HH

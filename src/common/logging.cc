@@ -1,0 +1,57 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+
+namespace gps
+{
+namespace detail
+{
+
+namespace
+{
+bool verboseFlag = true;
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s [%s:%d]\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char* file, int line, const std::string& msg)
+{
+    std::ostringstream os;
+    os << "fatal: " << msg << " [" << file << ":" << line << "]";
+    throw FatalError(os.str());
+}
+
+void
+warnImpl(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string& msg)
+{
+    if (verboseFlag)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace gps

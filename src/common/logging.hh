@@ -1,0 +1,92 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic/fatal/warn/inform.
+ *
+ * panic() aborts and is reserved for internal invariant violations (bugs in
+ * the simulator itself). fatal() throws a FatalError for user-level
+ * misconfiguration so library embedders can catch it. warn()/inform() print
+ * to stderr/stdout and never stop the simulation.
+ */
+
+#ifndef GPS_COMMON_LOGGING_HH
+#define GPS_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gps
+{
+
+/** Error thrown by fatal(): the simulation cannot continue, user's fault. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace detail
+{
+
+/** Fold a list of streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char* file, int line,
+                            const std::string& msg);
+[[noreturn]] void fatalImpl(const char* file, int line,
+                            const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+
+/** Global toggle for inform() output (benches silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace detail
+
+/** Enable or disable inform() output. */
+inline void
+setVerbose(bool v)
+{
+    detail::setVerbose(v);
+}
+
+} // namespace gps
+
+/** Internal invariant violated: abort with location. */
+#define gps_panic(...)                                                     \
+    ::gps::detail::panicImpl(__FILE__, __LINE__,                           \
+                             ::gps::detail::concat(__VA_ARGS__))
+
+/** Unrecoverable user error: throw FatalError with location. */
+#define gps_fatal(...)                                                     \
+    ::gps::detail::fatalImpl(__FILE__, __LINE__,                           \
+                             ::gps::detail::concat(__VA_ARGS__))
+
+/** Suspicious but survivable condition. */
+#define gps_warn(...)                                                      \
+    ::gps::detail::warnImpl(::gps::detail::concat(__VA_ARGS__))
+
+/** Status message for the user. */
+#define gps_inform(...)                                                    \
+    ::gps::detail::informImpl(::gps::detail::concat(__VA_ARGS__))
+
+/** panic() unless the invariant holds. */
+#define gps_assert(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            gps_panic("assertion failed: " #cond " ", ##__VA_ARGS__);      \
+        }                                                                  \
+    } while (0)
+
+#endif // GPS_COMMON_LOGGING_HH

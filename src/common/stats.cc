@@ -1,0 +1,61 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace gps
+{
+
+void
+StatSet::add(const std::string& name, double value)
+{
+    stats_[name] += value;
+}
+
+void
+StatSet::set(const std::string& name, double value)
+{
+    stats_[name] = value;
+}
+
+double
+StatSet::get(const std::string& name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string& name) const
+{
+    return stats_.find(name) != stats_.end();
+}
+
+void
+StatSet::merge(const StatSet& other)
+{
+    for (const auto& [name, value] : other.stats_)
+        stats_[name] += value;
+}
+
+std::string
+StatSet::dump(const std::string& prefix) const
+{
+    std::ostringstream os;
+    for (const auto& [name, value] : stats_)
+        os << prefix << name << " = " << value << "\n";
+    return os.str();
+}
+
+double
+geomean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace gps

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Lightweight statistics: named scalar sets and histograms.
+ *
+ * Hot paths accumulate into plain struct members; StatSet is the reporting
+ * container modules export their totals into, supporting merge and
+ * formatted dump. This mirrors the split gem5 makes between per-object
+ * counters and the stats package used at dump time.
+ */
+
+#ifndef GPS_COMMON_STATS_HH
+#define GPS_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gps
+{
+
+/** An ordered collection of named scalar statistics. */
+class StatSet
+{
+  public:
+    /** Add @p value to the named stat (creating it at zero). */
+    void add(const std::string& name, double value);
+
+    /** Set the named stat, overwriting any previous value. */
+    void set(const std::string& name, double value);
+
+    /** Value of the named stat, or 0 if absent. */
+    double get(const std::string& name) const;
+
+    /** Whether the named stat exists. */
+    bool has(const std::string& name) const;
+
+    /** Merge another set into this one (summing matching names). */
+    void merge(const StatSet& other);
+
+    /** All stats in name order. */
+    const std::map<std::string, double>& all() const { return stats_; }
+
+    /** Render as "name = value" lines with an optional prefix. */
+    std::string dump(const std::string& prefix = "") const;
+
+    void clear() { stats_.clear(); }
+
+  private:
+    std::map<std::string, double> stats_;
+};
+
+/**
+ * Fixed-bucket histogram over a value range, used e.g. for the
+ * subscriber-count distribution behind Figure 9.
+ */
+class Histogram
+{
+  public:
+    /** Buckets cover integer values [0, num_buckets). */
+    explicit Histogram(std::size_t num_buckets)
+        : buckets_(num_buckets, 0)
+    {}
+
+    /** Record one sample; values beyond the range clamp to the last. */
+    void
+    sample(std::size_t value, std::uint64_t count = 1)
+    {
+        if (buckets_.empty())
+            return;
+        if (value >= buckets_.size())
+            value = buckets_.size() - 1;
+        buckets_[value] += count;
+        total_ += count;
+    }
+
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t size() const { return buckets_.size(); }
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples in bucket @p i (0 when empty). */
+    double
+    fraction(std::size_t i) const
+    {
+        return total_ == 0 ? 0.0
+                           : static_cast<double>(buckets_.at(i)) /
+                                 static_cast<double>(total_);
+    }
+
+    void
+    clear()
+    {
+        for (auto& b : buckets_)
+            b = 0;
+        total_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+};
+
+/** Geometric mean of a vector of positive values (0 if empty). */
+double geomean(const std::vector<double>& values);
+
+} // namespace gps
+
+#endif // GPS_COMMON_STATS_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fundamental scalar types and enums shared across the simulator.
+ */
+
+#ifndef GPS_COMMON_TYPES_HH
+#define GPS_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace gps
+{
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** GPU core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** A virtual or physical page number (address >> page shift). */
+using PageNum = std::uint64_t;
+
+/** Identifier of a GPU in the system (dense, 0-based). */
+using GpuId = std::uint16_t;
+
+/** Sentinel for "no GPU". */
+constexpr GpuId invalidGpu = std::numeric_limits<GpuId>::max();
+
+/** Ticks per second: the Tick unit is one picosecond. */
+constexpr Tick ticksPerSecond = 1'000'000'000'000ULL;
+
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Kind of a memory operation carried in an access trace. */
+enum class AccessType : std::uint8_t {
+    Load,
+    Store,
+    Atomic,
+};
+
+/**
+ * Memory-model scope of an access (NVIDIA PTX scopes). GPS coalesces only
+ * non-sys-scoped ("weak") traffic; sys-scoped stores trigger the page
+ * collapse path described in the paper's Section 5.3.
+ */
+enum class Scope : std::uint8_t {
+    Weak,  ///< no scope annotation: plain weak access
+    Cta,   ///< CTA scope (never visible off-GPU)
+    Gpu,   ///< GPU scope (never visible off-GPU)
+    Sys,   ///< system scope: inter-GPU synchronization
+};
+
+/** Human-readable name of an access type. */
+std::string to_string(AccessType t);
+
+/** Human-readable name of a scope. */
+std::string to_string(Scope s);
+
+inline std::string
+to_string(AccessType t)
+{
+    switch (t) {
+      case AccessType::Load: return "load";
+      case AccessType::Store: return "store";
+      case AccessType::Atomic: return "atomic";
+    }
+    return "?";
+}
+
+inline std::string
+to_string(Scope s)
+{
+    switch (s) {
+      case Scope::Weak: return "weak";
+      case Scope::Cta: return "cta";
+      case Scope::Gpu: return "gpu";
+      case Scope::Sys: return "sys";
+    }
+    return "?";
+}
+
+} // namespace gps
+
+#endif // GPS_COMMON_TYPES_HH

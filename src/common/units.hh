@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit helpers: byte sizes, bandwidth and time conversions.
+ *
+ * Bandwidths are stored as bytes/second (double) in configuration and
+ * converted to bytes/tick only inside timing formulas, keeping config
+ * values human-readable.
+ */
+
+#ifndef GPS_COMMON_UNITS_HH
+#define GPS_COMMON_UNITS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace gps
+{
+
+constexpr std::uint64_t KiB = 1024ULL;
+constexpr std::uint64_t MiB = 1024ULL * KiB;
+constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/** Decimal GB/s, the unit interconnect specs are quoted in. */
+constexpr double GBps = 1e9;
+
+/** Convert seconds to ticks. */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(ticksPerSecond));
+}
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * 1e3);
+}
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * 1e6);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerSecond);
+}
+
+/** Convert ticks to microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+/** Convert ticks to milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+/**
+ * Time to move @p bytes at @p bytes_per_sec, in ticks (rounded up, with a
+ * zero-bandwidth guard used by the infinite-bandwidth paradigm: a
+ * bandwidth of 0 means "free").
+ */
+inline Tick
+transferTicks(std::uint64_t bytes, double bytes_per_sec)
+{
+    if (bytes == 0 || bytes_per_sec <= 0.0)
+        return 0;
+    double seconds = static_cast<double>(bytes) / bytes_per_sec;
+    return static_cast<Tick>(seconds * static_cast<double>(ticksPerSecond)) +
+           1;
+}
+
+} // namespace gps
+
+#endif // GPS_COMMON_UNITS_HH

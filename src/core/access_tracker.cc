@@ -1,0 +1,17 @@
+#include "core/access_tracker.hh"
+
+namespace gps
+{
+
+void
+AccessTracker::exportStats(StatSet& out) const
+{
+    out.set(name() + ".marks", static_cast<double>(marks_));
+    std::uint64_t touched = 0;
+    for (const auto& set : perGpu_)
+        touched += set.size();
+    out.set(name() + ".touched_page_entries",
+            static_cast<double>(touched));
+}
+
+} // namespace gps

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Configuration of the GPS hardware structures (Table 1 defaults).
+ */
+
+#ifndef GPS_CORE_GPS_CONFIG_HH
+#define GPS_CORE_GPS_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace gps
+{
+
+/** GPS structure sizes and policy switches. */
+struct GpsConfig
+{
+    // --- Table 1: GPS Structures ---
+    /** Remote write queue capacity (fully associative entries). */
+    std::uint32_t wqEntries = 512;
+
+    /** WQ entry footprint: 128 B data + VA tag + byte mask (135 B). */
+    std::uint32_t wqEntryBytes = 135;
+
+    /** GPS-TLB total entries (8-way set associative). */
+    std::uint32_t gpsTlbEntries = 32;
+    std::uint32_t gpsTlbWays = 8;
+
+    /**
+     * Drain watermark; the evaluation uses capacity-1 to maximize
+     * coalescing opportunity (Section 5.2).
+     */
+    std::uint32_t
+    highWatermark() const
+    {
+        return wqEntries > 0 ? wqEntries - 1 : 0;
+    }
+
+    /** GPS page-table walk latency on a GPS-TLB miss. */
+    Tick gpsWalkLatency = nsToTicks(400);
+
+    // --- Policy switches (ablations) ---
+    /** Unsubscribe untouched pages at tracking stop (Fig. 11 ablation). */
+    bool autoUnsubscribe = true;
+
+    /** SM-level store coalescer in front of the WQ (ablation). */
+    bool smCoalescerEnabled = true;
+
+    /**
+     * Virtually addressed WQ (one entry per line). When false, models the
+     * physically addressed alternative of Section 5.3: one entry per
+     * (line, subscriber), shrinking effective capacity.
+     */
+    bool virtuallyAddressedWq = true;
+};
+
+} // namespace gps
+
+#endif // GPS_CORE_GPS_CONFIG_HH

@@ -1,0 +1,60 @@
+#include "core/gps_page_table.hh"
+
+#include <algorithm>
+
+namespace gps
+{
+
+void
+GpsPageTable::addReplica(PageNum vpn, GpuId gpu, PageNum ppn)
+{
+    GpsPte& pte = table_[vpn];
+    for (auto& r : pte.replicas) {
+        if (r.gpu == gpu) {
+            r.ppn = ppn;
+            return;
+        }
+    }
+    pte.replicas.push_back({gpu, ppn});
+}
+
+void
+GpsPageTable::removeReplica(PageNum vpn, GpuId gpu)
+{
+    auto it = table_.find(vpn);
+    if (it == table_.end())
+        return;
+    auto& replicas = it->second.replicas;
+    replicas.erase(std::remove_if(replicas.begin(), replicas.end(),
+                                  [gpu](const GpsReplica& r) {
+                                      return r.gpu == gpu;
+                                  }),
+                   replicas.end());
+    if (replicas.empty())
+        table_.erase(it);
+}
+
+const GpsPte*
+GpsPageTable::lookup(PageNum vpn) const
+{
+    auto it = table_.find(vpn);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+GpsPageTable::pteBits(std::size_t num_gpus, std::uint32_t vpn_bits,
+                      std::uint32_t ppn_bits)
+{
+    // One VPN tag plus one PPN per possible remote subscriber: the
+    // paper's 4-GPU example is 33 + 3*31 = 126 bits.
+    return vpn_bits +
+           static_cast<std::uint64_t>(num_gpus - 1) * ppn_bits;
+}
+
+void
+GpsPageTable::exportStats(StatSet& out) const
+{
+    out.set(name() + ".entries", static_cast<double>(table_.size()));
+}
+
+} // namespace gps

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The GPS page table: a secondary table with very wide leaf PTEs that
+ * record, for each GPS virtual page, the physical frame of every
+ * subscriber's replica (Section 5.2). It sits off the critical path and
+ * is consulted only when the remote write queue drains.
+ */
+
+#ifndef GPS_CORE_GPS_PAGE_TABLE_HH
+#define GPS_CORE_GPS_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/gpu_mask.hh"
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+
+namespace gps
+{
+
+/** One subscriber's replica frame. */
+struct GpsReplica
+{
+    GpuId gpu = invalidGpu;
+    PageNum ppn = 0;
+};
+
+/** Wide-leaf GPS PTE: one replica record per subscriber. */
+struct GpsPte
+{
+    std::vector<GpsReplica> replicas;
+
+    /** Subscriber set as a mask. */
+    GpuMask
+    subscriberMask() const
+    {
+        GpuMask mask = 0;
+        for (const auto& r : replicas)
+            mask = maskSet(mask, r.gpu);
+        return mask;
+    }
+
+    bool
+    hasSubscriber(GpuId gpu) const
+    {
+        for (const auto& r : replicas) {
+            if (r.gpu == gpu)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** The system-wide GPS page table. */
+class GpsPageTable : public SimObject
+{
+  public:
+    explicit GpsPageTable(std::string name = "gps_page_table")
+        : SimObject(std::move(name))
+    {}
+
+    /** Add (or refresh) @p gpu's replica frame for @p vpn. */
+    void addReplica(PageNum vpn, GpuId gpu, PageNum ppn);
+
+    /** Remove @p gpu's replica record; drops the PTE when empty. */
+    void removeReplica(PageNum vpn, GpuId gpu);
+
+    /** PTE for @p vpn, or nullptr. */
+    const GpsPte* lookup(PageNum vpn) const;
+
+    /**
+     * Size in bits of one leaf PTE for a system of @p num_gpus GPUs
+     * given VPN/PPN widths; the paper quotes 126 bits minimum for a
+     * 4-GPU system with 33-bit VPNs and 31-bit PPNs.
+     */
+    static std::uint64_t pteBits(std::size_t num_gpus,
+                                 std::uint32_t vpn_bits,
+                                 std::uint32_t ppn_bits);
+
+    std::size_t size() const { return table_.size(); }
+
+    /** All live PTEs (subscription census, Figure 9). */
+    const std::unordered_map<PageNum, GpsPte>&
+    entries() const
+    {
+        return table_;
+    }
+
+    void exportStats(StatSet& out) const override;
+
+  private:
+    std::unordered_map<PageNum, GpsPte> table_;
+};
+
+} // namespace gps
+
+#endif // GPS_CORE_GPS_PAGE_TABLE_HH

@@ -1,0 +1,290 @@
+#include "core/gps_paradigm.hh"
+
+#include "common/logging.hh"
+
+namespace gps
+{
+
+GpsParadigm::GpsParadigm(MultiGpuSystem& system)
+    : Paradigm("gps", system)
+{
+    gpsTable_ = std::make_unique<GpsPageTable>();
+    subs_ = std::make_unique<SubscriptionManager>(system.driver(),
+                                                  *gpsTable_);
+    subs_->installReclaimHook();
+    tracker_ = std::make_unique<AccessTracker>(system.numGpus());
+    for (std::size_t g = 0; g < system.numGpus(); ++g) {
+        const GpuId gpu = static_cast<GpuId>(g);
+        queues_.push_back(std::make_unique<RemoteWriteQueue>(
+            "gpu" + std::to_string(g) + ".remote_write_queue",
+            system.config().gps, system.config().gpu.cacheLineBytes,
+            system.geometry()));
+        units_.push_back(std::make_unique<GpsTranslationUnit>(
+            "gpu" + std::to_string(g) + ".gps_xlat", system.config().gps,
+            *gpsTable_));
+        queues_.back()->setDrainCallback(
+            [this, gpu](const WqEntry& entry) { onDrain(gpu, entry); });
+    }
+}
+
+void
+GpsParadigm::onSetupComplete()
+{
+    // Subscribed-by-default profiling: every GPU tentatively subscribes
+    // to every automatically managed GPS allocation (§5.2).
+    for (const auto& [base, region] : drv().addressSpace().regions()) {
+        if (region.kind == MemKind::Gps && !region.manualSubscription)
+            subs_->subscribeAll(region);
+    }
+}
+
+void
+GpsParadigm::accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
+                          bool tlb_miss, KernelCounters& counters,
+                          TrafficMatrix& traffic)
+{
+    PageState& st = drv().state(vpn);
+
+    if (st.collapsed) {
+        // Demoted to a conventional single-copy page (§5.3).
+        if (st.location == gpu) {
+            localAccess(gpu, access, counters);
+        } else if (access.isLoad()) {
+            remoteLoad(gpu, st.location, access, counters, traffic);
+        } else if (access.isAtomic()) {
+            remoteAtomic(gpu, st.location, access, counters, traffic);
+        } else {
+            remoteStore(gpu, st.location, access, counters, traffic);
+        }
+        return;
+    }
+
+    // T1: last-level TLB misses to GPS pages feed the tracking bitmap.
+    if (tlb_miss)
+        tracker_->mark(gpu, vpn);
+
+    if (access.isLoad()) {
+        if (maskHas(st.subscribers, gpu)) {
+            // R1-R3: loads always hit the local replica.
+            localAccess(gpu, access, counters);
+            return;
+        }
+        // Non-subscriber corner case: forward from the write queue if
+        // the line is still buffered, else read a remote subscriber.
+        if (queues_[gpu]->contains(access.vaddr)) {
+            ++wqForwardHits_;
+            ++counters.l2Hits;
+            return;
+        }
+        remoteLoad(gpu, maskFirst(st.subscribers), access, counters,
+                   traffic);
+        return;
+    }
+
+    // Stores and atomics.
+    if (access.scope == Scope::Sys) {
+        handleSysWrite(gpu, access, vpn, counters, traffic);
+        return;
+    }
+
+    const bool local_replica = maskHas(st.subscribers, gpu);
+    if (local_replica) {
+        // W3: update the local replica so later local reads observe it.
+        localAccess(gpu, access, counters);
+    }
+
+    const GpuMask remote = maskClear(st.subscribers, gpu);
+    if (remote == 0)
+        return; // sole subscriber: page was demoted to conventional
+
+    if (access.isAtomic()) {
+        // The WQ does not coalesce atomics (§7.4); each one translates
+        // through the GPS-TLB and is forwarded immediately.
+        queues_[gpu]->noteAtomicBypass();
+        ++counters.wqAtomicBypass;
+        units_[gpu]->translate(vpn, counters);
+        maskForEach(remote, [&](GpuId sub) {
+            traffic.add(gpu, sub, access.size + headerBytes(),
+                        access.size);
+            counters.pushedStoreBytes += access.size;
+        });
+        return;
+    }
+
+    // Weak store: SM-level spatial coalescing first (W4 follows).
+    if (cfg().smCoalescerEnabled &&
+        sys().gpu(gpu).storeCoalescer().absorb(access.vaddr)) {
+        ++counters.smCoalesced;
+        return;
+    }
+
+    ctxCounters_ = &counters;
+    ctxTraffic_ = &traffic;
+    const bool coalesced = queues_[gpu]->insert(
+        access.vaddr, access.size,
+        static_cast<std::uint32_t>(maskCount(remote)));
+    if (coalesced)
+        ++counters.wqCoalesced;
+    else
+        ++counters.wqInserts;
+}
+
+void
+GpsParadigm::onDrain(GpuId producer, const WqEntry& entry)
+{
+    gps_assert(ctxCounters_ != nullptr && ctxTraffic_ != nullptr,
+               "write queue drained outside a replay context");
+    // W5: translate through the GPS-TLB / GPS page table.
+    units_[producer]->translate(entry.vpn, *ctxCounters_);
+
+    // W6: one cache-block message per remote subscriber (interconnect
+    // transfers are block-granular; §7.5 discusses the waste).
+    const PageState& st = drv().state(entry.vpn);
+    const std::uint32_t line = lineBytes();
+    maskForEach(st.subscribers, [&](GpuId sub) {
+        if (sub == producer)
+            return;
+        ctxTraffic_->add(producer, sub, line + headerBytes(), line);
+        ctxCounters_->pushedStoreBytes += line;
+    });
+    ++ctxCounters_->wqDrains;
+}
+
+void
+GpsParadigm::handleSysWrite(GpuId gpu, const MemAccess& access,
+                            PageNum vpn, KernelCounters& counters,
+                            TrafficMatrix& traffic)
+{
+    PageState& st = drv().state(vpn);
+
+    // Flush all in-flight writes to the page, everywhere.
+    ctxCounters_ = &counters;
+    ctxTraffic_ = &traffic;
+    for (auto& queue : queues_)
+        queue->drainPage(vpn);
+
+    // Collapse to a single copy and demote (access faults, §5.3).
+    const GpuId keeper = maskHas(st.subscribers, gpu)
+                             ? gpu
+                             : maskFirst(st.subscribers);
+    subs_->collapse(vpn, keeper, counters);
+    ++counters.pageFaults;
+    ++counters.sysCollapses;
+
+    if (keeper == gpu) {
+        localAccess(gpu, access, counters);
+    } else if (access.isAtomic()) {
+        remoteAtomic(gpu, keeper, access, counters, traffic);
+    } else {
+        remoteStore(gpu, keeper, access, counters, traffic);
+    }
+}
+
+void
+GpsParadigm::endKernel(GpuId gpu, KernelCounters& counters,
+                       TrafficMatrix& traffic)
+{
+    // Implicit release at the end of every grid: full drain (§3.3).
+    ctxCounters_ = &counters;
+    ctxTraffic_ = &traffic;
+    queues_[gpu]->drainAll();
+    sys().gpu(gpu).storeCoalescer().reset();
+}
+
+void
+GpsParadigm::trackingStart()
+{
+    tracker_->clear();
+    tracker_->start();
+}
+
+void
+GpsParadigm::trackingStop(KernelCounters& counters)
+{
+    tracker_->stop();
+    if (!cfg().autoUnsubscribe)
+        return;
+    // Unsubscribe every GPU from every auto-managed page it did not
+    // touch during profiling; a page untouched by all keeps one
+    // subscriber (the unsubscribe refusal guarantees it).
+    for (const auto& [base, region] : drv().addressSpace().regions()) {
+        if (region.kind != MemKind::Gps || region.manualSubscription)
+            continue;
+        drv().forEachPage(region, [&](PageNum vpn) {
+            const GpuMask touched = tracker_->touchedMask(vpn);
+            const GpuMask subscribers = subs_->subscribers(vpn);
+            maskForEach(subscribers, [&](GpuId g) {
+                if (!maskHas(touched, g))
+                    subs_->unsubscribe(vpn, g, &counters);
+            });
+        });
+    }
+    tracker_->clear();
+}
+
+bool
+GpsParadigm::fillSubscriberHistogram(Histogram& hist) const
+{
+    subs_->fillHistogram(hist);
+    return true;
+}
+
+void
+GpsParadigm::manualSubscribe(Addr base, std::uint64_t len, GpuId gpu)
+{
+    subs_->subscribeRange(base, len, gpu);
+}
+
+UnsubscribeResult
+GpsParadigm::manualUnsubscribe(Addr base, std::uint64_t len, GpuId gpu)
+{
+    return subs_->unsubscribeRange(base, len, gpu);
+}
+
+double
+GpsParadigm::wqHitRate() const
+{
+    std::uint64_t coalesced = 0;
+    std::uint64_t total = 0;
+    // Atomic bypasses count as misses (§7.4).
+    for (const auto& queue : queues_) {
+        coalesced += queue->coalesced();
+        total += queue->coalesced() + queue->inserts() +
+                 queue->atomicBypass();
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(coalesced) /
+                            static_cast<double>(total);
+}
+
+double
+GpsParadigm::gpsTlbHitRate() const
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (const auto& unit : units_) {
+        hits += unit->gpsTlb().hits();
+        misses += unit->gpsTlb().misses();
+    }
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+}
+
+void
+GpsParadigm::exportStats(StatSet& out) const
+{
+    subs_->exportStats(out);
+    gpsTable_->exportStats(out);
+    tracker_->exportStats(out);
+    for (const auto& queue : queues_)
+        queue->exportStats(out);
+    for (const auto& unit : units_)
+        unit->exportStats(out);
+    out.set("gps.wq_forward_hits", static_cast<double>(wqForwardHits_));
+    out.set("gps.wq_hit_rate", wqHitRate());
+    out.set("gps.gps_tlb_hit_rate", gpsTlbHitRate());
+}
+
+} // namespace gps

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The GPS memory-management paradigm: the paper's contribution.
+ *
+ * Loads to GPS pages are serviced from the local replica (or forwarded
+ * from the remote write queue / a remote subscriber in the non-subscriber
+ * corner case). Weak stores write the local replica, pass the SM store
+ * coalescer, coalesce in the per-GPU remote write queue, and drain through
+ * the GPS address translation unit to every remote subscriber. Sys-scoped
+ * stores collapse the page (Section 5.3). Automatic subscription profiles
+ * TLB misses through the access tracking unit and unsubscribes untouched
+ * GPUs at cuGPSTrackingStop() (Section 5.2).
+ */
+
+#ifndef GPS_CORE_GPS_PARADIGM_HH
+#define GPS_CORE_GPS_PARADIGM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/access_tracker.hh"
+#include "core/gps_config.hh"
+#include "core/gps_page_table.hh"
+#include "core/gps_translation_unit.hh"
+#include "core/remote_write_queue.hh"
+#include "core/subscription.hh"
+#include "paradigm/paradigm.hh"
+
+namespace gps
+{
+
+/** Publish-subscribe multi-GPU memory management. */
+class GpsParadigm : public Paradigm
+{
+  public:
+    explicit GpsParadigm(MultiGpuSystem& system);
+
+    ParadigmKind kind() const override { return ParadigmKind::Gps; }
+    MemKind sharedKind() const override { return MemKind::Gps; }
+
+    void onSetupComplete() override;
+    void endKernel(GpuId gpu, KernelCounters& counters,
+                   TrafficMatrix& traffic) override;
+    void trackingStart() override;
+    void trackingStop(KernelCounters& counters) override;
+    bool fillSubscriberHistogram(Histogram& hist) const override;
+
+    /** Manual subscription API (CU_MEM_ADVISE_GPS_SUBSCRIBE). */
+    void manualSubscribe(Addr base, std::uint64_t len, GpuId gpu);
+
+    /** Manual unsubscription (CU_MEM_ADVISE_GPS_UNSUBSCRIBE). */
+    UnsubscribeResult manualUnsubscribe(Addr base, std::uint64_t len,
+                                        GpuId gpu);
+
+    void
+    adviseSubscribe(Addr base, std::uint64_t len, GpuId gpu) override
+    {
+        manualSubscribe(base, len, gpu);
+    }
+
+    bool
+    adviseUnsubscribe(Addr base, std::uint64_t len, GpuId gpu) override
+    {
+        return manualUnsubscribe(base, len, gpu) !=
+               UnsubscribeResult::LastSubscriber;
+    }
+
+    SubscriptionManager& subscriptions() { return *subs_; }
+    const SubscriptionManager& subscriptions() const { return *subs_; }
+    GpsPageTable& gpsPageTable() { return *gpsTable_; }
+    AccessTracker& tracker() { return *tracker_; }
+    RemoteWriteQueue& writeQueue(GpuId gpu) { return *queues_.at(gpu); }
+    GpsTranslationUnit& translationUnit(GpuId gpu)
+    {
+        return *units_.at(gpu);
+    }
+
+    /** Aggregate write-queue hit rate across all GPUs (Fig. 14). */
+    double wqHitRate() const;
+
+    /** Aggregate GPS-TLB hit rate (Section 7.4). */
+    double gpsTlbHitRate() const;
+
+    void exportStats(StatSet& out) const override;
+
+  protected:
+    void accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
+                      bool tlb_miss, KernelCounters& counters,
+                      TrafficMatrix& traffic) override;
+
+  private:
+    void onDrain(GpuId producer, const WqEntry& entry);
+    void handleSysWrite(GpuId gpu, const MemAccess& access, PageNum vpn,
+                        KernelCounters& counters, TrafficMatrix& traffic);
+
+    const GpsConfig& cfg() const { return sys().config().gps; }
+
+    std::unique_ptr<GpsPageTable> gpsTable_;
+    std::unique_ptr<SubscriptionManager> subs_;
+    std::unique_ptr<AccessTracker> tracker_;
+    std::vector<std::unique_ptr<RemoteWriteQueue>> queues_;
+    std::vector<std::unique_ptr<GpsTranslationUnit>> units_;
+
+    /** Drain context: the phase currently being replayed. */
+    KernelCounters* ctxCounters_ = nullptr;
+    TrafficMatrix* ctxTraffic_ = nullptr;
+
+    std::uint64_t wqForwardHits_ = 0;
+};
+
+} // namespace gps
+
+#endif // GPS_CORE_GPS_PARADIGM_HH

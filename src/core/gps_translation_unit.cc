@@ -1,0 +1,35 @@
+#include "core/gps_translation_unit.hh"
+
+namespace gps
+{
+
+GpsTranslationUnit::GpsTranslationUnit(std::string name,
+                                       const GpsConfig& config,
+                                       const GpsPageTable& table)
+    : SimObject(std::move(name)), table_(&table),
+      tlb_(std::make_unique<Tlb>(this->name() + ".gps_tlb",
+                                 config.gpsTlbEntries, config.gpsTlbWays))
+{
+}
+
+const GpsPte*
+GpsTranslationUnit::translate(PageNum vpn, KernelCounters& counters)
+{
+    if (tlb_->lookup(vpn)) {
+        ++counters.gpsTlbHits;
+    } else {
+        ++counters.gpsTlbMisses;
+        ++walks_;
+        tlb_->fill(vpn);
+    }
+    return table_->lookup(vpn);
+}
+
+void
+GpsTranslationUnit::exportStats(StatSet& out) const
+{
+    tlb_->exportStats(out);
+    out.set(name() + ".walks", static_cast<double>(walks_));
+}
+
+} // namespace gps

@@ -1,0 +1,145 @@
+#include "core/remote_write_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gps
+{
+
+RemoteWriteQueue::RemoteWriteQueue(std::string name,
+                                   const GpsConfig& config,
+                                   std::uint32_t line_bytes,
+                                   PageGeometry geometry)
+    : SimObject(std::move(name)), config_(&config),
+      lineBytes_(line_bytes), geometry_(geometry)
+{
+    gps_assert(config.wqEntries > 0, "zero-entry remote write queue");
+}
+
+bool
+RemoteWriteQueue::insert(Addr addr, std::uint32_t size,
+                         std::uint32_t copies)
+{
+    (void)size;
+    const Addr line = addr & ~static_cast<Addr>(lineBytes_ - 1);
+
+    auto hit = index_.find(line);
+    if (hit != index_.end()) {
+        WqEntry& entry = *hit->second;
+        entry.bytesWritten =
+            std::min<std::uint32_t>(lineBytes_, entry.bytesWritten + size);
+        ++entry.mergedStores;
+        ++coalesced_;
+        return true;
+    }
+
+    WqEntry entry;
+    entry.line = line;
+    entry.vpn = geometry_.pageNum(line);
+    entry.bytesWritten = std::min<std::uint32_t>(lineBytes_, size);
+    entry.mergedStores = 1;
+    entry.weight =
+        config_->virtuallyAddressedWq ? 1 : std::max(copies, 1u);
+
+    fifo_.push_back(entry);
+    index_.emplace(line, std::prev(fifo_.end()));
+    occupancy_ += entry.weight;
+    ++inserts_;
+
+    // At the high watermark, drain least-recently-added entries to free
+    // space while leaving maximum coalescing opportunity (§5.2).
+    while (occupancy_ > config_->highWatermark() && fifo_.size() > 1) {
+        ++watermarkDrains_;
+        drainOne();
+    }
+    return false;
+}
+
+bool
+RemoteWriteQueue::contains(Addr addr) const
+{
+    const Addr line = addr & ~static_cast<Addr>(lineBytes_ - 1);
+    return index_.find(line) != index_.end();
+}
+
+void
+RemoteWriteQueue::drainAll()
+{
+    while (!fifo_.empty())
+        drainOne();
+}
+
+void
+RemoteWriteQueue::drainPage(PageNum vpn)
+{
+    for (auto it = fifo_.begin(); it != fifo_.end();) {
+        if (it->vpn == vpn) {
+            auto victim = it++;
+            drainEntry(victim);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+RemoteWriteQueue::drainOne()
+{
+    gps_assert(!fifo_.empty(), "drain of empty write queue");
+    drainEntry(fifo_.begin());
+}
+
+void
+RemoteWriteQueue::drainEntry(std::list<WqEntry>::iterator it)
+{
+    const WqEntry entry = *it;
+    index_.erase(entry.line);
+    occupancy_ -= entry.weight;
+    fifo_.erase(it);
+    ++drains_;
+    if (drain_)
+        drain_(entry);
+}
+
+double
+RemoteWriteQueue::hitRate() const
+{
+    const std::uint64_t total = coalesced_ + inserts_ + atomicBypass_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(coalesced_) /
+                            static_cast<double>(total);
+}
+
+std::uint64_t
+RemoteWriteQueue::sramBytes() const
+{
+    return static_cast<std::uint64_t>(config_->wqEntries) *
+           config_->wqEntryBytes;
+}
+
+void
+RemoteWriteQueue::exportStats(StatSet& out) const
+{
+    out.set(name() + ".inserts", static_cast<double>(inserts_));
+    out.set(name() + ".coalesced", static_cast<double>(coalesced_));
+    out.set(name() + ".drains", static_cast<double>(drains_));
+    out.set(name() + ".atomic_bypass",
+            static_cast<double>(atomicBypass_));
+    out.set(name() + ".watermark_drains",
+            static_cast<double>(watermarkDrains_));
+    out.set(name() + ".hit_rate", hitRate());
+}
+
+void
+RemoteWriteQueue::resetStats()
+{
+    inserts_ = 0;
+    coalesced_ = 0;
+    drains_ = 0;
+    atomicBypass_ = 0;
+    watermarkDrains_ = 0;
+    forwardHits_ = 0;
+}
+
+} // namespace gps

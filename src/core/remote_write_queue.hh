@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The GPS remote write queue (Section 5.2): a fully associative,
+ * virtually addressed write-combining buffer at cache-block granularity.
+ * Weak stores to the same block coalesce; at the high watermark the least
+ * recently *added* entry drains to the GPS address translation unit; the
+ * queue drains fully at synchronization points (grid end, sys fences).
+ */
+
+#ifndef GPS_CORE_REMOTE_WRITE_QUEUE_HH
+#define GPS_CORE_REMOTE_WRITE_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "core/gps_config.hh"
+#include "mem/page.hh"
+#include "sim/sim_object.hh"
+
+namespace gps
+{
+
+/** One coalescing buffer entry (one cache block). */
+struct WqEntry
+{
+    /** Line-aligned virtual address. */
+    Addr line = 0;
+
+    /** Virtual page the line belongs to. */
+    PageNum vpn = 0;
+
+    /** Distinct bytes written so far (capped at the line size). */
+    std::uint32_t bytesWritten = 0;
+
+    /** Stores merged into this entry. */
+    std::uint32_t mergedStores = 0;
+
+    /**
+     * Capacity units the entry occupies: 1 when virtually addressed;
+     * the subscriber copy count under the physically-addressed ablation
+     * (Section 5.3 discussion).
+     */
+    std::uint32_t weight = 1;
+};
+
+/** Per-GPU remote write queue. */
+class RemoteWriteQueue : public SimObject
+{
+  public:
+    /** Called with each entry as it drains toward the interconnect. */
+    using DrainFn = std::function<void(const WqEntry&)>;
+
+    RemoteWriteQueue(std::string name, const GpsConfig& config,
+                     std::uint32_t line_bytes, PageGeometry geometry);
+
+    void setDrainCallback(DrainFn fn) { drain_ = std::move(fn); }
+
+    /**
+     * Offer a weak store.
+     * @param addr store address
+     * @param size store width in bytes
+     * @param copies remote subscriber count (weights entries under the
+     *        physically-addressed ablation)
+     * @return true if the store coalesced into a live entry.
+     */
+    bool insert(Addr addr, std::uint32_t size, std::uint32_t copies);
+
+    /** Record an atomic that bypassed coalescing (hit-rate accounting). */
+    void noteAtomicBypass() { ++atomicBypass_; }
+
+    /** Whether the block containing @p addr is buffered (load forward). */
+    bool contains(Addr addr) const;
+
+    /** Drain everything (sys fence / end of grid). */
+    void drainAll();
+
+    /** Drain only entries of @p vpn (page collapse). */
+    void drainPage(PageNum vpn);
+
+    /** Occupancy in capacity units. */
+    std::uint32_t occupancy() const { return occupancy_; }
+
+    std::uint64_t inserts() const { return inserts_; }
+    std::uint64_t coalesced() const { return coalesced_; }
+    std::uint64_t drains() const { return drains_; }
+    std::uint64_t atomicBypass() const { return atomicBypass_; }
+
+    /**
+     * Write-queue hit rate as Figure 14 reports it: coalesced stores
+     * over all coalescing-eligible traffic (including atomics, which
+     * always miss).
+     */
+    double hitRate() const;
+
+    /** SRAM footprint: 512 entries * 135 B = ~68 KB (Section 5.2). */
+    std::uint64_t sramBytes() const;
+
+    void exportStats(StatSet& out) const override;
+    void resetStats();
+
+  private:
+    void drainOne();
+    void drainEntry(std::list<WqEntry>::iterator it);
+
+    const GpsConfig* config_;
+    std::uint32_t lineBytes_;
+    PageGeometry geometry_;
+    DrainFn drain_;
+
+    /** FIFO by insertion order (front = least recently added). */
+    std::list<WqEntry> fifo_;
+    std::unordered_map<Addr, std::list<WqEntry>::iterator> index_;
+    std::uint32_t occupancy_ = 0;
+
+    std::uint64_t inserts_ = 0;
+    std::uint64_t coalesced_ = 0;
+    std::uint64_t drains_ = 0;
+    std::uint64_t atomicBypass_ = 0;
+    std::uint64_t watermarkDrains_ = 0;
+    std::uint64_t forwardHits_ = 0;
+};
+
+} // namespace gps
+
+#endif // GPS_CORE_REMOTE_WRITE_QUEUE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Driver-maintained per-page policy state.
+ *
+ * The per-GPU page tables hold the architectural mappings; this record is
+ * the driver's view of where copies live and which policy knobs apply
+ * (UM hints, GPS subscriptions, dirty tracking for bulk-synchronous
+ * paradigms).
+ */
+
+#ifndef GPS_DRIVER_PAGE_STATE_HH
+#define GPS_DRIVER_PAGE_STATE_HH
+
+#include "common/gpu_mask.hh"
+#include "common/types.hh"
+#include "mem/address_space.hh"
+
+namespace gps
+{
+
+/** Driver-side state of one virtual page. */
+struct PageState
+{
+    MemKind kind = MemKind::Pinned;
+
+    /** Primary copy holder (pinned home / managed residence). */
+    GpuId location = invalidGpu;
+
+    /** GPUs whose page tables currently map this page. */
+    GpuMask mapped = 0;
+
+    /** GPUs holding a physical replica. */
+    GpuMask backed = 0;
+
+    // --- Unified Memory hints ---
+    GpuId preferredLocation = invalidGpu;
+    GpuMask accessedBy = 0;
+    bool readMostly = false;
+
+    /** GPUs holding a read-duplicated copy (UM read-mostly). */
+    GpuMask readCopies = 0;
+
+    /** Most recent GPU to store to this page (RDL oracle, Fig. 10). */
+    GpuId lastWriter = invalidGpu;
+
+    /** Written since the last barrier (bulk-synchronous broadcast set). */
+    bool dirtySinceBarrier = false;
+
+    // --- GPS state ---
+    /** Current subscriber set. */
+    GpuMask subscribers = 0;
+
+    /** GPS bit state replicated into the conventional PTEs. */
+    bool gpsBitSet = false;
+
+    /** Page collapsed by a sys-scoped store (demoted for good). */
+    bool collapsed = false;
+};
+
+} // namespace gps
+
+#endif // GPS_DRIVER_PAGE_STATE_HH

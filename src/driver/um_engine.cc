@@ -1,0 +1,144 @@
+#include "driver/um_engine.hh"
+
+#include "common/logging.hh"
+
+namespace gps
+{
+
+UmDecision
+UmEngine::access(GpuId gpu, const MemAccess& access, PageNum vpn,
+                 bool hints_mode, KernelCounters& counters,
+                 TrafficMatrix& traffic)
+{
+    Driver& drv = *driver_;
+    PageState& st = drv.state(vpn);
+    gps_assert(st.kind == MemKind::Managed,
+               "UM engine applied to non-managed page");
+
+    // First touch: allocate on the toucher (hints: on the preferred
+    // location if one was advised before any touch).
+    if (st.location == invalidGpu) {
+        GpuId place = gpu;
+        if (hints_mode && st.preferredLocation != invalidGpu)
+            place = st.preferredLocation;
+        ++counters.pageFaults;
+        if (!drv.backPage(vpn, place))
+            gps_fatal("GPU ", place, " out of memory on UM first touch");
+        st.location = place;
+        if (access.isWrite())
+            st.lastWriter = gpu;
+        if (place == gpu)
+            return {UmRoute::Local, gpu};
+        // Placed remotely by hint: fall through to the remote rules.
+    }
+
+    if (access.isWrite()) {
+        st.lastWriter = gpu;
+        // A write to a read-duplicated page collapses it onto the writer
+        // with a TLB shootdown (Section 2.1).
+        if (st.readCopies != 0 &&
+            st.readCopies != gpuBit(gpu)) {
+            collapseDuplicates(vpn, gpu, counters);
+        }
+        if (st.location == gpu)
+            return {UmRoute::Local, gpu};
+        if (hints_mode) {
+            if (st.preferredLocation == gpu) {
+                // The page's home writes again: fault it back.
+                ++counters.pageFaults;
+                drv.migratePage(vpn, gpu, counters, traffic);
+                return {UmRoute::Local, gpu};
+            }
+            if (maskHas(st.accessedBy, gpu) ||
+                st.preferredLocation != invalidGpu) {
+                // Mapped remotely (a preferred location pins the page,
+                // so non-preferred writers go remote): no fault.
+                return {access.isAtomic() ? UmRoute::RemoteAtomic
+                                          : UmRoute::RemoteStore,
+                        st.location};
+            }
+        }
+        ++counters.pageFaults;
+        drv.migratePage(vpn, gpu, counters, traffic);
+        return {UmRoute::Local, gpu};
+    }
+
+    // Loads.
+    if (st.location == gpu || maskHas(st.readCopies, gpu))
+        return {UmRoute::Local, gpu};
+
+    if (st.readMostly) {
+        // Duplicate the page locally (one fault per duplicating GPU).
+        ++counters.pageFaults;
+        if (drv.backPage(vpn, gpu)) {
+            st.readCopies = maskSet(st.readCopies, gpu);
+            traffic.add(st.location, gpu,
+                        drv.pageBytes() +
+                            drv.topology().spec().headerBytes,
+                        drv.pageBytes());
+            counters.migrationBytes += drv.pageBytes();
+            return {UmRoute::Local, gpu};
+        }
+        // No room to duplicate: degrade to a remote read.
+        return {UmRoute::RemoteLoad, st.location};
+    }
+
+    if (hints_mode && (maskHas(st.accessedBy, gpu) ||
+                       st.preferredLocation != invalidGpu))
+        return {UmRoute::RemoteLoad, st.location};
+
+    ++counters.pageFaults;
+    drv.migratePage(vpn, gpu, counters, traffic);
+    return {UmRoute::Local, gpu};
+}
+
+Tick
+UmEngine::prefetchRange(GpuId gpu, Addr base, std::uint64_t len,
+                        KernelCounters& counters, TrafficMatrix& traffic)
+{
+    Driver& drv = *driver_;
+    if (len == 0)
+        return 0;
+    const PageGeometry& geo = drv.geometry();
+    const PageNum first = geo.pageNum(base);
+    const PageNum last = geo.pageNum(base + len - 1);
+    for (PageNum vpn = first; vpn <= last; ++vpn) {
+        if (!drv.hasState(vpn))
+            continue;
+        PageState& st = drv.state(vpn);
+        if (st.kind != MemKind::Managed || st.readMostly)
+            continue;
+        if (st.location == invalidGpu) {
+            // Never touched: prefetch establishes first placement.
+            if (drv.backPage(vpn, gpu))
+                st.location = gpu;
+            continue;
+        }
+        if (st.location != gpu)
+            drv.migratePage(vpn, gpu, counters, traffic);
+    }
+    // One asynchronous API call per range.
+    return usToTicks(3.0);
+}
+
+void
+UmEngine::collapseDuplicates(PageNum vpn, GpuId writer,
+                             KernelCounters& counters)
+{
+    Driver& drv = *driver_;
+    PageState& st = drv.state(vpn);
+    maskForEach(st.readCopies, [&](GpuId g) {
+        if (g != st.location && g != writer)
+            drv.unbackPage(vpn, g, &counters);
+    });
+    if (maskHas(st.readCopies, writer) && writer != st.location) {
+        // The writer keeps its copy and becomes the single location.
+        const GpuId old = st.location;
+        drv.unbackPage(vpn, old, &counters);
+        st.location = writer;
+    }
+    st.readCopies = 0;
+    ++counters.tlbShootdowns;
+}
+
+} // namespace gps

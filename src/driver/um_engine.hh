@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unified Memory policy engine shared by the UM and UM+hints paradigms.
+ *
+ * Implements fault-based first-touch placement and migration, the
+ * preferred-location / accessed-by / read-mostly hint semantics, the
+ * read-duplication collapse-on-write behavior the paper highlights as a
+ * UM limitation (Section 2.1), and bulk prefetch.
+ */
+
+#ifndef GPS_DRIVER_UM_ENGINE_HH
+#define GPS_DRIVER_UM_ENGINE_HH
+
+#include "common/types.hh"
+#include "driver/driver.hh"
+#include "gpu/kernel_counters.hh"
+#include "interconnect/topology.hh"
+#include "trace/access.hh"
+
+namespace gps
+{
+
+/** Where the paradigm must service an access after UM policy ran. */
+enum class UmRoute : std::uint8_t {
+    Local,
+    RemoteLoad,
+    RemoteStore,
+    RemoteAtomic,
+};
+
+/** Routing decision plus the peer that owns the data when remote. */
+struct UmDecision
+{
+    UmRoute route = UmRoute::Local;
+    GpuId owner = invalidGpu;
+};
+
+/** Fault/migration/hint policy for managed pages. */
+class UmEngine
+{
+  public:
+    explicit UmEngine(Driver& driver)
+        : driver_(&driver)
+    {}
+
+    /**
+     * Apply UM policy to an access to a managed page: may fault, place,
+     * migrate, duplicate or collapse the page.
+     * @param hints_mode honor preferred-location/accessed-by hints
+     */
+    UmDecision access(GpuId gpu, const MemAccess& access, PageNum vpn,
+                      bool hints_mode, KernelCounters& counters,
+                      TrafficMatrix& traffic);
+
+    /**
+     * cudaMemPrefetchAsync analogue: migrate the range's remote managed
+     * pages to @p gpu in bulk, without fault costs.
+     * @return serialized API overhead (transfer time comes from
+     *         @p traffic)
+     */
+    Tick prefetchRange(GpuId gpu, Addr base, std::uint64_t len,
+                       KernelCounters& counters, TrafficMatrix& traffic);
+
+  private:
+    /** Collapse a read-duplicated page onto @p writer. */
+    void collapseDuplicates(PageNum vpn, GpuId writer,
+                            KernelCounters& counters);
+
+    Driver* driver_;
+};
+
+} // namespace gps
+
+#endif // GPS_DRIVER_UM_ENGINE_HH

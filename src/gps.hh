@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Umbrella header: the public surface of the GPS multi-GPU memory
+ * management library. Downstream users can include just this.
+ *
+ *   #include "gps.hh"
+ *   gps::RunConfig config;
+ *   auto result = gps::runWorkload("Jacobi", config);
+ */
+
+#ifndef GPS_GPS_HH
+#define GPS_GPS_HH
+
+// System facade, runner and results.
+#include "api/metrics.hh"
+#include "api/runner.hh"
+#include "api/system.hh"
+
+// Driver API (cudaMalloc*/cuMemAdvise analogues) and paradigms.
+#include "driver/driver.hh"
+#include "paradigm/paradigm.hh"
+
+// The GPS core, for direct use of the Section 4 programming interface.
+#include "core/gps_paradigm.hh"
+
+// Workload framework (write your own applications).
+#include "apps/app_common.hh"
+#include "apps/workload.hh"
+
+// Trace capture / replay interchange.
+#include "trace/trace_file.hh"
+
+#endif // GPS_GPS_HH

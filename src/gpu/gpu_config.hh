@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-GPU architectural parameters. Defaults reproduce the paper's
+ * Table 1 (NVIDIA GV100/V100-class GPU).
+ */
+
+#ifndef GPS_GPU_GPU_CONFIG_HH
+#define GPS_GPU_GPU_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace gps
+{
+
+/** Architectural configuration of one GPU (Table 1 defaults). */
+struct GpuConfig
+{
+    // --- Table 1: GPU Parameters ---
+    std::uint32_t cacheLineBytes = 128;
+    std::uint64_t globalMemoryBytes = 16 * GiB;
+    std::uint32_t numSms = 80;
+    std::uint32_t cudaCoresPerSm = 64;
+    std::uint64_t l2CacheBytes = 6 * MiB;
+    std::uint32_t warpSize = 32;
+    std::uint32_t maxThreadsPerSm = 2048;
+    std::uint32_t maxThreadsPerCta = 1024;
+    std::uint32_t virtualAddressBits = 49;
+    std::uint32_t physicalAddressBits = 47;
+
+    // --- Microarchitectural timing parameters (V100-calibrated) ---
+    double coreClockGHz = 1.38;
+    double dramBandwidth = 900.0 * GBps;   ///< HBM2
+    double l2Bandwidth = 2500.0 * GBps;    ///< aggregate L2 throughput
+    std::uint32_t l2Ways = 16;
+
+    /**
+     * Last-level conventional TLB (entries/ways). Sized so that, like
+     * the real GPU at full-size footprints, 64 KB pages give full
+     * coverage of the scaled-down working sets while 4 KB pages thrash.
+     */
+    std::uint32_t tlbEntries = 256;
+    std::uint32_t tlbWays = 8;
+
+    /** Page-walk cost charged per conventional TLB miss. */
+    Tick pageWalkLatency = nsToTicks(250);
+
+    /**
+     * Depth of the SM-level store coalescer: recent store lines that
+     * merge before reaching the GPS remote write queue.
+     */
+    std::uint32_t smCoalescerDepth = 8;
+
+    /**
+     * Remote demand loads the GPU can keep in flight per SM cluster;
+     * multi-threading hides latency up to this MLP.
+     */
+    std::uint32_t remoteLoadMlp = 192;
+
+    /**
+     * Outstanding remote atomics: read-modify-write round trips
+     * serialize at the target and sustain far less parallelism.
+     */
+    std::uint32_t remoteAtomicMlp = 32;
+
+    /** Kernel launch overhead (driver + scheduling). */
+    Tick kernelLaunchOverhead = usToTicks(5.0);
+
+    /**
+     * Fraction of peak issue throughput real kernels achieve
+     * (divergence, dependency and memory stalls).
+     */
+    double issueEfficiency = 0.25;
+
+    /** Achieved issue throughput in instructions per cycle. */
+    double
+    issueWidth() const
+    {
+        return static_cast<double>(numSms) *
+               static_cast<double>(cudaCoresPerSm) * issueEfficiency;
+    }
+
+    /** Core clock period in ticks. */
+    double
+    clockPeriodTicks() const
+    {
+        return 1e3 / coreClockGHz; // ps per cycle
+    }
+};
+
+} // namespace gps
+
+#endif // GPS_GPU_GPU_CONFIG_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-kernel event counters accumulated during trace replay and consumed
+ * by the analytic timing model.
+ */
+
+#ifndef GPS_GPU_KERNEL_COUNTERS_HH
+#define GPS_GPU_KERNEL_COUNTERS_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+
+namespace gps
+{
+
+/** Everything the replay engine counts for one kernel on one GPU. */
+struct KernelCounters
+{
+    std::uint64_t computeInstrs = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t atomics = 0;
+
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+
+    /** Local DRAM traffic: miss fills + dirty writebacks. */
+    std::uint64_t dramBytes = 0;
+
+    /** Demand loads serviced by a remote GPU (stall-prone). */
+    std::uint64_t remoteLoads = 0;
+    std::uint64_t remoteLoadBytes = 0;
+
+    /** Atomics performed at a remote GPU (stall even harder). */
+    std::uint64_t remoteAtomics = 0;
+
+    /** Proactive write traffic pushed to peers (non-stalling). */
+    std::uint64_t pushedStoreBytes = 0;
+
+    std::uint64_t tlbMisses = 0;
+
+    // --- UM machinery ---
+    std::uint64_t pageFaults = 0;
+    std::uint64_t pageMigrations = 0;
+    std::uint64_t migrationBytes = 0;
+    std::uint64_t tlbShootdowns = 0;
+
+    // --- GPS machinery ---
+    std::uint64_t wqInserts = 0;    ///< lines entered into the WQ
+    std::uint64_t wqCoalesced = 0;  ///< stores merged into a live entry
+    std::uint64_t wqDrains = 0;     ///< entries drained to the wire
+    std::uint64_t wqAtomicBypass = 0; ///< atomics forwarded uncoalesced
+    std::uint64_t smCoalesced = 0;  ///< stores absorbed by SM coalescer
+    std::uint64_t gpsTlbHits = 0;
+    std::uint64_t gpsTlbMisses = 0;
+    std::uint64_t sysCollapses = 0; ///< pages collapsed by sys stores
+
+    void merge(const KernelCounters& other);
+    void exportStats(StatSet& out, const std::string& prefix) const;
+};
+
+} // namespace gps
+
+#endif // GPS_GPU_KERNEL_COUNTERS_HH

@@ -1,0 +1,30 @@
+#include "interconnect/link.hh"
+
+#include "common/units.hh"
+
+namespace gps
+{
+
+Tick
+Link::transferTime(std::uint64_t bytes) const
+{
+    if (spec_->infinite)
+        return 0;
+    return transferTicks(bytes, spec_->bandwidth);
+}
+
+void
+Link::exportStats(StatSet& out) const
+{
+    out.set(name() + ".bytes", static_cast<double>(totalBytes_));
+    out.set(name() + ".busy_us", ticksToUs(busyTime_));
+}
+
+void
+Link::resetStats()
+{
+    totalBytes_ = 0;
+    busyTime_ = 0;
+}
+
+} // namespace gps

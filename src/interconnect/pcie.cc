@@ -1,0 +1,59 @@
+#include "interconnect/pcie.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace gps
+{
+
+namespace
+{
+
+// Latencies: PCIe peer access round trips measure ~1.2-1.5 us on real
+// systems; we charge the one-way latency here and the GPU model composes
+// request+response. NVLink is substantially lower. Header: PCIe TLP ~24 B;
+// NVLink flit overhead ~16 B.
+const std::array<InterconnectSpec, 7> specs = {{
+    {InterconnectKind::Pcie3, "PCIe 3.0", 16.0 * GBps, nsToTicks(600), 24,
+     false},
+    {InterconnectKind::Pcie4, "PCIe 4.0", 32.0 * GBps, nsToTicks(550), 24,
+     false},
+    {InterconnectKind::Pcie5, "PCIe 5.0", 64.0 * GBps, nsToTicks(500), 24,
+     false},
+    {InterconnectKind::Pcie6, "PCIe 6.0 (projected)", 128.0 * GBps,
+     nsToTicks(450), 24, false},
+    {InterconnectKind::NvLink2, "NVLink 2", 150.0 * GBps, nsToTicks(300),
+     16, false},
+    {InterconnectKind::NvLink3, "NVLink 3", 300.0 * GBps, nsToTicks(250),
+     16, false},
+    {InterconnectKind::Infinite, "Infinite BW", 0.0, 0, 0, true},
+}};
+
+} // namespace
+
+const InterconnectSpec&
+interconnectSpec(InterconnectKind kind)
+{
+    for (const auto& spec : specs) {
+        if (spec.kind == kind)
+            return spec;
+    }
+    gps_panic("unknown interconnect kind");
+}
+
+std::vector<InterconnectKind>
+figure13Sweep()
+{
+    return {InterconnectKind::Pcie3, InterconnectKind::Pcie4,
+            InterconnectKind::Pcie5, InterconnectKind::Pcie6};
+}
+
+std::string
+to_string(InterconnectKind kind)
+{
+    return interconnectSpec(kind).name;
+}
+
+} // namespace gps

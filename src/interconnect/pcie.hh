@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Inter-GPU interconnect specifications.
+ *
+ * The paper evaluates PCIe 3.0 through a projected PCIe 6.0 (quoted at
+ * 128 GB/s) plus a hypothetical infinite-bandwidth interconnect; Figure 3
+ * additionally surveys NVLink generations. Bandwidths are per direction
+ * per GPU (x16 equivalent).
+ */
+
+#ifndef GPS_INTERCONNECT_PCIE_HH
+#define GPS_INTERCONNECT_PCIE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gps
+{
+
+/** Supported interconnect models. */
+enum class InterconnectKind : std::uint8_t {
+    Pcie3,
+    Pcie4,
+    Pcie5,
+    Pcie6,      ///< projected, 128 GB/s per the paper
+    NvLink2,
+    NvLink3,
+    Infinite,   ///< zero transfer time, upper-bound comparison
+};
+
+/** Static description of one interconnect generation. */
+struct InterconnectSpec
+{
+    InterconnectKind kind = InterconnectKind::Pcie3;
+    std::string name;
+
+    /** Per-direction bandwidth of one GPU's link, bytes/second. */
+    double bandwidth = 0.0;
+
+    /** One-way link latency in ticks. */
+    Tick latency = 0;
+
+    /** Protocol overhead added to every message, bytes. */
+    std::uint32_t headerBytes = 0;
+
+    /** True for the infinite-bandwidth upper bound. */
+    bool infinite = false;
+};
+
+/** Spec for a given interconnect kind. */
+const InterconnectSpec& interconnectSpec(InterconnectKind kind);
+
+/** All PCIe generations in the paper's Figure 13 sweep, plus Infinite. */
+std::vector<InterconnectKind> figure13Sweep();
+
+std::string to_string(InterconnectKind kind);
+
+} // namespace gps
+
+#endif // GPS_INTERCONNECT_PCIE_HH

@@ -1,0 +1,22 @@
+#include "interconnect/platforms.hh"
+
+namespace gps
+{
+
+const std::vector<PlatformSpec>&
+figure3Platforms()
+{
+    // Values follow the vendor-quoted figures the paper plots: remote
+    // bandwidth improves 38x from PCIe 3.0 (16 GB/s) to NVLink3+NVSwitch
+    // (600 GB/s) while a ~3x local/remote gap persists.
+    static const std::vector<PlatformSpec> platforms = {
+        {"Discrete/Kepler/PCIe", 288.0, 16.0},
+        {"DGX-1/Pascal/NVLink1", 732.0, 160.0},
+        {"DGX-1V/Volta/NVLink2", 900.0, 300.0},
+        {"DGX-2/Volta/NVLink2+NVSwitch", 900.0, 300.0},
+        {"DGX-A100/Ampere/NVLink3+NVSwitch", 1555.0, 600.0},
+    };
+    return platforms;
+}
+
+} // namespace gps

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Historical multi-GPU platform survey behind the paper's Figure 3:
+ * local HBM/GDDR bandwidth vs. remote (inter-GPU) bandwidth per platform.
+ */
+
+#ifndef GPS_INTERCONNECT_PLATFORMS_HH
+#define GPS_INTERCONNECT_PLATFORMS_HH
+
+#include <string>
+#include <vector>
+
+namespace gps
+{
+
+/** One row of the Figure 3 platform survey. */
+struct PlatformSpec
+{
+    std::string name;          ///< platform / GPU / interconnect
+    double localGBps;          ///< local memory bandwidth, GB/s
+    double remoteGBps;         ///< inter-GPU bandwidth, GB/s
+
+    double gap() const { return localGBps / remoteGBps; }
+};
+
+/** The five platforms plotted in Figure 3, in chronological order. */
+const std::vector<PlatformSpec>& figure3Platforms();
+
+} // namespace gps
+
+#endif // GPS_INTERCONNECT_PLATFORMS_HH

@@ -1,0 +1,109 @@
+#include "interconnect/topology.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace gps
+{
+
+std::uint64_t
+TrafficMatrix::egress(GpuId src) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t dst = 0; dst < n_; ++dst)
+        sum += bytes_[src * n_ + dst];
+    return sum;
+}
+
+std::uint64_t
+TrafficMatrix::ingress(GpuId dst) const
+{
+    std::uint64_t sum = 0;
+    for (std::size_t src = 0; src < n_; ++src)
+        sum += bytes_[src * n_ + dst];
+    return sum;
+}
+
+std::uint64_t
+TrafficMatrix::total() const
+{
+    std::uint64_t sum = 0;
+    for (auto b : bytes_)
+        sum += b;
+    return sum;
+}
+
+void
+TrafficMatrix::clear()
+{
+    std::fill(bytes_.begin(), bytes_.end(), 0);
+    payload_ = 0;
+}
+
+Topology::Topology(std::string name, std::size_t num_gpus,
+                   InterconnectKind kind)
+    : SimObject(std::move(name)), numGpus_(num_gpus),
+      spec_(&interconnectSpec(kind))
+{
+    gps_assert(num_gpus >= 1, "topology needs at least one GPU");
+    for (std::size_t g = 0; g < num_gpus; ++g) {
+        egress_.push_back(std::make_unique<Link>(
+            this->name() + ".gpu" + std::to_string(g) + ".egress",
+            *spec_));
+        ingress_.push_back(std::make_unique<Link>(
+            this->name() + ".gpu" + std::to_string(g) + ".ingress",
+            *spec_));
+    }
+}
+
+Tick
+Topology::applyPhaseTraffic(const TrafficMatrix& traffic)
+{
+    gps_assert(traffic.numGpus() == numGpus_,
+               "traffic matrix size mismatch");
+    Tick worst = 0;
+    for (std::size_t g = 0; g < numGpus_; ++g) {
+        const std::uint64_t out = traffic.egress(static_cast<GpuId>(g));
+        const std::uint64_t in = traffic.ingress(static_cast<GpuId>(g));
+        const Tick out_time = linkTime(out);
+        const Tick in_time = linkTime(in);
+        egress_[g]->record(out, out_time);
+        ingress_[g]->record(in, in_time);
+        worst = std::max({worst, out_time, in_time});
+        totalBytes_ += out;
+    }
+    totalPayload_ += traffic.payload();
+    return worst;
+}
+
+Tick
+Topology::linkTime(std::uint64_t bytes) const
+{
+    if (spec_->infinite)
+        return 0;
+    return transferTicks(bytes, spec_->bandwidth);
+}
+
+void
+Topology::exportStats(StatSet& out) const
+{
+    out.set(name() + ".total_bytes", static_cast<double>(totalBytes_));
+    for (const auto& link : egress_)
+        link->exportStats(out);
+    for (const auto& link : ingress_)
+        link->exportStats(out);
+}
+
+void
+Topology::resetStats()
+{
+    totalBytes_ = 0;
+    for (auto& link : egress_)
+        link->resetStats();
+    for (auto& link : ingress_)
+        link->resetStats();
+}
+
+} // namespace gps

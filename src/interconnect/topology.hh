@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Switch-based all-to-all interconnect topology plus per-phase traffic
+ * accounting.
+ *
+ * Every GPU attaches to a central switch through one full-duplex link
+ * (egress + ingress modeled separately). Contention therefore appears when
+ * one GPU broadcasts to many subscribers (egress serialization) or when
+ * many GPUs target one destination (ingress serialization) — the
+ * first-order effects behind all of the paper's bandwidth results.
+ */
+
+#ifndef GPS_INTERCONNECT_TOPOLOGY_HH
+#define GPS_INTERCONNECT_TOPOLOGY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "interconnect/link.hh"
+#include "interconnect/pcie.hh"
+#include "sim/sim_object.hh"
+
+namespace gps
+{
+
+/**
+ * Per-phase source->destination byte matrix. Wire bytes (payload plus
+ * protocol headers) drive timing; payload bytes are tracked separately
+ * because the paper's Figure 10 reports data moved, not wire occupancy.
+ */
+class TrafficMatrix
+{
+  public:
+    explicit TrafficMatrix(std::size_t num_gpus)
+        : n_(num_gpus), bytes_(num_gpus * num_gpus, 0)
+    {}
+
+    /**
+     * Account a transfer.
+     * @param bytes wire bytes (payload + headers)
+     * @param payload payload bytes; defaults to @p bytes
+     */
+    void
+    add(GpuId src, GpuId dst, std::uint64_t bytes,
+        std::uint64_t payload = std::uint64_t(-1))
+    {
+        bytes_[src * n_ + dst] += bytes;
+        payload_ += payload == std::uint64_t(-1) ? bytes : payload;
+    }
+
+    std::uint64_t
+    at(GpuId src, GpuId dst) const
+    {
+        return bytes_[src * n_ + dst];
+    }
+
+    /** Total payload bytes recorded. */
+    std::uint64_t payload() const { return payload_; }
+
+    /** Total bytes leaving @p src. */
+    std::uint64_t egress(GpuId src) const;
+
+    /** Total bytes arriving at @p dst. */
+    std::uint64_t ingress(GpuId dst) const;
+
+    /** Total bytes moved. */
+    std::uint64_t total() const;
+
+    std::size_t numGpus() const { return n_; }
+
+    void clear();
+
+  private:
+    std::size_t n_;
+    std::vector<std::uint64_t> bytes_;
+    std::uint64_t payload_ = 0;
+};
+
+/** The system interconnect: one full-duplex link per GPU, via a switch. */
+class Topology : public SimObject
+{
+  public:
+    Topology(std::string name, std::size_t num_gpus,
+             InterconnectKind kind);
+
+    const InterconnectSpec& spec() const { return *spec_; }
+    std::size_t numGpus() const { return numGpus_; }
+
+    Link& egressLink(GpuId gpu) { return *egress_.at(gpu); }
+    Link& ingressLink(GpuId gpu) { return *ingress_.at(gpu); }
+
+    /**
+     * Account a phase's traffic matrix against the links and return the
+     * time the busiest link needs: max over GPUs of
+     * max(egress_time, ingress_time).
+     */
+    Tick applyPhaseTraffic(const TrafficMatrix& traffic);
+
+    /** Time to move @p bytes over one link direction. */
+    Tick linkTime(std::uint64_t bytes) const;
+
+    /** One-way message latency. */
+    Tick latency() const { return spec_->latency; }
+
+    /** Lifetime wire bytes moved over the whole interconnect. */
+    std::uint64_t totalBytes() const { return totalBytes_; }
+
+    /** Lifetime payload bytes (the Figure 10 "data moved" metric). */
+    std::uint64_t totalPayloadBytes() const { return totalPayload_; }
+
+    void exportStats(StatSet& out) const override;
+    void resetStats() override;
+
+  private:
+    std::size_t numGpus_;
+    const InterconnectSpec* spec_;
+    std::vector<std::unique_ptr<Link>> egress_;
+    std::vector<std::unique_ptr<Link>> ingress_;
+    std::uint64_t totalBytes_ = 0;
+    std::uint64_t totalPayload_ = 0;
+};
+
+} // namespace gps
+
+#endif // GPS_INTERCONNECT_TOPOLOGY_HH

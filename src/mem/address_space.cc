@@ -1,0 +1,84 @@
+#include "mem/address_space.hh"
+
+#include "common/logging.hh"
+
+namespace gps
+{
+
+std::string
+to_string(MemKind kind)
+{
+    switch (kind) {
+      case MemKind::Pinned: return "pinned";
+      case MemKind::Managed: return "managed";
+      case MemKind::Gps: return "gps";
+      case MemKind::Replicated: return "replicated";
+    }
+    return "?";
+}
+
+AddressSpace::AddressSpace(PageGeometry geometry, Addr base)
+    : geometry_(geometry), next_(base)
+{
+    gps_assert(geometry_.pageOffset(base) == 0,
+               "VA base not page aligned");
+}
+
+Region&
+AddressSpace::allocate(std::uint64_t size, MemKind kind, std::string label,
+                       GpuId home, bool manual_subscription)
+{
+    gps_assert(size > 0, "zero-byte allocation '", label, "'");
+    const std::uint64_t page = geometry_.bytes();
+    const std::uint64_t rounded = (size + page - 1) / page * page;
+
+    Region region;
+    region.base = next_;
+    region.size = rounded;
+    region.kind = kind;
+    region.label = std::move(label);
+    region.home = home;
+    region.manualSubscription = manual_subscription;
+
+    next_ += rounded + page; // one-page guard gap between regions
+    bytesAllocated_ += rounded;
+
+    auto [it, inserted] = regions_.emplace(region.base, region);
+    gps_assert(inserted, "VA collision at ", region.base);
+    return it->second;
+}
+
+void
+AddressSpace::release(Addr base)
+{
+    auto it = regions_.find(base);
+    gps_assert(it != regions_.end(), "release of unknown region ", base);
+    bytesAllocated_ -= it->second.size;
+    regions_.erase(it);
+}
+
+const Region*
+AddressSpace::regionOf(Addr addr) const
+{
+    auto it = regions_.upper_bound(addr);
+    if (it == regions_.begin())
+        return nullptr;
+    --it;
+    return it->second.contains(addr) ? &it->second : nullptr;
+}
+
+const Region*
+AddressSpace::regionAt(Addr base) const
+{
+    auto it = regions_.find(base);
+    return it == regions_.end() ? nullptr : &it->second;
+}
+
+Region*
+AddressSpace::regionAtMutable(Addr base)
+{
+    auto it = regions_.find(base);
+    return it == regions_.end() ? nullptr : &it->second;
+}
+
+} // namespace gps

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared virtual address space allocator.
+ *
+ * All GPUs share a single VA space (as with CUDA unified virtual
+ * addressing). Allocations carry the management kind requested through the
+ * driver API: pinned (cudaMalloc), managed (cudaMallocManaged) or GPS
+ * (cudaMallocGPS). The GPS address space of the paper's Section 3.1 is
+ * simply the set of regions with kind Gps.
+ */
+
+#ifndef GPS_MEM_ADDRESS_SPACE_HH
+#define GPS_MEM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.hh"
+#include "mem/page.hh"
+
+namespace gps
+{
+
+/** How a virtual memory region is managed. */
+enum class MemKind : std::uint8_t {
+    Pinned,      ///< cudaMalloc: fixed home GPU, peer access allowed
+    Managed,     ///< cudaMallocManaged: UM fault/hint migration
+    Gps,         ///< cudaMallocGPS: replicated publish-subscribe pages
+    Replicated,  ///< manually mirrored on every GPU (RDL/memcpy styles)
+};
+
+std::string to_string(MemKind kind);
+
+/** One allocation in the shared VA space. */
+struct Region
+{
+    Addr base = 0;
+    std::uint64_t size = 0;
+    MemKind kind = MemKind::Pinned;
+    std::string label;
+
+    /** Allocating GPU (home for pinned, first backer for GPS/managed). */
+    GpuId home = 0;
+
+    /** GPS only: subscriptions managed manually via memAdvise. */
+    bool manualSubscription = false;
+
+    Addr end() const { return base + size; }
+    bool contains(Addr a) const { return a >= base && a < end(); }
+};
+
+/**
+ * Page-aligned bump allocator plus region registry for the shared VA
+ * space.
+ */
+class AddressSpace
+{
+  public:
+    /**
+     * @param geometry page geometry every allocation is aligned to
+     * @param base lowest VA handed out (defaults mimic a GPU heap base)
+     */
+    explicit AddressSpace(PageGeometry geometry,
+                          Addr base = Addr(1) << 40);
+
+    /** Reserve a region; size is rounded up to the page size. */
+    Region& allocate(std::uint64_t size, MemKind kind, std::string label,
+                     GpuId home, bool manual_subscription = false);
+
+    /** Release the region starting exactly at @p base. */
+    void release(Addr base);
+
+    /** Region containing @p addr, or nullptr. */
+    const Region* regionOf(Addr addr) const;
+
+    /** Region starting exactly at @p base, or nullptr. */
+    const Region* regionAt(Addr base) const;
+    Region* regionAtMutable(Addr base);
+
+    const std::map<Addr, Region>& regions() const { return regions_; }
+    const PageGeometry& geometry() const { return geometry_; }
+
+    /** Total bytes currently allocated. */
+    std::uint64_t bytesAllocated() const { return bytesAllocated_; }
+
+  private:
+    PageGeometry geometry_;
+    Addr next_;
+    std::uint64_t bytesAllocated_ = 0;
+    std::map<Addr, Region> regions_;
+};
+
+} // namespace gps
+
+#endif // GPS_MEM_ADDRESS_SPACE_HH

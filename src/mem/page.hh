@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Page geometry helpers. GPS allocates its address space with 64 KB pages
+ * by default (see the paper's Section 5.2); the page-size sensitivity study
+ * also exercises 4 KB and 2 MB pages.
+ */
+
+#ifndef GPS_MEM_PAGE_HH
+#define GPS_MEM_PAGE_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace gps
+{
+
+/** Page size and the derived shift/mask helpers. */
+class PageGeometry
+{
+  public:
+    /** @param bytes page size in bytes; must be a power of two. */
+    explicit constexpr PageGeometry(std::uint64_t bytes = 64 * KiB)
+        : bytes_(bytes), shift_(shiftFor(bytes))
+    {}
+
+    constexpr std::uint64_t bytes() const { return bytes_; }
+    constexpr std::uint32_t shift() const { return shift_; }
+
+    /** Virtual/physical page number containing @p addr. */
+    constexpr PageNum pageNum(Addr addr) const { return addr >> shift_; }
+
+    /** First address of page @p page. */
+    constexpr Addr pageBase(PageNum page) const
+    {
+        return static_cast<Addr>(page) << shift_;
+    }
+
+    /** Offset of @p addr within its page. */
+    constexpr Addr pageOffset(Addr addr) const
+    {
+        return addr & (bytes_ - 1);
+    }
+
+    /** Number of pages covering @p size bytes starting at @p base. */
+    constexpr std::uint64_t
+    pagesSpanned(Addr base, std::uint64_t size) const
+    {
+        if (size == 0)
+            return 0;
+        return pageNum(base + size - 1) - pageNum(base) + 1;
+    }
+
+    constexpr bool
+    operator==(const PageGeometry& other) const
+    {
+        return bytes_ == other.bytes_;
+    }
+
+  private:
+    static constexpr std::uint32_t
+    shiftFor(std::uint64_t bytes)
+    {
+        std::uint32_t shift = 0;
+        std::uint64_t b = bytes;
+        while (b > 1) {
+            b >>= 1;
+            ++shift;
+        }
+        return shift;
+    }
+
+    std::uint64_t bytes_;
+    std::uint32_t shift_;
+};
+
+} // namespace gps
+
+#endif // GPS_MEM_PAGE_HH

@@ -1,0 +1,52 @@
+#include "mem/page_table.hh"
+
+#include "common/logging.hh"
+
+namespace gps
+{
+
+void
+PageTable::map(PageNum vpn, const Pte& pte)
+{
+    table_[vpn] = pte;
+    ++mapOps_;
+}
+
+void
+PageTable::unmap(PageNum vpn)
+{
+    if (table_.erase(vpn) > 0)
+        ++unmapOps_;
+}
+
+const Pte*
+PageTable::lookup(PageNum vpn) const
+{
+    auto it = table_.find(vpn);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+Pte*
+PageTable::lookupMutable(PageNum vpn)
+{
+    auto it = table_.find(vpn);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+void
+PageTable::setGpsBit(PageNum vpn, bool value)
+{
+    Pte* pte = lookupMutable(vpn);
+    gps_assert(pte != nullptr, "setGpsBit on unmapped vpn ", vpn);
+    pte->gpsBit = value;
+}
+
+void
+PageTable::exportStats(StatSet& out) const
+{
+    out.set(name() + ".mappings", static_cast<double>(table_.size()));
+    out.set(name() + ".map_ops", static_cast<double>(mapOps_));
+    out.set(name() + ".unmap_ops", static_cast<double>(unmapOps_));
+}
+
+} // namespace gps

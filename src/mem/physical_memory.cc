@@ -1,0 +1,66 @@
+#include "mem/physical_memory.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gps
+{
+
+PhysicalMemory::PhysicalMemory(std::string name,
+                               std::uint64_t capacity_bytes,
+                               PageGeometry geometry)
+    : SimObject(std::move(name)), capacityBytes_(capacity_bytes),
+      geometry_(geometry),
+      totalFrames_(capacity_bytes / geometry.bytes())
+{
+    gps_assert(totalFrames_ > 0, "zero-capacity physical memory");
+}
+
+std::optional<PageNum>
+PhysicalMemory::allocFrame()
+{
+    PageNum ppn;
+    if (!freeList_.empty()) {
+        ppn = freeList_.back();
+        freeList_.pop_back();
+    } else if (bumpNext_ < totalFrames_) {
+        ppn = bumpNext_++;
+    } else {
+        return std::nullopt;
+    }
+    if (ppn >= inUse_.size())
+        inUse_.resize(ppn + 1, false);
+    inUse_[ppn] = true;
+    ++framesInUse_;
+    peakFramesInUse_ = std::max(peakFramesInUse_, framesInUse_);
+    return ppn;
+}
+
+void
+PhysicalMemory::freeFrame(PageNum ppn)
+{
+    gps_assert(ppn < inUse_.size() && inUse_[ppn],
+               "double free of frame ", ppn, " in ", name());
+    inUse_[ppn] = false;
+    freeList_.push_back(ppn);
+    --framesInUse_;
+}
+
+bool
+PhysicalMemory::allocated(PageNum ppn) const
+{
+    return ppn < inUse_.size() && inUse_[ppn];
+}
+
+void
+PhysicalMemory::exportStats(StatSet& out) const
+{
+    out.set(name() + ".frames_in_use",
+            static_cast<double>(framesInUse_));
+    out.set(name() + ".frames_peak",
+            static_cast<double>(peakFramesInUse_));
+    out.set(name() + ".frames_total", static_cast<double>(totalFrames_));
+}
+
+} // namespace gps

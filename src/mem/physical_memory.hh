@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-GPU physical memory: a page-frame allocator over the GPU's local
+ * DRAM. GPS replication allocates one frame per subscriber, so frame
+ * accounting per GPU matters for the oversubscription path.
+ */
+
+#ifndef GPS_MEM_PHYSICAL_MEMORY_HH
+#define GPS_MEM_PHYSICAL_MEMORY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/page.hh"
+#include "sim/sim_object.hh"
+
+namespace gps
+{
+
+/** Page-frame allocator for one GPU's local DRAM. */
+class PhysicalMemory : public SimObject
+{
+  public:
+    /**
+     * @param name component name for stats
+     * @param capacity_bytes DRAM capacity
+     * @param geometry page geometry; capacity must be page aligned
+     */
+    PhysicalMemory(std::string name, std::uint64_t capacity_bytes,
+                   PageGeometry geometry);
+
+    /**
+     * Allocate one physical frame.
+     * @return the frame's PPN, or nullopt when memory is exhausted.
+     */
+    std::optional<PageNum> allocFrame();
+
+    /** Release a previously allocated frame. */
+    void freeFrame(PageNum ppn);
+
+    /** Whether @p ppn is currently allocated. */
+    bool allocated(PageNum ppn) const;
+
+    std::uint64_t capacityBytes() const { return capacityBytes_; }
+    std::uint64_t totalFrames() const { return totalFrames_; }
+    std::uint64_t framesInUse() const { return framesInUse_; }
+    std::uint64_t framesFree() const { return totalFrames_ - framesInUse_; }
+    const PageGeometry& geometry() const { return geometry_; }
+
+    void exportStats(StatSet& out) const override;
+
+  private:
+    std::uint64_t capacityBytes_;
+    PageGeometry geometry_;
+    std::uint64_t totalFrames_;
+    std::uint64_t framesInUse_ = 0;
+    std::uint64_t peakFramesInUse_ = 0;
+
+    /** Next never-used frame (bump allocation). */
+    PageNum bumpNext_ = 0;
+
+    /** Recycled frames. */
+    std::vector<PageNum> freeList_;
+
+    /** Allocation bitmap, grown lazily. */
+    std::vector<bool> inUse_;
+};
+
+} // namespace gps
+
+#endif // GPS_MEM_PHYSICAL_MEMORY_HH

@@ -1,0 +1,118 @@
+#include "mem/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace gps
+{
+
+Tlb::Tlb(std::string name, std::size_t entries, std::size_t ways)
+    : SimObject(std::move(name)), sets_(entries / ways), ways_(ways),
+      entries_(entries)
+{
+    gps_assert(ways > 0 && entries % ways == 0,
+               "TLB entries (", entries, ") not a multiple of ways (", ways,
+               ")");
+    gps_assert(sets_ > 0, "TLB must have at least one set");
+}
+
+bool
+Tlb::lookup(PageNum vpn)
+{
+    Entry* set = &entries_[setIndex(vpn) * ways_];
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].vpn == vpn) {
+            set[w].lastUse = ++useClock_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+Tlb::fill(PageNum vpn)
+{
+    Entry* set = &entries_[setIndex(vpn) * ways_];
+    Entry* victim = &set[0];
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].vpn == vpn) {
+            // Already present (e.g. racing fill); refresh LRU only.
+            set[w].lastUse = ++useClock_;
+            return;
+        }
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    if (victim->valid)
+        ++evictions_;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lastUse = ++useClock_;
+}
+
+bool
+Tlb::contains(PageNum vpn) const
+{
+    const Entry* set = &entries_[setIndex(vpn) * ways_];
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].vpn == vpn)
+            return true;
+    }
+    return false;
+}
+
+void
+Tlb::invalidate(PageNum vpn)
+{
+    Entry* set = &entries_[setIndex(vpn) * ways_];
+    for (std::size_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].vpn == vpn) {
+            set[w].valid = false;
+            ++shootdowns_;
+            return;
+        }
+    }
+}
+
+void
+Tlb::invalidateAll()
+{
+    for (auto& e : entries_)
+        e.valid = false;
+    ++shootdowns_;
+}
+
+double
+Tlb::hitRate() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+}
+
+void
+Tlb::exportStats(StatSet& out) const
+{
+    out.set(name() + ".hits", static_cast<double>(hits_));
+    out.set(name() + ".misses", static_cast<double>(misses_));
+    out.set(name() + ".evictions", static_cast<double>(evictions_));
+    out.set(name() + ".shootdowns", static_cast<double>(shootdowns_));
+    out.set(name() + ".hit_rate", hitRate());
+}
+
+void
+Tlb::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+    shootdowns_ = 0;
+}
+
+} // namespace gps

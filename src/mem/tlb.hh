@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Set-associative TLB model with true-LRU replacement.
+ *
+ * Used in two places: the per-GPU last-level conventional TLB (whose misses
+ * feed the GPS access tracking unit) and the small GPS-TLB inside the GPS
+ * address translation unit (Table 1: 32 entries, 8-way).
+ */
+
+#ifndef GPS_MEM_TLB_HH
+#define GPS_MEM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/sim_object.hh"
+
+namespace gps
+{
+
+/** Set-associative translation lookaside buffer (tag-only model). */
+class Tlb : public SimObject
+{
+  public:
+    /**
+     * @param name component name
+     * @param entries total entries; must be a multiple of @p ways
+     * @param ways associativity
+     */
+    Tlb(std::string name, std::size_t entries, std::size_t ways);
+
+    /**
+     * Probe for @p vpn, updating LRU on hit.
+     * @return true on hit.
+     */
+    bool lookup(PageNum vpn);
+
+    /** Insert @p vpn, evicting the set's LRU entry if needed. */
+    void fill(PageNum vpn);
+
+    /** Probe without inserting and without stats/LRU effects. */
+    bool contains(PageNum vpn) const;
+
+    /** Invalidate one translation (TLB shootdown target). */
+    void invalidate(PageNum vpn);
+
+    /** Invalidate everything. */
+    void invalidateAll();
+
+    std::size_t entries() const { return sets_ * ways_; }
+    std::size_t ways() const { return ways_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Hit fraction over all lookups (0 when never probed). */
+    double hitRate() const;
+
+    void exportStats(StatSet& out) const override;
+    void resetStats() override;
+
+  private:
+    struct Entry
+    {
+        PageNum vpn = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t setIndex(PageNum vpn) const { return vpn % sets_; }
+
+    std::size_t sets_;
+    std::size_t ways_;
+    std::vector<Entry> entries_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t shootdowns_ = 0;
+};
+
+} // namespace gps
+
+#endif // GPS_MEM_TLB_HH

@@ -1,0 +1,4 @@
+#include "paradigm/infinite.hh"
+
+// InfiniteBwParadigm is fully defined in the header; this translation
+// unit anchors it in the library.

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Infinite-bandwidth upper bound: the memcpy variant with all transfer
+ * costs elided (Section 6). Establishes the available opportunity the
+ * paper quotes GPS against.
+ */
+
+#ifndef GPS_PARADIGM_INFINITE_HH
+#define GPS_PARADIGM_INFINITE_HH
+
+#include "paradigm/memcpy_paradigm.hh"
+
+namespace gps
+{
+
+/** Memcpy with free transfers: the strong-scaling opportunity bound. */
+class InfiniteBwParadigm : public MemcpyParadigm
+{
+  public:
+    explicit InfiniteBwParadigm(MultiGpuSystem& system)
+        : MemcpyParadigm(system, "infinite_bw")
+    {}
+
+    ParadigmKind kind() const override
+    {
+        return ParadigmKind::InfiniteBw;
+    }
+
+  protected:
+    bool transfersCost() const override { return false; }
+};
+
+} // namespace gps
+
+#endif // GPS_PARADIGM_INFINITE_HH

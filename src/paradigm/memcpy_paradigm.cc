@@ -1,0 +1,117 @@
+#include "paradigm/memcpy_paradigm.hh"
+
+#include <unordered_set>
+
+namespace gps
+{
+
+Tick
+MemcpyParadigm::beginPhase(const Phase& phase, KernelCounters& counters,
+                           TrafficMatrix& prefetch_traffic)
+{
+    (void)counters;
+    (void)prefetch_traffic;
+    pendingBroadcasts_ = phase.barrierBroadcasts;
+    return 0;
+}
+
+void
+MemcpyParadigm::accessShared(GpuId gpu, const MemAccess& access,
+                             PageNum vpn, bool tlb_miss,
+                             KernelCounters& counters,
+                             TrafficMatrix& traffic)
+{
+    (void)tlb_miss;
+    (void)traffic;
+    // Every GPU works on its local replica; no remote accesses during
+    // kernels, no overlap of transfers with compute.
+    if (access.isWrite()) {
+        PageState& st = drv().state(vpn);
+        st.lastWriter = gpu;
+        if (pendingBroadcasts_.empty() && !st.dirtySinceBarrier) {
+            st.dirtySinceBarrier = true;
+            dirtyPages_.insert(vpn);
+        }
+    }
+    localAccess(gpu, access, counters);
+}
+
+Tick
+MemcpyParadigm::atBarrier(KernelCounters& counters,
+                          TrafficMatrix& barrier_traffic)
+{
+    const std::size_t n = drv().numGpus();
+    const std::uint64_t hdr = headerBytes();
+
+    std::uint64_t bytes = 0;
+    std::vector<std::size_t> calls_per_src(n, 0);
+
+    const PageGeometry& geo = drv().geometry();
+    if (!pendingBroadcasts_.empty()) {
+        // The tuned port: broadcast the declared update set. The DMA
+        // writes invalidate the destinations' cached copies.
+        for (const BroadcastRange& range : pendingBroadcasts_) {
+            const PageNum first = geo.pageNum(range.base);
+            const PageNum last =
+                geo.pageNum(range.base + range.len - 1);
+            for (GpuId g = 0; g < n; ++g) {
+                if (g == range.src)
+                    continue;
+                if (transfersCost())
+                    barrier_traffic.add(range.src, g, range.len + hdr,
+                                        range.len);
+                bytes += range.len;
+                ++calls_per_src[range.src];
+                for (PageNum vpn = first; vpn <= last; ++vpn) {
+                    sys().gpu(g).l2().invalidatePage(geo.pageBase(vpn),
+                                                     geo.bytes());
+                }
+            }
+        }
+        pendingBroadcasts_.clear();
+    } else {
+        // Fallback: broadcast every dirtied page from its last writer.
+        const std::uint64_t page_bytes = drv().pageBytes();
+        std::unordered_set<Addr> dirty_regions;
+        for (const PageNum vpn : dirtyPages_) {
+            PageState& st = drv().state(vpn);
+            st.dirtySinceBarrier = false;
+            const GpuId writer =
+                st.lastWriter != invalidGpu ? st.lastWriter : GpuId(0);
+            for (GpuId g = 0; g < n; ++g) {
+                if (g == writer)
+                    continue;
+                if (transfersCost())
+                    barrier_traffic.add(writer, g, page_bytes + hdr,
+                                        page_bytes);
+                bytes += page_bytes;
+                sys().gpu(g).l2().invalidatePage(
+                    geo.pageBase(vpn), page_bytes);
+            }
+            const Region* region =
+                drv().regionOf(drv().geometry().pageBase(vpn));
+            if (region != nullptr)
+                dirty_regions.insert(region->base);
+            ++calls_per_src[writer];
+        }
+        dirtyPages_.clear();
+        // Page runs within a region coalesce into one DMA descriptor
+        // chain; charge per dirty region instead of per page.
+        for (auto& calls : calls_per_src) {
+            calls = std::min<std::size_t>(
+                calls, dirty_regions.size() * (n > 0 ? n - 1 : 0));
+        }
+    }
+
+    lastBarrierBytes_ = bytes;
+    counters.migrationBytes += bytes;
+
+    if (!transfersCost())
+        return 0;
+    std::size_t worst_chain = 0;
+    for (const std::size_t calls : calls_per_src)
+        worst_chain = std::max(worst_chain, calls);
+    return static_cast<Tick>(worst_chain) * memcpyOverhead;
+}
+
+} // namespace gps

@@ -1,0 +1,63 @@
+#include "paradigm/rdl.hh"
+
+namespace gps
+{
+
+void
+RdlParadigm::accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
+                          bool tlb_miss, KernelCounters& counters,
+                          TrafficMatrix& traffic)
+{
+    (void)tlb_miss;
+    PageState& st = drv().state(vpn);
+
+    if (access.isStore()) {
+        // Stores always land in the local replica.
+        st.lastWriter = gpu;
+        dirtyPages_.insert(vpn);
+        localAccess(gpu, access, counters);
+        return;
+    }
+
+    if (access.isAtomic()) {
+        // Atomics must hit the canonical copy to be meaningful; route to
+        // the last writer when it is remote.
+        if (st.lastWriter != invalidGpu && st.lastWriter != gpu) {
+            remoteAtomic(gpu, st.lastWriter, access, counters, traffic);
+        } else {
+            st.lastWriter = gpu;
+            localAccess(gpu, access, counters);
+        }
+        return;
+    }
+
+    // Loads: demand-read from the most recent writer's copy.
+    if (st.lastWriter != invalidGpu && st.lastWriter != gpu) {
+        remoteLoad(gpu, st.lastWriter, access, counters, traffic);
+    } else {
+        localAccess(gpu, access, counters);
+    }
+}
+
+Tick
+RdlParadigm::atBarrier(KernelCounters& counters,
+                       TrafficMatrix& barrier_traffic)
+{
+    (void)counters;
+    (void)barrier_traffic;
+    // Synchronization makes peer-cached copies of rewritten pages
+    // stale: the next demand load must cross the interconnect again.
+    const std::uint64_t page_bytes = drv().pageBytes();
+    for (const PageNum vpn : dirtyPages_) {
+        const PageState& st = drv().state(vpn);
+        const Addr base = drv().geometry().pageBase(vpn);
+        for (GpuId g = 0; g < drv().numGpus(); ++g) {
+            if (g != st.lastWriter)
+                sys().gpu(g).l2().invalidatePage(base, page_bytes);
+        }
+    }
+    dirtyPages_.clear();
+    return 0;
+}
+
+} // namespace gps

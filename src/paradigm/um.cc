@@ -1,0 +1,53 @@
+#include "paradigm/um.hh"
+
+namespace gps
+{
+
+void
+UmParadigm::accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
+                         bool tlb_miss, KernelCounters& counters,
+                         TrafficMatrix& traffic)
+{
+    (void)tlb_miss;
+    if (access.isWrite())
+        dirtyPages_.insert(vpn);
+    const UmDecision decision =
+        engine_.access(gpu, access, vpn, hintsMode(), counters, traffic);
+    switch (decision.route) {
+      case UmRoute::Local:
+        localAccess(gpu, access, counters);
+        break;
+      case UmRoute::RemoteLoad:
+        remoteLoad(gpu, decision.owner, access, counters, traffic);
+        break;
+      case UmRoute::RemoteStore:
+        remoteStore(gpu, decision.owner, access, counters, traffic);
+        break;
+      case UmRoute::RemoteAtomic:
+        remoteAtomic(gpu, decision.owner, access, counters, traffic);
+        break;
+    }
+}
+
+Tick
+UmParadigm::atBarrier(KernelCounters& counters,
+                      TrafficMatrix& barrier_traffic)
+{
+    (void)counters;
+    (void)barrier_traffic;
+    // Peer caches holding lines of rewritten pages (fetched through
+    // accessed-by remote mappings) are stale after synchronization.
+    const std::uint64_t page_bytes = drv().pageBytes();
+    for (const PageNum vpn : dirtyPages_) {
+        const PageState& st = drv().state(vpn);
+        const Addr base = drv().geometry().pageBase(vpn);
+        for (GpuId g = 0; g < drv().numGpus(); ++g) {
+            if (g != st.location)
+                sys().gpu(g).l2().invalidatePage(base, page_bytes);
+        }
+    }
+    dirtyPages_.clear();
+    return 0;
+}
+
+} // namespace gps

@@ -1,0 +1,27 @@
+#include "paradigm/um_hints.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace gps
+{
+
+Tick
+UmHintsParadigm::beginPhase(const Phase& phase, KernelCounters& counters,
+                            TrafficMatrix& prefetch_traffic)
+{
+    // Prefetches from different GPUs issue on independent streams;
+    // only the longest per-GPU launch chain serializes with the phase.
+    std::map<GpuId, Tick> per_gpu;
+    for (const PrefetchRange& range : phase.prefetches) {
+        per_gpu[range.gpu] +=
+            engine().prefetchRange(range.gpu, range.base, range.len,
+                                   counters, prefetch_traffic);
+    }
+    Tick worst = 0;
+    for (const auto& [gpu, overhead] : per_gpu)
+        worst = std::max(worst, overhead);
+    return worst;
+}
+
+} // namespace gps

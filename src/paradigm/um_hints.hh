@@ -1,0 +1,38 @@
+/**
+ * @file
+ * UM with hand-applied hints: preferred location, accessed-by and
+ * per-phase prefetch ranges (Section 6, "Unified Memory with Hints").
+ */
+
+#ifndef GPS_PARADIGM_UM_HINTS_HH
+#define GPS_PARADIGM_UM_HINTS_HH
+
+#include "paradigm/um.hh"
+
+namespace gps
+{
+
+/**
+ * UM+hints: honors the workload's advised preferred locations and
+ * accessed-by sets, and issues the workload's prefetch ranges before each
+ * phase.
+ */
+class UmHintsParadigm : public UmParadigm
+{
+  public:
+    explicit UmHintsParadigm(MultiGpuSystem& system)
+        : UmParadigm(system, "um_hints")
+    {}
+
+    ParadigmKind kind() const override { return ParadigmKind::UmHints; }
+
+    Tick beginPhase(const Phase& phase, KernelCounters& counters,
+                    TrafficMatrix& prefetch_traffic) override;
+
+  protected:
+    bool hintsMode() const override { return true; }
+};
+
+} // namespace gps
+
+#endif // GPS_PARADIGM_UM_HINTS_HH

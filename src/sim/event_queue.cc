@@ -1,0 +1,55 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace gps
+{
+
+void
+EventQueue::schedule(Tick when, std::string name, Event::Action action,
+                     std::int8_t priority)
+{
+    gps_assert(when >= now_, "event '", name, "' scheduled in the past (",
+               when, " < ", now_, ")");
+    queue_.emplace(when, seq_++, priority, std::move(name),
+                   std::move(action));
+}
+
+void
+EventQueue::scheduleIn(Tick delay, std::string name, Event::Action action,
+                       std::int8_t priority)
+{
+    schedule(now_ + delay, std::move(name), std::move(action), priority);
+}
+
+bool
+EventQueue::serviceOne()
+{
+    if (queue_.empty())
+        return false;
+    // Copy out before pop: the action may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when();
+    ++executed_;
+    ev.run();
+    return true;
+}
+
+void
+EventQueue::run(Tick limit)
+{
+    while (!queue_.empty() && queue_.top().when() <= limit)
+        serviceOne();
+}
+
+void
+EventQueue::reset()
+{
+    queue_ = {};
+    now_ = 0;
+    seq_ = 0;
+    executed_ = 0;
+}
+
+} // namespace gps

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The runner schedules kernel completions, DMA completions, drain points
+ * and barriers as events on a single tick-ordered queue, gem5-style.
+ * Within-kernel timing is analytic (see GpuModel), so event counts stay
+ * small and the simulator remains fast enough to sweep 16-GPU systems.
+ */
+
+#ifndef GPS_SIM_EVENT_QUEUE_HH
+#define GPS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gps
+{
+
+/** A scheduled callback with a stable tie-breaking sequence number. */
+class Event
+{
+  public:
+    using Action = std::function<void()>;
+
+    Event(Tick when, std::uint64_t seq, std::int8_t priority,
+          std::string name, Action action)
+        : when_(when), seq_(seq), priority_(priority),
+          name_(std::move(name)), action_(std::move(action))
+    {}
+
+    Tick when() const { return when_; }
+    const std::string& name() const { return name_; }
+    std::int8_t priority() const { return priority_; }
+
+    void run() const { action_(); }
+
+    /** Ordering: earlier tick first, then priority, then FIFO. */
+    bool
+    after(const Event& other) const
+    {
+        if (when_ != other.when_)
+            return when_ > other.when_;
+        if (priority_ != other.priority_)
+            return priority_ > other.priority_;
+        return seq_ > other.seq_;
+    }
+
+  private:
+    Tick when_;
+    std::uint64_t seq_;
+    std::int8_t priority_;
+    std::string name_;
+    Action action_;
+};
+
+/** Default event priority; lower runs first at equal ticks. */
+constexpr std::int8_t defaultPriority = 0;
+
+/** Barriers run after all same-tick completions. */
+constexpr std::int8_t barrierPriority = 10;
+
+/** Tick-ordered event queue. */
+class EventQueue
+{
+  public:
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of events still pending. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Schedule @p action at absolute tick @p when (must not be in the
+     * past).
+     */
+    void schedule(Tick when, std::string name, Event::Action action,
+                  std::int8_t priority = defaultPriority);
+
+    /** Schedule @p action @p delay ticks from now. */
+    void scheduleIn(Tick delay, std::string name, Event::Action action,
+                    std::int8_t priority = defaultPriority);
+
+    /** Execute the earliest event; returns false if the queue is empty. */
+    bool serviceOne();
+
+    /** Run until the queue is empty or @p limit ticks is reached. */
+    void run(Tick limit = maxTick);
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Compare
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            return a.after(b);
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Compare> queue_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace gps
+
+#endif // GPS_SIM_EVENT_QUEUE_HH

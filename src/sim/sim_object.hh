@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Base class for named simulated components that export statistics.
+ */
+
+#ifndef GPS_SIM_SIM_OBJECT_HH
+#define GPS_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "common/stats.hh"
+
+namespace gps
+{
+
+/**
+ * A named component of the simulated system. Components expose their
+ * counters through exportStats() so the runner can aggregate a full system
+ * snapshot after a run.
+ */
+class SimObject
+{
+  public:
+    explicit SimObject(std::string name)
+        : name_(std::move(name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject&) = delete;
+    SimObject& operator=(const SimObject&) = delete;
+
+    const std::string& name() const { return name_; }
+
+    /** Append this component's stats, prefixed with its name. */
+    virtual void exportStats(StatSet& out) const { (void)out; }
+
+    /** Reset all statistic counters (not architectural state). */
+    virtual void resetStats() {}
+
+  private:
+    std::string name_;
+};
+
+} // namespace gps
+
+#endif // GPS_SIM_SIM_OBJECT_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A single memory operation in an application trace.
+ *
+ * Traces mirror what NVBit-captured SASS traces provide the paper's
+ * simulator: the access type, the (virtual) address, the access width and
+ * the memory-model scope. Timing is reconstructed by the simulator.
+ */
+
+#ifndef GPS_TRACE_ACCESS_HH
+#define GPS_TRACE_ACCESS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace gps
+{
+
+/** One traced memory operation (16 bytes, hot-path friendly). */
+struct MemAccess
+{
+    Addr vaddr = 0;
+    std::uint32_t size = 4;
+    AccessType type = AccessType::Load;
+    Scope scope = Scope::Weak;
+
+    static MemAccess
+    load(Addr addr, std::uint32_t size = 4)
+    {
+        return {addr, size, AccessType::Load, Scope::Weak};
+    }
+
+    static MemAccess
+    store(Addr addr, std::uint32_t size = 4)
+    {
+        return {addr, size, AccessType::Store, Scope::Weak};
+    }
+
+    static MemAccess
+    atomic(Addr addr, std::uint32_t size = 4)
+    {
+        return {addr, size, AccessType::Atomic, Scope::Weak};
+    }
+
+    static MemAccess
+    sysStore(Addr addr, std::uint32_t size = 4)
+    {
+        return {addr, size, AccessType::Store, Scope::Sys};
+    }
+
+    bool isLoad() const { return type == AccessType::Load; }
+    bool isStore() const { return type == AccessType::Store; }
+    bool isAtomic() const { return type == AccessType::Atomic; }
+
+    /** Stores and atomics both produce write traffic. */
+    bool isWrite() const { return !isLoad(); }
+};
+
+} // namespace gps
+
+#endif // GPS_TRACE_ACCESS_HH

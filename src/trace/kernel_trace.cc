@@ -1,0 +1,17 @@
+#include "trace/kernel_trace.hh"
+
+namespace gps
+{
+
+bool
+ConcatStream::next(MemAccess& out)
+{
+    while (current_ < parts_.size()) {
+        if (parts_[current_]->next(out))
+            return true;
+        ++current_;
+    }
+    return false;
+}
+
+} // namespace gps

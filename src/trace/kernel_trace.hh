@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Kernel descriptors and procedural access streams.
+ *
+ * Workloads never materialize full traces; they hand the replay engine an
+ * AccessStream that generates accesses on demand, keeping memory bounded
+ * even for billion-access sweeps.
+ */
+
+#ifndef GPS_TRACE_KERNEL_TRACE_HH
+#define GPS_TRACE_KERNEL_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/access.hh"
+
+namespace gps
+{
+
+/** Pull-based generator of memory accesses. */
+class AccessStream
+{
+  public:
+    virtual ~AccessStream() = default;
+
+    /**
+     * Produce the next access.
+     * @return false when the stream is exhausted.
+     */
+    virtual bool next(MemAccess& out) = 0;
+};
+
+/** Stream over a pre-built vector (tests, small kernels). */
+class VectorStream : public AccessStream
+{
+  public:
+    explicit VectorStream(std::vector<MemAccess> accesses)
+        : accesses_(std::move(accesses))
+    {}
+
+    bool
+    next(MemAccess& out) override
+    {
+        if (pos_ >= accesses_.size())
+            return false;
+        out = accesses_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<MemAccess> accesses_;
+    std::size_t pos_ = 0;
+};
+
+/** Stream driven by a callable; the callable returns false when done. */
+class CallbackStream : public AccessStream
+{
+  public:
+    using Fn = std::function<bool(MemAccess&)>;
+
+    explicit CallbackStream(Fn fn)
+        : fn_(std::move(fn))
+    {}
+
+    bool next(MemAccess& out) override { return fn_(out); }
+
+  private:
+    Fn fn_;
+};
+
+/** Concatenation of streams, drained in order. */
+class ConcatStream : public AccessStream
+{
+  public:
+    explicit ConcatStream(std::vector<std::unique_ptr<AccessStream>> parts)
+        : parts_(std::move(parts))
+    {}
+
+    bool next(MemAccess& out) override;
+
+  private:
+    std::vector<std::unique_ptr<AccessStream>> parts_;
+    std::size_t current_ = 0;
+};
+
+/**
+ * One kernel launched on one GPU. computeInstrs is the aggregate count of
+ * non-memory instructions across all threads of the grid; the GPU model
+ * turns it into compute time through its issue throughput.
+ *
+ * prechargedDramBytes models memory traffic that is statistically flat —
+ * e.g. the random per-edge gather of a graph kernel, whose cache hit
+ * rate is negligible — without replaying millions of accesses; it feeds
+ * the DRAM bandwidth term of the timing model directly.
+ */
+struct KernelLaunch
+{
+    GpuId gpu = 0;
+    std::string name;
+    std::uint64_t computeInstrs = 0;
+    std::uint64_t prechargedDramBytes = 0;
+    std::unique_ptr<AccessStream> stream;
+};
+
+/**
+ * A programmer-supplied prefetch hint range (cudaMemPrefetchAsync
+ * analogue), honored only by the UM+hints paradigm.
+ */
+struct PrefetchRange
+{
+    GpuId gpu = 0;       ///< destination GPU
+    Addr base = 0;
+    std::uint64_t len = 0;
+};
+
+/**
+ * A programmer-directed bulk copy issued at the phase's closing barrier:
+ * what a tuned memcpy port of the application broadcasts (e.g. halo rows,
+ * the updated factor slab). Honored only by the memcpy-style paradigms.
+ */
+struct BroadcastRange
+{
+    GpuId src = 0;       ///< producing GPU
+    Addr base = 0;
+    std::uint64_t len = 0;
+};
+
+/**
+ * A barrier-delimited phase: one kernel per participating GPU, all
+ * launched concurrently, joined at the trailing barrier. Prefetch hints
+ * are issued before the kernels start; barrier broadcasts after they end.
+ */
+struct Phase
+{
+    std::string name;
+    std::vector<KernelLaunch> kernels;
+    std::vector<PrefetchRange> prefetches;
+    std::vector<BroadcastRange> barrierBroadcasts;
+};
+
+} // namespace gps
+
+#endif // GPS_TRACE_KERNEL_TRACE_HH

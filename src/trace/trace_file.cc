@@ -1,0 +1,145 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace gps
+{
+
+namespace
+{
+
+/** Fixed 24-byte header. */
+struct TraceHeader
+{
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t reserved;
+    std::uint64_t records;
+};
+
+/** Fixed 16-byte on-disk record. */
+struct TraceRecord
+{
+    std::uint64_t vaddr;
+    std::uint32_t size;
+    std::uint8_t type;
+    std::uint8_t scope;
+    std::uint16_t reserved;
+};
+
+static_assert(sizeof(TraceHeader) == 24, "header layout drifted");
+static_assert(sizeof(TraceRecord) == 16, "record layout drifted");
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string& path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        gps_fatal("cannot open trace file '", path, "' for writing");
+    // Placeholder header; close() rewrites it with the record count.
+    TraceHeader header{};
+    std::memcpy(header.magic, traceMagic, sizeof(traceMagic));
+    header.version = traceVersion;
+    header.records = 0;
+    if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
+        gps_fatal("short write on trace header");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const MemAccess& access)
+{
+    gps_assert(file_ != nullptr, "append to closed trace writer");
+    TraceRecord record{};
+    record.vaddr = access.vaddr;
+    record.size = access.size;
+    record.type = static_cast<std::uint8_t>(access.type);
+    record.scope = static_cast<std::uint8_t>(access.scope);
+    if (std::fwrite(&record, sizeof(record), 1, file_) != 1)
+        gps_fatal("short write on trace record");
+    ++records_;
+}
+
+std::uint64_t
+TraceWriter::appendAll(AccessStream& stream)
+{
+    std::uint64_t written = 0;
+    MemAccess access;
+    while (stream.next(access)) {
+        append(access);
+        ++written;
+    }
+    return written;
+}
+
+void
+TraceWriter::close()
+{
+    if (file_ == nullptr)
+        return;
+    TraceHeader header{};
+    std::memcpy(header.magic, traceMagic, sizeof(traceMagic));
+    header.version = traceVersion;
+    header.records = records_;
+    std::fseek(file_, 0, SEEK_SET);
+    if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
+        gps_warn("failed to finalize trace header");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceFileStream::TraceFileStream(const std::string& path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr)
+        gps_fatal("cannot open trace file '", path, "'");
+    TraceHeader header{};
+    if (std::fread(&header, sizeof(header), 1, file_) != 1) {
+        std::fclose(file_);
+        file_ = nullptr;
+        gps_fatal("trace file '", path, "' is truncated");
+    }
+    if (std::memcmp(header.magic, traceMagic, sizeof(traceMagic)) != 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        gps_fatal("'", path, "' is not a GPS trace file");
+    }
+    if (header.version != traceVersion) {
+        std::fclose(file_);
+        file_ = nullptr;
+        gps_fatal("trace file version ", header.version,
+                  " unsupported (expected ", traceVersion, ")");
+    }
+    records_ = header.records;
+}
+
+TraceFileStream::~TraceFileStream()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+bool
+TraceFileStream::next(MemAccess& out)
+{
+    if (file_ == nullptr || consumed_ >= records_)
+        return false;
+    TraceRecord record{};
+    if (std::fread(&record, sizeof(record), 1, file_) != 1)
+        return false;
+    out.vaddr = record.vaddr;
+    out.size = record.size;
+    out.type = static_cast<AccessType>(record.type);
+    out.scope = static_cast<Scope>(record.scope);
+    ++consumed_;
+    return true;
+}
+
+} // namespace gps

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * On-disk access traces.
+ *
+ * The paper's methodology captures SASS-level traces with NVBit on real
+ * hardware and replays them in the simulator. This module provides the
+ * equivalent interchange point for this reproduction: any AccessStream
+ * can be captured to a compact binary trace file, and a trace file
+ * replays as an AccessStream. This makes runs reproducible bit-for-bit
+ * across machines and lets externally captured traces (converted to
+ * this format) drive the simulator directly.
+ *
+ * Format (little-endian):
+ *   16-byte header: magic "GPSTRACE", u32 version, u32 record count low
+ *   (record count high stored in reserved field), then one 16-byte
+ *   record per access: u64 vaddr, u32 size, u8 type, u8 scope,
+ *   u16 reserved.
+ */
+
+#ifndef GPS_TRACE_TRACE_FILE_HH
+#define GPS_TRACE_TRACE_FILE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/access.hh"
+#include "trace/kernel_trace.hh"
+
+namespace gps
+{
+
+/** Streams access records into a binary trace file. */
+class TraceWriter
+{
+  public:
+    /** Opens (truncates) @p path; throws FatalError on failure. */
+    explicit TraceWriter(const std::string& path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter&) = delete;
+    TraceWriter& operator=(const TraceWriter&) = delete;
+
+    /** Append one access. */
+    void append(const MemAccess& access);
+
+    /** Drain @p stream into the file.
+     * @return records written. */
+    std::uint64_t appendAll(AccessStream& stream);
+
+    /** Finalize the header and close; called by the destructor too. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return records_; }
+
+  private:
+    std::FILE* file_ = nullptr;
+    std::uint64_t records_ = 0;
+};
+
+/** Replays a binary trace file as an AccessStream. */
+class TraceFileStream : public AccessStream
+{
+  public:
+    /** Opens and validates @p path; throws FatalError on bad files. */
+    explicit TraceFileStream(const std::string& path);
+    ~TraceFileStream() override;
+
+    TraceFileStream(const TraceFileStream&) = delete;
+    TraceFileStream& operator=(const TraceFileStream&) = delete;
+
+    bool next(MemAccess& out) override;
+
+    /** Total records the header declares. */
+    std::uint64_t records() const { return records_; }
+
+  private:
+    std::FILE* file_ = nullptr;
+    std::uint64_t records_ = 0;
+    std::uint64_t consumed_ = 0;
+};
+
+/** Magic bytes at the start of every trace file. */
+constexpr char traceMagic[8] = {'G', 'P', 'S', 'T', 'R', 'A', 'C', 'E'};
+
+/** Current trace format version. */
+constexpr std::uint32_t traceVersion = 1;
+
+} // namespace gps
+
+#endif // GPS_TRACE_TRACE_FILE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the GPS access tracking unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/access_tracker.hh"
+
+namespace gps
+{
+namespace
+{
+
+TEST(AccessTracker, InactiveMarksAreIgnored)
+{
+    AccessTracker tracker(4);
+    tracker.mark(0, 1);
+    EXPECT_FALSE(tracker.touched(0, 1));
+    EXPECT_EQ(tracker.marks(), 0u);
+}
+
+TEST(AccessTracker, ActiveMarksRecordPerGpu)
+{
+    AccessTracker tracker(4);
+    tracker.start();
+    tracker.mark(0, 1);
+    tracker.mark(2, 1);
+    tracker.mark(2, 5);
+    EXPECT_TRUE(tracker.touched(0, 1));
+    EXPECT_TRUE(tracker.touched(2, 1));
+    EXPECT_FALSE(tracker.touched(1, 1));
+    EXPECT_FALSE(tracker.touched(2, 7));
+}
+
+TEST(AccessTracker, TouchedMaskAggregates)
+{
+    AccessTracker tracker(4);
+    tracker.start();
+    tracker.mark(1, 9);
+    tracker.mark(3, 9);
+    EXPECT_EQ(tracker.touchedMask(9), gpuBit(1) | gpuBit(3));
+    EXPECT_EQ(tracker.touchedMask(10), 0u);
+}
+
+TEST(AccessTracker, StopFreezesTheWindow)
+{
+    AccessTracker tracker(4);
+    tracker.start();
+    tracker.mark(0, 1);
+    tracker.stop();
+    tracker.mark(0, 2);
+    EXPECT_TRUE(tracker.touched(0, 1));
+    EXPECT_FALSE(tracker.touched(0, 2));
+}
+
+TEST(AccessTracker, ClearForgetsEverything)
+{
+    AccessTracker tracker(4);
+    tracker.start();
+    tracker.mark(0, 1);
+    tracker.clear();
+    EXPECT_FALSE(tracker.touched(0, 1));
+}
+
+TEST(AccessTracker, BitmapFootprintMatchesPaper)
+{
+    // Section 5.2: one bit per 64 KB page over 32 GB = 64 KB of DRAM.
+    EXPECT_EQ(AccessTracker::bitmapBytes(32 * GiB, 64 * KiB), 64 * KiB);
+    // 4 KB pages would need 16x more.
+    EXPECT_EQ(AccessTracker::bitmapBytes(32 * GiB, 4 * KiB),
+              16 * 64 * KiB);
+}
+
+TEST(AccessTracker, DuplicateMarksAreIdempotent)
+{
+    AccessTracker tracker(2);
+    tracker.start();
+    tracker.mark(0, 1);
+    tracker.mark(0, 1);
+    EXPECT_EQ(tracker.touchedMask(1), gpuBit(0));
+    EXPECT_EQ(tracker.marks(), 2u); // bandwidth accounting still counts
+}
+
+} // namespace
+} // namespace gps

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the shared VA-space allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+
+namespace gps
+{
+namespace
+{
+
+TEST(AddressSpace, AllocationsArePageAligned)
+{
+    AddressSpace vas(PageGeometry(64 * KiB));
+    const Region& r = vas.allocate(100, MemKind::Pinned, "a", 0);
+    EXPECT_EQ(r.base % (64 * KiB), 0u);
+    EXPECT_EQ(r.size, 64 * KiB);
+}
+
+TEST(AddressSpace, SizeRoundsUpToPages)
+{
+    AddressSpace vas(PageGeometry(64 * KiB));
+    const Region& r =
+        vas.allocate(64 * KiB + 1, MemKind::Pinned, "a", 0);
+    EXPECT_EQ(r.size, 2 * 64 * KiB);
+}
+
+TEST(AddressSpace, RegionsDoNotOverlap)
+{
+    AddressSpace vas(PageGeometry(64 * KiB));
+    const Region& a = vas.allocate(64 * KiB, MemKind::Pinned, "a", 0);
+    const Region& b = vas.allocate(64 * KiB, MemKind::Pinned, "b", 0);
+    EXPECT_GE(b.base, a.end());
+}
+
+TEST(AddressSpace, GuardGapSeparatesRegions)
+{
+    AddressSpace vas(PageGeometry(64 * KiB));
+    const Region& a = vas.allocate(64 * KiB, MemKind::Pinned, "a", 0);
+    const Region& b = vas.allocate(64 * KiB, MemKind::Pinned, "b", 0);
+    // One guard page: an off-by-one overrun never lands in region b.
+    EXPECT_EQ(b.base - a.end(), 64 * KiB);
+}
+
+TEST(AddressSpace, RegionOfFindsContainingRegion)
+{
+    AddressSpace vas(PageGeometry(64 * KiB));
+    const Region& a = vas.allocate(2 * 64 * KiB, MemKind::Gps, "a", 1);
+    EXPECT_EQ(vas.regionOf(a.base), &a);
+    EXPECT_EQ(vas.regionOf(a.base + a.size - 1), &a);
+    EXPECT_EQ(vas.regionOf(a.end()), nullptr);
+    EXPECT_EQ(vas.regionOf(a.base - 1), nullptr);
+}
+
+TEST(AddressSpace, RegionCarriesMetadata)
+{
+    AddressSpace vas(PageGeometry(64 * KiB));
+    const Region& r =
+        vas.allocate(64 * KiB, MemKind::Gps, "weights", 2, true);
+    EXPECT_EQ(r.kind, MemKind::Gps);
+    EXPECT_EQ(r.label, "weights");
+    EXPECT_EQ(r.home, 2);
+    EXPECT_TRUE(r.manualSubscription);
+}
+
+TEST(AddressSpace, ReleaseRemovesRegion)
+{
+    AddressSpace vas(PageGeometry(64 * KiB));
+    const Region& r = vas.allocate(64 * KiB, MemKind::Pinned, "a", 0);
+    const Addr base = r.base;
+    EXPECT_EQ(vas.bytesAllocated(), 64 * KiB);
+    vas.release(base);
+    EXPECT_EQ(vas.regionOf(base), nullptr);
+    EXPECT_EQ(vas.bytesAllocated(), 0u);
+}
+
+TEST(AddressSpaceDeath, ZeroByteAllocationPanics)
+{
+    AddressSpace vas(PageGeometry(64 * KiB));
+    EXPECT_DEATH(vas.allocate(0, MemKind::Pinned, "zero", 0), "zero");
+}
+
+TEST(AddressSpaceDeath, ReleaseOfUnknownBasePanics)
+{
+    AddressSpace vas(PageGeometry(64 * KiB));
+    EXPECT_DEATH(vas.release(0x1234), "unknown");
+}
+
+TEST(AddressSpace, MemKindNames)
+{
+    EXPECT_EQ(to_string(MemKind::Pinned), "pinned");
+    EXPECT_EQ(to_string(MemKind::Managed), "managed");
+    EXPECT_EQ(to_string(MemKind::Gps), "gps");
+    EXPECT_EQ(to_string(MemKind::Replicated), "replicated");
+}
+
+} // namespace
+} // namespace gps

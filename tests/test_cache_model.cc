@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative write-back cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_model.hh"
+#include "common/units.hh"
+
+namespace gps
+{
+namespace
+{
+
+CacheModel
+makeCache(std::uint64_t capacity = 16 * KiB, std::uint32_t ways = 4)
+{
+    return CacheModel("l2", capacity, 128, ways);
+}
+
+TEST(CacheModel, ColdMissThenHit)
+{
+    auto cache = makeCache();
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(CacheModel, SameLineDifferentOffsetHits)
+{
+    auto cache = makeCache();
+    cache.access(0x1000, false);
+    EXPECT_TRUE(cache.access(0x107F, false).hit);
+    EXPECT_FALSE(cache.access(0x1080, false).hit);
+}
+
+TEST(CacheModel, CleanEvictionHasNoWriteback)
+{
+    auto cache = makeCache(1024, 1); // 8 sets, direct mapped
+    cache.access(0, false);
+    // Same set, different tag: evicts the clean line.
+    const CacheResult result = cache.access(1024, false);
+    EXPECT_FALSE(result.hit);
+    EXPECT_EQ(result.writebackBytes, 0u);
+}
+
+TEST(CacheModel, DirtyEvictionWritesBack)
+{
+    auto cache = makeCache(1024, 1);
+    cache.access(0, true); // dirty
+    const CacheResult result = cache.access(1024, false);
+    EXPECT_EQ(result.writebackBytes, 128u);
+}
+
+TEST(CacheModel, ReadAfterWriteKeepsDirtyUntilEviction)
+{
+    auto cache = makeCache(1024, 1);
+    cache.access(0, true);
+    cache.access(0, false); // read hit must not clean the line
+    EXPECT_EQ(cache.access(1024, false).writebackBytes, 128u);
+}
+
+TEST(CacheModel, LruKeepsRecentlyUsedWay)
+{
+    auto cache = makeCache(2 * 128, 2); // one set, two ways
+    cache.access(0, false);
+    cache.access(128, false);
+    cache.access(0, false);      // refresh way holding line 0
+    cache.access(256, false);    // evicts line 128
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(128));
+}
+
+TEST(CacheModel, InvalidatePageDropsAllItsLines)
+{
+    auto cache = makeCache(64 * KiB, 8);
+    for (Addr a = 0; a < 4096; a += 128)
+        cache.access(a, true);
+    const std::uint64_t wb = cache.invalidatePage(0, 4096);
+    EXPECT_EQ(wb, 4096u);
+    for (Addr a = 0; a < 4096; a += 128)
+        EXPECT_FALSE(cache.contains(a));
+}
+
+TEST(CacheModel, InvalidatePageLeavesOtherPages)
+{
+    auto cache = makeCache(64 * KiB, 8);
+    cache.access(0, false);
+    cache.access(8192, false);
+    cache.invalidatePage(0, 4096);
+    EXPECT_TRUE(cache.contains(8192));
+}
+
+TEST(CacheModel, FlushAllReportsDirtyBytes)
+{
+    auto cache = makeCache();
+    cache.access(0, true);
+    cache.access(128, false);
+    cache.access(256, true);
+    EXPECT_EQ(cache.flushAll(), 256u);
+    EXPECT_FALSE(cache.contains(0));
+}
+
+TEST(CacheModel, HitRateMath)
+{
+    auto cache = makeCache();
+    cache.access(0, false);
+    cache.access(0, false);
+    cache.access(0, false);
+    cache.access(128, false);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+}
+
+/** Property: working sets within capacity re-access at 100% hits. */
+class CacheCapacity
+    : public ::testing::TestWithParam<std::pair<std::uint64_t,
+                                                std::uint32_t>>
+{};
+
+TEST_P(CacheCapacity, SequentialWorkingSetWithinCapacityAllHits)
+{
+    const auto [capacity, ways] = GetParam();
+    CacheModel cache("c", capacity, 128, ways);
+    for (Addr a = 0; a < capacity; a += 128)
+        cache.access(a, false);
+    cache.resetStats();
+    for (Addr a = 0; a < capacity; a += 128)
+        ASSERT_TRUE(cache.access(a, false).hit) << "addr " << a;
+}
+
+TEST_P(CacheCapacity, DoubleCapacityStreamEvicts)
+{
+    const auto [capacity, ways] = GetParam();
+    CacheModel cache("c", capacity, 128, ways);
+    for (Addr a = 0; a < 2 * capacity; a += 128)
+        cache.access(a, false);
+    cache.resetStats();
+    std::uint64_t hits = 0;
+    for (Addr a = 0; a < 2 * capacity; a += 128)
+        hits += cache.access(a, false).hit ? 1 : 0;
+    EXPECT_LT(hits, 2 * capacity / 128);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheCapacity,
+    ::testing::Values(std::make_pair(std::uint64_t(16 * KiB), 4u),
+                      std::make_pair(std::uint64_t(64 * KiB), 16u),
+                      std::make_pair(std::uint64_t(6 * MiB), 16u)));
+
+TEST(CacheModel, Table1L2Configuration)
+{
+    // 6 MB, 128 B lines, 16 ways: the V100 L2 of Table 1 constructs.
+    CacheModel l2("l2", 6 * MiB, 128, 16);
+    EXPECT_EQ(l2.capacityBytes(), 6 * MiB);
+    EXPECT_EQ(l2.lineBytes(), 128u);
+}
+
+} // namespace
+} // namespace gps

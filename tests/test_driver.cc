@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the driver: allocation kinds, backing, peer mappings,
+ * migration with shootdowns, and hints.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/system.hh"
+
+namespace gps
+{
+namespace
+{
+
+class DriverTest : public ::testing::Test
+{
+  protected:
+    DriverTest()
+    {
+        SystemConfig config;
+        config.numGpus = 4;
+        system = std::make_unique<MultiGpuSystem>(config);
+    }
+
+    Driver& drv() { return system->driver(); }
+    PageNum
+    firstVpn(const Region& region)
+    {
+        return system->geometry().pageNum(region.base);
+    }
+
+    std::unique_ptr<MultiGpuSystem> system;
+};
+
+TEST_F(DriverTest, PinnedAllocBacksHomeAndPeerMapsEveryone)
+{
+    const Region& r = drv().malloc(64 * KiB, 1, "buf");
+    const PageNum vpn = firstVpn(r);
+    const PageState& st = drv().state(vpn);
+    EXPECT_EQ(st.kind, MemKind::Pinned);
+    EXPECT_EQ(st.location, 1);
+    EXPECT_EQ(st.backed, gpuBit(1));
+    EXPECT_EQ(st.mapped, maskAll(4));
+    for (GpuId g = 0; g < 4; ++g) {
+        const Pte* pte = drv().pageTable(g).lookup(vpn);
+        ASSERT_NE(pte, nullptr);
+        EXPECT_EQ(pte->location, 1);
+    }
+    EXPECT_EQ(system->gpu(1).memory().framesInUse(), 1u);
+}
+
+TEST_F(DriverTest, ManagedAllocStaysUnbacked)
+{
+    const Region& r = drv().mallocManaged(64 * KiB, "um");
+    const PageState& st = drv().state(firstVpn(r));
+    EXPECT_EQ(st.kind, MemKind::Managed);
+    EXPECT_EQ(st.location, invalidGpu);
+    EXPECT_EQ(st.backed, 0u);
+}
+
+TEST_F(DriverTest, GpsAllocBacksHomeAsSoleSubscriber)
+{
+    const Region& r = drv().mallocGps(64 * KiB, "gps", 2);
+    const PageState& st = drv().state(firstVpn(r));
+    EXPECT_EQ(st.kind, MemKind::Gps);
+    EXPECT_EQ(st.subscribers, gpuBit(2));
+    EXPECT_EQ(st.location, 2);
+    EXPECT_EQ(system->gpu(2).memory().framesInUse(), 1u);
+}
+
+TEST_F(DriverTest, ReplicatedAllocBacksEveryGpu)
+{
+    const Region& r = drv().mallocReplicated(2 * 64 * KiB, "rep", 0);
+    const PageState& st = drv().state(firstVpn(r));
+    EXPECT_EQ(st.backed, maskAll(4));
+    for (GpuId g = 0; g < 4; ++g)
+        EXPECT_EQ(system->gpu(g).memory().framesInUse(), 2u);
+}
+
+TEST_F(DriverTest, FreeReleasesFramesAndMappings)
+{
+    const Region& r = drv().mallocReplicated(64 * KiB, "rep", 0);
+    const Addr base = r.base;
+    const PageNum vpn = firstVpn(r);
+    drv().free(base);
+    for (GpuId g = 0; g < 4; ++g) {
+        EXPECT_EQ(system->gpu(g).memory().framesInUse(), 0u);
+        EXPECT_EQ(drv().pageTable(g).lookup(vpn), nullptr);
+    }
+    EXPECT_FALSE(drv().hasState(vpn));
+}
+
+TEST_F(DriverTest, MigrateMovesFrameAndLocation)
+{
+    const Region& r = drv().mallocManaged(64 * KiB, "um");
+    const PageNum vpn = firstVpn(r);
+    ASSERT_TRUE(drv().backPage(vpn, 0));
+    KernelCounters counters;
+    TrafficMatrix traffic(4);
+    drv().migratePage(vpn, 3, counters, traffic);
+    const PageState& st = drv().state(vpn);
+    EXPECT_EQ(st.location, 3);
+    EXPECT_EQ(st.backed, gpuBit(3));
+    EXPECT_EQ(system->gpu(0).memory().framesInUse(), 0u);
+    EXPECT_EQ(system->gpu(3).memory().framesInUse(), 1u);
+    EXPECT_EQ(counters.pageMigrations, 1u);
+    EXPECT_EQ(counters.migrationBytes, 64 * KiB);
+    EXPECT_EQ(traffic.at(0, 3), 64 * KiB +
+                                    system->topology().spec().headerBytes);
+}
+
+TEST_F(DriverTest, MigrateToSelfIsNoop)
+{
+    const Region& r = drv().mallocManaged(64 * KiB, "um");
+    const PageNum vpn = firstVpn(r);
+    ASSERT_TRUE(drv().backPage(vpn, 0));
+    KernelCounters counters;
+    TrafficMatrix traffic(4);
+    drv().migratePage(vpn, 0, counters, traffic);
+    EXPECT_EQ(counters.pageMigrations, 0u);
+    EXPECT_EQ(traffic.total(), 0u);
+}
+
+TEST_F(DriverTest, MigrateShootsDownCachedTranslations)
+{
+    const Region& r = drv().mallocManaged(64 * KiB, "um");
+    const PageNum vpn = firstVpn(r);
+    ASSERT_TRUE(drv().backPage(vpn, 0));
+    KernelCounters scratch;
+    system->gpu(0).tlbAccess(vpn, scratch); // cache the translation
+    KernelCounters counters;
+    TrafficMatrix traffic(4);
+    drv().migratePage(vpn, 1, counters, traffic);
+    EXPECT_EQ(counters.tlbShootdowns, 1u);
+    EXPECT_FALSE(system->gpu(0).tlb().contains(vpn));
+}
+
+TEST_F(DriverTest, MigrateInvalidatesSourceL2)
+{
+    const Region& r = drv().mallocManaged(64 * KiB, "um");
+    const PageNum vpn = firstVpn(r);
+    ASSERT_TRUE(drv().backPage(vpn, 0));
+    KernelCounters scratch;
+    system->gpu(0).l2Path(r.base, false, scratch);
+    ASSERT_TRUE(system->gpu(0).l2().contains(r.base));
+    KernelCounters counters;
+    TrafficMatrix traffic(4);
+    drv().migratePage(vpn, 1, counters, traffic);
+    EXPECT_FALSE(system->gpu(0).l2().contains(r.base));
+}
+
+TEST_F(DriverTest, UnbackReleasesFrameAndMapping)
+{
+    const Region& r = drv().mallocReplicated(64 * KiB, "rep", 0);
+    const PageNum vpn = firstVpn(r);
+    drv().unbackPage(vpn, 2, nullptr);
+    EXPECT_FALSE(maskHas(drv().state(vpn).backed, 2));
+    EXPECT_EQ(system->gpu(2).memory().framesInUse(), 0u);
+    EXPECT_EQ(drv().pageTable(2).lookup(vpn), nullptr);
+}
+
+TEST_F(DriverTest, HintsLandOnPageState)
+{
+    const Region& r = drv().mallocManaged(2 * 64 * KiB, "um");
+    drv().advisePreferredLocation(r.base, r.size, 2);
+    drv().adviseAccessedBy(r.base, 64 * KiB, 1);
+    drv().adviseReadMostly(r.base + 64 * KiB, 64 * KiB);
+    const PageState& p0 = drv().state(firstVpn(r));
+    const PageState& p1 = drv().state(firstVpn(r) + 1);
+    EXPECT_EQ(p0.preferredLocation, 2);
+    EXPECT_TRUE(maskHas(p0.accessedBy, 1));
+    EXPECT_FALSE(p0.readMostly);
+    EXPECT_TRUE(p1.readMostly);
+    EXPECT_FALSE(maskHas(p1.accessedBy, 1));
+}
+
+TEST_F(DriverTest, BackPageFailsWhenMemoryExhausted)
+{
+    SystemConfig tiny;
+    tiny.numGpus = 2;
+    tiny.gpu.globalMemoryBytes = 2 * 64 * KiB; // two frames per GPU
+    MultiGpuSystem small(tiny);
+    Driver& drv = small.driver();
+    const Region& a = drv.malloc(2 * 64 * KiB, 0, "fill");
+    (void)a;
+    const Region& b = drv.mallocManaged(64 * KiB, "um");
+    EXPECT_FALSE(
+        drv.backPage(small.geometry().pageNum(b.base), 0));
+}
+
+} // namespace
+} // namespace gps

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace gps
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue queue;
+    EXPECT_EQ(queue.now(), 0u);
+    EXPECT_EQ(queue.pending(), 0u);
+    EXPECT_FALSE(queue.serviceOne());
+}
+
+TEST(EventQueue, AdvancesTimeToEventTimestamp)
+{
+    EventQueue queue;
+    queue.schedule(100, "ev", [] {});
+    EXPECT_TRUE(queue.serviceOne());
+    EXPECT_EQ(queue.now(), 100u);
+}
+
+TEST(EventQueue, ExecutesInTimestampOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(30, "c", [&] { order.push_back(3); });
+    queue.schedule(10, "a", [&] { order.push_back(1); });
+    queue.schedule(20, "b", [&] { order.push_back(2); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickFifoWithinPriority)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(5, "first", [&] { order.push_back(1); });
+    queue.schedule(5, "second", [&] { order.push_back(2); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, BarrierPriorityRunsAfterCompletions)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(5, "barrier", [&] { order.push_back(99); },
+                   barrierPriority);
+    queue.schedule(5, "kernel", [&] { order.push_back(1); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 99}));
+}
+
+TEST(EventQueue, ScheduleInIsRelativeToNow)
+{
+    EventQueue queue;
+    queue.schedule(50, "seed", [&] { queue.scheduleIn(25, "rel", [] {}); });
+    queue.run();
+    EXPECT_EQ(queue.now(), 75u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(1, "a", [&] {
+        ++fired;
+        queue.schedule(2, "b", [&] { ++fired; });
+    });
+    queue.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(queue.executed(), 2u);
+}
+
+TEST(EventQueue, RunHonorsTickLimit)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(10, "early", [&] { ++fired; });
+    queue.schedule(100, "late", [&] { ++fired; });
+    queue.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue queue;
+    queue.schedule(10, "ev", [] {});
+    queue.reset();
+    EXPECT_EQ(queue.pending(), 0u);
+    EXPECT_EQ(queue.now(), 0u);
+    EXPECT_FALSE(queue.serviceOne());
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue queue;
+    queue.schedule(100, "ev", [] {});
+    queue.run();
+    EXPECT_DEATH(queue.schedule(50, "past", [] {}), "past");
+}
+
+TEST(EventQueue, ZeroDelayEventRunsAtCurrentTick)
+{
+    EventQueue queue;
+    queue.schedule(10, "seed", [&] { queue.scheduleIn(0, "now", [] {}); });
+    queue.run();
+    EXPECT_EQ(queue.now(), 10u);
+    EXPECT_EQ(queue.executed(), 2u);
+}
+
+TEST(EventQueue, ExecutedCountsAllServicedEvents)
+{
+    EventQueue queue;
+    for (Tick t = 1; t <= 10; ++t)
+        queue.schedule(t, "ev", [] {});
+    queue.run();
+    EXPECT_EQ(queue.executed(), 10u);
+}
+
+} // namespace
+} // namespace gps

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Randomized invariant tests: drive the GPS paradigm (and the driver
+ * underneath) with long random operation sequences and check that the
+ * structural invariants hold at every step.
+ *
+ * Invariants checked:
+ *  - every GPS page keeps at least one subscriber,
+ *  - the subscriber mask, the GPS page table and the per-GPU frame
+ *    accounting stay mutually consistent,
+ *  - the conventional PTE GPS bit == (page has >= 2 subscribers and is
+ *    not collapsed),
+ *  - the write queue occupancy never exceeds its watermark,
+ *  - frames never leak (frees return the allocator to its baseline).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/gps_paradigm.hh"
+
+namespace gps
+{
+namespace
+{
+
+class GpsFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    GpsFuzz()
+    {
+        SystemConfig config;
+        config.numGpus = 4;
+        config.gps.wqEntries = 32; // small queue: exercise drains
+        system = std::make_unique<MultiGpuSystem>(config);
+        paradigm = std::make_unique<GpsParadigm>(*system);
+        traffic = std::make_unique<TrafficMatrix>(4);
+        region = &system->driver().mallocGps(8 * 64 * KiB, "fuzz", 0);
+        paradigm->onSetupComplete();
+        firstVpn = system->geometry().pageNum(region->base);
+        pages = system->geometry().pagesSpanned(region->base,
+                                                region->size);
+    }
+
+    void
+    checkInvariants()
+    {
+        std::vector<std::uint64_t> expected_frames(4, 0);
+        for (PageNum vpn = firstVpn; vpn < firstVpn + pages; ++vpn) {
+            const PageState& st = system->driver().state(vpn);
+            // At least one subscriber, always.
+            ASSERT_GE(maskCount(st.subscribers), 1u) << "vpn " << vpn;
+            // Subscribers hold frames; frames follow subscribers.
+            ASSERT_EQ(st.backed, st.subscribers) << "vpn " << vpn;
+            maskForEach(st.subscribers, [&](GpuId g) {
+                const Pte* pte =
+                    system->driver().pageTable(g).lookup(vpn);
+                ASSERT_NE(pte, nullptr);
+                ASSERT_EQ(pte->location, g);
+                ASSERT_TRUE(
+                    system->gpu(g).memory().allocated(pte->ppn));
+                ++expected_frames[g];
+            });
+            // GPS bit tracks multi-subscriber, non-collapsed state.
+            const bool expect_bit =
+                maskCount(st.subscribers) >= 2 && !st.collapsed;
+            ASSERT_EQ(st.gpsBitSet, expect_bit) << "vpn " << vpn;
+        }
+        for (GpuId g = 0; g < 4; ++g) {
+            ASSERT_EQ(system->gpu(g).memory().framesInUse(),
+                      expected_frames[g])
+                << "gpu " << g;
+        }
+        for (GpuId g = 0; g < 4; ++g) {
+            ASSERT_LE(paradigm->writeQueue(g).occupancy(),
+                      system->config().gps.highWatermark());
+        }
+    }
+
+    std::unique_ptr<MultiGpuSystem> system;
+    std::unique_ptr<GpsParadigm> paradigm;
+    std::unique_ptr<TrafficMatrix> traffic;
+    const Region* region = nullptr;
+    PageNum firstVpn = 0;
+    std::uint64_t pages = 0;
+    KernelCounters counters;
+};
+
+TEST_P(GpsFuzz, InvariantsSurviveRandomOperationSequences)
+{
+    Rng rng(GetParam());
+    for (int step = 0; step < 4000; ++step) {
+        const GpuId gpu = static_cast<GpuId>(rng.below(4));
+        const Addr addr =
+            region->base + rng.below(region->size) / 4 * 4;
+        const PageNum vpn = system->geometry().pageNum(addr);
+        const std::uint64_t op = rng.below(100);
+        if (op < 40) {
+            const MemAccess a = MemAccess::load(addr, 4);
+            const bool miss = system->gpu(gpu).tlbAccess(vpn, counters);
+            paradigm->access(gpu, a, vpn, miss, counters, *traffic);
+        } else if (op < 80) {
+            const MemAccess a = MemAccess::store(addr, 4);
+            const bool miss = system->gpu(gpu).tlbAccess(vpn, counters);
+            paradigm->access(gpu, a, vpn, miss, counters, *traffic);
+        } else if (op < 86) {
+            const MemAccess a = MemAccess::atomic(addr, 4);
+            const bool miss = system->gpu(gpu).tlbAccess(vpn, counters);
+            paradigm->access(gpu, a, vpn, miss, counters, *traffic);
+        } else if (op < 88) {
+            const MemAccess a = MemAccess::sysStore(addr, 4);
+            const bool miss = system->gpu(gpu).tlbAccess(vpn, counters);
+            paradigm->access(gpu, a, vpn, miss, counters, *traffic);
+        } else if (op < 93) {
+            if (!system->driver().state(vpn).collapsed)
+                paradigm->subscriptions().subscribe(vpn, gpu);
+        } else if (op < 98) {
+            if (!system->driver().state(vpn).collapsed)
+                paradigm->subscriptions().unsubscribe(vpn, gpu,
+                                                      &counters);
+        } else {
+            paradigm->endKernel(gpu, counters, *traffic);
+        }
+        if (step % 200 == 0)
+            checkInvariants();
+    }
+    for (GpuId g = 0; g < 4; ++g)
+        paradigm->endKernel(g, counters, *traffic);
+    checkInvariants();
+    for (GpuId g = 0; g < 4; ++g)
+        EXPECT_EQ(paradigm->writeQueue(g).occupancy(), 0u);
+}
+
+TEST_P(GpsFuzz, TrackingCycleAlwaysLeavesAValidSubscriptionState)
+{
+    Rng rng(GetParam() ^ 0xabcdef);
+    paradigm->trackingStart();
+    for (int step = 0; step < 1500; ++step) {
+        const GpuId gpu = static_cast<GpuId>(rng.below(4));
+        const Addr addr = region->base + rng.below(region->size);
+        const PageNum vpn = system->geometry().pageNum(addr);
+        const MemAccess a = rng.chance(0.5)
+                                ? MemAccess::load(addr, 4)
+                                : MemAccess::store(addr, 4);
+        const bool miss = system->gpu(gpu).tlbAccess(vpn, counters);
+        paradigm->access(gpu, a, vpn, miss, counters, *traffic);
+    }
+    for (GpuId g = 0; g < 4; ++g)
+        paradigm->endKernel(g, counters, *traffic);
+    paradigm->trackingStop(counters);
+    checkInvariants();
+    // Post-profiling, a GPU is subscribed only where it (TLB-)touched,
+    // except the guaranteed last subscriber.
+    for (PageNum vpn = firstVpn; vpn < firstVpn + pages; ++vpn) {
+        const GpuMask subs = paradigm->subscriptions().subscribers(vpn);
+        const GpuMask touched = paradigm->tracker().touchedMask(vpn);
+        // tracker was cleared at stop; recompute via subscription
+        // count: every multi-subscriber page must have been touched by
+        // each of its subscribers, which we can't re-check here, so
+        // just require validity:
+        ASSERT_GE(maskCount(subs), 1u);
+        (void)touched;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpsFuzz,
+                         ::testing::Values(1, 7, 1337, 0xdeadbeef));
+
+} // namespace
+} // namespace gps

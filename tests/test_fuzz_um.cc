@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Randomized invariant tests for the Unified Memory engine: long random
+ * access sequences (with and without hints) must keep the driver's page
+ * state, page tables and frame accounting consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "driver/um_engine.hh"
+#include "paradigm/um_hints.hh"
+
+namespace gps
+{
+namespace
+{
+
+class UmFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    UmFuzz()
+    {
+        SystemConfig config;
+        config.numGpus = 4;
+        system = std::make_unique<MultiGpuSystem>(config);
+        engine = std::make_unique<UmEngine>(system->driver());
+        traffic = std::make_unique<TrafficMatrix>(4);
+        region = &system->driver().mallocManaged(16 * 64 * KiB, "fuzz");
+        firstVpn = system->geometry().pageNum(region->base);
+        pages = 16;
+    }
+
+    void
+    checkInvariants()
+    {
+        std::vector<std::uint64_t> expected_frames(4, 0);
+        for (PageNum vpn = firstVpn; vpn < firstVpn + pages; ++vpn) {
+            const PageState& st = system->driver().state(vpn);
+            if (st.location == invalidGpu) {
+                ASSERT_EQ(st.backed, 0u);
+                continue;
+            }
+            // The primary copy is backed and locally mapped.
+            ASSERT_TRUE(maskHas(st.backed, st.location));
+            const Pte* pte =
+                system->driver().pageTable(st.location).lookup(vpn);
+            ASSERT_NE(pte, nullptr);
+            ASSERT_EQ(pte->location, st.location);
+            // Backed set = primary + read duplicates, nothing else.
+            ASSERT_EQ(st.backed,
+                      maskSet(st.readCopies, st.location));
+            maskForEach(st.backed,
+                        [&](GpuId g) { ++expected_frames[g]; });
+        }
+        for (GpuId g = 0; g < 4; ++g) {
+            ASSERT_EQ(system->gpu(g).memory().framesInUse(),
+                      expected_frames[g]);
+        }
+    }
+
+    std::unique_ptr<MultiGpuSystem> system;
+    std::unique_ptr<UmEngine> engine;
+    std::unique_ptr<TrafficMatrix> traffic;
+    const Region* region = nullptr;
+    PageNum firstVpn = 0;
+    std::uint64_t pages = 0;
+    KernelCounters counters;
+};
+
+TEST_P(UmFuzz, BaselineUmStateStaysConsistent)
+{
+    Rng rng(GetParam());
+    for (int step = 0; step < 3000; ++step) {
+        const GpuId gpu = static_cast<GpuId>(rng.below(4));
+        const Addr addr = region->base + rng.below(region->size);
+        const PageNum vpn = system->geometry().pageNum(addr);
+        const MemAccess access =
+            rng.chance(0.5) ? MemAccess::load(addr, 4)
+                            : MemAccess::store(addr, 4);
+        engine->access(gpu, access, vpn, false, counters, *traffic);
+        if (step % 250 == 0)
+            checkInvariants();
+    }
+    checkInvariants();
+    // Fault-based UM never leaves more than one copy per page.
+    for (PageNum vpn = firstVpn; vpn < firstVpn + pages; ++vpn)
+        ASSERT_LE(maskCount(system->driver().state(vpn).backed), 1u);
+}
+
+TEST_P(UmFuzz, HintsAndDuplicationStayConsistent)
+{
+    Rng rng(GetParam() ^ 0x5555);
+    // Hint setup: pin a quarter of the region, mark a quarter
+    // read-mostly, declare everyone a reader of the rest.
+    system->driver().advisePreferredLocation(region->base,
+                                             4 * 64 * KiB, 1);
+    system->driver().adviseReadMostly(region->base + 4 * 64 * KiB,
+                                      4 * 64 * KiB);
+    for (GpuId g = 0; g < 4; ++g) {
+        system->driver().adviseAccessedBy(region->base + 8 * 64 * KiB,
+                                          8 * 64 * KiB, g);
+    }
+    for (int step = 0; step < 3000; ++step) {
+        const GpuId gpu = static_cast<GpuId>(rng.below(4));
+        const Addr addr = region->base + rng.below(region->size);
+        const PageNum vpn = system->geometry().pageNum(addr);
+        const std::uint64_t op = rng.below(100);
+        MemAccess access = op < 55   ? MemAccess::load(addr, 4)
+                           : op < 95 ? MemAccess::store(addr, 4)
+                                     : MemAccess::atomic(addr, 4);
+        engine->access(gpu, access, vpn, true, counters, *traffic);
+        if (op >= 98) {
+            engine->prefetchRange(gpu, region->base + 8 * 64 * KiB,
+                                  2 * 64 * KiB, counters, *traffic);
+        }
+        if (step % 250 == 0)
+            checkInvariants();
+    }
+    checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UmFuzz,
+                         ::testing::Values(11, 42, 0xfeedface));
+
+} // namespace
+} // namespace gps

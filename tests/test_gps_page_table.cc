@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the wide-leaf GPS page table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gps_page_table.hh"
+
+namespace gps
+{
+namespace
+{
+
+TEST(GpsPageTable, LookupMissReturnsNull)
+{
+    GpsPageTable table;
+    EXPECT_EQ(table.lookup(1), nullptr);
+}
+
+TEST(GpsPageTable, AddReplicaCreatesWidePte)
+{
+    GpsPageTable table;
+    table.addReplica(1, 0, 100);
+    table.addReplica(1, 2, 200);
+    const GpsPte* pte = table.lookup(1);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_EQ(pte->replicas.size(), 2u);
+    EXPECT_TRUE(pte->hasSubscriber(0));
+    EXPECT_TRUE(pte->hasSubscriber(2));
+    EXPECT_FALSE(pte->hasSubscriber(1));
+}
+
+TEST(GpsPageTable, AddReplicaRefreshesExistingGpu)
+{
+    GpsPageTable table;
+    table.addReplica(1, 0, 100);
+    table.addReplica(1, 0, 101);
+    const GpsPte* pte = table.lookup(1);
+    ASSERT_EQ(pte->replicas.size(), 1u);
+    EXPECT_EQ(pte->replicas[0].ppn, 101u);
+}
+
+TEST(GpsPageTable, SubscriberMaskMatchesReplicas)
+{
+    GpsPageTable table;
+    table.addReplica(7, 1, 0);
+    table.addReplica(7, 3, 0);
+    EXPECT_EQ(table.lookup(7)->subscriberMask(),
+              gpuBit(1) | gpuBit(3));
+}
+
+TEST(GpsPageTable, RemoveReplicaKeepsOthers)
+{
+    GpsPageTable table;
+    table.addReplica(1, 0, 100);
+    table.addReplica(1, 1, 101);
+    table.removeReplica(1, 0);
+    const GpsPte* pte = table.lookup(1);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_FALSE(pte->hasSubscriber(0));
+    EXPECT_TRUE(pte->hasSubscriber(1));
+}
+
+TEST(GpsPageTable, RemovingLastReplicaDropsPte)
+{
+    GpsPageTable table;
+    table.addReplica(1, 0, 100);
+    table.removeReplica(1, 0);
+    EXPECT_EQ(table.lookup(1), nullptr);
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(GpsPageTable, RemoveFromUnknownPageIsNoop)
+{
+    GpsPageTable table;
+    table.removeReplica(42, 0);
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(GpsPageTable, PteBitsMatchesPaperExample)
+{
+    // Section 5.2: 64 KB pages, 33-bit VPN, 31-bit PPN, 4 GPUs ->
+    // 126-bit minimum GPS-PTE.
+    EXPECT_EQ(GpsPageTable::pteBits(4, 33, 31), 126u);
+    // 16 GPUs need 15 remote PPNs.
+    EXPECT_EQ(GpsPageTable::pteBits(16, 33, 31), 33u + 15u * 31u);
+}
+
+} // namespace
+} // namespace gps

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the GPS address translation unit (GPS-TLB + walks).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gps_translation_unit.hh"
+
+namespace gps
+{
+namespace
+{
+
+class XlatTest : public ::testing::Test
+{
+  protected:
+    XlatTest()
+        : unit("xlat", GpsConfig{}, table)
+    {
+        table.addReplica(1, 0, 100);
+        table.addReplica(1, 2, 200);
+    }
+
+    GpsPageTable table;
+    GpsConfig config;
+    GpsTranslationUnit unit;
+    KernelCounters counters;
+};
+
+TEST_F(XlatTest, FirstTranslationMissesAndWalks)
+{
+    const GpsPte* pte = unit.translate(1, counters);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_EQ(counters.gpsTlbMisses, 1u);
+    EXPECT_EQ(counters.gpsTlbHits, 0u);
+    EXPECT_EQ(unit.walks(), 1u);
+}
+
+TEST_F(XlatTest, SecondTranslationHits)
+{
+    unit.translate(1, counters);
+    unit.translate(1, counters);
+    EXPECT_EQ(counters.gpsTlbHits, 1u);
+    EXPECT_EQ(unit.walks(), 1u);
+}
+
+TEST_F(XlatTest, UnknownPageStillFillsTlbButReturnsNull)
+{
+    EXPECT_EQ(unit.translate(99, counters), nullptr);
+    EXPECT_EQ(counters.gpsTlbMisses, 1u);
+}
+
+TEST_F(XlatTest, ReturnsAllSubscribers)
+{
+    const GpsPte* pte = unit.translate(1, counters);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_EQ(pte->subscriberMask(), gpuBit(0) | gpuBit(2));
+}
+
+TEST_F(XlatTest, Table1GpsTlbShape)
+{
+    // 32 entries, 8-way per Table 1.
+    EXPECT_EQ(unit.gpsTlb().entries(), 32u);
+    EXPECT_EQ(unit.gpsTlb().ways(), 8u);
+}
+
+TEST_F(XlatTest, SmallWorkingSetReaches100PercentHitRate)
+{
+    // Section 7.4: the GPS-TLB reaches ~100% hit rate at 32 entries
+    // because it only serves GPS-heap drain traffic.
+    for (int pass = 0; pass < 10; ++pass) {
+        for (PageNum vpn = 0; vpn < 16; ++vpn)
+            unit.translate(vpn, counters);
+    }
+    EXPECT_GT(unit.gpsTlb().hitRate(), 0.85);
+}
+
+} // namespace
+} // namespace gps

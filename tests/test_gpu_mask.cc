@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for GPU bitmask helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/gpu_mask.hh"
+
+namespace gps
+{
+namespace
+{
+
+TEST(GpuMask, SetClearHas)
+{
+    GpuMask mask = 0;
+    mask = maskSet(mask, 3);
+    EXPECT_TRUE(maskHas(mask, 3));
+    EXPECT_FALSE(maskHas(mask, 2));
+    mask = maskClear(mask, 3);
+    EXPECT_FALSE(maskHas(mask, 3));
+}
+
+TEST(GpuMask, CountMatchesPopulation)
+{
+    GpuMask mask = 0;
+    EXPECT_EQ(maskCount(mask), 0u);
+    mask = maskSet(maskSet(maskSet(mask, 0), 5), 13);
+    EXPECT_EQ(maskCount(mask), 3u);
+}
+
+TEST(GpuMask, AllCoversExactlyN)
+{
+    for (std::size_t n = 0; n <= 16; ++n) {
+        const GpuMask mask = maskAll(n);
+        EXPECT_EQ(maskCount(mask), n) << "n=" << n;
+        for (GpuId g = 0; g < n; ++g)
+            EXPECT_TRUE(maskHas(mask, g));
+        if (n < maxGpus)
+            EXPECT_FALSE(maskHas(mask, static_cast<GpuId>(n)));
+    }
+}
+
+TEST(GpuMask, FirstIsLowestSetBit)
+{
+    EXPECT_EQ(maskFirst(0), invalidGpu);
+    EXPECT_EQ(maskFirst(gpuBit(7)), 7);
+    EXPECT_EQ(maskFirst(gpuBit(7) | gpuBit(2)), 2);
+}
+
+TEST(GpuMask, ForEachVisitsAscending)
+{
+    const GpuMask mask = gpuBit(1) | gpuBit(4) | gpuBit(9);
+    std::vector<GpuId> seen;
+    maskForEach(mask, [&](GpuId g) { seen.push_back(g); });
+    EXPECT_EQ(seen, (std::vector<GpuId>{1, 4, 9}));
+}
+
+TEST(GpuMask, ForEachOnEmptyDoesNothing)
+{
+    int calls = 0;
+    maskForEach(0, [&](GpuId) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(GpuMask, ClearIsIdempotent)
+{
+    GpuMask mask = gpuBit(2);
+    mask = maskClear(mask, 5);
+    EXPECT_EQ(mask, gpuBit(2));
+}
+
+class GpuMaskParam : public ::testing::TestWithParam<GpuId>
+{};
+
+TEST_P(GpuMaskParam, SetThenClearRoundTrips)
+{
+    const GpuId gpu = GetParam();
+    const GpuMask base = gpuBit(0) | gpuBit(31);
+    GpuMask mask = maskSet(base, gpu);
+    EXPECT_TRUE(maskHas(mask, gpu));
+    mask = maskClear(mask, gpu);
+    if (gpu != 0 && gpu != 31)
+        EXPECT_EQ(mask, base);
+    EXPECT_FALSE(maskHas(mask, gpu));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, GpuMaskParam,
+                         ::testing::Values(1, 2, 7, 15, 16, 30));
+
+} // namespace
+} // namespace gps

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the synthetic partitioned power-law graph generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/graph.hh"
+
+namespace gps::apps
+{
+namespace
+{
+
+GraphParams
+smallParams()
+{
+    GraphParams params;
+    params.numVertices = 4096;
+    params.avgDegree = 4;
+    params.numParts = 4;
+    params.locality = 0.8;
+    params.hubSkew = 0.75;
+    params.seed = 99;
+    return params;
+}
+
+TEST(Graph, RowPtrIsMonotonicAndComplete)
+{
+    const Graph graph = makePowerLawGraph(smallParams());
+    ASSERT_EQ(graph.rowPtr.size(), graph.numVertices + 1);
+    for (std::uint64_t v = 0; v < graph.numVertices; ++v)
+        EXPECT_LE(graph.rowPtr[v], graph.rowPtr[v + 1]);
+    EXPECT_EQ(graph.rowPtr.back(), graph.numEdges());
+}
+
+TEST(Graph, TargetsAreValidVertices)
+{
+    const Graph graph = makePowerLawGraph(smallParams());
+    for (const std::uint32_t target : graph.targets)
+        ASSERT_LT(target, graph.numVertices);
+}
+
+TEST(Graph, EveryVertexHasAtLeastOneEdge)
+{
+    const Graph graph = makePowerLawGraph(smallParams());
+    for (std::uint64_t v = 0; v < graph.numVertices; ++v)
+        EXPECT_GT(graph.rowPtr[v + 1], graph.rowPtr[v]);
+}
+
+TEST(Graph, AdjacencyIsSortedPerVertex)
+{
+    const Graph graph = makePowerLawGraph(smallParams());
+    for (std::uint64_t v = 0; v < graph.numVertices; ++v) {
+        EXPECT_TRUE(std::is_sorted(
+            graph.targets.begin() +
+                static_cast<std::ptrdiff_t>(graph.rowPtr[v]),
+            graph.targets.begin() +
+                static_cast<std::ptrdiff_t>(graph.rowPtr[v + 1])));
+    }
+}
+
+TEST(Graph, AverageDegreeNearRequested)
+{
+    const Graph graph = makePowerLawGraph(smallParams());
+    const double avg = static_cast<double>(graph.numEdges()) /
+                       static_cast<double>(graph.numVertices);
+    EXPECT_NEAR(avg, 4.0, 0.5);
+}
+
+TEST(Graph, LocalityFractionApproximatelyHolds)
+{
+    const Graph graph = makePowerLawGraph(smallParams());
+    std::uint64_t local = 0;
+    for (std::uint64_t v = 0; v < graph.numVertices; ++v) {
+        const GpuId part = graph.owner(v);
+        for (std::uint64_t e = graph.rowPtr[v]; e < graph.rowPtr[v + 1];
+             ++e) {
+            if (graph.owner(graph.targets[e]) == part)
+                ++local;
+        }
+    }
+    const double fraction = static_cast<double>(local) /
+                            static_cast<double>(graph.numEdges());
+    // Remote zipf edges occasionally land locally too, so the measured
+    // fraction sits at or slightly above the requested locality.
+    EXPECT_GT(fraction, 0.75);
+    EXPECT_LT(fraction, 0.95);
+}
+
+TEST(Graph, PartitionsAreContiguousBlocks)
+{
+    const Graph graph = makePowerLawGraph(smallParams());
+    EXPECT_EQ(graph.partFirst(0), 0u);
+    EXPECT_EQ(graph.partEnd(3), graph.numVertices);
+    EXPECT_EQ(graph.owner(0), 0);
+    EXPECT_EQ(graph.owner(graph.numVertices - 1), 3);
+    for (std::size_t p = 0; p + 1 < 4; ++p)
+        EXPECT_EQ(graph.partEnd(p), graph.partFirst(p + 1));
+}
+
+TEST(Graph, DeterministicForFixedSeed)
+{
+    const Graph a = makePowerLawGraph(smallParams());
+    const Graph b = makePowerLawGraph(smallParams());
+    EXPECT_EQ(a.targets, b.targets);
+    EXPECT_EQ(a.rowPtr, b.rowPtr);
+}
+
+TEST(Graph, DistinctTargetsAreSortedUnique)
+{
+    const Graph graph = makePowerLawGraph(smallParams());
+    const auto targets = distinctTargets(graph, 1);
+    EXPECT_TRUE(std::is_sorted(targets.begin(), targets.end()));
+    EXPECT_EQ(std::adjacent_find(targets.begin(), targets.end()),
+              targets.end());
+    EXPECT_FALSE(targets.empty());
+}
+
+TEST(Graph, DistinctTargetGroupsCollapseByGroupSize)
+{
+    const Graph graph = makePowerLawGraph(smallParams());
+    const auto vertices = distinctTargets(graph, 0);
+    const auto groups = distinctTargetGroups(graph, 0, 32);
+    EXPECT_LE(groups.size(), vertices.size());
+    for (const std::uint32_t g : groups)
+        ASSERT_LT(static_cast<std::uint64_t>(g) * 32,
+                  graph.numVertices);
+}
+
+TEST(Graph, HubSkewConcentratesRemoteEdges)
+{
+    GraphParams params = smallParams();
+    params.locality = 0.0; // all edges remote/zipf
+    const Graph graph = makePowerLawGraph(params);
+    std::uint64_t low = 0;
+    for (const std::uint32_t t : graph.targets)
+        low += t < graph.numVertices / 10 ? 1 : 0;
+    // Zipf exponent 4: well over half of the draws land in the first
+    // tenth of the (degree-sorted) id space.
+    EXPECT_GT(static_cast<double>(low) /
+                  static_cast<double>(graph.numEdges()),
+              0.5);
+}
+
+} // namespace
+} // namespace gps::apps

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the JSON writer and result export.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/result_export.hh"
+#include "api/runner.hh"
+#include "common/json.hh"
+
+namespace gps
+{
+namespace
+{
+
+TEST(JsonWriter, EmptyObject)
+{
+    JsonWriter json;
+    json.beginObject().endObject();
+    EXPECT_EQ(json.str(), "{}");
+}
+
+TEST(JsonWriter, FieldsSeparateWithCommas)
+{
+    JsonWriter json;
+    json.beginObject()
+        .field("a", std::uint64_t(1))
+        .field("b", 2.5)
+        .field("c", std::string("x"))
+        .field("d", true)
+        .endObject();
+    EXPECT_EQ(json.str(), R"({"a":1,"b":2.5,"c":"x","d":true})");
+}
+
+TEST(JsonWriter, NestedContainers)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.key("list").beginArray();
+    json.value(std::uint64_t(1));
+    json.value(std::uint64_t(2));
+    json.beginObject().field("k", std::uint64_t(3)).endObject();
+    json.endArray();
+    json.endObject();
+    EXPECT_EQ(json.str(), R"({"list":[1,2,{"k":3}]})");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull)
+{
+    JsonWriter json;
+    json.beginArray().value(1.0 / 0.0).endArray();
+    EXPECT_EQ(json.str(), "[null]");
+}
+
+TEST(ResultExport, ContainsHeadlineFields)
+{
+    RunConfig config;
+    config.system.numGpus = 2;
+    config.scale = 0.0625;
+    config.paradigm = ParadigmKind::Gps;
+    const RunResult result = runWorkload("Jacobi", config);
+    const std::string json = resultToJson(result);
+    EXPECT_NE(json.find("\"workload\":\"Jacobi\""), std::string::npos);
+    EXPECT_NE(json.find("\"paradigm\":\"GPS\""), std::string::npos);
+    EXPECT_NE(json.find("\"num_gpus\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"total_time_ms\":"), std::string::npos);
+    EXPECT_NE(json.find("\"subscriber_histogram\":["),
+              std::string::npos);
+    // Stats excluded by default.
+    EXPECT_EQ(json.find("\"stats\":"), std::string::npos);
+}
+
+TEST(ResultExport, OptionalStatsSection)
+{
+    RunConfig config;
+    config.system.numGpus = 2;
+    config.scale = 0.0625;
+    config.paradigm = ParadigmKind::Memcpy;
+    const RunResult result = runWorkload("Jacobi", config);
+    const std::string json = resultToJson(result, true);
+    EXPECT_NE(json.find("\"stats\":{"), std::string::npos);
+    EXPECT_NE(json.find("gpu0.l2.hits"), std::string::npos);
+}
+
+TEST(ResultExport, BalancedBraces)
+{
+    RunConfig config;
+    config.system.numGpus = 2;
+    config.scale = 0.0625;
+    config.paradigm = ParadigmKind::Gps;
+    const std::string json =
+        resultToJson(runWorkload("CT", config), true);
+    std::int64_t depth = 0;
+    for (const char c : json) {
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+} // namespace
+} // namespace gps

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Property tests for the memory-model obligations of Section 3.3: weak
+ * stores may coalesce but must all become visible (drain) by the next
+ * synchronization point; same-GPU same-line ordering is preserved by
+ * point-to-point FIFO draining; sys-scoped stores are never coalesced
+ * and collapse the page to a single coherent copy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/gps_paradigm.hh"
+
+namespace gps
+{
+namespace
+{
+
+class MemoryModelTest : public ::testing::Test
+{
+  protected:
+    MemoryModelTest()
+    {
+        SystemConfig config;
+        config.numGpus = 4;
+        system = std::make_unique<MultiGpuSystem>(config);
+        paradigm = std::make_unique<GpsParadigm>(*system);
+        traffic = std::make_unique<TrafficMatrix>(4);
+        region = &system->driver().mallocGps(4 * 64 * KiB, "gps", 0);
+        paradigm->onSetupComplete();
+    }
+
+    void
+    access(GpuId gpu, const MemAccess& a)
+    {
+        const PageNum vpn = system->geometry().pageNum(a.vaddr);
+        const bool miss = system->gpu(gpu).tlbAccess(vpn, counters);
+        paradigm->access(gpu, a, vpn, miss, counters, *traffic);
+    }
+
+    std::unique_ptr<MultiGpuSystem> system;
+    std::unique_ptr<GpsParadigm> paradigm;
+    std::unique_ptr<TrafficMatrix> traffic;
+    const Region* region = nullptr;
+    KernelCounters counters;
+};
+
+TEST_F(MemoryModelTest, EveryWeakStoreIsVisibleByEndOfGrid)
+{
+    // 1000 weak stores over 200 lines: whatever coalescing happened,
+    // after the implicit release every written line has been forwarded
+    // at least once (all-visible at the synchronization point).
+    std::vector<Addr> lines;
+    for (int i = 0; i < 200; ++i)
+        lines.push_back(region->base + static_cast<Addr>(i) * 128);
+    for (int rep = 0; rep < 5; ++rep) {
+        for (const Addr line : lines)
+            access(0, MemAccess::store(line));
+    }
+    paradigm->endKernel(0, counters, *traffic);
+    // Each line drained exactly once per residency; every line drained.
+    EXPECT_GE(counters.wqDrains, lines.size());
+    EXPECT_EQ(paradigm->writeQueue(0).occupancy(), 0u);
+}
+
+TEST_F(MemoryModelTest, DelayedVisibilityNeverLosesStores)
+{
+    // Conservation: forwarded stores = inserts (each drained once);
+    // coalesced + absorbed + inserted = all weak stores issued.
+    const int n = 3000;
+    for (int i = 0; i < n; ++i) {
+        access(0, MemAccess::store(region->base +
+                                   static_cast<Addr>(i % 700) * 128));
+    }
+    paradigm->endKernel(0, counters, *traffic);
+    EXPECT_EQ(counters.stores, 0u); // counted by the runner, not here
+    EXPECT_EQ(counters.wqInserts, counters.wqDrains);
+    EXPECT_EQ(counters.wqInserts + counters.wqCoalesced +
+                  counters.smCoalesced,
+              static_cast<std::uint64_t>(n));
+}
+
+TEST_F(MemoryModelTest, SameLineStoresFromOneGpuDrainOnce)
+{
+    // Same-address same-GPU stores coalesce into one message: the last
+    // write wins at every subscriber, which is exactly the same-address
+    // ordering the model requires.
+    access(0, MemAccess::store(region->base));
+    for (int i = 1; i < 20; ++i) {
+        access(0, MemAccess::store(region->base +
+                                   static_cast<Addr>(i) * 128));
+    }
+    access(0, MemAccess::store(region->base + 8));
+    paradigm->endKernel(0, counters, *traffic);
+    EXPECT_EQ(counters.wqDrains, 20u);
+}
+
+TEST_F(MemoryModelTest, SysStoreIsNeverCoalesced)
+{
+    access(0, MemAccess::store(region->base));
+    access(0, MemAccess::sysStore(region->base + 4));
+    // The sys store did not merge into the buffered weak store; it
+    // collapsed the page instead.
+    EXPECT_EQ(counters.wqCoalesced, 0u);
+    EXPECT_EQ(counters.sysCollapses, 1u);
+}
+
+TEST_F(MemoryModelTest, SysCollapseEstablishesSingleCoherentCopy)
+{
+    const PageNum vpn = system->geometry().pageNum(region->base);
+    access(2, MemAccess::sysStore(region->base));
+    const PageState& st = system->driver().state(vpn);
+    EXPECT_EQ(maskCount(st.subscribers), 1u);
+    EXPECT_TRUE(st.collapsed);
+    // All future accesses to the page route to that single copy: a
+    // store from another GPU is a remote store, not a replica write.
+    const std::uint64_t pushed = counters.pushedStoreBytes;
+    access(3, MemAccess::store(region->base));
+    EXPECT_GT(counters.pushedStoreBytes, pushed);
+    EXPECT_EQ(counters.wqInserts, 0u);
+}
+
+TEST_F(MemoryModelTest, CollapseIsPermanentAcrossIterations)
+{
+    const PageNum vpn = system->geometry().pageNum(region->base);
+    access(0, MemAccess::sysStore(region->base));
+    paradigm->trackingStart();
+    KernelCounters tc;
+    paradigm->trackingStop(tc);
+    EXPECT_TRUE(system->driver().state(vpn).collapsed);
+    EXPECT_FALSE(system->driver().state(vpn).gpsBitSet);
+}
+
+TEST_F(MemoryModelTest, ScopedButGpuLocalStoresStayWeak)
+{
+    // cta/gpu-scoped accesses never need inter-GPU visibility; they
+    // follow the weak path (coalescable).
+    MemAccess store = MemAccess::store(region->base);
+    store.scope = Scope::Gpu;
+    access(0, store);
+    MemAccess store2 = MemAccess::store(region->base + 4);
+    store2.scope = Scope::Cta;
+    access(0, store2);
+    EXPECT_EQ(counters.sysCollapses, 0u);
+    EXPECT_EQ(counters.wqInserts + counters.smCoalesced, 2u);
+}
+
+TEST_F(MemoryModelTest, RacyWeakStoresFromTwoGpusBothPropagate)
+{
+    // Weak stores from different GPUs to the same line are racy: the
+    // model allows any interleaving, but both updates must reach the
+    // other's replica (no lost updates at the page level).
+    access(0, MemAccess::store(region->base));
+    access(1, MemAccess::store(region->base));
+    paradigm->endKernel(0, counters, *traffic);
+    paradigm->endKernel(1, counters, *traffic);
+    EXPECT_GT(traffic->at(0, 1), 0u);
+    EXPECT_GT(traffic->at(1, 0), 0u);
+}
+
+} // namespace
+} // namespace gps

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for page geometry arithmetic across the three evaluated
+ * page sizes (4 KB / 64 KB / 2 MB).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/page.hh"
+
+namespace gps
+{
+namespace
+{
+
+class PageGeometryParam
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    PageGeometry geo{GetParam()};
+};
+
+TEST_P(PageGeometryParam, ShiftMatchesBytes)
+{
+    EXPECT_EQ(std::uint64_t(1) << geo.shift(), geo.bytes());
+}
+
+TEST_P(PageGeometryParam, PageNumAndBaseRoundTrip)
+{
+    const Addr addr = 7 * geo.bytes() + 123;
+    EXPECT_EQ(geo.pageNum(addr), 7u);
+    EXPECT_EQ(geo.pageBase(7), 7 * geo.bytes());
+    EXPECT_EQ(geo.pageOffset(addr), 123u);
+}
+
+TEST_P(PageGeometryParam, BoundaryAddresses)
+{
+    EXPECT_EQ(geo.pageNum(geo.bytes() - 1), 0u);
+    EXPECT_EQ(geo.pageNum(geo.bytes()), 1u);
+    EXPECT_EQ(geo.pageOffset(geo.bytes()), 0u);
+}
+
+TEST_P(PageGeometryParam, PagesSpannedCountsPartialPages)
+{
+    EXPECT_EQ(geo.pagesSpanned(0, 0), 0u);
+    EXPECT_EQ(geo.pagesSpanned(0, 1), 1u);
+    EXPECT_EQ(geo.pagesSpanned(0, geo.bytes()), 1u);
+    EXPECT_EQ(geo.pagesSpanned(0, geo.bytes() + 1), 2u);
+    // A one-byte range straddling nothing, starting mid-page.
+    EXPECT_EQ(geo.pagesSpanned(geo.bytes() - 1, 2), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(EvaluatedSizes, PageGeometryParam,
+                         ::testing::Values(4 * KiB, 64 * KiB, 2 * MiB));
+
+TEST(PageGeometry, DefaultIs64K)
+{
+    PageGeometry geo;
+    EXPECT_EQ(geo.bytes(), 64 * KiB);
+    EXPECT_EQ(geo.shift(), 16u);
+}
+
+TEST(PageGeometry, EqualityComparesBytes)
+{
+    EXPECT_TRUE(PageGeometry(4 * KiB) == PageGeometry(4 * KiB));
+    EXPECT_FALSE(PageGeometry(4 * KiB) == PageGeometry(64 * KiB));
+}
+
+} // namespace
+} // namespace gps

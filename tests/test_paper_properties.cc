@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Integration tests asserting the paper's qualitative evaluation claims
+ * at reduced scale — the regression net for the benches: if one of
+ * these fails after a change, a published result no longer reproduces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/runner.hh"
+
+namespace gps
+{
+namespace
+{
+
+// The paper's claims are statements about realistically sized runs;
+// several (aggregate-L2, TLB pressure, halo:interior ratios) vanish at
+// toy scales, so this suite runs the benches' full scale.
+constexpr double scale = 1.0;
+
+RunResult
+run(const std::string& app, ParadigmKind paradigm,
+    std::size_t gpus = 4,
+    InterconnectKind ic = InterconnectKind::Pcie3)
+{
+    RunConfig config;
+    config.system.numGpus = gpus;
+    config.system.interconnect = ic;
+    config.scale = scale;
+    config.paradigm = paradigm;
+    return runWorkload(app, config);
+}
+
+RunResult
+baseline(const std::string& app)
+{
+    RunConfig config;
+    config.system.numGpus = 1;
+    config.scale = scale;
+    config.paradigm = ParadigmKind::Memcpy;
+    return runWorkload(app, config);
+}
+
+TEST(PaperSection71, GpsBeatsEveryConventionalParadigmOnJacobi)
+{
+    const RunResult base = baseline("Jacobi");
+    const double gps = speedupOver(base, run("Jacobi", ParadigmKind::Gps));
+    for (const ParadigmKind paradigm :
+         {ParadigmKind::Um, ParadigmKind::UmHints, ParadigmKind::Rdl,
+          ParadigmKind::Memcpy}) {
+        EXPECT_GT(gps, speedupOver(base, run("Jacobi", paradigm)))
+            << to_string(paradigm);
+    }
+    EXPECT_GT(gps, 2.0); // strong scaling, not just winning
+}
+
+TEST(PaperSection71, UnifiedMemoryIsSlowerThanOneGpuOnHaloApps)
+{
+    for (const std::string app : {"Jacobi", "Diffusion", "HIT"}) {
+        const RunResult base = baseline(app);
+        EXPECT_LT(speedupOver(base, run(app, ParadigmKind::Um)), 1.0)
+            << app;
+    }
+}
+
+TEST(PaperSection71, MemcpyIsCompetitiveOnCt)
+{
+    // "memcpy at kernel boundaries performs well for CT".
+    const RunResult base = baseline("CT");
+    const double memcpy_speedup =
+        speedupOver(base, run("CT", ParadigmKind::Memcpy));
+    EXPECT_GT(memcpy_speedup, 1.5);
+}
+
+TEST(PaperSection71, EqwpGetsTheAggregateL2Boost)
+{
+    // The L2 hit rate rises when the working set splits four ways.
+    const RunResult one = baseline("EQWP");
+    const RunResult four = run("EQWP", ParadigmKind::Gps);
+    EXPECT_GT(four.l2HitRate, one.l2HitRate + 0.05);
+}
+
+TEST(PaperSection72, SubscriptionTrackingCutsHaloTraffic)
+{
+    RunConfig config;
+    config.system.numGpus = 4;
+    config.scale = scale;
+    config.paradigm = ParadigmKind::Gps;
+    const RunResult with_subs = runWorkload("Diffusion", config);
+    config.system.gps.autoUnsubscribe = false;
+    const RunResult without = runWorkload("Diffusion", config);
+    // "drastically reduces the total data transferred".
+    EXPECT_LT(static_cast<double>(with_subs.interconnectBytes),
+              0.25 * static_cast<double>(without.interconnectBytes));
+}
+
+TEST(PaperSection72, SubscriptionBarelyMattersForAllToAllApps)
+{
+    RunConfig config;
+    config.system.numGpus = 4;
+    config.scale = scale;
+    config.paradigm = ParadigmKind::Gps;
+    const RunResult with_subs = runWorkload("CT", config);
+    config.system.gps.autoUnsubscribe = false;
+    const RunResult without = runWorkload("CT", config);
+    // CT subscribes everything anyway; traffic within 2x.
+    EXPECT_LT(static_cast<double>(without.interconnectBytes),
+              2.0 * static_cast<double>(with_subs.interconnectBytes));
+}
+
+TEST(PaperSection72, UmMovesMoreDataThanMemcpyOnAtomicApps)
+{
+    const RunResult um = run("Pagerank", ParadigmKind::Um);
+    const RunResult memcpy_result =
+        run("Pagerank", ParadigmKind::Memcpy);
+    EXPECT_GT(um.interconnectBytes, memcpy_result.interconnectBytes);
+}
+
+TEST(PaperSection72, MemcpyMovesMoreDataThanUmOnJacobi)
+{
+    // The Figure 10 exception: memcpy needlessly broadcasts halos to
+    // GPUs that never read them.
+    const RunResult um = run("Jacobi", ParadigmKind::Um);
+    const RunResult memcpy_result = run("Jacobi", ParadigmKind::Memcpy);
+    EXPECT_LT(um.interconnectBytes, memcpy_result.interconnectBytes);
+}
+
+TEST(PaperSection72, HintsOverfetchOnDiffusion)
+{
+    // The other Figure 10 exception: UM+hints moves more than UM for
+    // Diffusion (coarse prefetch ranges).
+    const RunResult um = run("Diffusion", ParadigmKind::Um);
+    const RunResult hints = run("Diffusion", ParadigmKind::UmHints);
+    EXPECT_GT(hints.interconnectBytes, um.interconnectBytes);
+}
+
+TEST(PaperSection73, GpsScalesTo16Gpus)
+{
+    RunConfig config;
+    config.system.numGpus = 1;
+    config.scale = scale;
+    config.paradigm = ParadigmKind::Memcpy;
+    config.system.interconnect = InterconnectKind::Pcie6;
+    const RunResult base = runWorkload("EQWP", config);
+    const RunResult gps16 =
+        run("EQWP", ParadigmKind::Gps, 16, InterconnectKind::Pcie6);
+    const RunResult inf16 =
+        run("EQWP", ParadigmKind::InfiniteBw, 16,
+            InterconnectKind::Pcie6);
+    const double gps = speedupOver(base, gps16);
+    const double bound = speedupOver(base, inf16);
+    EXPECT_GT(gps, 3.0);
+    // "captures over 80% of the hypothetical performance".
+    EXPECT_GT(gps / bound, 0.8);
+}
+
+TEST(PaperSection74, GpsImprovesWithInterconnectBandwidth)
+{
+    const RunResult base = baseline("Pagerank");
+    const double pcie3 = speedupOver(
+        base, run("Pagerank", ParadigmKind::Gps, 4,
+                  InterconnectKind::Pcie3));
+    const double pcie6 = speedupOver(
+        base, run("Pagerank", ParadigmKind::Gps, 4,
+                  InterconnectKind::Pcie6));
+    EXPECT_GE(pcie6, pcie3);
+}
+
+TEST(PaperSection74, WriteQueueHitRatesSplitByStoreVsAtomicApps)
+{
+    // Store-dominated apps coalesce; atomic apps are pinned at 0%.
+    EXPECT_GT(run("CT", ParadigmKind::Gps).wqHitRate, 0.2);
+    EXPECT_GT(run("EQWP", ParadigmKind::Gps).wqHitRate, 0.2);
+    EXPECT_DOUBLE_EQ(run("Pagerank", ParadigmKind::Gps).wqHitRate, 0.0);
+    EXPECT_DOUBLE_EQ(run("ALS", ParadigmKind::Gps).wqHitRate, 0.0);
+    EXPECT_DOUBLE_EQ(run("Jacobi", ParadigmKind::Gps).wqHitRate, 0.0);
+}
+
+TEST(PaperSection74, GpsTlbIsNearPerfectAt32Entries)
+{
+    for (const std::string app : {"Jacobi", "CT"}) {
+        const RunResult result = run(app, ParadigmKind::Gps);
+        EXPECT_GT(result.gpsTlbHitRate, 0.95) << app;
+    }
+}
+
+TEST(PaperSection74, SixtyFourKilobytePagesAreTheSweetSpot)
+{
+    RunConfig config;
+    config.system.numGpus = 4;
+    config.scale = scale;
+    config.paradigm = ParadigmKind::Gps;
+
+    auto speedup_at = [&](std::uint64_t page_bytes) {
+        config.system.pageBytes = page_bytes;
+        RunConfig base = config;
+        base.system.numGpus = 1;
+        base.paradigm = ParadigmKind::Memcpy;
+        const RunResult b = runWorkload("EQWP", base);
+        return speedupOver(b, runWorkload("EQWP", config));
+    };
+    const double at64k = speedup_at(64 * KiB);
+    // The 2 MB penalty (false sharing, redundant remote transfers)
+    // reproduces robustly; the 4 KB TLB penalty is checked at the
+    // geomean level by bench_sens_page_size because per-app footprints
+    // at reduced scale sit on either side of the TLB reach.
+    EXPECT_GT(at64k, speedup_at(2 * MiB));
+}
+
+TEST(PaperSection6, GpsMatchesNativePortsOnComputeBoundApps)
+{
+    // Section 6: Tartan apps not bound by inter-GPU communication see
+    // "the same performance as the native version" under GPS, which is
+    // why the paper omits them. Our compute-bound N-body control shows
+    // the same: every paradigm except fault-driven UM lands within a
+    // few percent.
+    const RunResult base = baseline("Nbody");
+    const double gps =
+        speedupOver(base, run("Nbody", ParadigmKind::Gps));
+    const double memcpy_speedup =
+        speedupOver(base, run("Nbody", ParadigmKind::Memcpy));
+    const double rdl =
+        speedupOver(base, run("Nbody", ParadigmKind::Rdl));
+    EXPECT_NEAR(gps / memcpy_speedup, 1.0, 0.1);
+    EXPECT_NEAR(gps / rdl, 1.0, 0.1);
+    EXPECT_GT(gps, 3.0); // and it genuinely strong-scales
+}
+
+TEST(PaperFigure9, HaloAppsAreTwoSubscriberApps)
+{
+    const RunResult jacobi = run("Jacobi", ParadigmKind::Gps);
+    ASSERT_TRUE(jacobi.hasSubscriberHist);
+    EXPECT_GT(jacobi.subscriberHist.fraction(2), 0.9);
+    const RunResult als = run("ALS", ParadigmKind::Gps);
+    EXPECT_GT(als.subscriberHist.fraction(4), 0.9);
+}
+
+} // namespace
+} // namespace gps

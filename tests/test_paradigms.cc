@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Integration tests for the baseline paradigms (UM, UM+hints, RDL,
+ * memcpy, infinite BW) driven through the Paradigm::access interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include "paradigm/memcpy_paradigm.hh"
+#include "paradigm/paradigm.hh"
+
+namespace gps
+{
+namespace
+{
+
+class ParadigmHarness
+{
+  public:
+    explicit ParadigmHarness(ParadigmKind kind)
+    {
+        SystemConfig config;
+        config.numGpus = 4;
+        system = std::make_unique<MultiGpuSystem>(config);
+        paradigm = makeParadigm(kind, *system);
+        traffic = std::make_unique<TrafficMatrix>(4);
+        // Allocate one shared region the way the runner would.
+        switch (paradigm->sharedKind()) {
+          case MemKind::Managed:
+            region = &system->driver().mallocManaged(64 * KiB, "shared");
+            break;
+          case MemKind::Replicated:
+            region = &system->driver().mallocReplicated(64 * KiB,
+                                                        "shared", 0);
+            break;
+          case MemKind::Gps:
+            region = &system->driver().mallocGps(64 * KiB, "shared", 0);
+            break;
+          case MemKind::Pinned:
+            region = &system->driver().malloc(64 * KiB, 0, "shared");
+            break;
+        }
+        paradigm->onSetupComplete();
+    }
+
+    void
+    access(GpuId gpu, const MemAccess& a)
+    {
+        const PageNum vpn = system->geometry().pageNum(a.vaddr);
+        const bool miss = system->gpu(gpu).tlbAccess(vpn, counters);
+        paradigm->access(gpu, a, vpn, miss, counters, *traffic);
+    }
+
+    Tick
+    barrier()
+    {
+        TrafficMatrix barrier_traffic(4);
+        const Tick overhead =
+            paradigm->atBarrier(counters, barrier_traffic);
+        barrierBytes = barrier_traffic.total();
+        return overhead;
+    }
+
+    std::unique_ptr<MultiGpuSystem> system;
+    std::unique_ptr<Paradigm> paradigm;
+    std::unique_ptr<TrafficMatrix> traffic;
+    const Region* region = nullptr;
+    KernelCounters counters;
+    std::uint64_t barrierBytes = 0;
+};
+
+TEST(ParadigmFactory, BuildsEveryKindWithMatchingIdentity)
+{
+    SystemConfig config;
+    MultiGpuSystem system(config);
+    for (const ParadigmKind kind : allParadigms()) {
+        auto paradigm = makeParadigm(kind, system);
+        EXPECT_EQ(paradigm->kind(), kind) << to_string(kind);
+    }
+}
+
+TEST(ParadigmFactory, SharedKindsMatchTheEvaluationSetup)
+{
+    SystemConfig config;
+    MultiGpuSystem system(config);
+    EXPECT_EQ(makeParadigm(ParadigmKind::Um, system)->sharedKind(),
+              MemKind::Managed);
+    EXPECT_EQ(makeParadigm(ParadigmKind::UmHints, system)->sharedKind(),
+              MemKind::Managed);
+    EXPECT_EQ(makeParadigm(ParadigmKind::Rdl, system)->sharedKind(),
+              MemKind::Replicated);
+    EXPECT_EQ(makeParadigm(ParadigmKind::Memcpy, system)->sharedKind(),
+              MemKind::Replicated);
+    EXPECT_EQ(makeParadigm(ParadigmKind::Gps, system)->sharedKind(),
+              MemKind::Gps);
+}
+
+TEST(UmParadigmIntegration, RemoteTouchesFaultAndMigrate)
+{
+    ParadigmHarness h(ParadigmKind::Um);
+    h.access(0, MemAccess::store(h.region->base));
+    h.access(1, MemAccess::load(h.region->base));
+    EXPECT_GE(h.counters.pageFaults, 2u);
+    EXPECT_EQ(h.counters.pageMigrations, 1u);
+    EXPECT_GT(h.traffic->total(), 0u);
+}
+
+TEST(RdlIntegration, LoadsChaseTheLastWriter)
+{
+    ParadigmHarness h(ParadigmKind::Rdl);
+    h.access(0, MemAccess::store(h.region->base));
+    h.access(1, MemAccess::load(h.region->base));
+    EXPECT_EQ(h.counters.remoteLoads, 1u);
+    EXPECT_EQ(h.counters.pageFaults, 0u);
+    // The writer itself reads locally.
+    const std::uint64_t remote = h.counters.remoteLoads;
+    h.access(0, MemAccess::load(h.region->base));
+    EXPECT_EQ(h.counters.remoteLoads, remote);
+}
+
+TEST(RdlIntegration, BarrierInvalidatesPeerCachedCopies)
+{
+    ParadigmHarness h(ParadigmKind::Rdl);
+    h.access(0, MemAccess::store(h.region->base));
+    h.access(1, MemAccess::load(h.region->base)); // remote, cached
+    h.access(1, MemAccess::load(h.region->base)); // L2 hit
+    EXPECT_EQ(h.counters.remoteLoads, 1u);
+    h.barrier();
+    h.access(0, MemAccess::store(h.region->base));
+    h.barrier();
+    h.access(1, MemAccess::load(h.region->base)); // stale: refetch
+    EXPECT_EQ(h.counters.remoteLoads, 2u);
+}
+
+TEST(RdlIntegration, RemoteAtomicsRouteToCanonicalCopy)
+{
+    ParadigmHarness h(ParadigmKind::Rdl);
+    h.access(0, MemAccess::store(h.region->base));
+    h.access(1, MemAccess::atomic(h.region->base));
+    EXPECT_EQ(h.counters.remoteAtomics, 1u);
+}
+
+TEST(MemcpyIntegration, KernelsRunFullyLocal)
+{
+    ParadigmHarness h(ParadigmKind::Memcpy);
+    h.access(0, MemAccess::store(h.region->base));
+    h.access(1, MemAccess::load(h.region->base));
+    h.access(2, MemAccess::atomic(h.region->base));
+    EXPECT_EQ(h.traffic->total(), 0u);
+    EXPECT_EQ(h.counters.remoteLoads, 0u);
+}
+
+TEST(MemcpyIntegration, BarrierBroadcastsDirtyPagesFromWriter)
+{
+    ParadigmHarness h(ParadigmKind::Memcpy);
+    h.access(2, MemAccess::store(h.region->base));
+    const Tick overhead = h.barrier();
+    EXPECT_GT(overhead, 0u);
+    // One dirty page to three peers.
+    EXPECT_EQ(h.barrierBytes,
+              3 * (64 * KiB + h.system->topology().spec().headerBytes));
+    // A second barrier with no new writes broadcasts nothing.
+    h.barrier();
+    EXPECT_EQ(h.barrierBytes, 0u);
+}
+
+TEST(MemcpyIntegration, DeclaredBroadcastRangesOverrideDirtyTracking)
+{
+    ParadigmHarness h(ParadigmKind::Memcpy);
+    Phase phase;
+    phase.barrierBroadcasts.push_back(
+        BroadcastRange{1, h.region->base, 8 * KiB});
+    KernelCounters scratch;
+    TrafficMatrix t(4);
+    h.paradigm->beginPhase(phase, scratch, t);
+    h.access(0, MemAccess::store(h.region->base)); // would dirty a page
+    h.barrier();
+    EXPECT_EQ(h.barrierBytes,
+              3 * (8 * KiB + h.system->topology().spec().headerBytes));
+}
+
+TEST(InfiniteIntegration, TransfersAreFree)
+{
+    ParadigmHarness h(ParadigmKind::InfiniteBw);
+    h.access(0, MemAccess::store(h.region->base));
+    const Tick overhead = h.barrier();
+    EXPECT_EQ(overhead, 0u);
+    EXPECT_EQ(h.barrierBytes, 0u);
+    EXPECT_EQ(h.traffic->total(), 0u);
+}
+
+TEST(PinnedPages, RouteIdenticallyUnderEveryParadigm)
+{
+    for (const ParadigmKind kind : allParadigms()) {
+        ParadigmHarness h(kind);
+        const Region& priv =
+            h.system->driver().malloc(64 * KiB, 2, "private");
+        // Owner access is local under every paradigm.
+        h.access(2, MemAccess::load(priv.base));
+        EXPECT_EQ(h.counters.remoteLoads, 0u) << to_string(kind);
+        // A peer load is a conventional remote access.
+        h.access(0, MemAccess::load(priv.base));
+        EXPECT_EQ(h.counters.remoteLoads, 1u) << to_string(kind);
+    }
+}
+
+TEST(ParadigmNames, AreStable)
+{
+    EXPECT_EQ(to_string(ParadigmKind::Um), "UM");
+    EXPECT_EQ(to_string(ParadigmKind::UmHints), "UM+hints");
+    EXPECT_EQ(to_string(ParadigmKind::Rdl), "RDL");
+    EXPECT_EQ(to_string(ParadigmKind::Memcpy), "Memcpy");
+    EXPECT_EQ(to_string(ParadigmKind::Gps), "GPS");
+    EXPECT_EQ(to_string(ParadigmKind::InfiniteBw), "Infinite BW");
+    EXPECT_EQ(allParadigms().size(), 6u);
+}
+
+} // namespace
+} // namespace gps

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the per-GPU physical frame allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/physical_memory.hh"
+
+namespace gps
+{
+namespace
+{
+
+PhysicalMemory
+makeMemory(std::uint64_t frames)
+{
+    return PhysicalMemory("mem", frames * 64 * KiB, PageGeometry(64 * KiB));
+}
+
+TEST(PhysicalMemory, CapacityDerivesFrameCount)
+{
+    auto mem = makeMemory(16);
+    EXPECT_EQ(mem.totalFrames(), 16u);
+    EXPECT_EQ(mem.framesFree(), 16u);
+}
+
+TEST(PhysicalMemory, AllocatesDistinctFrames)
+{
+    auto mem = makeMemory(8);
+    std::set<PageNum> seen;
+    for (int i = 0; i < 8; ++i) {
+        auto ppn = mem.allocFrame();
+        ASSERT_TRUE(ppn.has_value());
+        EXPECT_TRUE(seen.insert(*ppn).second);
+    }
+    EXPECT_EQ(mem.framesInUse(), 8u);
+}
+
+TEST(PhysicalMemory, ExhaustionReturnsNullopt)
+{
+    auto mem = makeMemory(2);
+    ASSERT_TRUE(mem.allocFrame().has_value());
+    ASSERT_TRUE(mem.allocFrame().has_value());
+    EXPECT_FALSE(mem.allocFrame().has_value());
+}
+
+TEST(PhysicalMemory, FreedFramesAreReused)
+{
+    auto mem = makeMemory(2);
+    const PageNum a = *mem.allocFrame();
+    ASSERT_TRUE(mem.allocFrame().has_value());
+    mem.freeFrame(a);
+    auto again = mem.allocFrame();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, a);
+}
+
+TEST(PhysicalMemory, AllocatedTracksLiveness)
+{
+    auto mem = makeMemory(4);
+    const PageNum a = *mem.allocFrame();
+    EXPECT_TRUE(mem.allocated(a));
+    mem.freeFrame(a);
+    EXPECT_FALSE(mem.allocated(a));
+    EXPECT_FALSE(mem.allocated(999));
+}
+
+TEST(PhysicalMemoryDeath, DoubleFreePanics)
+{
+    auto mem = makeMemory(4);
+    const PageNum a = *mem.allocFrame();
+    mem.freeFrame(a);
+    EXPECT_DEATH(mem.freeFrame(a), "double free");
+}
+
+TEST(PhysicalMemory, StatsTrackPeakUsage)
+{
+    auto mem = makeMemory(4);
+    const PageNum a = *mem.allocFrame();
+    const PageNum b = *mem.allocFrame();
+    mem.freeFrame(a);
+    mem.freeFrame(b);
+    StatSet stats;
+    mem.exportStats(stats);
+    EXPECT_DOUBLE_EQ(stats.get("mem.frames_peak"), 2.0);
+    EXPECT_DOUBLE_EQ(stats.get("mem.frames_in_use"), 0.0);
+}
+
+TEST(PhysicalMemory, FullDrainAndRefill)
+{
+    auto mem = makeMemory(32);
+    std::vector<PageNum> frames;
+    while (auto ppn = mem.allocFrame())
+        frames.push_back(*ppn);
+    EXPECT_EQ(frames.size(), 32u);
+    for (const PageNum ppn : frames)
+        mem.freeFrame(ppn);
+    EXPECT_EQ(mem.framesFree(), 32u);
+    EXPECT_TRUE(mem.allocFrame().has_value());
+}
+
+} // namespace
+} // namespace gps

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Integration tests for the runner: phase execution, event-queue
+ * synchronization, iteration extrapolation and result assembly, driven
+ * by a minimal synthetic workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/runner.hh"
+#include "apps/app_common.hh"
+
+namespace gps
+{
+namespace
+{
+
+/** Tiny deterministic workload: each GPU sweeps its private slab and
+ * stores one shared page. */
+class ToyWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Toy"; }
+    std::string description() const override { return "toy"; }
+    std::string commPattern() const override { return "Peer-to-peer"; }
+    std::size_t effectiveIterations() const override { return eff; }
+
+    void
+    setup(WorkloadContext& ctx) override
+    {
+        gpus = ctx.numGpus();
+        shared = ctx.allocShared(gpus * 64 * KiB, "toy.shared");
+        for (std::size_t g = 0; g < gpus; ++g) {
+            priv.push_back(ctx.allocPrivate(
+                64 * KiB, "toy.priv", static_cast<GpuId>(g)));
+        }
+    }
+
+    std::vector<Phase>
+    iteration(std::size_t iter, WorkloadContext& ctx) override
+    {
+        (void)iter;
+        (void)ctx;
+        Phase phase;
+        phase.name = "toy.phase";
+        for (std::size_t g = 0; g < gpus; ++g) {
+            const GpuId gpu = static_cast<GpuId>(g);
+            std::vector<apps::Group> groups;
+            groups.push_back(apps::Group{{
+                apps::Burst{priv[g], 64, 128, AccessType::Load, 128,
+                            Scope::Weak},
+                apps::Burst{shared + g * 64 * KiB, 64, 128,
+                            AccessType::Store, 128, Scope::Weak},
+            }});
+            KernelLaunch kernel;
+            kernel.gpu = gpu;
+            kernel.name = "toy.kernel";
+            kernel.computeInstrs = 1'000'000;
+            kernel.stream = apps::makeGroupStream(std::move(groups));
+            phase.kernels.push_back(std::move(kernel));
+        }
+        std::vector<Phase> phases;
+        phases.push_back(std::move(phase));
+        return phases;
+    }
+
+    std::size_t eff = 10;
+    std::size_t gpus = 0;
+    Addr shared = 0;
+    std::vector<Addr> priv;
+};
+
+RunConfig
+toyConfig()
+{
+    RunConfig config;
+    config.system.numGpus = 2;
+    return config;
+}
+
+TEST(Runner, ProducesNonzeroTimeAndCounters)
+{
+    ToyWorkload workload;
+    Runner runner(toyConfig());
+    const RunResult result = runner.run(workload);
+    EXPECT_GT(result.totalTime, 0u);
+    EXPECT_GT(result.totals.accesses, 0u);
+    EXPECT_EQ(result.numGpus, 2u);
+    EXPECT_EQ(result.workload, "Toy");
+}
+
+TEST(Runner, AccessCountsMatchTheTrace)
+{
+    ToyWorkload workload;
+    RunConfig config = toyConfig();
+    config.paradigm = ParadigmKind::Memcpy;
+    Runner runner(config);
+    const RunResult result = runner.run(workload);
+    // 2 GPUs x 128 accesses per phase x 5 simulated iterations.
+    EXPECT_EQ(result.totals.accesses, 2u * 128u * 5u);
+    EXPECT_EQ(result.totals.loads, 2u * 64u * 5u);
+    EXPECT_EQ(result.totals.stores, 2u * 64u * 5u);
+}
+
+TEST(Runner, ExtrapolationScalesSteadyStateLinearly)
+{
+    ToyWorkload short_run;
+    short_run.eff = 10;
+    ToyWorkload long_run;
+    long_run.eff = 100;
+    RunConfig config = toyConfig();
+    config.paradigm = ParadigmKind::Memcpy;
+    Runner runner(config);
+    const RunResult a = runner.run(short_run);
+    const RunResult b = runner.run(long_run);
+    const double ratio = static_cast<double>(b.totalTime) /
+                         static_cast<double>(a.totalTime);
+    // (1 + 99*s) / (1 + 9*s): close to 10 when iterations dominate.
+    EXPECT_NEAR(ratio, 10.0, 1.0);
+}
+
+TEST(Runner, EffectiveIterationsOverrideWins)
+{
+    ToyWorkload workload;
+    RunConfig config = toyConfig();
+    config.paradigm = ParadigmKind::Memcpy;
+    config.effectiveIterationsOverride = 1;
+    Runner runner(config);
+    const RunResult one = runner.run(workload);
+    ToyWorkload workload2;
+    config.effectiveIterationsOverride = 0; // back to workload's 10
+    const RunResult ten = Runner(config).run(workload2);
+    EXPECT_LT(one.totalTime, ten.totalTime);
+    // A single effective iteration simulates only iteration 0.
+    EXPECT_EQ(one.totals.accesses, 2u * 128u);
+}
+
+TEST(Runner, GpsRunProducesSubscriberHistogram)
+{
+    ToyWorkload workload;
+    RunConfig config = toyConfig();
+    config.paradigm = ParadigmKind::Gps;
+    const RunResult result = Runner(config).run(workload);
+    EXPECT_TRUE(result.hasSubscriberHist);
+    EXPECT_GT(result.totals.wqDrains + result.totals.wqInserts, 0u);
+}
+
+TEST(Runner, MemcpyBaselineHasNoFaults)
+{
+    ToyWorkload workload;
+    RunConfig config = toyConfig();
+    config.paradigm = ParadigmKind::Memcpy;
+    const RunResult result = Runner(config).run(workload);
+    EXPECT_EQ(result.totals.pageFaults, 0u);
+}
+
+TEST(Runner, SingleGpuRunWorks)
+{
+    ToyWorkload workload;
+    RunConfig config = toyConfig();
+    config.system.numGpus = 1;
+    config.paradigm = ParadigmKind::Memcpy;
+    const RunResult result = Runner(config).run(workload);
+    EXPECT_GT(result.totalTime, 0u);
+    EXPECT_EQ(result.interconnectBytes, 0u);
+}
+
+TEST(Runner, InfiniteBwNeverSlowerThanMemcpy)
+{
+    ToyWorkload a, b;
+    RunConfig config = toyConfig();
+    config.paradigm = ParadigmKind::Memcpy;
+    const RunResult memcpy_result = Runner(config).run(a);
+    config.paradigm = ParadigmKind::InfiniteBw;
+    const RunResult infinite_result = Runner(config).run(b);
+    EXPECT_LE(infinite_result.totalTime, memcpy_result.totalTime);
+}
+
+TEST(Runner, RunByNameResolvesBundledWorkloads)
+{
+    RunConfig config = toyConfig();
+    config.scale = 0.03125;
+    config.paradigm = ParadigmKind::Memcpy;
+    const RunResult result = Runner(config).runByName("Jacobi");
+    EXPECT_EQ(result.workload, "Jacobi");
+    EXPECT_GT(result.totalTime, 0u);
+}
+
+} // namespace
+} // namespace gps

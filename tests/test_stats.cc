@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the statistics containers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace gps
+{
+namespace
+{
+
+TEST(StatSet, MissingStatReadsAsZero)
+{
+    StatSet stats;
+    EXPECT_DOUBLE_EQ(stats.get("nope"), 0.0);
+    EXPECT_FALSE(stats.has("nope"));
+}
+
+TEST(StatSet, AddAccumulates)
+{
+    StatSet stats;
+    stats.add("x", 1.5);
+    stats.add("x", 2.5);
+    EXPECT_DOUBLE_EQ(stats.get("x"), 4.0);
+    EXPECT_TRUE(stats.has("x"));
+}
+
+TEST(StatSet, SetOverwrites)
+{
+    StatSet stats;
+    stats.add("x", 10.0);
+    stats.set("x", 3.0);
+    EXPECT_DOUBLE_EQ(stats.get("x"), 3.0);
+}
+
+TEST(StatSet, MergeSumsMatchingNames)
+{
+    StatSet a, b;
+    a.add("x", 1.0);
+    a.add("y", 2.0);
+    b.add("x", 10.0);
+    b.add("z", 5.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 11.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 2.0);
+    EXPECT_DOUBLE_EQ(a.get("z"), 5.0);
+}
+
+TEST(StatSet, DumpContainsPrefixAndNames)
+{
+    StatSet stats;
+    stats.set("alpha", 1.0);
+    const std::string dump = stats.dump("pre.");
+    EXPECT_NE(dump.find("pre.alpha = 1"), std::string::npos);
+}
+
+TEST(Histogram, SamplesLandInBuckets)
+{
+    Histogram hist(5);
+    hist.sample(2);
+    hist.sample(2, 3);
+    hist.sample(4);
+    EXPECT_EQ(hist.bucket(2), 4u);
+    EXPECT_EQ(hist.bucket(4), 1u);
+    EXPECT_EQ(hist.total(), 5u);
+}
+
+TEST(Histogram, OutOfRangeClampsToLastBucket)
+{
+    Histogram hist(3);
+    hist.sample(99);
+    EXPECT_EQ(hist.bucket(2), 1u);
+}
+
+TEST(Histogram, FractionsSumToOne)
+{
+    Histogram hist(4);
+    hist.sample(0, 1);
+    hist.sample(1, 3);
+    double sum = 0.0;
+    for (std::size_t b = 0; b < hist.size(); ++b)
+        sum += hist.fraction(b);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyFractionIsZero)
+{
+    Histogram hist(4);
+    EXPECT_DOUBLE_EQ(hist.fraction(1), 0.0);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram hist(4);
+    hist.sample(1);
+    hist.clear();
+    EXPECT_EQ(hist.total(), 0u);
+    EXPECT_EQ(hist.bucket(1), 0u);
+}
+
+TEST(Geomean, MatchesClosedForm)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({3.0, 3.0, 3.0}), 3.0, 1e-12);
+}
+
+TEST(Geomean, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+} // namespace
+} // namespace gps

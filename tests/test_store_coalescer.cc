@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for the SM-level store coalescer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/store_coalescer.hh"
+
+namespace gps
+{
+namespace
+{
+
+TEST(StoreCoalescer, FirstStoreForwards)
+{
+    StoreCoalescer coalescer("c", 4, 128);
+    EXPECT_FALSE(coalescer.absorb(0x1000));
+    EXPECT_EQ(coalescer.forwarded(), 1u);
+}
+
+TEST(StoreCoalescer, SameLineAbsorbs)
+{
+    StoreCoalescer coalescer("c", 4, 128);
+    coalescer.absorb(0x1000);
+    EXPECT_TRUE(coalescer.absorb(0x1004));
+    EXPECT_TRUE(coalescer.absorb(0x107C));
+    EXPECT_EQ(coalescer.absorbed(), 2u);
+    EXPECT_EQ(coalescer.forwarded(), 1u);
+}
+
+TEST(StoreCoalescer, DifferentLinesForward)
+{
+    StoreCoalescer coalescer("c", 4, 128);
+    coalescer.absorb(0);
+    EXPECT_FALSE(coalescer.absorb(128));
+    EXPECT_FALSE(coalescer.absorb(256));
+}
+
+TEST(StoreCoalescer, DepthBoundsRecencyWindow)
+{
+    StoreCoalescer coalescer("c", 2, 128);
+    coalescer.absorb(0);
+    coalescer.absorb(128);
+    coalescer.absorb(256); // pushes line 0 out of the window
+    EXPECT_FALSE(coalescer.absorb(0));
+    EXPECT_TRUE(coalescer.absorb(256));
+}
+
+TEST(StoreCoalescer, ResetForgetsWindow)
+{
+    StoreCoalescer coalescer("c", 4, 128);
+    coalescer.absorb(0);
+    coalescer.reset();
+    EXPECT_FALSE(coalescer.absorb(0));
+}
+
+TEST(StoreCoalescer, SequentialLineSweepNeverAbsorbs)
+{
+    // The Jacobi property: one store per line, no temporal revisits —
+    // everything forwards (which is why the WQ then sees 0% hits).
+    StoreCoalescer coalescer("c", 8, 128);
+    for (Addr a = 0; a < 128 * 100; a += 128)
+        EXPECT_FALSE(coalescer.absorb(a));
+    EXPECT_EQ(coalescer.absorbed(), 0u);
+}
+
+} // namespace
+} // namespace gps

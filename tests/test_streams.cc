@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the access-stream generators (vector, callback,
+ * concat, group/burst, replay).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/app_common.hh"
+#include "trace/kernel_trace.hh"
+
+namespace gps
+{
+namespace
+{
+
+std::vector<MemAccess>
+drain(AccessStream& stream)
+{
+    std::vector<MemAccess> out;
+    MemAccess access;
+    while (stream.next(access))
+        out.push_back(access);
+    return out;
+}
+
+TEST(VectorStream, EmitsInOrderThenEnds)
+{
+    VectorStream stream({MemAccess::load(1), MemAccess::store(2)});
+    const auto accesses = drain(stream);
+    ASSERT_EQ(accesses.size(), 2u);
+    EXPECT_EQ(accesses[0].vaddr, 1u);
+    EXPECT_EQ(accesses[1].vaddr, 2u);
+}
+
+TEST(CallbackStream, DrivesFromClosure)
+{
+    int remaining = 3;
+    CallbackStream stream([&](MemAccess& out) {
+        if (remaining == 0)
+            return false;
+        out = MemAccess::load(static_cast<Addr>(remaining--));
+        return true;
+    });
+    EXPECT_EQ(drain(stream).size(), 3u);
+}
+
+TEST(ConcatStream, ChainsPartsInOrder)
+{
+    std::vector<std::unique_ptr<AccessStream>> parts;
+    parts.push_back(std::make_unique<VectorStream>(
+        std::vector<MemAccess>{MemAccess::load(1)}));
+    parts.push_back(std::make_unique<VectorStream>(
+        std::vector<MemAccess>{}));
+    parts.push_back(std::make_unique<VectorStream>(
+        std::vector<MemAccess>{MemAccess::load(2), MemAccess::load(3)}));
+    ConcatStream stream(std::move(parts));
+    const auto accesses = drain(stream);
+    ASSERT_EQ(accesses.size(), 3u);
+    EXPECT_EQ(accesses[0].vaddr, 1u);
+    EXPECT_EQ(accesses[2].vaddr, 3u);
+}
+
+TEST(GroupStream, InterleavesBurstsRoundRobin)
+{
+    apps::Group group;
+    group.bursts = {
+        apps::Burst{0, 2, 128, AccessType::Load, 128, Scope::Weak},
+        apps::Burst{1000, 2, 128, AccessType::Store, 128, Scope::Weak},
+    };
+    apps::GroupStream stream({group});
+    const auto accesses = drain(stream);
+    ASSERT_EQ(accesses.size(), 4u);
+    EXPECT_EQ(accesses[0].vaddr, 0u);
+    EXPECT_EQ(accesses[1].vaddr, 1000u);
+    EXPECT_EQ(accesses[2].vaddr, 128u);
+    EXPECT_EQ(accesses[3].vaddr, 1128u);
+    EXPECT_TRUE(accesses[1].isStore());
+}
+
+TEST(GroupStream, UnevenBurstsDrainCompletely)
+{
+    apps::Group group;
+    group.bursts = {
+        apps::Burst{0, 1, 128, AccessType::Load, 128, Scope::Weak},
+        apps::Burst{1000, 3, 128, AccessType::Store, 128, Scope::Weak},
+    };
+    apps::GroupStream stream({group});
+    EXPECT_EQ(drain(stream).size(), 4u);
+}
+
+TEST(GroupStream, GroupsRunSequentially)
+{
+    apps::Group first;
+    first.bursts = {
+        apps::Burst{0, 2, 128, AccessType::Store, 128, Scope::Weak}};
+    apps::Group second;
+    second.bursts = {
+        apps::Burst{0, 2, 128, AccessType::Store, 128, Scope::Weak}};
+    apps::GroupStream stream({first, second});
+    const auto accesses = drain(stream);
+    ASSERT_EQ(accesses.size(), 4u);
+    // The second group revisits the same lines (a reuse distance of 2,
+    // which is how multi-pass sweeps express WQ-coalescible stores).
+    EXPECT_EQ(accesses[0].vaddr, accesses[2].vaddr);
+}
+
+TEST(GroupStream, NegativeStrideWalksBackwards)
+{
+    apps::Group group;
+    group.bursts = {
+        apps::Burst{256, 3, -128, AccessType::Load, 128, Scope::Weak}};
+    apps::GroupStream stream({group});
+    const auto accesses = drain(stream);
+    ASSERT_EQ(accesses.size(), 3u);
+    EXPECT_EQ(accesses[0].vaddr, 256u);
+    EXPECT_EQ(accesses[1].vaddr, 128u);
+    EXPECT_EQ(accesses[2].vaddr, 0u);
+}
+
+TEST(ReplayStream, FullReplayMatchesBacking)
+{
+    std::vector<MemAccess> backing{MemAccess::load(1),
+                                   MemAccess::atomic(2)};
+    apps::ReplayStream stream(&backing);
+    const auto accesses = drain(stream);
+    ASSERT_EQ(accesses.size(), 2u);
+    EXPECT_TRUE(accesses[1].isAtomic());
+}
+
+TEST(ReplayStream, CircularSliceWrapsAround)
+{
+    std::vector<MemAccess> backing;
+    for (Addr a = 0; a < 10; ++a)
+        backing.push_back(MemAccess::load(a));
+    apps::ReplayStream stream(&backing, 8, 4);
+    const auto accesses = drain(stream);
+    ASSERT_EQ(accesses.size(), 4u);
+    EXPECT_EQ(accesses[0].vaddr, 8u);
+    EXPECT_EQ(accesses[1].vaddr, 9u);
+    EXPECT_EQ(accesses[2].vaddr, 0u);
+    EXPECT_EQ(accesses[3].vaddr, 1u);
+}
+
+TEST(ReplayStream, CountIsCappedAtBackingSize)
+{
+    std::vector<MemAccess> backing{MemAccess::load(1)};
+    apps::ReplayStream stream(&backing, 0, 100);
+    EXPECT_EQ(drain(stream).size(), 1u);
+}
+
+TEST(ReplayStream, EmptyBackingEndsImmediately)
+{
+    std::vector<MemAccess> backing;
+    apps::ReplayStream stream(&backing, 0, 5);
+    MemAccess access;
+    EXPECT_FALSE(stream.next(access));
+}
+
+TEST(TiledStores, ReuseDistanceEqualsTileSize)
+{
+    std::vector<apps::Group> groups;
+    apps::appendTiledStores(groups, 0, 0, 8, {4}, 2);
+    apps::GroupStream stream(std::move(groups));
+    const auto accesses = drain(stream);
+    // 8 lines x 2 passes.
+    ASSERT_EQ(accesses.size(), 16u);
+    // First tile: lines 0..3 stored, then re-stored.
+    EXPECT_EQ(accesses[0].vaddr, accesses[4].vaddr);
+    EXPECT_EQ(accesses[3].vaddr, accesses[7].vaddr);
+    // Second tile follows.
+    EXPECT_EQ(accesses[8].vaddr, 4u * 128u);
+}
+
+TEST(TiledStores, PartialTailTileIsCovered)
+{
+    std::vector<apps::Group> groups;
+    apps::appendTiledStores(groups, 0, 0, 10, {4}, 1);
+    apps::GroupStream stream(std::move(groups));
+    EXPECT_EQ(drain(stream).size(), 10u);
+}
+
+TEST(MemAccessHelpers, ClassifyCorrectly)
+{
+    EXPECT_TRUE(MemAccess::load(0).isLoad());
+    EXPECT_FALSE(MemAccess::load(0).isWrite());
+    EXPECT_TRUE(MemAccess::store(0).isWrite());
+    EXPECT_TRUE(MemAccess::atomic(0).isWrite());
+    EXPECT_TRUE(MemAccess::atomic(0).isAtomic());
+    EXPECT_EQ(MemAccess::sysStore(0).scope, Scope::Sys);
+}
+
+} // namespace
+} // namespace gps

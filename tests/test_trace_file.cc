@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for binary trace capture and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hh"
+#include "trace/trace_file.hh"
+
+namespace gps
+{
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    TraceFileTest()
+    {
+        path_ = ::testing::TempDir() + "gps_trace_test.bin";
+    }
+
+    ~TraceFileTest() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(TraceFileTest, RoundTripsAccessesExactly)
+{
+    std::vector<MemAccess> accesses = {
+        MemAccess::load(0x1000, 128),
+        MemAccess::store(0x2004, 4),
+        MemAccess::atomic(0x3008, 8),
+        MemAccess::sysStore(0x4000, 4),
+    };
+    {
+        TraceWriter writer(path_);
+        for (const MemAccess& a : accesses)
+            writer.append(a);
+    }
+    TraceFileStream stream(path_);
+    EXPECT_EQ(stream.records(), accesses.size());
+    for (const MemAccess& expected : accesses) {
+        MemAccess got;
+        ASSERT_TRUE(stream.next(got));
+        EXPECT_EQ(got.vaddr, expected.vaddr);
+        EXPECT_EQ(got.size, expected.size);
+        EXPECT_EQ(got.type, expected.type);
+        EXPECT_EQ(got.scope, expected.scope);
+    }
+    MemAccess extra;
+    EXPECT_FALSE(stream.next(extra));
+}
+
+TEST_F(TraceFileTest, AppendAllDrainsAStream)
+{
+    std::vector<MemAccess> accesses;
+    for (int i = 0; i < 1000; ++i)
+        accesses.push_back(MemAccess::load(static_cast<Addr>(i) * 128));
+    VectorStream source(accesses);
+    {
+        TraceWriter writer(path_);
+        EXPECT_EQ(writer.appendAll(source), 1000u);
+    }
+    TraceFileStream stream(path_);
+    EXPECT_EQ(stream.records(), 1000u);
+    MemAccess got;
+    std::uint64_t count = 0;
+    while (stream.next(got)) {
+        EXPECT_EQ(got.vaddr, count * 128);
+        ++count;
+    }
+    EXPECT_EQ(count, 1000u);
+}
+
+TEST_F(TraceFileTest, EmptyTraceIsValid)
+{
+    { TraceWriter writer(path_); }
+    TraceFileStream stream(path_);
+    EXPECT_EQ(stream.records(), 0u);
+    MemAccess got;
+    EXPECT_FALSE(stream.next(got));
+}
+
+TEST_F(TraceFileTest, RejectsNonTraceFiles)
+{
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    std::fputs("definitely not a trace", f);
+    std::fclose(f);
+    EXPECT_THROW(TraceFileStream stream(path_), FatalError);
+}
+
+TEST_F(TraceFileTest, RejectsMissingFiles)
+{
+    EXPECT_THROW(TraceFileStream stream("/nonexistent/nope.bin"),
+                 FatalError);
+}
+
+TEST_F(TraceFileTest, RejectsFutureVersions)
+{
+    { TraceWriter writer(path_); }
+    // Corrupt the version field (offset 8).
+    std::FILE* f = std::fopen(path_.c_str(), "rb+");
+    std::fseek(f, 8, SEEK_SET);
+    const std::uint32_t bad = 999;
+    std::fwrite(&bad, sizeof(bad), 1, f);
+    std::fclose(f);
+    EXPECT_THROW(TraceFileStream stream(path_), FatalError);
+}
+
+TEST_F(TraceFileTest, WriterIsReusableAsPlainStreamSource)
+{
+    {
+        TraceWriter writer(path_);
+        writer.append(MemAccess::store(42, 4));
+        EXPECT_EQ(writer.recordsWritten(), 1u);
+        writer.close(); // explicit close then destructor: no double free
+    }
+    TraceFileStream stream(path_);
+    MemAccess got;
+    ASSERT_TRUE(stream.next(got));
+    EXPECT_EQ(got.vaddr, 42u);
+}
+
+} // namespace
+} // namespace gps

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Integration tests for the capture/replay loop: a workload captured to
+ * trace files + manifest must replay with the identical access stream
+ * and VA layout, under any paradigm.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "api/runner.hh"
+#include "apps/trace_workload.hh"
+#include "common/logging.hh"
+#include "trace/trace_file.hh"
+
+namespace gps
+{
+namespace
+{
+
+class TraceReplayTest : public ::testing::Test
+{
+  protected:
+    TraceReplayTest()
+    {
+        prefix_ = ::testing::TempDir() + "gps_replay_test";
+        capture("Jacobi", 2, 0.0625);
+    }
+
+    ~TraceReplayTest() override
+    {
+        // Best-effort cleanup of the capture artifacts.
+        std::remove((prefix_ + ".manifest").c_str());
+        for (int iter = 0; iter < 2; ++iter) {
+            for (int phase = 0; phase < 4; ++phase) {
+                for (int gpu = 0; gpu < 2; ++gpu) {
+                    std::remove(tracePath(iter, phase, gpu).c_str());
+                }
+            }
+        }
+    }
+
+    std::string
+    tracePath(int iter, int phase, int gpu) const
+    {
+        return prefix_ + ".iter" + std::to_string(iter) + ".phase" +
+               std::to_string(phase) + ".gpu" + std::to_string(gpu) +
+               ".trc";
+    }
+
+    /** Minimal reimplementation of `gps-trace capture`. */
+    void
+    capture(const std::string& app, std::size_t gpus, double scale)
+    {
+        SystemConfig config;
+        config.numGpus = gpus;
+        MultiGpuSystem system(config);
+        auto paradigm = makeParadigm(ParadigmKind::Memcpy, system);
+        WorkloadContext ctx(system, *paradigm);
+        auto workload = makeWorkload(app);
+        workload->setScale(scale);
+        workload->setup(ctx);
+
+        std::ofstream manifest(prefix_ + ".manifest");
+        manifest << "gps-trace-manifest 1\n";
+        manifest << "page_bytes " << system.geometry().bytes() << "\n";
+        manifest << "gpus " << gpus << "\n";
+        manifest << "iterations 2\n";
+        for (const auto& [base, region] :
+             system.addressSpace().regions()) {
+            manifest << "region " << region.base << " " << region.size
+                     << " "
+                     << (region.kind == MemKind::Pinned ? "private"
+                                                        : "shared")
+                     << " " << region.home << " " << region.label
+                     << "\n";
+        }
+        std::string kernels;
+        std::size_t phase_count = 0;
+        for (std::size_t iter = 0; iter < 2; ++iter) {
+            std::vector<Phase> phases = workload->iteration(iter, ctx);
+            if (iter == 0)
+                phase_count = phases.size();
+            for (std::size_t p = 0; p < phases.size(); ++p) {
+                for (KernelLaunch& kernel : phases[p].kernels) {
+                    TraceWriter writer(tracePath(
+                        static_cast<int>(iter), static_cast<int>(p),
+                        kernel.gpu));
+                    const std::uint64_t written =
+                        writer.appendAll(*kernel.stream);
+                    capturedRecords_ += written;
+                    kernels += "kernel " + std::to_string(iter) + " " +
+                               std::to_string(p) + " " +
+                               std::to_string(kernel.gpu) + " " +
+                               std::to_string(written) + " " +
+                               std::to_string(kernel.computeInstrs) +
+                               " 0\n";
+                }
+            }
+        }
+        manifest << "phases " << phase_count << "\n" << kernels;
+    }
+
+    std::string prefix_;
+    std::uint64_t capturedRecords_ = 0;
+};
+
+TEST_F(TraceReplayTest, ManifestRoundTrips)
+{
+    apps::TraceReplayWorkload workload(prefix_);
+    EXPECT_EQ(workload.capturedGpus(), 2u);
+    EXPECT_EQ(workload.pageBytes(), 64 * KiB);
+    EXPECT_EQ(workload.capturedIterations(), 2u);
+}
+
+TEST_F(TraceReplayTest, ReplayReproducesTheAccessStream)
+{
+    apps::TraceReplayWorkload workload(prefix_);
+    RunConfig config;
+    config.system.numGpus = 2;
+    config.paradigm = ParadigmKind::Memcpy;
+    // 5 simulated iterations: iteration 0 replays the captured
+    // profiling iteration, 1..4 replay the captured steady one.
+    Runner runner(config);
+    const RunResult result = runner.run(workload);
+    const std::uint64_t per_iter = capturedRecords_ / 2;
+    EXPECT_EQ(result.totals.accesses, 5 * per_iter);
+}
+
+TEST_F(TraceReplayTest, ReplayWorksUnderGps)
+{
+    apps::TraceReplayWorkload workload(prefix_);
+    RunConfig config;
+    config.system.numGpus = 2;
+    config.paradigm = ParadigmKind::Gps;
+    const RunResult result = Runner(config).run(workload);
+    EXPECT_TRUE(result.hasSubscriberHist);
+    EXPECT_GT(result.totals.wqDrains, 0u);
+}
+
+TEST_F(TraceReplayTest, ReplayedParadigmOrderingMatchesDirectRuns)
+{
+    RunConfig config;
+    config.system.numGpus = 2;
+    config.paradigm = ParadigmKind::Gps;
+    apps::TraceReplayWorkload gps_workload(prefix_);
+    const RunResult gps_result = Runner(config).run(gps_workload);
+    config.paradigm = ParadigmKind::Um;
+    apps::TraceReplayWorkload um_workload(prefix_);
+    const RunResult um_result = Runner(config).run(um_workload);
+    EXPECT_LT(gps_result.totalTime, um_result.totalTime);
+}
+
+TEST_F(TraceReplayTest, GpuCountMismatchIsRejected)
+{
+    apps::TraceReplayWorkload workload(prefix_);
+    RunConfig config;
+    config.system.numGpus = 4; // captured on 2
+    EXPECT_THROW(Runner(config).run(workload), FatalError);
+}
+
+TEST_F(TraceReplayTest, PageSizeMismatchIsRejected)
+{
+    apps::TraceReplayWorkload workload(prefix_);
+    RunConfig config;
+    config.system.numGpus = 2;
+    config.system.pageBytes = 4 * KiB;
+    EXPECT_THROW(Runner(config).run(workload), FatalError);
+}
+
+TEST(TraceReplayErrors, MissingManifestIsRejected)
+{
+    EXPECT_THROW(
+        { apps::TraceReplayWorkload w("/nonexistent/prefix"); },
+        FatalError);
+}
+
+TEST(TraceReplayErrors, WrongHeaderIsRejected)
+{
+    const std::string prefix = ::testing::TempDir() + "bad_manifest";
+    {
+        std::ofstream out(prefix + ".manifest");
+        out << "not-a-manifest\n";
+    }
+    EXPECT_THROW({ apps::TraceReplayWorkload w(prefix); },
+                 FatalError);
+    std::remove((prefix + ".manifest").c_str());
+}
+
+} // namespace
+} // namespace gps

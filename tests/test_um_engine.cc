@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the Unified Memory policy engine: first touch, fault
+ * migration, hints, read-duplication and collapse-on-write.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/system.hh"
+#include "driver/um_engine.hh"
+
+namespace gps
+{
+namespace
+{
+
+class UmEngineTest : public ::testing::Test
+{
+  protected:
+    UmEngineTest()
+    {
+        SystemConfig config;
+        config.numGpus = 4;
+        system = std::make_unique<MultiGpuSystem>(config);
+        engine = std::make_unique<UmEngine>(system->driver());
+        region = &system->driver().mallocManaged(4 * 64 * KiB, "um");
+        vpn = system->geometry().pageNum(region->base);
+    }
+
+    UmDecision
+    access(GpuId gpu, const MemAccess& a, bool hints = false)
+    {
+        return engine->access(gpu, a,
+                              system->geometry().pageNum(a.vaddr),
+                              hints, counters, *traffic());
+    }
+
+    TrafficMatrix*
+    traffic()
+    {
+        if (!traffic_)
+            traffic_ = std::make_unique<TrafficMatrix>(4);
+        return traffic_.get();
+    }
+
+    std::unique_ptr<MultiGpuSystem> system;
+    std::unique_ptr<UmEngine> engine;
+    const Region* region = nullptr;
+    PageNum vpn = 0;
+    KernelCounters counters;
+    std::unique_ptr<TrafficMatrix> traffic_;
+};
+
+TEST_F(UmEngineTest, FirstTouchPlacesLocallyWithOneFault)
+{
+    const UmDecision d = access(2, MemAccess::load(region->base));
+    EXPECT_EQ(d.route, UmRoute::Local);
+    EXPECT_EQ(system->driver().state(vpn).location, 2);
+    EXPECT_EQ(counters.pageFaults, 1u);
+}
+
+TEST_F(UmEngineTest, LocalReaccessIsFree)
+{
+    access(2, MemAccess::load(region->base));
+    const std::uint64_t faults = counters.pageFaults;
+    const UmDecision d = access(2, MemAccess::store(region->base));
+    EXPECT_EQ(d.route, UmRoute::Local);
+    EXPECT_EQ(counters.pageFaults, faults);
+}
+
+TEST_F(UmEngineTest, RemoteTouchFaultsAndMigrates)
+{
+    access(0, MemAccess::store(region->base));
+    const UmDecision d = access(1, MemAccess::load(region->base));
+    EXPECT_EQ(d.route, UmRoute::Local);
+    EXPECT_EQ(system->driver().state(vpn).location, 1);
+    EXPECT_EQ(counters.pageFaults, 2u);
+    EXPECT_EQ(counters.pageMigrations, 1u);
+}
+
+TEST_F(UmEngineTest, PingPongThrashesOnAlternatingWriters)
+{
+    access(0, MemAccess::store(region->base));
+    for (int i = 0; i < 3; ++i) {
+        access(1, MemAccess::store(region->base));
+        access(0, MemAccess::store(region->base));
+    }
+    EXPECT_EQ(counters.pageMigrations, 6u);
+}
+
+TEST_F(UmEngineTest, HintsFirstTouchHonorsPreferredLocation)
+{
+    system->driver().advisePreferredLocation(region->base, 64 * KiB, 3);
+    const UmDecision d = access(0, MemAccess::load(region->base), true);
+    // The page lands on (and stays pinned to) the preferred GPU; the
+    // non-preferred toucher reads it remotely.
+    EXPECT_EQ(system->driver().state(vpn).location, 3);
+    EXPECT_EQ(d.route, UmRoute::RemoteLoad);
+    EXPECT_EQ(d.owner, 3);
+}
+
+TEST_F(UmEngineTest, AccessedByReadGoesRemoteWithoutFault)
+{
+    access(0, MemAccess::store(region->base), true);
+    system->driver().adviseAccessedBy(region->base, 64 * KiB, 1);
+    const std::uint64_t faults = counters.pageFaults;
+    const UmDecision d = access(1, MemAccess::load(region->base), true);
+    EXPECT_EQ(d.route, UmRoute::RemoteLoad);
+    EXPECT_EQ(d.owner, 0);
+    EXPECT_EQ(counters.pageFaults, faults);
+    EXPECT_EQ(system->driver().state(vpn).location, 0);
+}
+
+TEST_F(UmEngineTest, AccessedByWriteGoesRemoteStore)
+{
+    access(0, MemAccess::store(region->base), true);
+    system->driver().adviseAccessedBy(region->base, 64 * KiB, 1);
+    const UmDecision d = access(1, MemAccess::store(region->base), true);
+    EXPECT_EQ(d.route, UmRoute::RemoteStore);
+}
+
+TEST_F(UmEngineTest, AccessedByAtomicGoesRemoteAtomic)
+{
+    access(0, MemAccess::store(region->base), true);
+    system->driver().adviseAccessedBy(region->base, 64 * KiB, 1);
+    const UmDecision d =
+        access(1, MemAccess::atomic(region->base), true);
+    EXPECT_EQ(d.route, UmRoute::RemoteAtomic);
+}
+
+TEST_F(UmEngineTest, PreferredOwnerWritePullsPageHome)
+{
+    system->driver().advisePreferredLocation(region->base, 64 * KiB, 0);
+    access(0, MemAccess::store(region->base), true);
+    // Prefetch-style move away:
+    KernelCounters scratch;
+    TrafficMatrix t(4);
+    system->driver().migratePage(vpn, 1, scratch, t);
+    const UmDecision d = access(0, MemAccess::store(region->base), true);
+    EXPECT_EQ(d.route, UmRoute::Local);
+    EXPECT_EQ(system->driver().state(vpn).location, 0);
+}
+
+TEST_F(UmEngineTest, ReadMostlyDuplicatesForReaders)
+{
+    access(0, MemAccess::store(region->base));
+    system->driver().adviseReadMostly(region->base, 64 * KiB);
+    const UmDecision d = access(1, MemAccess::load(region->base));
+    EXPECT_EQ(d.route, UmRoute::Local);
+    const PageState& st = system->driver().state(vpn);
+    EXPECT_TRUE(maskHas(st.readCopies, 1));
+    EXPECT_EQ(st.location, 0);
+    // Both GPUs now hold a frame.
+    EXPECT_EQ(system->gpu(0).memory().framesInUse(), 1u);
+    EXPECT_EQ(system->gpu(1).memory().framesInUse(), 1u);
+}
+
+TEST_F(UmEngineTest, WriteCollapsesReadDuplicates)
+{
+    access(0, MemAccess::store(region->base));
+    system->driver().adviseReadMostly(region->base, 64 * KiB);
+    access(1, MemAccess::load(region->base));
+    access(2, MemAccess::load(region->base));
+    const std::uint64_t shootdowns = counters.tlbShootdowns;
+    access(0, MemAccess::store(region->base));
+    const PageState& st = system->driver().state(vpn);
+    EXPECT_EQ(st.readCopies, 0u);
+    EXPECT_GT(counters.tlbShootdowns, shootdowns);
+    EXPECT_EQ(system->gpu(1).memory().framesInUse(), 0u);
+    EXPECT_EQ(system->gpu(2).memory().framesInUse(), 0u);
+}
+
+TEST_F(UmEngineTest, PrefetchMigratesRemotePagesWithoutFaults)
+{
+    access(0, MemAccess::store(region->base));
+    access(0, MemAccess::store(region->base + 64 * KiB));
+    const std::uint64_t faults = counters.pageFaults;
+    KernelCounters pc;
+    TrafficMatrix t(4);
+    const Tick overhead =
+        engine->prefetchRange(1, region->base, 2 * 64 * KiB, pc, t);
+    EXPECT_GT(overhead, 0u);
+    EXPECT_EQ(pc.pageFaults, 0u);
+    EXPECT_EQ(pc.pageMigrations, 2u);
+    EXPECT_EQ(counters.pageFaults, faults);
+    EXPECT_EQ(system->driver().state(vpn).location, 1);
+}
+
+TEST_F(UmEngineTest, PrefetchOfUntouchedPagesEstablishesPlacement)
+{
+    KernelCounters pc;
+    TrafficMatrix t(4);
+    engine->prefetchRange(2, region->base, 64 * KiB, pc, t);
+    EXPECT_EQ(system->driver().state(vpn).location, 2);
+    EXPECT_EQ(pc.pageMigrations, 0u);
+    EXPECT_EQ(t.total(), 0u);
+}
+
+} // namespace
+} // namespace gps

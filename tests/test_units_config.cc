@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for unit conversions and the config dump renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/units.hh"
+
+namespace gps
+{
+namespace
+{
+
+TEST(Units, TimeConversionsRoundTrip)
+{
+    EXPECT_EQ(secondsToTicks(1.0), ticksPerSecond);
+    EXPECT_EQ(nsToTicks(1.0), 1000u);
+    EXPECT_EQ(usToTicks(1.0), 1000000u);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(ticksPerSecond), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToUs(usToTicks(12.0)), 12.0);
+    EXPECT_DOUBLE_EQ(ticksToMs(secondsToTicks(0.004)), 4.0);
+}
+
+TEST(Units, TransferTicksMatchesBandwidth)
+{
+    // 16 GB at 16 GB/s = 1 s.
+    const Tick t = transferTicks(16'000'000'000ULL, 16.0 * GBps);
+    EXPECT_NEAR(ticksToSeconds(t), 1.0, 1e-9);
+}
+
+TEST(Units, TransferTicksZeroBytesIsFree)
+{
+    EXPECT_EQ(transferTicks(0, 16.0 * GBps), 0u);
+}
+
+TEST(Units, TransferTicksZeroBandwidthIsFree)
+{
+    // The infinite-bandwidth convention.
+    EXPECT_EQ(transferTicks(1 << 20, 0.0), 0u);
+}
+
+TEST(Units, ByteConstants)
+{
+    EXPECT_EQ(KiB, 1024u);
+    EXPECT_EQ(MiB, 1024u * 1024u);
+    EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+}
+
+TEST(ConfigDump, RendersSectionsAndAlignedEntries)
+{
+    ConfigDump dump;
+    dump.section("GPU");
+    dump.entry("short", std::uint64_t(5));
+    dump.entry("a much longer key", "value");
+    const std::string out = dump.render();
+    EXPECT_NE(out.find("== GPU =="), std::string::npos);
+    EXPECT_NE(out.find("short"), std::string::npos);
+    EXPECT_NE(out.find("value"), std::string::npos);
+}
+
+TEST(ConfigDump, KeepsInsertionOrder)
+{
+    ConfigDump dump;
+    dump.entry("first", std::uint64_t(1));
+    dump.entry("second", std::uint64_t(2));
+    const std::string out = dump.render();
+    EXPECT_LT(out.find("first"), out.find("second"));
+}
+
+TEST(ConfigDump, DoubleEntriesRender)
+{
+    ConfigDump dump;
+    dump.entry("ratio", 2.5);
+    EXPECT_NE(dump.render().find("2.5"), std::string::npos);
+}
+
+} // namespace
+} // namespace gps

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Parameterized property tests over all eight bundled workloads: every
+ * generated access falls inside an allocated region, every GPU gets a
+ * kernel, generation is deterministic, and the declared hints reference
+ * allocated memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "api/system.hh"
+#include "apps/workload.hh"
+#include "paradigm/paradigm.hh"
+
+namespace gps
+{
+namespace
+{
+
+constexpr double testScale = 0.0625;
+
+class WorkloadFixture : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    WorkloadFixture()
+    {
+        SystemConfig config;
+        config.numGpus = 4;
+        system = std::make_unique<MultiGpuSystem>(config);
+        paradigm = makeParadigm(ParadigmKind::Memcpy, *system);
+        ctx = std::make_unique<WorkloadContext>(*system, *paradigm);
+        workload = makeWorkload(GetParam());
+        workload->setScale(testScale);
+        workload->setup(*ctx);
+    }
+
+    bool
+    inAllocatedRegion(Addr addr) const
+    {
+        return system->addressSpace().regionOf(addr) != nullptr;
+    }
+
+    std::unique_ptr<MultiGpuSystem> system;
+    std::unique_ptr<Paradigm> paradigm;
+    std::unique_ptr<WorkloadContext> ctx;
+    std::unique_ptr<Workload> workload;
+};
+
+TEST_P(WorkloadFixture, DeclaresIdentityStrings)
+{
+    EXPECT_EQ(workload->name(), GetParam());
+    EXPECT_FALSE(workload->description().empty());
+    EXPECT_FALSE(workload->commPattern().empty());
+    EXPECT_GE(workload->effectiveIterations(), 2u);
+}
+
+TEST_P(WorkloadFixture, SetupAllocatesSharedAndUsuallyPrivateRegions)
+{
+    bool has_shared = false;
+    for (const auto& [base, region] :
+         system->addressSpace().regions()) {
+        if (region.kind != MemKind::Pinned)
+            has_shared = true;
+    }
+    EXPECT_TRUE(has_shared);
+    EXPECT_GT(system->addressSpace().bytesAllocated(), 0u);
+}
+
+TEST_P(WorkloadFixture, EveryGpuGetsAKernelEachPhase)
+{
+    std::vector<Phase> phases = workload->iteration(0, *ctx);
+    ASSERT_FALSE(phases.empty());
+    for (Phase& phase : phases) {
+        std::map<GpuId, int> kernels;
+        for (const KernelLaunch& kernel : phase.kernels)
+            ++kernels[kernel.gpu];
+        EXPECT_EQ(kernels.size(), 4u) << phase.name;
+        for (const auto& [gpu, count] : kernels)
+            EXPECT_EQ(count, 1) << phase.name;
+    }
+}
+
+TEST_P(WorkloadFixture, AllAccessesFallInAllocatedRegions)
+{
+    std::vector<Phase> phases = workload->iteration(0, *ctx);
+    std::uint64_t accesses = 0;
+    for (Phase& phase : phases) {
+        for (KernelLaunch& kernel : phase.kernels) {
+            MemAccess access;
+            while (kernel.stream->next(access)) {
+                ++accesses;
+                ASSERT_TRUE(inAllocatedRegion(access.vaddr))
+                    << phase.name << " addr " << access.vaddr;
+                ASSERT_TRUE(
+                    inAllocatedRegion(access.vaddr + access.size - 1))
+                    << phase.name;
+            }
+        }
+    }
+    EXPECT_GT(accesses, 0u);
+}
+
+TEST_P(WorkloadFixture, StreamsAreDeterministicAcrossCalls)
+{
+    std::vector<Phase> a = workload->iteration(1, *ctx);
+    std::vector<Phase> b = workload->iteration(1, *ctx);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t p = 0; p < a.size(); ++p) {
+        ASSERT_EQ(a[p].kernels.size(), b[p].kernels.size());
+        for (std::size_t k = 0; k < a[p].kernels.size(); ++k) {
+            MemAccess x, y;
+            // Compare a prefix of both streams access by access.
+            for (int i = 0; i < 5000; ++i) {
+                const bool more_a = a[p].kernels[k].stream->next(x);
+                const bool more_b = b[p].kernels[k].stream->next(y);
+                ASSERT_EQ(more_a, more_b);
+                if (!more_a)
+                    break;
+                ASSERT_EQ(x.vaddr, y.vaddr);
+                ASSERT_EQ(x.type, y.type);
+            }
+        }
+    }
+}
+
+TEST_P(WorkloadFixture, KernelsDeclareComputeWork)
+{
+    std::vector<Phase> phases = workload->iteration(0, *ctx);
+    for (const Phase& phase : phases) {
+        for (const KernelLaunch& kernel : phase.kernels)
+            EXPECT_GT(kernel.computeInstrs, 0u) << phase.name;
+    }
+}
+
+TEST_P(WorkloadFixture, HintRangesReferenceAllocatedMemory)
+{
+    std::vector<Phase> phases = workload->iteration(0, *ctx);
+    for (const Phase& phase : phases) {
+        for (const PrefetchRange& range : phase.prefetches) {
+            EXPECT_LT(range.gpu, 4);
+            EXPECT_TRUE(inAllocatedRegion(range.base));
+            EXPECT_TRUE(inAllocatedRegion(range.base + range.len - 1));
+        }
+        for (const BroadcastRange& range : phase.barrierBroadcasts) {
+            EXPECT_LT(range.src, 4);
+            EXPECT_TRUE(inAllocatedRegion(range.base));
+            EXPECT_TRUE(inAllocatedRegion(range.base + range.len - 1));
+        }
+    }
+}
+
+TEST_P(WorkloadFixture, UmHintsApplyWithoutError)
+{
+    workload->applyUmHints(*ctx);
+    // At least one page must have a preferred location after hints
+    // (every bundled app partitions its shared data).
+    bool any_preferred = false;
+    for (const auto& [base, region] :
+         system->addressSpace().regions()) {
+        system->driver().forEachPage(region, [&](PageNum vpn) {
+            if (system->driver().state(vpn).preferredLocation !=
+                invalidGpu)
+                any_preferred = true;
+        });
+    }
+    EXPECT_TRUE(any_preferred);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, WorkloadFixture,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(WorkloadRegistry, ListsTheTable2Suite)
+{
+    const auto names = workloadNames();
+    ASSERT_EQ(names.size(), 8u);
+    EXPECT_EQ(names.front(), "Jacobi");
+    EXPECT_EQ(names.back(), "HIT");
+}
+
+TEST(WorkloadRegistry, UnknownNameThrows)
+{
+    EXPECT_THROW(makeWorkload("NoSuchApp"), FatalError);
+}
+
+} // namespace
+} // namespace gps

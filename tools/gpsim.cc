@@ -1,0 +1,254 @@
+/**
+ * @file
+ * gpsim — command-line front end for the GPS multi-GPU simulator.
+ *
+ * Runs any bundled workload under any memory-management paradigm on a
+ * configurable system and prints time, traffic and speedup (plus the
+ * full component statistics on request). The Swiss-army knife an
+ * open-source release ships for quick experiments:
+ *
+ *   gpsim --app Jacobi --paradigm GPS --gpus 4 --interconnect pcie3
+ *   gpsim --app all --paradigm all --gpus 16 --interconnect pcie6
+ *   gpsim --app EQWP --paradigm GPS --stats
+ *   gpsim --config
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/result_export.hh"
+#include "api/runner.hh"
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace gps;
+
+struct Options
+{
+    std::vector<std::string> apps{"Jacobi"};
+    std::vector<ParadigmKind> paradigms{ParadigmKind::Gps};
+    std::size_t gpus = 4;
+    InterconnectKind interconnect = InterconnectKind::Pcie3;
+    std::uint64_t pageBytes = 64 * KiB;
+    double scale = 1.0;
+    std::uint32_t wqEntries = 512;
+    bool autoUnsubscribe = true;
+    bool dumpStats = false;
+    bool dumpConfig = false;
+    bool json = false;
+    std::vector<std::size_t> gpuSweep; ///< empty: just --gpus
+};
+
+[[noreturn]] void
+usage(const char* argv0, int exit_code)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --app <name|all>          workload (default Jacobi): %s\n"
+        "  --paradigm <name|all>     UM | UM+hints | RDL | Memcpy | GPS"
+        " | Infinite (default GPS)\n"
+        "  --gpus <n>                GPU count (default 4)\n"
+        "  --interconnect <k>        pcie3|pcie4|pcie5|pcie6|nvlink2|"
+        "nvlink3|infinite\n"
+        "  --page-kb <n>             page size in KiB (default 64)\n"
+        "  --scale <f>               problem scale factor (default 1.0)\n"
+        "  --wq-entries <n>          GPS remote write queue size "
+        "(default 512)\n"
+        "  --no-unsubscribe          keep the all-to-all subscription\n"
+        "  --sweep-gpus <a,b,c>      strong-scaling sweep over GPU"
+        " counts\n"
+        "  --json                    one JSON object per run on stdout\n"
+        "  --stats                   dump full component statistics\n"
+        "  --config                  print the Table 1 configuration and"
+        " exit\n"
+        "  --help                    this text\n",
+        argv0,
+        [] {
+            static std::string names;
+            for (const auto& n : workloadNames())
+                names += n + " ";
+            return names.c_str();
+        }());
+    std::exit(exit_code);
+}
+
+InterconnectKind
+parseInterconnect(const std::string& name)
+{
+    static const std::map<std::string, InterconnectKind> kinds = {
+        {"pcie3", InterconnectKind::Pcie3},
+        {"pcie4", InterconnectKind::Pcie4},
+        {"pcie5", InterconnectKind::Pcie5},
+        {"pcie6", InterconnectKind::Pcie6},
+        {"nvlink2", InterconnectKind::NvLink2},
+        {"nvlink3", InterconnectKind::NvLink3},
+        {"infinite", InterconnectKind::Infinite},
+    };
+    auto it = kinds.find(name);
+    if (it == kinds.end())
+        gps_fatal("unknown interconnect '", name, "'");
+    return it->second;
+}
+
+ParadigmKind
+parseParadigm(const std::string& name)
+{
+    for (const ParadigmKind kind : allParadigms()) {
+        if (name == to_string(kind))
+            return kind;
+    }
+    if (name == "Infinite")
+        return ParadigmKind::InfiniteBw;
+    gps_fatal("unknown paradigm '", name, "'");
+}
+
+Options
+parseArgs(int argc, char** argv)
+{
+    Options opts;
+    auto value = [&](int& i) -> const char* {
+        if (i + 1 >= argc)
+            usage(argv[0], 1);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--app") {
+            const std::string v = value(i);
+            opts.apps = v == "all" ? workloadNames()
+                                   : std::vector<std::string>{v};
+        } else if (arg == "--paradigm") {
+            const std::string v = value(i);
+            if (v == "all") {
+                opts.paradigms = allParadigms();
+            } else {
+                opts.paradigms = {parseParadigm(v)};
+            }
+        } else if (arg == "--gpus") {
+            opts.gpus = std::stoul(value(i));
+        } else if (arg == "--interconnect") {
+            opts.interconnect = parseInterconnect(value(i));
+        } else if (arg == "--page-kb") {
+            opts.pageBytes = std::stoull(value(i)) * KiB;
+        } else if (arg == "--scale") {
+            opts.scale = std::stod(value(i));
+        } else if (arg == "--wq-entries") {
+            opts.wqEntries =
+                static_cast<std::uint32_t>(std::stoul(value(i)));
+        } else if (arg == "--no-unsubscribe") {
+            opts.autoUnsubscribe = false;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--sweep-gpus") {
+            std::string list = value(i);
+            std::size_t pos = 0;
+            while (pos < list.size()) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string item =
+                    list.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos);
+                opts.gpuSweep.push_back(std::stoul(item));
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+        } else if (arg == "--stats") {
+            opts.dumpStats = true;
+        } else if (arg == "--config") {
+            opts.dumpConfig = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0], 1);
+        }
+    }
+    return opts;
+}
+
+RunConfig
+makeConfig(const Options& opts)
+{
+    RunConfig config;
+    config.system.numGpus = opts.gpus;
+    config.system.interconnect = opts.interconnect;
+    config.system.pageBytes = opts.pageBytes;
+    config.system.gps.wqEntries = opts.wqEntries;
+    config.system.gps.autoUnsubscribe = opts.autoUnsubscribe;
+    config.scale = opts.scale;
+    return config;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace gps;
+    setVerbose(false);
+    try {
+        const Options opts = parseArgs(argc, argv);
+        if (opts.dumpConfig) {
+            MultiGpuSystem system(makeConfig(opts).system);
+            std::printf("%s", system.configDump().render().c_str());
+            return 0;
+        }
+
+        std::vector<std::size_t> gpu_counts =
+            opts.gpuSweep.empty()
+                ? std::vector<std::size_t>{opts.gpus}
+                : opts.gpuSweep;
+        if (!opts.json) {
+            std::printf("%-10s %-12s %5s %10s %12s %9s %8s %8s\n",
+                        "app", "paradigm", "gpus", "time(ms)",
+                        "traffic(MB)", "speedup", "l2_hit", "wq_hit");
+        }
+        for (const std::string& app : opts.apps) {
+            // Single-GPU reference for this app at the same settings.
+            RunConfig base_config = makeConfig(opts);
+            base_config.system.numGpus = 1;
+            base_config.paradigm = ParadigmKind::Memcpy;
+            const RunResult baseline = runWorkload(app, base_config);
+
+            for (const std::size_t gpus : gpu_counts) {
+                for (const ParadigmKind paradigm : opts.paradigms) {
+                    RunConfig config = makeConfig(opts);
+                    config.system.numGpus = gpus;
+                    config.paradigm = paradigm;
+                    const RunResult result = runWorkload(app, config);
+                    if (opts.json) {
+                        std::printf(
+                            "%s\n",
+                            resultToJson(result, opts.dumpStats)
+                                .c_str());
+                        continue;
+                    }
+                    std::printf(
+                        "%-10s %-12s %5zu %10.3f %12.1f %8.2fx %7.1f%%"
+                        " %7.1f%%\n",
+                        app.c_str(), to_string(paradigm).c_str(), gpus,
+                        result.timeMs(),
+                        static_cast<double>(result.interconnectBytes) /
+                            1e6,
+                        speedupOver(baseline, result),
+                        result.l2HitRate * 100.0,
+                        result.wqHitRate * 100.0);
+                    if (opts.dumpStats) {
+                        std::printf(
+                            "%s", result.stats.dump("    ").c_str());
+                    }
+                }
+            }
+        }
+        return 0;
+    } catch (const FatalError& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 1;
+    }
+}
