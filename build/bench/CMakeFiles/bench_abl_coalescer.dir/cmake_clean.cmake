@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_coalescer.dir/bench_abl_coalescer.cc.o"
+  "CMakeFiles/bench_abl_coalescer.dir/bench_abl_coalescer.cc.o.d"
+  "bench_abl_coalescer"
+  "bench_abl_coalescer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_coalescer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_nvlink.dir/bench_ext_nvlink.cc.o"
+  "CMakeFiles/bench_ext_nvlink.dir/bench_ext_nvlink.cc.o.d"
+  "bench_ext_nvlink"
+  "bench_ext_nvlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_nvlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_subscribers.dir/bench_fig09_subscribers.cc.o"
+  "CMakeFiles/bench_fig09_subscribers.dir/bench_fig09_subscribers.cc.o.d"
+  "bench_fig09_subscribers"
+  "bench_fig09_subscribers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_subscribers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

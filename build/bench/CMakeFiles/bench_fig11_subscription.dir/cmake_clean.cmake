@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_subscription.dir/bench_fig11_subscription.cc.o"
+  "CMakeFiles/bench_fig11_subscription.dir/bench_fig11_subscription.cc.o.d"
+  "bench_fig11_subscription"
+  "bench_fig11_subscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_subscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_write_queue.dir/bench_fig14_write_queue.cc.o"
+  "CMakeFiles/bench_fig14_write_queue.dir/bench_fig14_write_queue.cc.o.d"
+  "bench_fig14_write_queue"
+  "bench_fig14_write_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_write_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_gps_tlb.dir/bench_sens_gps_tlb.cc.o"
+  "CMakeFiles/bench_sens_gps_tlb.dir/bench_sens_gps_tlb.cc.o.d"
+  "bench_sens_gps_tlb"
+  "bench_sens_gps_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_gps_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_applications.dir/bench_tab2_applications.cc.o"
+  "CMakeFiles/bench_tab2_applications.dir/bench_tab2_applications.cc.o.d"
+  "bench_tab2_applications"
+  "bench_tab2_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/result_export.cc" "src/CMakeFiles/gps.dir/api/result_export.cc.o" "gcc" "src/CMakeFiles/gps.dir/api/result_export.cc.o.d"
+  "/root/repo/src/api/runner.cc" "src/CMakeFiles/gps.dir/api/runner.cc.o" "gcc" "src/CMakeFiles/gps.dir/api/runner.cc.o.d"
+  "/root/repo/src/api/system.cc" "src/CMakeFiles/gps.dir/api/system.cc.o" "gcc" "src/CMakeFiles/gps.dir/api/system.cc.o.d"
+  "/root/repo/src/apps/als.cc" "src/CMakeFiles/gps.dir/apps/als.cc.o" "gcc" "src/CMakeFiles/gps.dir/apps/als.cc.o.d"
+  "/root/repo/src/apps/ct.cc" "src/CMakeFiles/gps.dir/apps/ct.cc.o" "gcc" "src/CMakeFiles/gps.dir/apps/ct.cc.o.d"
+  "/root/repo/src/apps/diffusion.cc" "src/CMakeFiles/gps.dir/apps/diffusion.cc.o" "gcc" "src/CMakeFiles/gps.dir/apps/diffusion.cc.o.d"
+  "/root/repo/src/apps/eqwp.cc" "src/CMakeFiles/gps.dir/apps/eqwp.cc.o" "gcc" "src/CMakeFiles/gps.dir/apps/eqwp.cc.o.d"
+  "/root/repo/src/apps/graph.cc" "src/CMakeFiles/gps.dir/apps/graph.cc.o" "gcc" "src/CMakeFiles/gps.dir/apps/graph.cc.o.d"
+  "/root/repo/src/apps/hit.cc" "src/CMakeFiles/gps.dir/apps/hit.cc.o" "gcc" "src/CMakeFiles/gps.dir/apps/hit.cc.o.d"
+  "/root/repo/src/apps/jacobi.cc" "src/CMakeFiles/gps.dir/apps/jacobi.cc.o" "gcc" "src/CMakeFiles/gps.dir/apps/jacobi.cc.o.d"
+  "/root/repo/src/apps/nbody.cc" "src/CMakeFiles/gps.dir/apps/nbody.cc.o" "gcc" "src/CMakeFiles/gps.dir/apps/nbody.cc.o.d"
+  "/root/repo/src/apps/pagerank.cc" "src/CMakeFiles/gps.dir/apps/pagerank.cc.o" "gcc" "src/CMakeFiles/gps.dir/apps/pagerank.cc.o.d"
+  "/root/repo/src/apps/sssp.cc" "src/CMakeFiles/gps.dir/apps/sssp.cc.o" "gcc" "src/CMakeFiles/gps.dir/apps/sssp.cc.o.d"
+  "/root/repo/src/apps/trace_workload.cc" "src/CMakeFiles/gps.dir/apps/trace_workload.cc.o" "gcc" "src/CMakeFiles/gps.dir/apps/trace_workload.cc.o.d"
+  "/root/repo/src/apps/workload.cc" "src/CMakeFiles/gps.dir/apps/workload.cc.o" "gcc" "src/CMakeFiles/gps.dir/apps/workload.cc.o.d"
+  "/root/repo/src/cache/cache_model.cc" "src/CMakeFiles/gps.dir/cache/cache_model.cc.o" "gcc" "src/CMakeFiles/gps.dir/cache/cache_model.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/gps.dir/common/config.cc.o" "gcc" "src/CMakeFiles/gps.dir/common/config.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/CMakeFiles/gps.dir/common/json.cc.o" "gcc" "src/CMakeFiles/gps.dir/common/json.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/gps.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/gps.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/gps.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/gps.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/access_tracker.cc" "src/CMakeFiles/gps.dir/core/access_tracker.cc.o" "gcc" "src/CMakeFiles/gps.dir/core/access_tracker.cc.o.d"
+  "/root/repo/src/core/gps_page_table.cc" "src/CMakeFiles/gps.dir/core/gps_page_table.cc.o" "gcc" "src/CMakeFiles/gps.dir/core/gps_page_table.cc.o.d"
+  "/root/repo/src/core/gps_paradigm.cc" "src/CMakeFiles/gps.dir/core/gps_paradigm.cc.o" "gcc" "src/CMakeFiles/gps.dir/core/gps_paradigm.cc.o.d"
+  "/root/repo/src/core/gps_translation_unit.cc" "src/CMakeFiles/gps.dir/core/gps_translation_unit.cc.o" "gcc" "src/CMakeFiles/gps.dir/core/gps_translation_unit.cc.o.d"
+  "/root/repo/src/core/remote_write_queue.cc" "src/CMakeFiles/gps.dir/core/remote_write_queue.cc.o" "gcc" "src/CMakeFiles/gps.dir/core/remote_write_queue.cc.o.d"
+  "/root/repo/src/core/subscription.cc" "src/CMakeFiles/gps.dir/core/subscription.cc.o" "gcc" "src/CMakeFiles/gps.dir/core/subscription.cc.o.d"
+  "/root/repo/src/driver/driver.cc" "src/CMakeFiles/gps.dir/driver/driver.cc.o" "gcc" "src/CMakeFiles/gps.dir/driver/driver.cc.o.d"
+  "/root/repo/src/driver/um_engine.cc" "src/CMakeFiles/gps.dir/driver/um_engine.cc.o" "gcc" "src/CMakeFiles/gps.dir/driver/um_engine.cc.o.d"
+  "/root/repo/src/gpu/gpu_model.cc" "src/CMakeFiles/gps.dir/gpu/gpu_model.cc.o" "gcc" "src/CMakeFiles/gps.dir/gpu/gpu_model.cc.o.d"
+  "/root/repo/src/gpu/store_coalescer.cc" "src/CMakeFiles/gps.dir/gpu/store_coalescer.cc.o" "gcc" "src/CMakeFiles/gps.dir/gpu/store_coalescer.cc.o.d"
+  "/root/repo/src/interconnect/link.cc" "src/CMakeFiles/gps.dir/interconnect/link.cc.o" "gcc" "src/CMakeFiles/gps.dir/interconnect/link.cc.o.d"
+  "/root/repo/src/interconnect/pcie.cc" "src/CMakeFiles/gps.dir/interconnect/pcie.cc.o" "gcc" "src/CMakeFiles/gps.dir/interconnect/pcie.cc.o.d"
+  "/root/repo/src/interconnect/platforms.cc" "src/CMakeFiles/gps.dir/interconnect/platforms.cc.o" "gcc" "src/CMakeFiles/gps.dir/interconnect/platforms.cc.o.d"
+  "/root/repo/src/interconnect/topology.cc" "src/CMakeFiles/gps.dir/interconnect/topology.cc.o" "gcc" "src/CMakeFiles/gps.dir/interconnect/topology.cc.o.d"
+  "/root/repo/src/mem/address_space.cc" "src/CMakeFiles/gps.dir/mem/address_space.cc.o" "gcc" "src/CMakeFiles/gps.dir/mem/address_space.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/gps.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/gps.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/mem/physical_memory.cc" "src/CMakeFiles/gps.dir/mem/physical_memory.cc.o" "gcc" "src/CMakeFiles/gps.dir/mem/physical_memory.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/gps.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/gps.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/paradigm/infinite.cc" "src/CMakeFiles/gps.dir/paradigm/infinite.cc.o" "gcc" "src/CMakeFiles/gps.dir/paradigm/infinite.cc.o.d"
+  "/root/repo/src/paradigm/memcpy_paradigm.cc" "src/CMakeFiles/gps.dir/paradigm/memcpy_paradigm.cc.o" "gcc" "src/CMakeFiles/gps.dir/paradigm/memcpy_paradigm.cc.o.d"
+  "/root/repo/src/paradigm/paradigm.cc" "src/CMakeFiles/gps.dir/paradigm/paradigm.cc.o" "gcc" "src/CMakeFiles/gps.dir/paradigm/paradigm.cc.o.d"
+  "/root/repo/src/paradigm/rdl.cc" "src/CMakeFiles/gps.dir/paradigm/rdl.cc.o" "gcc" "src/CMakeFiles/gps.dir/paradigm/rdl.cc.o.d"
+  "/root/repo/src/paradigm/um.cc" "src/CMakeFiles/gps.dir/paradigm/um.cc.o" "gcc" "src/CMakeFiles/gps.dir/paradigm/um.cc.o.d"
+  "/root/repo/src/paradigm/um_hints.cc" "src/CMakeFiles/gps.dir/paradigm/um_hints.cc.o" "gcc" "src/CMakeFiles/gps.dir/paradigm/um_hints.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/gps.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/gps.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/trace/kernel_trace.cc" "src/CMakeFiles/gps.dir/trace/kernel_trace.cc.o" "gcc" "src/CMakeFiles/gps.dir/trace/kernel_trace.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/CMakeFiles/gps.dir/trace/trace_file.cc.o" "gcc" "src/CMakeFiles/gps.dir/trace/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

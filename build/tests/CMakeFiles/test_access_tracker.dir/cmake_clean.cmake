@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_access_tracker.dir/test_access_tracker.cc.o"
+  "CMakeFiles/test_access_tracker.dir/test_access_tracker.cc.o.d"
+  "test_access_tracker"
+  "test_access_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_access_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

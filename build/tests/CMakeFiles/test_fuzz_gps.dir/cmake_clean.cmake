@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_gps.dir/test_fuzz_gps.cc.o"
+  "CMakeFiles/test_fuzz_gps.dir/test_fuzz_gps.cc.o.d"
+  "test_fuzz_gps"
+  "test_fuzz_gps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_gps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

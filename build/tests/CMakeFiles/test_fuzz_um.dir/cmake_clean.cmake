@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_um.dir/test_fuzz_um.cc.o"
+  "CMakeFiles/test_fuzz_um.dir/test_fuzz_um.cc.o.d"
+  "test_fuzz_um"
+  "test_fuzz_um.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_um.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gps_paradigm.dir/test_gps_paradigm.cc.o"
+  "CMakeFiles/test_gps_paradigm.dir/test_gps_paradigm.cc.o.d"
+  "test_gps_paradigm"
+  "test_gps_paradigm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gps_paradigm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

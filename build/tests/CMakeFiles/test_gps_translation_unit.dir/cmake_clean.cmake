@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gps_translation_unit.dir/test_gps_translation_unit.cc.o"
+  "CMakeFiles/test_gps_translation_unit.dir/test_gps_translation_unit.cc.o.d"
+  "test_gps_translation_unit"
+  "test_gps_translation_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gps_translation_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

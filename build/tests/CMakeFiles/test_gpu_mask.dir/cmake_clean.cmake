@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_mask.dir/test_gpu_mask.cc.o"
+  "CMakeFiles/test_gpu_mask.dir/test_gpu_mask.cc.o.d"
+  "test_gpu_mask"
+  "test_gpu_mask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paradigms.dir/test_paradigms.cc.o"
+  "CMakeFiles/test_paradigms.dir/test_paradigms.cc.o.d"
+  "test_paradigms"
+  "test_paradigms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paradigms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

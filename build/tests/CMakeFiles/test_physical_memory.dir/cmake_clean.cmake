@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physical_memory.dir/test_physical_memory.cc.o"
+  "CMakeFiles/test_physical_memory.dir/test_physical_memory.cc.o.d"
+  "test_physical_memory"
+  "test_physical_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physical_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

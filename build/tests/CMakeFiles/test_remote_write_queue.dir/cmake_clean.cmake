@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote_write_queue.dir/test_remote_write_queue.cc.o"
+  "CMakeFiles/test_remote_write_queue.dir/test_remote_write_queue.cc.o.d"
+  "test_remote_write_queue"
+  "test_remote_write_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote_write_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

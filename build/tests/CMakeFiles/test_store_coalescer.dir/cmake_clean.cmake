@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_coalescer.dir/test_store_coalescer.cc.o"
+  "CMakeFiles/test_store_coalescer.dir/test_store_coalescer.cc.o.d"
+  "test_store_coalescer"
+  "test_store_coalescer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_coalescer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

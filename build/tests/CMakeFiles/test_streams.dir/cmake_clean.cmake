@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streams.dir/test_streams.cc.o"
+  "CMakeFiles/test_streams.dir/test_streams.cc.o.d"
+  "test_streams"
+  "test_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_um_engine.dir/test_um_engine.cc.o"
+  "CMakeFiles/test_um_engine.dir/test_um_engine.cc.o.d"
+  "test_um_engine"
+  "test_um_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_um_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_units_config.dir/test_units_config.cc.o"
+  "CMakeFiles/test_units_config.dir/test_units_config.cc.o.d"
+  "test_units_config"
+  "test_units_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_units_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

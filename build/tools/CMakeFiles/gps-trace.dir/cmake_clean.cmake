@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gps-trace.dir/gps_trace.cc.o"
+  "CMakeFiles/gps-trace.dir/gps_trace.cc.o.d"
+  "gps-trace"
+  "gps-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gps-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

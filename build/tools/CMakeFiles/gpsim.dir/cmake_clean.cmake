@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpsim.dir/gpsim.cc.o"
+  "CMakeFiles/gpsim.dir/gpsim.cc.o.d"
+  "gpsim"
+  "gpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
