@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Extension bench (beyond the paper's evaluation): graceful degradation
+ * under injected faults. Each paradigm runs the same fault plans — a
+ * dead link, a degraded link, saturated remote write queues and retired
+ * frames — and reports its slowdown versus its own fault-free run. GPS
+ * keeps working through every plan (rerouted broadcasts, remote-access
+ * fallback for lost replicas, stalled-but-correct write queues); the
+ * table quantifies what each fault costs each paradigm.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+struct PlanCell
+{
+    const char* name; ///< table row label
+    const char* spec; ///< one CLI fault spec; empty = fault-free
+};
+
+const std::vector<PlanCell> plans = {
+    {"fault-free", ""},
+    {"link down 0-1", "link:down@0:0-1"},
+    {"link 0-1 @25%", "link:degrade@0:0-1:0.25"},
+    {"wq saturated", "wq:saturate@0:*"},
+    {"retire 8 frames", "page:retire@0:gpu1:8"},
+};
+
+const std::vector<ParadigmKind> paradigms = {
+    ParadigmKind::Um, ParadigmKind::Rdl, ParadigmKind::Memcpy,
+    ParadigmKind::Gps};
+
+const std::vector<std::string> apps = {"Jacobi", "HIT"};
+
+/** time_ms[app][plan][paradigm] */
+std::map<std::string, std::map<std::string, std::map<std::string, double>>>
+    samples;
+
+RunConfig
+planConfig(ParadigmKind paradigm, const char* spec)
+{
+    RunConfig config = defaultConfig();
+    config.paradigm = paradigm;
+    if (spec[0] != '\0') {
+        config.faultPlan.addSpec(spec);
+        config.faultPlan.seed = 7;
+        config.faultPlan.sort();
+    }
+    return config;
+}
+
+void
+BM_fault(benchmark::State& state, const std::string& app,
+         const PlanCell& plan, ParadigmKind paradigm)
+{
+    const RunConfig config = planConfig(paradigm, plan.spec);
+    for (auto _ : state) {
+        const RunResult result = runWorkload(app, config);
+        samples[app][plan.name][to_string(paradigm)] = result.timeMs();
+        state.counters["time_ms"] = result.timeMs();
+        if (result.hasFaultReport) {
+            state.counters["reroutes"] =
+                static_cast<double>(result.faultReport.reroutes);
+            state.counters["stall_ms"] =
+                ticksToMs(result.faultReport.stallTicks);
+        }
+    }
+}
+
+void
+printTable()
+{
+    // The shared Table columns are too narrow for "123.45ms (12.34x)"
+    // cells, so this bench formats its own rows.
+    for (const std::string& app : apps) {
+        if (samples.find(app) == samples.end())
+            continue; // app filtered out on the command line
+        std::printf("\n=== Extension: %s under injected faults — "
+                    "absolute time and slowdown vs each paradigm's "
+                    "fault-free run ===\n",
+                    app.c_str());
+        std::printf("%-17s%-19s%-19s%-19s%-19s\n", "fault plan", "UM",
+                    "RDL", "Memcpy", "GPS");
+        for (const PlanCell& plan : plans) {
+            std::printf("%-17s", plan.name);
+            for (const ParadigmKind paradigm : paradigms) {
+                const double t =
+                    samples[app][plan.name][to_string(paradigm)];
+                const double clean =
+                    samples[app]["fault-free"][to_string(paradigm)];
+                char cell[64];
+                std::snprintf(cell, sizeof(cell), "%.2fms (%.2fx)", t,
+                              clean > 0 ? t / clean : 0.0);
+                std::printf("%-19s", cell);
+            }
+            std::printf("\n");
+        }
+        std::fflush(stdout);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    for (const std::string& app : apps) {
+        for (const PlanCell& plan : plans) {
+            for (const ParadigmKind paradigm : paradigms) {
+                benchmark::RegisterBenchmark(
+                    ("ext_faults/" + app + "/" + plan.name + "/" +
+                     to_string(paradigm))
+                        .c_str(),
+                    [&app, &plan, paradigm](benchmark::State& state) {
+                        BM_fault(state, app, plan, paradigm);
+                    })
+                    ->Iterations(1)
+                    ->Unit(benchmark::kMillisecond);
+            }
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_faults.dir/bench_ext_faults.cc.o"
+  "CMakeFiles/bench_ext_faults.dir/bench_ext_faults.cc.o.d"
+  "bench_ext_faults"
+  "bench_ext_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

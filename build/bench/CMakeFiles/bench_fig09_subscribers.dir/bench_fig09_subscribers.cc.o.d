@@ -215,10 +215,11 @@ bench/CMakeFiles/bench_fig09_subscribers.dir/bench_fig09_subscribers.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/api/metrics.hh /root/repo/src/common/gpu_mask.hh \
  /root/repo/src/common/types.hh /root/repo/src/common/stats.hh \
- /root/repo/src/common/units.hh /root/repo/src/gpu/kernel_counters.hh \
- /root/repo/src/api/system.hh /root/repo/src/common/config.hh \
- /root/repo/src/core/gps_config.hh /root/repo/src/driver/driver.hh \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/common/units.hh /root/repo/src/fault/fault_plan.hh \
+ /root/repo/src/gpu/kernel_counters.hh /root/repo/src/api/system.hh \
+ /root/repo/src/common/config.hh /root/repo/src/core/gps_config.hh \
+ /root/repo/src/driver/driver.hh /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \

@@ -237,9 +237,9 @@ bench/CMakeFiles/bench_tab1_config.dir/bench_tab1_config.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/bench/bench_common.hh /root/repo/src/api/runner.hh \
- /root/repo/src/api/metrics.hh /root/repo/src/apps/workload.hh \
- /root/repo/src/paradigm/paradigm.hh /root/repo/src/trace/access.hh \
- /root/repo/src/trace/kernel_trace.hh \
+ /root/repo/src/api/metrics.hh /root/repo/src/fault/fault_plan.hh \
+ /root/repo/src/apps/workload.hh /root/repo/src/paradigm/paradigm.hh \
+ /root/repo/src/trace/access.hh /root/repo/src/trace/kernel_trace.hh \
  /root/repo/src/core/access_tracker.hh /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/core/gps_page_table.hh \

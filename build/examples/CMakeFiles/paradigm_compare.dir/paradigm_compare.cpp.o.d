@@ -206,11 +206,11 @@ examples/CMakeFiles/paradigm_compare.dir/paradigm_compare.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/units.hh \
- /root/repo/src/gpu/kernel_counters.hh /root/repo/src/api/system.hh \
- /root/repo/src/common/config.hh /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/gps_config.hh \
- /root/repo/src/driver/driver.hh /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/fault/fault_plan.hh /root/repo/src/gpu/kernel_counters.hh \
+ /root/repo/src/api/system.hh /root/repo/src/common/config.hh \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/gps_config.hh /root/repo/src/driver/driver.hh \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \

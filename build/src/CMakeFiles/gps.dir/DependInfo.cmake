@@ -36,6 +36,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/subscription.cc" "src/CMakeFiles/gps.dir/core/subscription.cc.o" "gcc" "src/CMakeFiles/gps.dir/core/subscription.cc.o.d"
   "/root/repo/src/driver/driver.cc" "src/CMakeFiles/gps.dir/driver/driver.cc.o" "gcc" "src/CMakeFiles/gps.dir/driver/driver.cc.o.d"
   "/root/repo/src/driver/um_engine.cc" "src/CMakeFiles/gps.dir/driver/um_engine.cc.o" "gcc" "src/CMakeFiles/gps.dir/driver/um_engine.cc.o.d"
+  "/root/repo/src/fault/fault_engine.cc" "src/CMakeFiles/gps.dir/fault/fault_engine.cc.o" "gcc" "src/CMakeFiles/gps.dir/fault/fault_engine.cc.o.d"
+  "/root/repo/src/fault/fault_plan.cc" "src/CMakeFiles/gps.dir/fault/fault_plan.cc.o" "gcc" "src/CMakeFiles/gps.dir/fault/fault_plan.cc.o.d"
   "/root/repo/src/gpu/gpu_model.cc" "src/CMakeFiles/gps.dir/gpu/gpu_model.cc.o" "gcc" "src/CMakeFiles/gps.dir/gpu/gpu_model.cc.o.d"
   "/root/repo/src/gpu/store_coalescer.cc" "src/CMakeFiles/gps.dir/gpu/store_coalescer.cc.o" "gcc" "src/CMakeFiles/gps.dir/gpu/store_coalescer.cc.o.d"
   "/root/repo/src/interconnect/link.cc" "src/CMakeFiles/gps.dir/interconnect/link.cc.o" "gcc" "src/CMakeFiles/gps.dir/interconnect/link.cc.o.d"

@@ -133,4 +133,5 @@ src/CMakeFiles/gps.dir/api/result_export.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/units.hh \
- /root/repo/src/gpu/kernel_counters.hh /root/repo/src/common/json.hh
+ /root/repo/src/fault/fault_plan.hh /root/repo/src/gpu/kernel_counters.hh \
+ /root/repo/src/common/json.hh

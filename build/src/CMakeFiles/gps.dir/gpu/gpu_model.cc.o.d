@@ -210,13 +210,16 @@ src/CMakeFiles/gps.dir/gpu/gpu_model.cc.o: \
  /root/repo/src/common/units.hh /root/repo/src/gpu/kernel_counters.hh \
  /root/repo/src/gpu/store_coalescer.hh \
  /root/repo/src/interconnect/topology.hh \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/interconnect/link.hh /root/repo/src/interconnect/pcie.hh \
  /root/repo/src/mem/page.hh /root/repo/src/common/logging.hh \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/mem/physical_memory.hh /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/mem/tlb.hh /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \

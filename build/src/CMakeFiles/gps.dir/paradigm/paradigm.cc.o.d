@@ -239,7 +239,8 @@ src/CMakeFiles/gps.dir/paradigm/paradigm.cc.o: \
  /root/repo/src/core/gps_translation_unit.hh \
  /root/repo/src/core/remote_write_queue.hh /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/core/subscription.hh /root/repo/src/paradigm/infinite.hh \
+ /root/repo/src/core/subscription.hh /root/repo/src/fault/fault_plan.hh \
+ /root/repo/src/paradigm/infinite.hh \
  /root/repo/src/paradigm/memcpy_paradigm.hh \
  /root/repo/src/paradigm/rdl.hh /root/repo/src/paradigm/um.hh \
  /root/repo/src/driver/um_engine.hh /root/repo/src/paradigm/um_hints.hh

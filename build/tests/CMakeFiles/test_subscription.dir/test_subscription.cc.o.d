@@ -311,4 +311,11 @@ tests/CMakeFiles/test_subscription.dir/test_subscription.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/core/gps_page_table.hh \
- /root/repo/src/core/subscription.hh
+ /root/repo/src/core/gps_paradigm.hh \
+ /root/repo/src/core/access_tracker.hh /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/core/gps_translation_unit.hh \
+ /root/repo/src/core/remote_write_queue.hh /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/core/subscription.hh /root/repo/src/paradigm/paradigm.hh \
+ /root/repo/src/trace/access.hh /root/repo/src/trace/kernel_trace.hh

@@ -293,6 +293,10 @@ tests/CMakeFiles/test_trace_file.dir/test_trace_file.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
+ /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /root/repo/src/common/logging.hh /root/repo/src/trace/trace_file.hh \
  /root/repo/src/trace/access.hh /root/repo/src/common/types.hh \
  /root/repo/src/trace/kernel_trace.hh

@@ -299,14 +299,14 @@ tests/CMakeFiles/test_trace_workload.dir/test_trace_workload.cc.o: \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/api/runner.hh \
  /root/repo/src/api/metrics.hh /root/repo/src/common/gpu_mask.hh \
  /root/repo/src/common/types.hh /root/repo/src/common/stats.hh \
- /root/repo/src/common/units.hh /root/repo/src/gpu/kernel_counters.hh \
- /root/repo/src/api/system.hh /root/repo/src/common/config.hh \
- /root/repo/src/core/gps_config.hh /root/repo/src/driver/driver.hh \
- /root/repo/src/driver/page_state.hh /root/repo/src/mem/address_space.hh \
- /root/repo/src/mem/page.hh /root/repo/src/common/logging.hh \
- /root/repo/src/gpu/gpu_model.hh /root/repo/src/cache/cache_model.hh \
- /root/repo/src/sim/sim_object.hh /root/repo/src/gpu/gpu_config.hh \
- /root/repo/src/gpu/store_coalescer.hh \
+ /root/repo/src/common/units.hh /root/repo/src/fault/fault_plan.hh \
+ /root/repo/src/gpu/kernel_counters.hh /root/repo/src/api/system.hh \
+ /root/repo/src/common/config.hh /root/repo/src/core/gps_config.hh \
+ /root/repo/src/driver/driver.hh /root/repo/src/driver/page_state.hh \
+ /root/repo/src/mem/address_space.hh /root/repo/src/mem/page.hh \
+ /root/repo/src/common/logging.hh /root/repo/src/gpu/gpu_model.hh \
+ /root/repo/src/cache/cache_model.hh /root/repo/src/sim/sim_object.hh \
+ /root/repo/src/gpu/gpu_config.hh /root/repo/src/gpu/store_coalescer.hh \
  /root/repo/src/interconnect/topology.hh \
  /root/repo/src/interconnect/link.hh /root/repo/src/interconnect/pcie.hh \
  /root/repo/src/mem/physical_memory.hh /root/repo/src/mem/tlb.hh \

@@ -134,9 +134,9 @@ tools/CMakeFiles/gpsim.dir/gpsim.cc.o: /root/repo/tools/gpsim.cc \
  /root/repo/src/api/metrics.hh /root/repo/src/common/gpu_mask.hh \
  /usr/include/c++/12/bit /root/repo/src/common/types.hh \
  /usr/include/c++/12/limits /root/repo/src/common/stats.hh \
- /root/repo/src/common/units.hh /root/repo/src/gpu/kernel_counters.hh \
- /root/repo/src/api/runner.hh /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/common/units.hh /root/repo/src/fault/fault_plan.hh \
+ /root/repo/src/gpu/kernel_counters.hh /root/repo/src/api/runner.hh \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/ostream /usr/include/c++/12/ios \

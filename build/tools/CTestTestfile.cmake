@@ -4,3 +4,9 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(gpsim_rejects_bad_numbers "/root/repo/build/tools/gpsim" "--gpus" "foo")
+set_tests_properties(gpsim_rejects_bad_numbers PROPERTIES  PASS_REGULAR_EXPRESSION "invalid numeric value" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(gpsim_rejects_bad_fault_spec "/root/repo/build/tools/gpsim" "--fault" "link:frob@0:0-1")
+set_tests_properties(gpsim_rejects_bad_fault_spec PROPERTIES  PASS_REGULAR_EXPRESSION "fault spec" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(gpsim_fault_smoke "/root/repo/build/tools/gpsim" "--app" "Jacobi" "--paradigm" "GPS" "--gpus" "4" "--scale" "0.125" "--fault" "link:down@0:0-1" "--fault-seed" "7" "--json")
+set_tests_properties(gpsim_fault_smoke PROPERTIES  PASS_REGULAR_EXPRESSION "\"faults\"" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -12,6 +12,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "common/units.hh"
+#include "fault/fault_plan.hh"
 #include "gpu/kernel_counters.hh"
 
 namespace gps
@@ -41,6 +42,10 @@ struct RunResult
     /** Subscriber-count distribution of shared pages (Fig. 9). */
     Histogram subscriberHist{maxGpus + 1};
     bool hasSubscriberHist = false;
+
+    /** Fault-injection outcome; valid when hasFaultReport. */
+    FaultReport faultReport;
+    bool hasFaultReport = false;
 
     /** Full component stat dump. */
     StatSet stats;

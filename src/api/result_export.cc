@@ -44,6 +44,27 @@ resultToJson(const RunResult& result, bool include_stats)
         json.endArray();
     }
 
+    if (result.hasFaultReport) {
+        const FaultReport& faults = result.faultReport;
+        json.key("faults").beginObject();
+        json.field("injected", faults.faultsInjected);
+        json.field("links_down", faults.linksDown);
+        json.field("links_degraded", faults.linksDegraded);
+        json.field("links_restored", faults.linksRestored);
+        json.field("reroutes", faults.reroutes);
+        json.field("rerouted_bytes", faults.reroutedBytes);
+        json.field("pcie_fallbacks", faults.pcieFallbacks);
+        json.field("pcie_fallback_bytes", faults.pcieFallbackBytes);
+        json.field("pages_retired", faults.pagesRetired);
+        json.field("replicas_lost", faults.replicasLost);
+        json.field("pages_degraded", faults.pagesDegraded);
+        json.field("resubscribes", faults.resubscribes);
+        json.field("wq_saturations", faults.wqSaturations);
+        json.field("wq_saturated_drains", faults.wqSaturatedDrains);
+        json.field("stall_time_ms", ticksToMs(faults.stallTicks));
+        json.endObject();
+    }
+
     if (include_stats) {
         json.key("stats").beginObject();
         for (const auto& [name, value] : result.stats.all())

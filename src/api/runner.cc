@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault_engine.hh"
 
 namespace gps
 {
@@ -15,6 +16,16 @@ Runner::run(Workload& workload)
         makeParadigm(config_.paradigm, system);
     WorkloadContext ctx(system, *paradigm);
 
+    // An empty plan constructs no engine at all, so fault-free runs take
+    // exactly the pre-fault-subsystem code paths.
+    std::unique_ptr<FaultEngine> fault_engine;
+    if (!config_.faultPlan.empty()) {
+        fault_engine =
+            std::make_unique<FaultEngine>(config_.faultPlan, system);
+        system.installFaultEngine(fault_engine.get());
+        faults_ = fault_engine.get();
+    }
+
     workload.setScale(config_.scale);
     workload.setup(ctx);
     if (paradigm->kind() == ParadigmKind::UmHints)
@@ -25,9 +36,9 @@ Runner::run(Workload& workload)
         config_.effectiveIterationsOverride != 0
             ? config_.effectiveIterationsOverride
             : workload.effectiveIterations();
+    const std::size_t max_iters = std::max<std::size_t>(eff_requested, 1);
     const std::size_t sim_iters =
-        std::min<std::size_t>(1 + config_.steadyIterations,
-                              std::max<std::size_t>(eff_requested, 1));
+        std::min<std::size_t>(1 + config_.steadyIterations, max_iters);
 
     RunResult result;
     result.workload = workload.name();
@@ -38,7 +49,13 @@ Runner::run(Workload& workload)
     std::vector<Tick> iter_time;
     std::vector<std::uint64_t> iter_bytes;
 
-    for (std::size_t iter = 0; iter < sim_iters; ++iter) {
+    // Normally the steady state is sampled and extrapolated; a pending
+    // fault plan extends the simulated window (up to the workload's full
+    // run) so events scheduled deep into the run still come due.
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+        if (iter >= sim_iters &&
+            (fault_engine == nullptr || fault_engine->done()))
+            break;
         paradigm->beginIteration(iter);
         if (iter == 0)
             paradigm->trackingStart();
@@ -63,17 +80,18 @@ Runner::run(Workload& workload)
     }
 
     // Extrapolate the simulated steady state to the full run length.
+    const std::size_t n_sim = iter_time.size();
     Tick total_time = iter_time.empty() ? 0 : iter_time.front();
     double total_bytes =
         iter_bytes.empty() ? 0.0 : static_cast<double>(iter_bytes.front());
-    if (sim_iters > 1) {
+    if (n_sim > 1) {
         Tick steady_sum = 0;
         double steady_bytes = 0.0;
-        for (std::size_t i = 1; i < sim_iters; ++i) {
+        for (std::size_t i = 1; i < n_sim; ++i) {
             steady_sum += iter_time[i];
             steady_bytes += static_cast<double>(iter_bytes[i]);
         }
-        const double steady_count = static_cast<double>(sim_iters - 1);
+        const double steady_count = static_cast<double>(n_sim - 1);
         const double remaining =
             static_cast<double>(eff_requested - 1);
         total_time += static_cast<Tick>(
@@ -111,6 +129,17 @@ Runner::run(Workload& workload)
     totals.exportStats(result.stats, "totals");
     result.wqHitRate = result.stats.get("gps.wq_hit_rate");
     result.gpsTlbHitRate = result.stats.get("gps.gps_tlb_hit_rate");
+
+    if (faults_ != nullptr) {
+        if (!faults_->done())
+            gps_warn("fault plan has events beyond the simulated run; ",
+                     "they were never injected");
+        faults_->report().exportStats(result.stats);
+        result.faultReport = faults_->report();
+        result.hasFaultReport = true;
+        system.installFaultEngine(nullptr);
+        faults_ = nullptr;
+    }
     return result;
 }
 
@@ -129,6 +158,12 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
     Topology& topo = system.topology();
     EventQueue& events = system.events();
     const PageGeometry& geo = system.geometry();
+
+    // Inject any faults that have come due before the phase begins; they
+    // fire at the current tick so the phase-time invariant below holds.
+    if (faults_ != nullptr)
+        faults_->pump(events, paradigm);
+
     const Tick start = events.now();
 
     // --- Pre-kernel stage: prefetch hints (UM+hints). Prefetches are
@@ -190,6 +225,10 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
         paradigm.endKernel(cursor.kernel->gpu, counters[cursor.kernel->gpu],
                            traffic);
 
+    // Faulted paths: move flows off Down links, inflate Degraded ones.
+    if (faults_ != nullptr)
+        topo.routeAroundFaults(traffic, faults_->report());
+
     // --- Timing: per-GPU bottleneck, then the barrier max. ---
     const Tick launch = system.config().gpu.kernelLaunchOverhead;
     Tick slowest = 0;
@@ -210,6 +249,8 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
     TrafficMatrix barrier_traffic(n);
     const Tick barrier_overhead =
         paradigm.atBarrier(stage_counters, barrier_traffic);
+    if (faults_ != nullptr)
+        topo.routeAroundFaults(barrier_traffic, faults_->report());
     const Tick barrier_time =
         topo.applyPhaseTraffic(barrier_traffic) + barrier_overhead;
 

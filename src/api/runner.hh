@@ -24,10 +24,13 @@
 #include "api/metrics.hh"
 #include "api/system.hh"
 #include "apps/workload.hh"
+#include "fault/fault_plan.hh"
 #include "paradigm/paradigm.hh"
 
 namespace gps
 {
+
+class FaultEngine;
 
 /** Everything needed to run one (workload, paradigm, system) triple. */
 struct RunConfig
@@ -49,6 +52,12 @@ struct RunConfig
      * 0 keeps the workload default.
      */
     std::size_t effectiveIterationsOverride = 0;
+
+    /**
+     * Faults to inject during the run. An empty plan means no fault
+     * engine is constructed at all (zero overhead when idle).
+     */
+    FaultPlan faultPlan;
 };
 
 /** Executes workloads and produces RunResults. */
@@ -76,6 +85,9 @@ class Runner
                       Phase& phase, KernelCounters& totals);
 
     RunConfig config_;
+
+    /** Active fault engine during run(); nullptr otherwise. */
+    FaultEngine* faults_ = nullptr;
 };
 
 /** One-call helper used throughout the benches. */

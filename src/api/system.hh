@@ -28,6 +28,8 @@
 namespace gps
 {
 
+class FaultEngine;
+
 /** Full system configuration. */
 struct SystemConfig
 {
@@ -63,6 +65,13 @@ class MultiGpuSystem
     AddressSpace& addressSpace() { return vas_; }
     const PageGeometry& geometry() const { return vas_.geometry(); }
 
+    /**
+     * Fault engine driving this run, when fault injection is active
+     * (installed by the runner for the run's duration, else nullptr).
+     */
+    FaultEngine* faults() { return faults_; }
+    void installFaultEngine(FaultEngine* engine) { faults_ = engine; }
+
     /** Table 1 style parameter dump. */
     ConfigDump configDump() const;
 
@@ -78,6 +87,7 @@ class MultiGpuSystem
     std::unique_ptr<Topology> topology_;
     std::unique_ptr<Driver> driver_;
     EventQueue events_;
+    FaultEngine* faults_ = nullptr;
 };
 
 } // namespace gps

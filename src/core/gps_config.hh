@@ -41,6 +41,23 @@ struct GpsConfig
     /** GPS page-table walk latency on a GPS-TLB miss. */
     Tick gpsWalkLatency = nsToTicks(400);
 
+    // --- Fault-degradation knobs (see src/fault/) ---
+
+    /**
+     * Effective watermark divisor while the WQ is saturated: drains start
+     * at wqEntries / this, and each drain stalls the producing SM.
+     */
+    std::uint32_t saturatedWatermarkDivisor = 8;
+
+    /** SM stall charged per drain forced while saturated. */
+    Tick wqStallPenalty = nsToTicks(200);
+
+    /**
+     * Remote accesses to a fault-degraded page before GPS re-subscribes
+     * the GPU (0 disables re-subscription).
+     */
+    std::uint32_t resubscribeAfter = 256;
+
     // --- Policy switches (ablations) ---
     /** Unsubscribe untouched pages at tracking stop (Fig. 11 ablation). */
     bool autoUnsubscribe = true;

@@ -1,6 +1,9 @@
 #include "core/gps_paradigm.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "fault/fault_engine.hh"
 
 namespace gps
 {
@@ -25,6 +28,7 @@ GpsParadigm::GpsParadigm(MultiGpuSystem& system)
         queues_.back()->setDrainCallback(
             [this, gpu](const WqEntry& entry) { onDrain(gpu, entry); });
     }
+    chargedStallDrains_.assign(system.numGpus(), 0);
 }
 
 void
@@ -62,6 +66,11 @@ GpsParadigm::accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
     // T1: last-level TLB misses to GPS pages feed the tracking bitmap.
     if (tlb_miss)
         tracker_->mark(gpu, vpn);
+
+    // Fault degradation: count remote accesses to pages whose replica
+    // was retired; re-subscribe once the threshold is reached.
+    if (!degraded_.empty() && !maskHas(st.subscribers, gpu))
+        maybeResubscribe(gpu, vpn, st, counters, traffic);
 
     if (access.isLoad()) {
         if (maskHas(st.subscribers, gpu)) {
@@ -127,6 +136,8 @@ GpsParadigm::accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
         ++counters.wqCoalesced;
     else
         ++counters.wqInserts;
+    if (queues_[gpu]->saturated())
+        chargeWqStalls(gpu, counters);
 }
 
 void
@@ -189,6 +200,107 @@ GpsParadigm::endKernel(GpuId gpu, KernelCounters& counters,
     ctxTraffic_ = &traffic;
     queues_[gpu]->drainAll();
     sys().gpu(gpu).storeCoalescer().reset();
+}
+
+void
+GpsParadigm::onFaultPageRetire(GpuId gpu, std::uint64_t count,
+                               FaultReport& report)
+{
+    // Retirement hits frames regardless of what they hold (ECC rows do
+    // not spare in-use data), so replica-backed frames go first — that
+    // is the adversity GPS has to degrade around; any remainder comes
+    // out of the free pool.
+    std::uint64_t remaining = count;
+
+    // Candidate replicas on this GPU: multi-subscriber, not collapsed
+    // (the swap-out preconditions). Sorted for determinism, victims
+    // drawn with the engine's seeded Rng.
+    std::vector<PageNum> candidates;
+    for (const auto& [vpn, pte] : gpsTable_->entries())
+        if (pte.replicas.size() >= 2 && pte.hasSubscriber(gpu) &&
+            !drv().state(vpn).collapsed)
+            candidates.push_back(vpn);
+    std::sort(candidates.begin(), candidates.end());
+
+    FaultEngine* engine = sys().faults();
+    while (remaining > 0 && !candidates.empty()) {
+        std::size_t pick = 0;
+        if (engine != nullptr)
+            pick = static_cast<std::size_t>(
+                engine->rng().below(candidates.size()));
+        const PageNum vpn = candidates[pick];
+        candidates.erase(candidates.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+        if (!subs_->retireReplica(vpn, gpu))
+            continue;
+        --remaining;
+        ++report.pagesRetired;
+        ++report.replicasLost;
+        ++report.pagesDegraded;
+        if (cfg().resubscribeAfter > 0)
+            degraded_.emplace(degradedKey(vpn, gpu), 0);
+    }
+    if (remaining > 0)
+        report.pagesRetired +=
+            sys().gpu(gpu).memory().retireFrames(remaining);
+}
+
+void
+GpsParadigm::onFaultWqSaturate(GpuId gpu, bool saturated,
+                               FaultReport& report)
+{
+    (void)report;
+    if (gpu == invalidGpu) {
+        for (auto& queue : queues_)
+            queue->setSaturated(saturated);
+        return;
+    }
+    queues_.at(gpu)->setSaturated(saturated);
+}
+
+void
+GpsParadigm::maybeResubscribe(GpuId gpu, PageNum vpn, PageState& st,
+                              KernelCounters& counters,
+                              TrafficMatrix& traffic)
+{
+    const auto it = degraded_.find(degradedKey(vpn, gpu));
+    if (it == degraded_.end())
+        return;
+    if (++it->second < cfg().resubscribeAfter)
+        return;
+    if (subs_->subscribe(vpn, gpu) != SubscribeResult::Ok) {
+        // Still out of memory: back off for another threshold's worth.
+        it->second = 0;
+        return;
+    }
+    // Refill the new replica from a surviving subscriber.
+    const GpuId src = maskFirst(maskClear(st.subscribers, gpu));
+    if (src != invalidGpu) {
+        const std::uint64_t page_bytes = drv().pageBytes();
+        traffic.add(src, gpu, page_bytes + headerBytes(), page_bytes);
+        counters.migrationBytes += page_bytes;
+    }
+    degraded_.erase(it);
+    if (FaultEngine* engine = sys().faults())
+        ++engine->report().resubscribes;
+}
+
+void
+GpsParadigm::chargeWqStalls(GpuId gpu, KernelCounters& counters)
+{
+    const std::uint64_t stalls = queues_[gpu]->stallDrains();
+    if (stalls == chargedStallDrains_[gpu])
+        return;
+    const std::uint64_t delta = stalls - chargedStallDrains_[gpu];
+    chargedStallDrains_[gpu] = stalls;
+    const Tick stall_ticks =
+        static_cast<Tick>(delta) * cfg().wqStallPenalty;
+    counters.wqStallDrains += delta;
+    counters.wqStallTicks += stall_ticks;
+    if (FaultEngine* engine = sys().faults()) {
+        engine->report().wqSaturatedDrains += delta;
+        engine->report().stallTicks += stall_ticks;
+    }
 }
 
 void

@@ -16,6 +16,7 @@
 #define GPS_CORE_GPS_PARADIGM_HH
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/access_tracker.hh"
@@ -44,6 +45,19 @@ class GpsParadigm : public Paradigm
     void trackingStart() override;
     void trackingStop(KernelCounters& counters) override;
     bool fillSubscriberHistogram(Histogram& hist) const override;
+
+    /**
+     * Replica loss: free frames are retired first; beyond that, replicas
+     * on @p gpu are evicted through the §5.3 swap-out machinery and the
+     * GPU degrades to remote accesses for those pages (with optional
+     * re-subscription after resubscribeAfter accesses).
+     */
+    void onFaultPageRetire(GpuId gpu, std::uint64_t count,
+                           FaultReport& report) override;
+
+    /** RWQ backpressure: saturate/restore the GPU's write queue(s). */
+    void onFaultWqSaturate(GpuId gpu, bool saturated,
+                           FaultReport& report) override;
 
     /** Manual subscription API (CU_MEM_ADVISE_GPS_SUBSCRIBE). */
     void manualSubscribe(Addr base, std::uint64_t len, GpuId gpu);
@@ -93,6 +107,21 @@ class GpsParadigm : public Paradigm
     void handleSysWrite(GpuId gpu, const MemAccess& access, PageNum vpn,
                         KernelCounters& counters, TrafficMatrix& traffic);
 
+    /** Count a remote access to a fault-degraded page; re-subscribe and
+     *  refill the replica once the threshold is reached. */
+    void maybeResubscribe(GpuId gpu, PageNum vpn, PageState& st,
+                          KernelCounters& counters,
+                          TrafficMatrix& traffic);
+
+    /** Charge SM stalls for drains forced while the WQ is saturated. */
+    void chargeWqStalls(GpuId gpu, KernelCounters& counters);
+
+    static std::uint64_t
+    degradedKey(PageNum vpn, GpuId gpu)
+    {
+        return (vpn << 6) | gpu;
+    }
+
     const GpsConfig& cfg() const { return sys().config().gps; }
 
     std::unique_ptr<GpsPageTable> gpsTable_;
@@ -106,6 +135,12 @@ class GpsParadigm : public Paradigm
     TrafficMatrix* ctxTraffic_ = nullptr;
 
     std::uint64_t wqForwardHits_ = 0;
+
+    /** (vpn, gpu) -> remote accesses since the replica was lost. */
+    std::unordered_map<std::uint64_t, std::uint32_t> degraded_;
+
+    /** Per-GPU stallDrains() already charged to kernel counters. */
+    std::vector<std::uint64_t> chargedStallDrains_;
 };
 
 } // namespace gps

@@ -48,9 +48,18 @@ RemoteWriteQueue::insert(Addr addr, std::uint32_t size,
     ++inserts_;
 
     // At the high watermark, drain least-recently-added entries to free
-    // space while leaving maximum coalescing opportunity (§5.2).
-    while (occupancy_ > config_->highWatermark() && fifo_.size() > 1) {
+    // space while leaving maximum coalescing opportunity (§5.2). Under
+    // injected saturation the watermark collapses and each forced drain
+    // stalls the producing SM (charged by the caller via stallDrains).
+    std::uint32_t watermark = config_->highWatermark();
+    if (saturated_ && config_->saturatedWatermarkDivisor > 0)
+        watermark = std::min(
+            watermark,
+            config_->wqEntries / config_->saturatedWatermarkDivisor);
+    while (occupancy_ > watermark && fifo_.size() > 1) {
         ++watermarkDrains_;
+        if (saturated_)
+            ++stallDrains_;
         drainOne();
     }
     return false;
@@ -128,6 +137,7 @@ RemoteWriteQueue::exportStats(StatSet& out) const
             static_cast<double>(atomicBypass_));
     out.set(name() + ".watermark_drains",
             static_cast<double>(watermarkDrains_));
+    out.set(name() + ".stall_drains", static_cast<double>(stallDrains_));
     out.set(name() + ".hit_rate", hitRate());
 }
 
@@ -140,6 +150,7 @@ RemoteWriteQueue::resetStats()
     atomicBypass_ = 0;
     watermarkDrains_ = 0;
     forwardHits_ = 0;
+    stallDrains_ = 0;
 }
 
 } // namespace gps

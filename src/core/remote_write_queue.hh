@@ -80,6 +80,17 @@ class RemoteWriteQueue : public SimObject
     /** Drain only entries of @p vpn (page collapse). */
     void drainPage(PageNum vpn);
 
+    /**
+     * Enter/leave the fault-injected Saturated mode: the drain watermark
+     * drops to wqEntries / saturatedWatermarkDivisor and every
+     * watermark-forced drain counts as an SM stall (stallDrains).
+     */
+    void setSaturated(bool saturated) { saturated_ = saturated; }
+    bool saturated() const { return saturated_; }
+
+    /** Drains forced while saturated (each stalls the producing SM). */
+    std::uint64_t stallDrains() const { return stallDrains_; }
+
     /** Occupancy in capacity units. */
     std::uint32_t occupancy() const { return occupancy_; }
 
@@ -121,6 +132,8 @@ class RemoteWriteQueue : public SimObject
     std::uint64_t atomicBypass_ = 0;
     std::uint64_t watermarkDrains_ = 0;
     std::uint64_t forwardHits_ = 0;
+    std::uint64_t stallDrains_ = 0;
+    bool saturated_ = false;
 };
 
 } // namespace gps

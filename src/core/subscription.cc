@@ -31,6 +31,18 @@ SubscriptionManager::installReclaimHook()
         [this](GpuId gpu) { return swapOutOneReplica(gpu); });
 }
 
+bool
+SubscriptionManager::retireReplica(PageNum vpn, GpuId gpu)
+{
+    if (unsubscribe(vpn, gpu) != UnsubscribeResult::Ok)
+        return false;
+    // The unsubscribe freed the replica's frame; take it (or an
+    // equivalent free frame) out of service for good.
+    driver_->gpu(gpu).memory().retireFrames(1);
+    ++replicaRetires_;
+    return true;
+}
+
 SubscribeResult
 SubscriptionManager::subscribe(PageNum vpn, GpuId gpu)
 {
@@ -187,6 +199,9 @@ SubscriptionManager::exportStats(StatSet& out) const
             static_cast<double>(oversubscriptionRejects_));
     out.set(name() + ".collapses", static_cast<double>(collapses_));
     out.set(name() + ".swap_outs", static_cast<double>(swapOuts_));
+    if (replicaRetires_ > 0)
+        out.set(name() + ".replica_retires",
+                static_cast<double>(replicaRetires_));
 }
 
 } // namespace gps

@@ -53,6 +53,17 @@ class SubscriptionManager : public SimObject
     /** Install this manager as the driver's oversubscription hook. */
     void installReclaimHook();
 
+    /**
+     * Fault injection: @p gpu's replica of @p vpn is lost and its frame
+     * permanently retired. Reuses the §5.3 swap-out path (unsubscribe,
+     * remote access from then on) but removes the frame from service.
+     * @return false when refused (last subscriber or not subscribed).
+     */
+    bool retireReplica(PageNum vpn, GpuId gpu);
+
+    /** Replicas lost to fault injection. */
+    std::uint64_t replicaRetires() const { return replicaRetires_; }
+
     /** Subscribe @p gpu to @p vpn (backs a replica frame). */
     SubscribeResult subscribe(PageNum vpn, GpuId gpu);
 
@@ -109,6 +120,7 @@ class SubscriptionManager : public SimObject
     std::uint64_t oversubscriptionRejects_ = 0;
     std::uint64_t collapses_ = 0;
     std::uint64_t swapOuts_ = 0;
+    std::uint64_t replicaRetires_ = 0;
 };
 
 } // namespace gps

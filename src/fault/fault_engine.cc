@@ -1,0 +1,94 @@
+#include "fault/fault_engine.hh"
+
+#include "api/system.hh"
+#include "common/logging.hh"
+#include "interconnect/topology.hh"
+#include "paradigm/paradigm.hh"
+#include "sim/event_queue.hh"
+
+namespace gps
+{
+
+FaultEngine::FaultEngine(FaultPlan plan, MultiGpuSystem& system)
+    : plan_(std::move(plan)), system_(&system), rng_(plan_.seed)
+{
+    plan_.sort();
+    const std::size_t num_gpus = system.numGpus();
+    for (const FaultEvent& ev : plan_.events) {
+        if (ev.a != invalidGpu && ev.a >= num_gpus)
+            gps_fatal("fault '", ev.describe(), "' targets GPU ", ev.a,
+                      " but the system has ", num_gpus, " GPUs");
+        if (ev.b != invalidGpu && ev.b >= num_gpus)
+            gps_fatal("fault '", ev.describe(), "' targets GPU ", ev.b,
+                      " but the system has ", num_gpus, " GPUs");
+        if (ev.kind == FaultKind::PageRetire && ev.a == invalidGpu)
+            gps_fatal("fault '", ev.describe(),
+                      "' needs a concrete GPU target");
+    }
+    system.topology().setPcieFallback(plan_.pcieFallback);
+}
+
+void
+FaultEngine::pump(EventQueue& events, Paradigm& paradigm)
+{
+    bool scheduled = false;
+    while (next_ < plan_.events.size() &&
+           plan_.events[next_].time <= events.now()) {
+        const FaultEvent& ev = plan_.events[next_++];
+        events.schedule(events.now(), "fault:" + ev.describe(),
+                        [this, &ev, &paradigm] { apply(ev, paradigm); });
+        scheduled = true;
+    }
+    if (scheduled)
+        events.run();
+}
+
+void
+FaultEngine::apply(const FaultEvent& ev, Paradigm& paradigm)
+{
+    ++report_.faultsInjected;
+    Topology& topo = system_->topology();
+
+    const auto for_each_pair = [&](auto&& fn) {
+        if (ev.b != invalidGpu) {
+            fn(ev.a, ev.b);
+            return;
+        }
+        for (std::size_t peer = 0; peer < system_->numGpus(); ++peer)
+            if (peer != ev.a)
+                fn(ev.a, static_cast<GpuId>(peer));
+    };
+
+    switch (ev.kind) {
+    case FaultKind::LinkDown:
+        for_each_pair([&](GpuId a, GpuId b) {
+            topo.setPathState(a, b, PathHealth::Down);
+            ++report_.linksDown;
+        });
+        break;
+    case FaultKind::LinkDegrade:
+        for_each_pair([&](GpuId a, GpuId b) {
+            topo.setPathState(a, b, PathHealth::Degraded, ev.factor);
+            ++report_.linksDegraded;
+        });
+        break;
+    case FaultKind::LinkRestore:
+        for_each_pair([&](GpuId a, GpuId b) {
+            topo.setPathState(a, b, PathHealth::Healthy);
+            ++report_.linksRestored;
+        });
+        break;
+    case FaultKind::PageRetire:
+        paradigm.onFaultPageRetire(ev.a, ev.count, report_);
+        break;
+    case FaultKind::WqSaturate:
+        ++report_.wqSaturations;
+        paradigm.onFaultWqSaturate(ev.a, true, report_);
+        break;
+    case FaultKind::WqRestore:
+        paradigm.onFaultWqSaturate(ev.a, false, report_);
+        break;
+    }
+}
+
+} // namespace gps

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Replays a FaultPlan against a running MultiGpuSystem.
+ *
+ * The engine is pumped by the runner at phase boundaries: every plan event
+ * whose time has arrived is scheduled on the event queue at the current
+ * tick and applied through the paradigm's degradation hooks. Injection is
+ * fully deterministic — event order comes from the sorted plan and any
+ * victim selection uses the plan's seeded Rng.
+ */
+
+#ifndef GPS_FAULT_FAULT_ENGINE_HH
+#define GPS_FAULT_FAULT_ENGINE_HH
+
+#include <cstddef>
+
+#include "common/rng.hh"
+#include "fault/fault_plan.hh"
+
+namespace gps
+{
+
+class EventQueue;
+class MultiGpuSystem;
+class Paradigm;
+
+/** Deterministic, seeded fault injector. */
+class FaultEngine
+{
+  public:
+    /** Validates targets against the system; fatal on out-of-range ids. */
+    FaultEngine(FaultPlan plan, MultiGpuSystem& system);
+
+    /**
+     * Schedule every not-yet-fired event due at or before the queue's
+     * current time and run it. Faults therefore take effect at phase
+     * granularity, which keeps the runner's phase-time invariant intact.
+     */
+    void pump(EventQueue& events, Paradigm& paradigm);
+
+    /** Whether every plan event has fired. */
+    bool done() const { return next_ >= plan_.events.size(); }
+
+    FaultReport& report() { return report_; }
+    const FaultReport& report() const { return report_; }
+    Rng& rng() { return rng_; }
+    const FaultPlan& plan() const { return plan_; }
+
+  private:
+    void apply(const FaultEvent& ev, Paradigm& paradigm);
+
+    FaultPlan plan_;
+    MultiGpuSystem* system_;
+    Rng rng_;
+    FaultReport report_;
+    std::size_t next_ = 0;
+};
+
+} // namespace gps
+
+#endif // GPS_FAULT_FAULT_ENGINE_HH

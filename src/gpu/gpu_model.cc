@@ -37,6 +37,8 @@ KernelCounters::merge(const KernelCounters& other)
     gpsTlbHits += other.gpsTlbHits;
     gpsTlbMisses += other.gpsTlbMisses;
     sysCollapses += other.sysCollapses;
+    wqStallDrains += other.wqStallDrains;
+    wqStallTicks += other.wqStallTicks;
 }
 
 void
@@ -76,6 +78,10 @@ KernelCounters::exportStats(StatSet& out, const std::string& prefix) const
     out.add(prefix + ".gps_tlb_misses",
             static_cast<double>(gpsTlbMisses));
     out.add(prefix + ".sys_collapses", static_cast<double>(sysCollapses));
+    out.add(prefix + ".wq_stall_drains",
+            static_cast<double>(wqStallDrains));
+    out.add(prefix + ".wq_stall_ticks",
+            static_cast<double>(wqStallTicks));
 }
 
 GpuModel::GpuModel(GpuId id, const GpuConfig& config, PageGeometry geometry)
@@ -185,6 +191,9 @@ GpuModel::kernelTime(const KernelCounters& counters,
             batches * static_cast<double>(faultTiming_.faultLatency));
     }
     t_core += counters.tlbShootdowns * faultTiming_.shootdownLatency;
+
+    // Saturated-WQ drains stall the producing SM serially.
+    t_core += counters.wqStallTicks;
 
     return t_core;
 }

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/stats.hh"
+#include "common/types.hh"
 
 namespace gps
 {
@@ -56,6 +57,10 @@ struct KernelCounters
     std::uint64_t gpsTlbHits = 0;
     std::uint64_t gpsTlbMisses = 0;
     std::uint64_t sysCollapses = 0; ///< pages collapsed by sys stores
+
+    // --- Fault degradation (see src/fault/) ---
+    std::uint64_t wqStallDrains = 0; ///< drains forced while saturated
+    Tick wqStallTicks = 0;           ///< serialized SM stall time
 
     void merge(const KernelCounters& other);
     void exportStats(StatSet& out, const std::string& prefix) const;

@@ -1,9 +1,11 @@
 #include "interconnect/topology.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "fault/fault_plan.hh"
 
 namespace gps
 {
@@ -40,6 +42,14 @@ TrafficMatrix::clear()
 {
     std::fill(bytes_.begin(), bytes_.end(), 0);
     payload_ = 0;
+}
+
+std::uint64_t
+TrafficMatrix::takeWire(GpuId src, GpuId dst)
+{
+    const std::uint64_t bytes = bytes_[src * n_ + dst];
+    bytes_[src * n_ + dst] = 0;
+    return bytes;
 }
 
 Topology::Topology(std::string name, std::size_t num_gpus,
@@ -84,6 +94,135 @@ Topology::linkTime(std::uint64_t bytes) const
     if (spec_->infinite)
         return 0;
     return transferTicks(bytes, spec_->bandwidth);
+}
+
+void
+Topology::setPathState(GpuId a, GpuId b, PathHealth health, double factor)
+{
+    // Fatal rather than assert: bad endpoints can arrive straight from a
+    // user's --fault spec.
+    if (a >= numGpus_ || b >= numGpus_ || a == b)
+        gps_fatal("bad path endpoints ", a, "-", b);
+    if (factor <= 0.0 || factor > 1.0)
+        gps_fatal("degrade factor out of (0, 1]: ", factor);
+    if (health == PathHealth::Healthy) {
+        paths_.erase(pathKey(a, b));
+        return;
+    }
+    paths_[pathKey(a, b)] = PathState{
+        health, health == PathHealth::Degraded ? factor : 1.0};
+}
+
+PathState
+Topology::pathState(GpuId a, GpuId b) const
+{
+    const auto it = paths_.find(pathKey(a, b));
+    return it == paths_.end() ? PathState{} : it->second;
+}
+
+GpuId
+Topology::findRelay(GpuId src, GpuId dst) const
+{
+    for (std::size_t g = 0; g < numGpus_; ++g) {
+        const GpuId relay = static_cast<GpuId>(g);
+        if (relay == src || relay == dst)
+            continue;
+        if (pathState(src, relay).health != PathHealth::Down &&
+            pathState(relay, dst).health != PathHealth::Down)
+            return relay;
+    }
+    return invalidGpu;
+}
+
+namespace
+{
+
+/** Wire bytes needed to keep transfer time constant at reduced speed. */
+std::uint64_t
+inflate(std::uint64_t bytes, double factor)
+{
+    return static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(bytes) / factor));
+}
+
+} // namespace
+
+void
+Topology::routeAroundFaults(TrafficMatrix& traffic,
+                            FaultReport& report) const
+{
+    if (paths_.empty())
+        return;
+    gps_assert(traffic.numGpus() == numGpus_,
+               "traffic matrix size mismatch");
+
+    // Host-staged fallback path: both directions share the host bridge,
+    // so a dead peer pair effectively sees half of a PCIe 3.0 link.
+    const double fallback_bw =
+        interconnectSpec(InterconnectKind::Pcie3).bandwidth / 2.0;
+
+    // Snapshot semantics: collect all adjustments against the original
+    // matrix first, then apply, so relayed flows are never re-penalized
+    // by the degraded-path pass.
+    struct Extra {
+        GpuId src;
+        GpuId dst;
+        std::uint64_t wire;
+    };
+    std::vector<Extra> extras;
+
+    for (std::size_t s = 0; s < numGpus_; ++s) {
+        for (std::size_t d = 0; d < numGpus_; ++d) {
+            if (s == d)
+                continue;
+            const GpuId src = static_cast<GpuId>(s);
+            const GpuId dst = static_cast<GpuId>(d);
+            const std::uint64_t bytes = traffic.at(src, dst);
+            if (bytes == 0)
+                continue;
+            const PathState state = pathState(src, dst);
+            if (state.health == PathHealth::Healthy)
+                continue;
+
+            if (state.health == PathHealth::Degraded) {
+                extras.push_back(
+                    {src, dst, inflate(bytes, state.factor) - bytes});
+                continue;
+            }
+
+            // Down: the flow must leave this path entirely.
+            traffic.takeWire(src, dst);
+            const GpuId relay = findRelay(src, dst);
+            if (relay != invalidGpu) {
+                const PathState hop1 = pathState(src, relay);
+                const PathState hop2 = pathState(relay, dst);
+                extras.push_back({src, relay,
+                                  inflate(bytes, hop1.factor)});
+                extras.push_back({relay, dst,
+                                  inflate(bytes, hop2.factor)});
+                ++report.reroutes;
+                report.reroutedBytes += bytes;
+                continue;
+            }
+            if (!pcieFallback_)
+                gps_fatal("no path between GPU ", src, " and GPU ", dst,
+                          " and PCIe fallback is disabled: partition ",
+                          "unreachable");
+            // Keep the flow on the pair's links but inflate its wire
+            // occupancy to what the host-staged path would cost.
+            std::uint64_t staged = bytes;
+            if (!spec_->infinite && spec_->bandwidth > fallback_bw)
+                staged = static_cast<std::uint64_t>(
+                    std::ceil(static_cast<double>(bytes) *
+                              spec_->bandwidth / fallback_bw));
+            extras.push_back({src, dst, staged});
+            ++report.pcieFallbacks;
+            report.pcieFallbackBytes += bytes;
+        }
+    }
+
+    for (const Extra& extra : extras)
+        traffic.addWire(extra.src, extra.dst, extra.wire);
 }
 
 void

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -24,6 +25,24 @@
 
 namespace gps
 {
+
+struct FaultReport;
+
+/** Health of the switched path between one pair of GPUs. */
+enum class PathHealth : std::uint8_t {
+    Healthy,  ///< Full bandwidth.
+    Degraded, ///< Working at a fraction of nominal bandwidth.
+    Down,     ///< Carries no traffic; flows must reroute.
+};
+
+/** Fault state of one GPU pair's path. */
+struct PathState
+{
+    PathHealth health = PathHealth::Healthy;
+
+    /** Usable bandwidth fraction while Degraded, in (0, 1]. */
+    double factor = 1.0;
+};
 
 /**
  * Per-phase source->destination byte matrix. Wire bytes (payload plus
@@ -72,6 +91,20 @@ class TrafficMatrix
 
     void clear();
 
+    /**
+     * Remove and return the wire bytes of one cell without touching the
+     * payload total; used by fault rerouting, which moves wire occupancy
+     * but not the "data moved" metric.
+     */
+    std::uint64_t takeWire(GpuId src, GpuId dst);
+
+    /** Add wire bytes without affecting the payload total. */
+    void
+    addWire(GpuId src, GpuId dst, std::uint64_t bytes)
+    {
+        bytes_[src * n_ + dst] += bytes;
+    }
+
   private:
     std::size_t n_;
     std::vector<std::uint64_t> bytes_;
@@ -110,16 +143,58 @@ class Topology : public SimObject
     /** Lifetime payload bytes (the Figure 10 "data moved" metric). */
     std::uint64_t totalPayloadBytes() const { return totalPayload_; }
 
+    // --- Fault state (see src/fault/) ---
+
+    /**
+     * Set the health of the path between @p a and @p b (symmetric).
+     * Healthy erases the entry, so a fault-free topology stays fault-free
+     * in the fast-path check below.
+     */
+    void setPathState(GpuId a, GpuId b, PathHealth health,
+                      double factor = 1.0);
+
+    /** Current state of the pair's path (Healthy when never faulted). */
+    PathState pathState(GpuId a, GpuId b) const;
+
+    /** Whether any path currently carries fault state. */
+    bool anyPathFault() const { return !paths_.empty(); }
+
+    /** Allow/forbid host-staged PCIe fallback for dead partitions. */
+    void setPcieFallback(bool allow) { pcieFallback_ = allow; }
+
+    /**
+     * Rewrite @p traffic so no flow crosses a Down path and Degraded
+     * paths pay their bandwidth penalty as inflated wire bytes. Down
+     * flows move to a relay GPU when one is reachable, else to the PCIe
+     * fallback; fatal when a partition is unreachable and the fallback is
+     * disabled. No-op when no path carries fault state.
+     */
+    void routeAroundFaults(TrafficMatrix& traffic,
+                           FaultReport& report) const;
+
     void exportStats(StatSet& out) const override;
     void resetStats() override;
 
   private:
+    static std::uint32_t
+    pathKey(GpuId a, GpuId b)
+    {
+        const std::uint32_t lo = a < b ? a : b;
+        const std::uint32_t hi = a < b ? b : a;
+        return (lo << 16) | hi;
+    }
+
+    /** First GPU both endpoints can still reach; invalidGpu if none. */
+    GpuId findRelay(GpuId src, GpuId dst) const;
+
     std::size_t numGpus_;
     const InterconnectSpec* spec_;
     std::vector<std::unique_ptr<Link>> egress_;
     std::vector<std::unique_ptr<Link>> ingress_;
     std::uint64_t totalBytes_ = 0;
     std::uint64_t totalPayload_ = 0;
+    std::unordered_map<std::uint32_t, PathState> paths_;
+    bool pcieFallback_ = true;
 };
 
 } // namespace gps

@@ -53,6 +53,25 @@ PhysicalMemory::allocated(PageNum ppn) const
     return ppn < inUse_.size() && inUse_[ppn];
 }
 
+std::uint64_t
+PhysicalMemory::retireFrames(std::uint64_t count)
+{
+    std::uint64_t retired = 0;
+    // Recycled frames first: they leave circulation for good.
+    while (retired < count && !freeList_.empty()) {
+        freeList_.pop_back();
+        --totalFrames_;
+        ++retired;
+    }
+    // Then shrink the never-used bump region.
+    while (retired < count && bumpNext_ < totalFrames_) {
+        --totalFrames_;
+        ++retired;
+    }
+    framesRetired_ += retired;
+    return retired;
+}
+
 void
 PhysicalMemory::exportStats(StatSet& out) const
 {
@@ -61,6 +80,9 @@ PhysicalMemory::exportStats(StatSet& out) const
     out.set(name() + ".frames_peak",
             static_cast<double>(peakFramesInUse_));
     out.set(name() + ".frames_total", static_cast<double>(totalFrames_));
+    if (framesRetired_ > 0)
+        out.set(name() + ".frames_retired",
+                static_cast<double>(framesRetired_));
 }
 
 } // namespace gps

@@ -43,6 +43,17 @@ class PhysicalMemory : public SimObject
     /** Whether @p ppn is currently allocated. */
     bool allocated(PageNum ppn) const;
 
+    /**
+     * Permanently take up to @p count free frames out of service (fault
+     * injection: frames lost to hardware retirement). Frames in use are
+     * never retired.
+     * @return the number of frames actually retired.
+     */
+    std::uint64_t retireFrames(std::uint64_t count);
+
+    /** Frames permanently retired by fault injection. */
+    std::uint64_t framesRetired() const { return framesRetired_; }
+
     std::uint64_t capacityBytes() const { return capacityBytes_; }
     std::uint64_t totalFrames() const { return totalFrames_; }
     std::uint64_t framesInUse() const { return framesInUse_; }
@@ -57,6 +68,7 @@ class PhysicalMemory : public SimObject
     std::uint64_t totalFrames_;
     std::uint64_t framesInUse_ = 0;
     std::uint64_t peakFramesInUse_ = 0;
+    std::uint64_t framesRetired_ = 0;
 
     /** Next never-used frame (bump allocation). */
     PageNum bumpNext_ = 0;

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "core/gps_paradigm.hh"
+#include "fault/fault_plan.hh"
 #include "paradigm/infinite.hh"
 #include "paradigm/memcpy_paradigm.hh"
 #include "paradigm/rdl.hh"
@@ -48,6 +49,16 @@ std::uint32_t
 Paradigm::headerBytes() const
 {
     return system_->topology().spec().headerBytes;
+}
+
+void
+Paradigm::onFaultPageRetire(GpuId gpu, std::uint64_t count,
+                            FaultReport& report)
+{
+    // Without replication there is nothing to unsubscribe: the fault
+    // simply shrinks the GPU's allocatable memory.
+    report.pagesRetired +=
+        sys().gpu(gpu).memory().retireFrames(count);
 }
 
 void

@@ -27,6 +27,8 @@
 namespace gps
 {
 
+struct FaultReport;
+
 /** The evaluated multi-GPU programming paradigms. */
 enum class ParadigmKind : std::uint8_t {
     Um,          ///< Unified Memory, fault-based migration
@@ -131,6 +133,27 @@ class Paradigm : public SimObject
         (void)len;
         (void)gpu;
         return true;
+    }
+
+    /**
+     * Fault injection: @p count frames on @p gpu are retired. The base
+     * implementation shrinks the GPU's free-frame pool; GPS additionally
+     * evicts replicas when free frames don't cover the loss.
+     */
+    virtual void onFaultPageRetire(GpuId gpu, std::uint64_t count,
+                                   FaultReport& report);
+
+    /**
+     * Fault injection: the remote write queue of @p gpu (or of every GPU
+     * when @p gpu is invalidGpu) enters/leaves Saturated mode. Only GPS
+     * has a write queue, so the base implementation is a no-op.
+     */
+    virtual void
+    onFaultWqSaturate(GpuId gpu, bool saturated, FaultReport& report)
+    {
+        (void)gpu;
+        (void)saturated;
+        (void)report;
     }
 
     /** GPS profiling window (no-ops for other paradigms). */

@@ -1,5 +1,6 @@
 #include "trace/trace_file.hh"
 
+#include <array>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -15,7 +16,7 @@ struct TraceHeader
 {
     char magic[8];
     std::uint32_t version;
-    std::uint32_t reserved;
+    std::uint32_t crc32; ///< IEEE CRC32 over all record bytes.
     std::uint64_t records;
 };
 
@@ -31,6 +32,34 @@ struct TraceRecord
 
 static_assert(sizeof(TraceHeader) == 24, "header layout drifted");
 static_assert(sizeof(TraceRecord) == 16, "record layout drifted");
+
+/** Table-based IEEE CRC32 (same polynomial as zlib's crc32). */
+const std::uint32_t*
+crcTable()
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table.data();
+}
+
+std::uint32_t
+crc32Update(std::uint32_t crc, const void* data, std::size_t len)
+{
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    const std::uint32_t* table = crcTable();
+    crc ^= 0xffffffffu;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
 
 } // namespace
 
@@ -64,6 +93,7 @@ TraceWriter::append(const MemAccess& access)
     record.scope = static_cast<std::uint8_t>(access.scope);
     if (std::fwrite(&record, sizeof(record), 1, file_) != 1)
         gps_fatal("short write on trace record");
+    crc_ = crc32Update(crc_, &record, sizeof(record));
     ++records_;
 }
 
@@ -84,15 +114,24 @@ TraceWriter::close()
 {
     if (file_ == nullptr)
         return;
+    // Record bytes must reach the kernel before the header rewrite, or a
+    // write error found at fclose time would leave a valid-looking header
+    // over a short file. Warn rather than throw: the destructor lands here.
+    bool ok = std::fflush(file_) == 0;
     TraceHeader header{};
     std::memcpy(header.magic, traceMagic, sizeof(traceMagic));
     header.version = traceVersion;
+    header.crc32 = crc_;
     header.records = records_;
-    std::fseek(file_, 0, SEEK_SET);
-    if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
-        gps_warn("failed to finalize trace header");
-    std::fclose(file_);
+    ok = ok && std::fseek(file_, 0, SEEK_SET) == 0;
+    ok = ok && std::fwrite(&header, sizeof(header), 1, file_) == 1;
+    ok = ok && std::fflush(file_) == 0;
+    if (std::fclose(file_) != 0)
+        ok = false;
     file_ = nullptr;
+    if (!ok)
+        gps_warn("failed to finalize trace file (", records_,
+                 " records); the file is likely unreadable");
 }
 
 TraceFileStream::TraceFileStream(const std::string& path)
@@ -118,6 +157,42 @@ TraceFileStream::TraceFileStream(const std::string& path)
                   " unsupported (expected ", traceVersion, ")");
     }
     records_ = header.records;
+
+    // Validate the declared record count against the file size, then the
+    // payload against the header checksum, before handing out a single
+    // record. A trace that fails here would silently under-replay.
+    std::fseek(file_, 0, SEEK_END);
+    const long end = std::ftell(file_);
+    const long expected = static_cast<long>(
+        sizeof(TraceHeader) + records_ * sizeof(TraceRecord));
+    if (end < 0 || end != expected) {
+        std::fclose(file_);
+        file_ = nullptr;
+        gps_fatal("trace file '", path, "' is ", end, " bytes but its ",
+                  "header declares ", records_, " records (", expected,
+                  " bytes): truncated or corrupt");
+    }
+    std::fseek(file_, sizeof(TraceHeader), SEEK_SET);
+    std::uint32_t crc = 0;
+    TraceRecord record{};
+    for (std::uint64_t i = 0; i < records_; ++i) {
+        if (std::fread(&record, sizeof(record), 1, file_) != 1) {
+            std::fclose(file_);
+            file_ = nullptr;
+            gps_fatal("read error in trace file '", path, "' at record ",
+                      i);
+        }
+        crc = crc32Update(crc, &record, sizeof(record));
+    }
+    if (crc != header.crc32) {
+        std::fclose(file_);
+        file_ = nullptr;
+        gps_fatal("trace file '", path, "' checksum mismatch (stored ",
+                  header.crc32, ", computed ", crc,
+                  "): the payload is corrupt");
+    }
+    std::fseek(file_, sizeof(TraceHeader), SEEK_SET);
+    path_ = path;
 }
 
 TraceFileStream::~TraceFileStream()
@@ -132,8 +207,12 @@ TraceFileStream::next(MemAccess& out)
     if (file_ == nullptr || consumed_ >= records_)
         return false;
     TraceRecord record{};
-    if (std::fread(&record, sizeof(record), 1, file_) != 1)
-        return false;
+    if (std::fread(&record, sizeof(record), 1, file_) != 1) {
+        // The header promised more records than the file delivers —
+        // returning false here would silently replay a partial trace.
+        gps_fatal("trace file '", path_, "' truncated mid-stream: got ",
+                  consumed_, " of ", records_, " records");
+    }
     out.vaddr = record.vaddr;
     out.size = record.size;
     out.type = static_cast<AccessType>(record.type);

@@ -11,10 +11,12 @@
  * this format) drive the simulator directly.
  *
  * Format (little-endian):
- *   16-byte header: magic "GPSTRACE", u32 version, u32 record count low
- *   (record count high stored in reserved field), then one 16-byte
- *   record per access: u64 vaddr, u32 size, u8 type, u8 scope,
- *   u16 reserved.
+ *   24-byte header: magic "GPSTRACE", u32 version, u32 CRC32 (IEEE, over
+ *   all record bytes), u64 record count; then one 16-byte record per
+ *   access: u64 vaddr, u32 size, u8 type, u8 scope, u16 reserved.
+ *
+ * Version 2 repurposed the formerly-zero reserved header word as the
+ * payload checksum; version-1 files are rejected on open.
  */
 
 #ifndef GPS_TRACE_TRACE_FILE_HH
@@ -49,7 +51,9 @@ class TraceWriter
      * @return records written. */
     std::uint64_t appendAll(AccessStream& stream);
 
-    /** Finalize the header and close; called by the destructor too. */
+    /** Finalize the header and close; called by the destructor too.
+     * Flushes before the header rewrite and warns (never throws — the
+     * destructor calls this) if any step fails. */
     void close();
 
     std::uint64_t recordsWritten() const { return records_; }
@@ -57,6 +61,7 @@ class TraceWriter
   private:
     std::FILE* file_ = nullptr;
     std::uint64_t records_ = 0;
+    std::uint32_t crc_ = 0;
 };
 
 /** Replays a binary trace file as an AccessStream. */
@@ -79,13 +84,14 @@ class TraceFileStream : public AccessStream
     std::FILE* file_ = nullptr;
     std::uint64_t records_ = 0;
     std::uint64_t consumed_ = 0;
+    std::string path_; ///< For error messages after open.
 };
 
 /** Magic bytes at the start of every trace file. */
 constexpr char traceMagic[8] = {'G', 'P', 'S', 'T', 'R', 'A', 'C', 'E'};
 
 /** Current trace format version. */
-constexpr std::uint32_t traceVersion = 1;
+constexpr std::uint32_t traceVersion = 2;
 
 } // namespace gps
 

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem: plan parsing (CLI grammar and
+ * JSON), topology rerouting around Down/Degraded paths, remote write
+ * queue saturation, and run-level graceful degradation with
+ * deterministic, reproducible fault reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/result_export.hh"
+#include "api/runner.hh"
+#include "common/logging.hh"
+#include "core/remote_write_queue.hh"
+#include "fault/fault_plan.hh"
+#include "interconnect/topology.hh"
+
+namespace gps
+{
+namespace
+{
+
+constexpr double smokeScale = 0.0625;
+
+// --- CLI spec grammar -------------------------------------------------
+
+TEST(FaultSpec, ParsesLinkDown)
+{
+    const FaultEvent ev = FaultPlan::parseSpec("link:down@2ms:gpu0-gpu1");
+    EXPECT_EQ(ev.kind, FaultKind::LinkDown);
+    EXPECT_EQ(ev.time, usToTicks(2000));
+    EXPECT_EQ(ev.a, 0);
+    EXPECT_EQ(ev.b, 1);
+}
+
+TEST(FaultSpec, ParsesDegradeWithFactorAndBareGpuIds)
+{
+    const FaultEvent ev =
+        FaultPlan::parseSpec("link:degrade@500us:2-3:0.25");
+    EXPECT_EQ(ev.kind, FaultKind::LinkDegrade);
+    EXPECT_EQ(ev.time, usToTicks(500));
+    EXPECT_EQ(ev.a, 2);
+    EXPECT_EQ(ev.b, 3);
+    EXPECT_DOUBLE_EQ(ev.factor, 0.25);
+}
+
+TEST(FaultSpec, ParsesPageRetireWithCount)
+{
+    const FaultEvent ev = FaultPlan::parseSpec("page:retire@1ms:gpu2:16");
+    EXPECT_EQ(ev.kind, FaultKind::PageRetire);
+    EXPECT_EQ(ev.a, 2);
+    EXPECT_EQ(ev.count, 16u);
+}
+
+TEST(FaultSpec, ParsesWqWildcardAndRawTicks)
+{
+    const FaultEvent ev = FaultPlan::parseSpec("wq:saturate@12345:*");
+    EXPECT_EQ(ev.kind, FaultKind::WqSaturate);
+    EXPECT_EQ(ev.time, 12345u);
+    EXPECT_EQ(ev.a, invalidGpu);
+}
+
+TEST(FaultSpec, DescribeRoundTrips)
+{
+    const char* specs[] = {
+        "link:down@2ms:gpu0-gpu1",
+        "link:degrade@1ms:0-1:0.5",
+        "page:retire@0:gpu3:4",
+        "wq:saturate@0:*",
+    };
+    for (const char* spec : specs) {
+        const FaultEvent ev = FaultPlan::parseSpec(spec);
+        const FaultEvent again = FaultPlan::parseSpec(ev.describe());
+        EXPECT_EQ(again.kind, ev.kind) << spec;
+        EXPECT_EQ(again.time, ev.time) << spec;
+        EXPECT_EQ(again.a, ev.a) << spec;
+        EXPECT_EQ(again.b, ev.b) << spec;
+        EXPECT_DOUBLE_EQ(again.factor, ev.factor) << spec;
+        EXPECT_EQ(again.count, ev.count) << spec;
+    }
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs)
+{
+    const char* bad[] = {
+        "",
+        "link:down",                      // no @time
+        "link:down@2ms",                  // no target
+        "link:frob@2ms:0-1",              // unknown kind
+        "link:down@2xs:0-1",              // bad unit
+        "link:down@2ms:0",                // one endpoint
+        "link:degrade@2ms:0-1:1.5",       // factor out of (0, 1]
+        "link:degrade@2ms:0-1:0",         // zero factor
+        "page:retire@2ms:gpu1:zero",      // non-numeric count
+        "wq:flood@0:*",                   // unknown wq action
+        "link:down@2ms:0-1:extra:stuff",  // too many fields
+    };
+    for (const char* spec : bad)
+        EXPECT_THROW(FaultPlan::parseSpec(spec), FatalError) << spec;
+}
+
+TEST(FaultSpec, PlanSortsByTimeKeepingCliOrderForTies)
+{
+    FaultPlan plan;
+    plan.addSpec("link:down@2ms:0-1");
+    plan.addSpec("link:down@1ms:0-2");
+    plan.addSpec("link:restore@1ms:0-3");
+    plan.sort();
+    ASSERT_EQ(plan.events.size(), 3u);
+    EXPECT_EQ(plan.events[0].time, usToTicks(1000));
+    EXPECT_EQ(plan.events[0].b, 2);        // first 1ms spec stays first
+    EXPECT_EQ(plan.events[1].kind, FaultKind::LinkRestore);
+    EXPECT_EQ(plan.events[2].time, usToTicks(2000));
+}
+
+// --- JSON plans -------------------------------------------------------
+
+TEST(FaultJson, ParsesFullPlan)
+{
+    const FaultPlan plan = FaultPlan::fromJsonText(R"({
+        "seed": 42,
+        "pcie_fallback": false,
+        "events": [
+            "link:down@2ms:gpu0-gpu1",
+            "page:retire@1ms:gpu2:8"
+        ]
+    })");
+    EXPECT_EQ(plan.seed, 42u);
+    EXPECT_FALSE(plan.pcieFallback);
+    ASSERT_EQ(plan.events.size(), 2u);
+    // fromJsonText sorts: the 1ms retire comes first.
+    EXPECT_EQ(plan.events[0].kind, FaultKind::PageRetire);
+    EXPECT_EQ(plan.events[1].kind, FaultKind::LinkDown);
+}
+
+TEST(FaultJson, DefaultsAndUnknownKeysAreTolerated)
+{
+    const FaultPlan plan = FaultPlan::fromJsonText(
+        R"({"events": [], "comment": "ignored", "other": 3})");
+    EXPECT_TRUE(plan.empty());
+    EXPECT_EQ(plan.seed, 0u);
+    EXPECT_TRUE(plan.pcieFallback);
+}
+
+TEST(FaultJson, RejectsGarbage)
+{
+    const char* bad[] = {
+        "",
+        "not json",
+        "[1,2,3]",
+        R"({"events": "link:down@0:0-1"})", // events must be an array
+        R"({"events": [42]})",              // events must be strings
+        R"({"seed": "x"})",
+        R"({} trailing)",
+    };
+    for (const char* text : bad)
+        EXPECT_THROW(FaultPlan::fromJsonText(text), FatalError) << text;
+}
+
+// --- Topology rerouting ----------------------------------------------
+
+class RerouteTest : public ::testing::Test
+{
+  protected:
+    RerouteTest() : topo("topo", 4, InterconnectKind::Pcie3) {}
+
+    Topology topo;
+    FaultReport report;
+};
+
+TEST_F(RerouteTest, HealthyTopologyIsUntouched)
+{
+    TrafficMatrix traffic(4);
+    traffic.add(0, 1, 1000);
+    topo.routeAroundFaults(traffic, report);
+    EXPECT_EQ(traffic.at(0, 1), 1000u);
+    EXPECT_EQ(report.reroutes, 0u);
+}
+
+TEST_F(RerouteTest, DownPathRelaysThroughSurvivor)
+{
+    topo.setPathState(0, 1, PathHealth::Down);
+    TrafficMatrix traffic(4);
+    traffic.add(0, 1, 1000);
+    traffic.add(2, 3, 500); // untouched bystander flow
+    topo.routeAroundFaults(traffic, report);
+    EXPECT_EQ(traffic.at(0, 1), 0u);
+    // Relayed via the first reachable GPU (2): two healthy hops.
+    EXPECT_EQ(traffic.at(0, 2), 1000u);
+    EXPECT_EQ(traffic.at(2, 1), 1000u);
+    EXPECT_EQ(traffic.at(2, 3), 500u);
+    EXPECT_EQ(report.reroutes, 1u);
+    EXPECT_EQ(report.reroutedBytes, 1000u);
+    // Payload metric (data moved) is not double counted by the relay.
+    EXPECT_EQ(traffic.payload(), 1500u);
+}
+
+TEST_F(RerouteTest, DegradedPathInflatesWireBytes)
+{
+    topo.setPathState(0, 1, PathHealth::Degraded, 0.25);
+    TrafficMatrix traffic(4);
+    traffic.add(0, 1, 1000);
+    topo.routeAroundFaults(traffic, report);
+    // Quarter bandwidth = 4x the wire occupancy for the same payload.
+    EXPECT_EQ(traffic.at(0, 1), 4000u);
+    EXPECT_EQ(traffic.payload(), 1000u);
+}
+
+TEST_F(RerouteTest, RestoreHealsThePath)
+{
+    topo.setPathState(0, 1, PathHealth::Down);
+    topo.setPathState(0, 1, PathHealth::Healthy);
+    EXPECT_FALSE(topo.anyPathFault());
+    TrafficMatrix traffic(4);
+    traffic.add(0, 1, 1000);
+    topo.routeAroundFaults(traffic, report);
+    EXPECT_EQ(traffic.at(0, 1), 1000u);
+}
+
+TEST_F(RerouteTest, IsolatedGpuFallsBackToPcieStaging)
+{
+    // GPU 0 loses every path: no relay exists, host staging kicks in.
+    for (GpuId peer = 1; peer < 4; ++peer)
+        topo.setPathState(0, peer, PathHealth::Down);
+    TrafficMatrix traffic(4);
+    traffic.add(0, 1, 1000);
+    topo.routeAroundFaults(traffic, report);
+    EXPECT_EQ(report.pcieFallbacks, 1u);
+    EXPECT_GE(report.pcieFallbackBytes, 1000u);
+    EXPECT_EQ(report.reroutes, 0u);
+}
+
+TEST_F(RerouteTest, UnreachablePartitionIsFatalWithoutFallback)
+{
+    for (GpuId peer = 1; peer < 4; ++peer)
+        topo.setPathState(0, peer, PathHealth::Down);
+    topo.setPcieFallback(false);
+    TrafficMatrix traffic(4);
+    traffic.add(0, 1, 1000);
+    EXPECT_THROW(topo.routeAroundFaults(traffic, report), FatalError);
+}
+
+TEST_F(RerouteTest, RejectsInvalidPathStates)
+{
+    EXPECT_THROW(topo.setPathState(0, 0, PathHealth::Down), FatalError);
+    EXPECT_THROW(topo.setPathState(0, 9, PathHealth::Down), FatalError);
+    EXPECT_THROW(
+        topo.setPathState(0, 1, PathHealth::Degraded, 0.0), FatalError);
+}
+
+// --- Write queue saturation ------------------------------------------
+
+TEST(WqSaturation, SaturatedModeCountsStallDrains)
+{
+    GpsConfig config;
+    config.wqEntries = 64;
+    RemoteWriteQueue queue("wq", config, 128, PageGeometry(64 * KiB));
+    queue.setDrainCallback([](const WqEntry&) {});
+
+    // Healthy: fill to just under the normal high watermark.
+    for (Addr line = 0; line < 48; ++line)
+        queue.insert(line * 128, 4, 1);
+    EXPECT_EQ(queue.stallDrains(), 0u);
+
+    // Saturated: the watermark collapses to wqEntries / divisor and
+    // every forced drain stalls the producing SM.
+    queue.setSaturated(true);
+    for (Addr line = 100; line < 164; ++line)
+        queue.insert(line * 128, 4, 1);
+    EXPECT_GT(queue.stallDrains(), 0u);
+
+    const std::uint64_t stalled = queue.stallDrains();
+    queue.setSaturated(false);
+    queue.insert(0x100000, 4, 1);
+    EXPECT_EQ(queue.stallDrains(), stalled); // restored: no new stalls
+}
+
+// --- Run-level graceful degradation ----------------------------------
+
+RunConfig
+faultConfig(ParadigmKind paradigm, const std::string& spec)
+{
+    RunConfig config;
+    config.system.numGpus = 4;
+    config.scale = smokeScale;
+    config.paradigm = paradigm;
+    if (!spec.empty()) {
+        config.faultPlan.addSpec(spec);
+        config.faultPlan.sort();
+        config.faultPlan.seed = 7;
+    }
+    return config;
+}
+
+TEST(FaultRuns, EveryParadigmSurvivesALinkFault)
+{
+    for (const ParadigmKind paradigm : allParadigms()) {
+        const RunResult result = runWorkload(
+            "Jacobi", faultConfig(paradigm, "link:down@0:0-1"));
+        EXPECT_GT(result.totalTime, 0u) << to_string(paradigm);
+        ASSERT_TRUE(result.hasFaultReport) << to_string(paradigm);
+        EXPECT_EQ(result.faultReport.faultsInjected, 1u);
+        EXPECT_EQ(result.faultReport.linksDown, 1u);
+    }
+}
+
+TEST(FaultRuns, SameSeedRunsAreByteIdentical)
+{
+    const RunConfig config =
+        faultConfig(ParadigmKind::Gps, "link:down@0:0-1");
+    const std::string a = resultToJson(runWorkload("Jacobi", config));
+    const std::string b = resultToJson(runWorkload("Jacobi", config));
+    EXPECT_EQ(a, b);
+}
+
+TEST(FaultRuns, BenignPlanMatchesNoPlanRun)
+{
+    // A restore on an already-healthy path exercises the whole engine
+    // path without degrading anything: timing and traffic must match a
+    // run with no fault engine at all.
+    const RunResult clean =
+        runWorkload("Jacobi", faultConfig(ParadigmKind::Gps, ""));
+    const RunResult benign = runWorkload(
+        "Jacobi", faultConfig(ParadigmKind::Gps, "link:restore@0:0-1"));
+    EXPECT_FALSE(clean.hasFaultReport);
+    ASSERT_TRUE(benign.hasFaultReport);
+    EXPECT_EQ(benign.totalTime, clean.totalTime);
+    EXPECT_EQ(benign.interconnectBytes, clean.interconnectBytes);
+}
+
+TEST(FaultRuns, LinkFaultNeverSpeedsUpGps)
+{
+    const RunResult clean =
+        runWorkload("Jacobi", faultConfig(ParadigmKind::Gps, ""));
+    const RunResult faulted = runWorkload(
+        "Jacobi", faultConfig(ParadigmKind::Gps, "link:down@0:0-1"));
+    EXPECT_GE(faulted.totalTime, clean.totalTime);
+    EXPECT_GT(faulted.faultReport.reroutes, 0u);
+}
+
+TEST(FaultRuns, PageRetireDegradesReplicasAndCountsThem)
+{
+    const RunResult result = runWorkload(
+        "Jacobi", faultConfig(ParadigmKind::Gps, "page:retire@0:gpu1:4"));
+    ASSERT_TRUE(result.hasFaultReport);
+    EXPECT_GE(result.faultReport.pagesRetired, 1u);
+    EXPECT_DOUBLE_EQ(result.stats.get("faults.pages_retired"),
+                     static_cast<double>(result.faultReport.pagesRetired));
+}
+
+TEST(FaultRuns, WqSaturationStallsShowUpInTiming)
+{
+    const RunResult clean =
+        runWorkload("Jacobi", faultConfig(ParadigmKind::Gps, ""));
+    const RunResult faulted = runWorkload(
+        "Jacobi", faultConfig(ParadigmKind::Gps, "wq:saturate@0:*"));
+    ASSERT_TRUE(faulted.hasFaultReport);
+    EXPECT_EQ(faulted.faultReport.wqSaturations, 1u);
+    EXPECT_GT(faulted.faultReport.wqSaturatedDrains, 0u);
+    EXPECT_GT(faulted.faultReport.stallTicks, 0u);
+    EXPECT_GT(faulted.totalTime, clean.totalTime);
+}
+
+TEST(FaultRuns, FaultBeyondTargetGpuCountIsFatal)
+{
+    EXPECT_THROW(
+        runWorkload("Jacobi",
+                    faultConfig(ParadigmKind::Gps, "link:down@0:0-7")),
+        FatalError);
+}
+
+} // namespace
+} // namespace gps

@@ -10,6 +10,7 @@
 
 #include "api/system.hh"
 #include "core/gps_page_table.hh"
+#include "core/gps_paradigm.hh"
 #include "core/subscription.hh"
 
 namespace gps
@@ -200,6 +201,58 @@ TEST_F(SubscriptionTest, SwapOutRefusesWhenOnlyLastCopiesRemain)
 {
     // Single-subscriber pages are never swapped out.
     EXPECT_FALSE(subs->swapOutOneReplica(0));
+}
+
+TEST_F(SubscriptionTest, RetireReplicaUnsubscribesAndRemovesTheFrame)
+{
+    subs->subscribe(vpn, 1);
+    EXPECT_TRUE(subs->retireReplica(vpn, 1));
+    EXPECT_FALSE(subs->isSubscriber(vpn, 1));
+    EXPECT_EQ(system->gpu(1).memory().framesInUse(), 0u);
+    // The frame is retired, not returned to the free list.
+    EXPECT_EQ(system->gpu(1).memory().framesRetired(), 1u);
+    EXPECT_EQ(subs->replicaRetires(), 1u);
+}
+
+TEST_F(SubscriptionTest, RetireReplicaRefusesTheLastCopy)
+{
+    // Only GPU0 holds the page: retiring it would lose the data.
+    EXPECT_FALSE(subs->retireReplica(vpn, 0));
+    EXPECT_TRUE(subs->isSubscriber(vpn, 0));
+    EXPECT_EQ(subs->replicaRetires(), 0u);
+}
+
+TEST_F(SubscriptionTest, RetireReplicaRefusesNonSubscribers)
+{
+    EXPECT_FALSE(subs->retireReplica(vpn, 3));
+}
+
+TEST_F(SubscriptionTest, OversubscribedGpuFallsBackToRemoteAccess)
+{
+    // Section 5.3 end to end under the GPS paradigm: a GPU that cannot
+    // hold a replica still accesses the page, remotely, and recovers
+    // nothing locally until frames free up.
+    SystemConfig tiny;
+    tiny.numGpus = 2;
+    tiny.gpu.globalMemoryBytes = 2 * 64 * KiB;
+    MultiGpuSystem small(tiny);
+    GpsPageTable small_table;
+    SubscriptionManager small_subs(small.driver(), small_table);
+    small.driver().malloc(2 * 64 * KiB, 1, "fill");
+    const Region& gps_region =
+        small.driver().mallocGps(64 * KiB, "gps", 0);
+    const PageNum p = small.geometry().pageNum(gps_region.base);
+    ASSERT_EQ(small_subs.subscribe(p, 1), SubscribeResult::OutOfMemory);
+
+    // GPU1 loads through the paradigm: the access is served remotely.
+    GpsParadigm paradigm(small);
+    KernelCounters counters;
+    TrafficMatrix traffic(2);
+    const MemAccess load = MemAccess::load(gps_region.base);
+    const bool miss = small.gpu(1).tlbAccess(p, counters);
+    paradigm.access(1, load, p, miss, counters, traffic);
+    EXPECT_EQ(counters.remoteLoads, 1u);
+    EXPECT_GT(traffic.total(), 0u);
 }
 
 TEST_F(SubscriptionTest, StatsCountOperations)

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "common/logging.hh"
@@ -108,6 +109,55 @@ TEST_F(TraceFileTest, RejectsFutureVersions)
     std::fseek(f, 8, SEEK_SET);
     const std::uint32_t bad = 999;
     std::fwrite(&bad, sizeof(bad), 1, f);
+    std::fclose(f);
+    EXPECT_THROW(TraceFileStream stream(path_), FatalError);
+}
+
+TEST_F(TraceFileTest, DetectsTruncatedPayload)
+{
+    {
+        TraceWriter writer(path_);
+        for (int i = 0; i < 8; ++i)
+            writer.append(MemAccess::load(static_cast<Addr>(i) * 128));
+    }
+    // Chop the last record in half: the size check fires on open.
+    std::error_code ec;
+    std::filesystem::resize_file(
+        path_, std::filesystem::file_size(path_) - 8, ec);
+    ASSERT_FALSE(ec);
+    EXPECT_THROW(TraceFileStream stream(path_), FatalError);
+}
+
+TEST_F(TraceFileTest, DetectsCorruptedPayloadViaChecksum)
+{
+    {
+        TraceWriter writer(path_);
+        for (int i = 0; i < 8; ++i)
+            writer.append(MemAccess::load(static_cast<Addr>(i) * 128));
+    }
+    // Flip one payload byte; the file size stays right, only the CRC
+    // can notice.
+    std::FILE* f = std::fopen(path_.c_str(), "rb+");
+    std::fseek(f, 24 + 3 * 16, SEEK_SET);
+    const int byte = std::fgetc(f);
+    std::fseek(f, 24 + 3 * 16, SEEK_SET);
+    std::fputc(byte ^ 0x01, f);
+    std::fclose(f);
+    EXPECT_THROW(TraceFileStream stream(path_), FatalError);
+}
+
+TEST_F(TraceFileTest, DetectsHeaderLyingAboutRecordCount)
+{
+    {
+        TraceWriter writer(path_);
+        writer.append(MemAccess::load(0x1000));
+        writer.append(MemAccess::load(0x2000));
+    }
+    // Claim 3 records while only 2 exist (offset 16 = u64 count).
+    std::FILE* f = std::fopen(path_.c_str(), "rb+");
+    std::fseek(f, 16, SEEK_SET);
+    const std::uint64_t lie = 3;
+    std::fwrite(&lie, sizeof(lie), 1, f);
     std::fclose(f);
     EXPECT_THROW(TraceFileStream stream(path_), FatalError);
 }

@@ -22,6 +22,7 @@
 #include "api/result_export.hh"
 #include "api/runner.hh"
 #include "common/logging.hh"
+#include "fault/fault_plan.hh"
 
 namespace
 {
@@ -42,7 +43,46 @@ struct Options
     bool dumpConfig = false;
     bool json = false;
     std::vector<std::size_t> gpuSweep; ///< empty: just --gpus
+    FaultPlan faultPlan;
 };
+
+/**
+ * Strict numeric flag parsing: the whole token must be a non-negative
+ * integer. std::stoul alone would accept trailing junk, wrap negatives
+ * and throw uncaught std::invalid_argument/std::out_of_range on garbage.
+ */
+std::uint64_t
+parseUnsigned(const char* flag, const std::string& text)
+{
+    std::size_t consumed = 0;
+    std::uint64_t value = 0;
+    try {
+        if (text.empty() || text[0] == '-' || text[0] == '+')
+            throw std::invalid_argument(text);
+        value = std::stoull(text, &consumed);
+    } catch (const std::exception&) {
+        consumed = 0;
+    }
+    if (consumed != text.size())
+        gps_fatal("invalid numeric value '", text, "' for ", flag);
+    return value;
+}
+
+/** Strict floating-point flag parsing (same contract as above). */
+double
+parseFloat(const char* flag, const std::string& text)
+{
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(text, &consumed);
+    } catch (const std::exception&) {
+        consumed = 0;
+    }
+    if (consumed != text.size())
+        gps_fatal("invalid numeric value '", text, "' for ", flag);
+    return value;
+}
 
 [[noreturn]] void
 usage(const char* argv0, int exit_code)
@@ -62,6 +102,14 @@ usage(const char* argv0, int exit_code)
         "  --no-unsubscribe          keep the all-to-all subscription\n"
         "  --sweep-gpus <a,b,c>      strong-scaling sweep over GPU"
         " counts\n"
+        "  --fault <spec>            inject a fault (repeatable), e.g.\n"
+        "                            link:down@2ms:gpu0-gpu1,\n"
+        "                            link:degrade@1ms:0-1:0.25,\n"
+        "                            page:retire@1ms:gpu2:16,\n"
+        "                            wq:saturate@0:*\n"
+        "  --fault-plan <file.json>  load a JSON fault plan\n"
+        "  --fault-seed <n>          seed for fault victim selection\n"
+        "  --no-pcie-fallback        unreachable partitions are fatal\n"
         "  --json                    one JSON object per run on stdout\n"
         "  --stats                   dump full component statistics\n"
         "  --config                  print the Table 1 configuration and"
@@ -130,16 +178,28 @@ parseArgs(int argc, char** argv)
                 opts.paradigms = {parseParadigm(v)};
             }
         } else if (arg == "--gpus") {
-            opts.gpus = std::stoul(value(i));
+            opts.gpus = parseUnsigned("--gpus", value(i));
         } else if (arg == "--interconnect") {
             opts.interconnect = parseInterconnect(value(i));
         } else if (arg == "--page-kb") {
-            opts.pageBytes = std::stoull(value(i)) * KiB;
+            opts.pageBytes = parseUnsigned("--page-kb", value(i)) * KiB;
         } else if (arg == "--scale") {
-            opts.scale = std::stod(value(i));
+            opts.scale = parseFloat("--scale", value(i));
         } else if (arg == "--wq-entries") {
-            opts.wqEntries =
-                static_cast<std::uint32_t>(std::stoul(value(i)));
+            opts.wqEntries = static_cast<std::uint32_t>(
+                parseUnsigned("--wq-entries", value(i)));
+        } else if (arg == "--fault") {
+            opts.faultPlan.addSpec(value(i));
+        } else if (arg == "--fault-plan") {
+            FaultPlan loaded = FaultPlan::fromJsonFile(value(i));
+            for (const FaultEvent& ev : loaded.events)
+                opts.faultPlan.events.push_back(ev);
+            opts.faultPlan.seed = loaded.seed;
+            opts.faultPlan.pcieFallback = loaded.pcieFallback;
+        } else if (arg == "--fault-seed") {
+            opts.faultPlan.seed = parseUnsigned("--fault-seed", value(i));
+        } else if (arg == "--no-pcie-fallback") {
+            opts.faultPlan.pcieFallback = false;
         } else if (arg == "--no-unsubscribe") {
             opts.autoUnsubscribe = false;
         } else if (arg == "--json") {
@@ -153,7 +213,8 @@ parseArgs(int argc, char** argv)
                     list.substr(pos, comma == std::string::npos
                                          ? std::string::npos
                                          : comma - pos);
-                opts.gpuSweep.push_back(std::stoul(item));
+                opts.gpuSweep.push_back(
+                    parseUnsigned("--sweep-gpus", item));
                 if (comma == std::string::npos)
                     break;
                 pos = comma + 1;
@@ -169,6 +230,7 @@ parseArgs(int argc, char** argv)
             usage(argv[0], 1);
         }
     }
+    opts.faultPlan.sort();
     return opts;
 }
 
@@ -182,6 +244,7 @@ makeConfig(const Options& opts)
     config.system.gps.wqEntries = opts.wqEntries;
     config.system.gps.autoUnsubscribe = opts.autoUnsubscribe;
     config.scale = opts.scale;
+    config.faultPlan = opts.faultPlan;
     return config;
 }
 
@@ -214,6 +277,7 @@ main(int argc, char** argv)
             RunConfig base_config = makeConfig(opts);
             base_config.system.numGpus = 1;
             base_config.paradigm = ParadigmKind::Memcpy;
+            base_config.faultPlan = FaultPlan{}; // fault-free reference
             const RunResult baseline = runWorkload(app, base_config);
 
             for (const std::size_t gpus : gpu_counts) {
@@ -239,6 +303,26 @@ main(int argc, char** argv)
                         speedupOver(baseline, result),
                         result.l2HitRate * 100.0,
                         result.wqHitRate * 100.0);
+                    if (result.hasFaultReport) {
+                        const FaultReport& fr = result.faultReport;
+                        std::printf(
+                            "    faults: injected=%llu reroutes=%llu "
+                            "pcie_fallbacks=%llu pages_retired=%llu "
+                            "resubscribes=%llu wq_stall_drains=%llu "
+                            "stall_ms=%.3f\n",
+                            static_cast<unsigned long long>(
+                                fr.faultsInjected),
+                            static_cast<unsigned long long>(fr.reroutes),
+                            static_cast<unsigned long long>(
+                                fr.pcieFallbacks),
+                            static_cast<unsigned long long>(
+                                fr.pagesRetired),
+                            static_cast<unsigned long long>(
+                                fr.resubscribes),
+                            static_cast<unsigned long long>(
+                                fr.wqSaturatedDrains),
+                            ticksToMs(fr.stallTicks));
+                    }
                     if (opts.dumpStats) {
                         std::printf(
                             "%s", result.stats.dump("    ").c_str());
