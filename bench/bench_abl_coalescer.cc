@@ -39,18 +39,25 @@ std::map<std::string, std::vector<double>> speedups;
 std::map<std::string, double> trafficMb;
 BaselineCache baselines;
 
-void
-BM_abl(benchmark::State& state, const std::string& workload,
-       const Variant& variant)
+RunConfig
+cellConfig(const Variant& variant)
 {
     RunConfig config = defaultConfig();
     config.paradigm = ParadigmKind::Gps;
     config.system.gps.smCoalescerEnabled = variant.smCoalescer;
     config.system.gps.virtuallyAddressedWq = variant.virtualWq;
     config.system.gps.wqEntries = variant.wqEntries;
+    return config;
+}
+
+void
+BM_abl(benchmark::State& state, const std::string& workload,
+       const Variant& variant)
+{
+    const RunConfig config = cellConfig(variant);
     const RunResult& base = baselines.get(workload, config);
     for (auto _ : state) {
-        const RunResult result = runWorkload(workload, config);
+        const RunResult& result = runCached(workload, config);
         const double speedup = speedupOver(base, result);
         speedups[variant.name].push_back(speedup);
         trafficMb[variant.name] +=
@@ -78,8 +85,11 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const Variant& variant : variants) {
         for (const std::string& app : gps::workloadNames()) {
+            plan().addWithBaseline(app, cellConfig(variant),
+                                   "abl/" + variant.name + "/" + app);
             benchmark::RegisterBenchmark(
                 ("abl/" + variant.name + "/" + app).c_str(),
                 [app, &variant](benchmark::State& state) {
@@ -90,8 +100,10 @@ main(int argc, char** argv)
         }
     }
     benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

@@ -3,18 +3,32 @@
  * Shared bench harness: runs (workload x paradigm) cells with a cached
  * single-GPU baseline and prints paper-style tables next to the paper's
  * reference values. Each bench binary regenerates one table or figure.
+ *
+ * Parallel sweeps: bench mains register their config grid in the shared
+ * SweepPlan and call plan().run(jobs) before google-benchmark replays
+ * the (now cached) cells serially. --jobs N / GPS_BENCH_JOBS=N fan the
+ * grid across N worker threads; results are memoized by the full config
+ * key, so the printed numbers are identical for every jobs value. Every
+ * executed run is timed and the per-config replay throughput is written
+ * to BENCH_perf.json at exit (see docs/perf.md).
  */
 
 #ifndef GPS_BENCH_BENCH_COMMON_HH
 #define GPS_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/runner.hh"
+#include "api/sweep.hh"
 #include "apps/workload.hh"
+#include "common/json.hh"
 
 namespace gps::bench
 {
@@ -30,31 +44,270 @@ defaultConfig()
     return config;
 }
 
-/** Single-GPU reference runs, cached per (workload, scale). */
+/**
+ * Canonical single-GPU reference for @p config: with one GPU every
+ * paradigm degenerates to local execution (memcpy has no peers to
+ * broadcast to), and references are always fault-free.
+ */
+inline RunConfig
+baselineConfig(const RunConfig& config)
+{
+    RunConfig base = config;
+    base.system.numGpus = 1;
+    base.paradigm = ParadigmKind::Memcpy;
+    base.faultPlan = FaultPlan{};
+    // GPS structure knobs cannot affect a single-GPU memcpy run; reset
+    // them so ablation sweeps share one reference per (workload, system).
+    base.system.gps = GpsConfig{};
+    return base;
+}
+
+/** One executed run's host-side cost, for BENCH_perf.json. */
+struct PerfRow
+{
+    std::string label;
+    double wallSeconds = 0.0;
+    std::uint64_t accesses = 0;
+};
+
+/**
+ * Process-wide memo of finished runs, keyed by the full configKey().
+ * get() runs on miss; prewarm() computes a batch of cells on a worker
+ * pool so later get()s are hits. References are stable (std::map).
+ */
+class RunCache
+{
+  public:
+    static RunCache&
+    instance()
+    {
+        static RunCache cache;
+        return cache;
+    }
+
+    const RunResult&
+    get(const std::string& workload, const RunConfig& config)
+    {
+        const std::string key = configKey(workload, config);
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            auto it = cache_.find(key);
+            if (it != cache_.end())
+                return it->second.result;
+        }
+        std::vector<SweepOutcome> out =
+            runSweep({SweepJob{workload, config, workload}}, 1);
+        return insert(key, std::move(out.front()));
+    }
+
+    /** Execute all not-yet-cached jobs on @p workers threads. */
+    void
+    prewarm(const std::vector<SweepJob>& jobs, std::size_t workers)
+    {
+        std::vector<SweepJob> missing;
+        std::vector<std::string> keys;
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            for (const SweepJob& job : jobs) {
+                const std::string key =
+                    configKey(job.workload, job.config);
+                if (cache_.find(key) != cache_.end())
+                    continue;
+                bool queued = false;
+                for (const std::string& k : keys)
+                    queued = queued || k == key;
+                if (queued)
+                    continue;
+                missing.push_back(job);
+                keys.push_back(key);
+            }
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<SweepOutcome> outcomes = runSweep(missing, workers);
+        sweepElapsed_ += std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        for (std::size_t i = 0; i < outcomes.size(); ++i)
+            insert(keys[i], std::move(outcomes[i]));
+    }
+
+    std::vector<PerfRow>
+    perf() const
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        return perf_;
+    }
+
+    /** Wall-clock seconds spent inside prewarm() sweeps. */
+    double
+    sweepElapsed() const
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        return sweepElapsed_;
+    }
+
+  private:
+    const RunResult&
+    insert(const std::string& key, SweepOutcome&& outcome)
+    {
+        if (!outcome.ok())
+            std::rethrow_exception(outcome.error);
+        const std::lock_guard<std::mutex> lock(mu_);
+        perf_.push_back({outcome.label.empty() ? key : outcome.label,
+                         outcome.wallSeconds,
+                         outcome.result.totals.accesses});
+        return cache_.emplace(key, std::move(outcome))
+            .first->second.result;
+    }
+
+    mutable std::mutex mu_;
+    std::map<std::string, SweepOutcome> cache_;
+    std::vector<PerfRow> perf_;
+    double sweepElapsed_ = 0.0;
+};
+
+/** Memoized runWorkload (see RunCache). */
+inline const RunResult&
+runCached(const std::string& workload, const RunConfig& config)
+{
+    return RunCache::instance().get(workload, config);
+}
+
+/** Single-GPU reference runs, memoized like every other cell. */
 class BaselineCache
 {
   public:
     const RunResult&
     get(const std::string& workload, const RunConfig& config)
     {
-        const std::string key =
-            workload + "@" + std::to_string(config.scale) + "@" +
-            std::to_string(config.system.pageBytes);
-        auto it = cache_.find(key);
-        if (it == cache_.end()) {
-            RunConfig base = config;
-            base.system.numGpus = 1;
-            // With one GPU every paradigm degenerates to local
-            // execution; memcpy has no peers to broadcast to.
-            base.paradigm = ParadigmKind::Memcpy;
-            it = cache_.emplace(key, runWorkload(workload, base)).first;
-        }
-        return it->second;
+        return runCached(workload, baselineConfig(config));
+    }
+};
+
+/** The bench binary's config grid, accumulated during registration. */
+class SweepPlan
+{
+  public:
+    void
+    add(std::string workload, RunConfig config, std::string label)
+    {
+        jobs_.push_back(
+            {std::move(workload), std::move(config), std::move(label)});
+    }
+
+    /** Add a cell plus its single-GPU reference. */
+    void
+    addWithBaseline(const std::string& workload, const RunConfig& config,
+                    std::string label)
+    {
+        add(workload, baselineConfig(config), workload + "/base");
+        add(workload, config, std::move(label));
+    }
+
+    /** Execute the accumulated grid on @p workers threads. */
+    void
+    run(std::size_t workers)
+    {
+        RunCache::instance().prewarm(jobs_, workers);
+        jobs_.clear();
     }
 
   private:
-    std::map<std::string, RunResult> cache_;
+    std::vector<SweepJob> jobs_;
 };
+
+inline SweepPlan&
+plan()
+{
+    static SweepPlan p;
+    return p;
+}
+
+/**
+ * Parse and strip --jobs N / --jobs=N / --jobs auto from argv (before
+ * benchmark::Initialize, which rejects unknown flags). Falls back to
+ * the GPS_BENCH_JOBS environment variable; default 1.
+ */
+inline std::size_t
+parseJobs(int& argc, char** argv)
+{
+    auto parse = [](const std::string& v) -> std::size_t {
+        if (v == "auto")
+            return defaultSweepJobs();
+        const unsigned long n = std::strtoul(v.c_str(), nullptr, 10);
+        return n < 1 ? 1 : static_cast<std::size_t>(n);
+    };
+    std::size_t jobs = 1;
+    if (const char* env = std::getenv("GPS_BENCH_JOBS"))
+        jobs = parse(env);
+    for (int i = 1; i < argc;) {
+        const std::string arg = argv[i];
+        int eat = 0;
+        if (arg == "--jobs" && i + 1 < argc) {
+            jobs = parse(argv[i + 1]);
+            eat = 2;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = parse(arg.substr(7));
+            eat = 1;
+        } else {
+            ++i;
+            continue;
+        }
+        for (int j = i; j + eat <= argc; ++j)
+            argv[j] = j + eat < argc ? argv[j + eat] : nullptr;
+        argc -= eat;
+    }
+    return jobs;
+}
+
+/**
+ * Write BENCH_perf.json: per-config wall seconds and replay throughput
+ * (million accesses per second), plus the aggregate over the parallel
+ * sweep's elapsed time (this is where --jobs speedup shows up).
+ */
+inline void
+writePerfLog(const std::string& path, std::size_t jobs)
+{
+    const RunCache& cache = RunCache::instance();
+    const std::vector<PerfRow> rows = cache.perf();
+    double total_wall = 0.0;
+    std::uint64_t total_accesses = 0;
+    JsonWriter w;
+    w.beginObject();
+    w.field("jobs", static_cast<std::uint64_t>(jobs));
+    w.key("runs").beginArray();
+    for (const PerfRow& row : rows) {
+        total_wall += row.wallSeconds;
+        total_accesses += row.accesses;
+        w.beginObject();
+        w.field("config", row.label);
+        w.field("wall_s", row.wallSeconds);
+        w.field("accesses", row.accesses);
+        w.field("macc_per_s",
+                row.wallSeconds > 0.0
+                    ? static_cast<double>(row.accesses) /
+                          row.wallSeconds / 1e6
+                    : 0.0);
+        w.endObject();
+    }
+    w.endArray();
+    w.field("total_wall_s", total_wall);
+    w.field("sweep_elapsed_s", cache.sweepElapsed());
+    w.field("total_accesses", total_accesses);
+    w.field("macc_per_s",
+            cache.sweepElapsed() > 0.0
+                ? static_cast<double>(total_accesses) /
+                      cache.sweepElapsed() / 1e6
+                : 0.0);
+    w.endObject();
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        std::fputs(w.str().c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "warn: cannot write %s\n", path.c_str());
+    }
+}
 
 /** Fixed-width table printer. */
 class Table

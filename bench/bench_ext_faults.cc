@@ -63,7 +63,7 @@ BM_fault(benchmark::State& state, const std::string& app,
 {
     const RunConfig config = planConfig(paradigm, plan.spec);
     for (auto _ : state) {
-        const RunResult result = runWorkload(app, config);
+        const RunResult& result = runCached(app, config);
         samples[app][plan.name][to_string(paradigm)] = result.timeMs();
         state.counters["time_ms"] = result.timeMs();
         if (result.hasFaultReport) {
@@ -113,9 +113,14 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const std::string& app : apps) {
         for (const PlanCell& plan : plans) {
             for (const ParadigmKind paradigm : paradigms) {
+                gps::bench::plan().add(
+                    app, planConfig(paradigm, plan.spec),
+                    "ext_faults/" + app + "/" + plan.name + "/" +
+                        to_string(paradigm));
                 benchmark::RegisterBenchmark(
                     ("ext_faults/" + app + "/" + plan.name + "/" +
                      to_string(paradigm))
@@ -129,8 +134,10 @@ main(int argc, char** argv)
         }
     }
     benchmark::Initialize(&argc, argv);
+    gps::bench::plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

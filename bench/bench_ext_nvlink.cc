@@ -27,16 +27,23 @@ std::map<std::string, std::map<std::string, std::vector<double>>>
     samples;
 BaselineCache baselines;
 
-void
-BM_nvlink(benchmark::State& state, const std::string& workload,
-          InterconnectKind interconnect, ParadigmKind paradigm)
+RunConfig
+cellConfig(InterconnectKind interconnect, ParadigmKind paradigm)
 {
     RunConfig config = defaultConfig();
     config.system.interconnect = interconnect;
     config.paradigm = paradigm;
+    return config;
+}
+
+void
+BM_nvlink(benchmark::State& state, const std::string& workload,
+          InterconnectKind interconnect, ParadigmKind paradigm)
+{
+    const RunConfig config = cellConfig(interconnect, paradigm);
     const RunResult& base = baselines.get(workload, config);
     for (auto _ : state) {
-        const RunResult result = runWorkload(workload, config);
+        const RunResult& result = runCached(workload, config);
         const double speedup = speedupOver(base, result);
         samples[to_string(interconnect)][to_string(paradigm)].push_back(
             speedup);
@@ -68,12 +75,17 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const InterconnectKind ic : sweep) {
         for (const std::string& app : gps::workloadNames()) {
             for (const gps::ParadigmKind paradigm :
                  {gps::ParadigmKind::Memcpy, gps::ParadigmKind::Rdl,
                   gps::ParadigmKind::Gps,
                   gps::ParadigmKind::InfiniteBw}) {
+                plan().addWithBaseline(
+                    app, cellConfig(ic, paradigm),
+                    "ext_nvlink/" + gps::to_string(ic) + "/" + app +
+                        "/" + gps::to_string(paradigm));
                 benchmark::RegisterBenchmark(
                     ("ext_nvlink/" + gps::to_string(ic) + "/" + app +
                      "/" + gps::to_string(paradigm))
@@ -87,8 +99,10 @@ main(int argc, char** argv)
         }
     }
     benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

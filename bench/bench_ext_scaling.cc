@@ -27,17 +27,24 @@ std::map<std::size_t, std::map<std::string, std::vector<double>>>
     samples;
 BaselineCache baselines;
 
-void
-BM_scaling(benchmark::State& state, const std::string& workload,
-           std::size_t gpus, ParadigmKind paradigm)
+RunConfig
+cellConfig(std::size_t gpus, ParadigmKind paradigm)
 {
     RunConfig config = defaultConfig();
     config.system.numGpus = gpus;
     config.system.interconnect = InterconnectKind::Pcie6;
     config.paradigm = paradigm;
+    return config;
+}
+
+void
+BM_scaling(benchmark::State& state, const std::string& workload,
+           std::size_t gpus, ParadigmKind paradigm)
+{
+    const RunConfig config = cellConfig(gpus, paradigm);
     const RunResult& base = baselines.get(workload, config);
     for (auto _ : state) {
-        const RunResult result = runWorkload(workload, config);
+        const RunResult& result = runCached(workload, config);
         const double speedup = speedupOver(base, result);
         samples[gpus][to_string(paradigm)].push_back(speedup);
         state.counters["speedup"] = speedup;
@@ -66,9 +73,14 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const std::size_t gpus : gpuCounts) {
         for (const std::string& app : gps::workloadNames()) {
             for (const gps::ParadigmKind paradigm : plotted) {
+                plan().addWithBaseline(
+                    app, cellConfig(gpus, paradigm),
+                    "ext_scaling/g" + std::to_string(gpus) + "/" + app +
+                        "/" + gps::to_string(paradigm));
                 benchmark::RegisterBenchmark(
                     ("ext_scaling/g" + std::to_string(gpus) + "/" +
                      app + "/" + gps::to_string(paradigm))
@@ -82,8 +94,10 @@ main(int argc, char** argv)
         }
     }
     benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

@@ -28,18 +28,25 @@ const std::vector<InterconnectKind> interconnects = {
 std::map<std::string, std::map<std::string, double>> results;
 BaselineCache baselines;
 
+RunConfig
+cellConfig(InterconnectKind interconnect, bool infinite)
+{
+    RunConfig config = defaultConfig();
+    config.system.interconnect = interconnect;
+    config.paradigm =
+        infinite ? ParadigmKind::InfiniteBw : ParadigmKind::Memcpy;
+    return config;
+}
+
 void
 BM_fig1(benchmark::State& state, const std::string& workload,
         InterconnectKind interconnect, bool infinite)
 {
-    RunConfig config = defaultConfig();
-    config.system.interconnect = interconnect;
+    const RunConfig config = cellConfig(interconnect, infinite);
     const RunResult& base = baselines.get(workload, config);
     for (auto _ : state) {
-        config.paradigm = infinite ? ParadigmKind::InfiniteBw
-                                   : ParadigmKind::Memcpy;
         const double best =
-            speedupOver(base, runWorkload(workload, config));
+            speedupOver(base, runCached(workload, config));
         const std::string column =
             infinite ? "Infinite" : to_string(interconnect);
         results[workload][column] = best;
@@ -78,8 +85,12 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const std::string& app : gps::workloadNames()) {
         for (const InterconnectKind ic : interconnects) {
+            plan().addWithBaseline(
+                app, cellConfig(ic, false),
+                "fig1/" + app + "/" + gps::to_string(ic));
             benchmark::RegisterBenchmark(
                 ("fig1/" + app + "/" + gps::to_string(ic)).c_str(),
                 [app, ic](benchmark::State& state) {
@@ -88,6 +99,9 @@ main(int argc, char** argv)
                 ->Iterations(1)
                 ->Unit(benchmark::kMillisecond);
         }
+        plan().addWithBaseline(app,
+                               cellConfig(InterconnectKind::Pcie3, true),
+                               "fig1/" + app + "/InfiniteBW");
         benchmark::RegisterBenchmark(
             ("fig1/" + app + "/InfiniteBW").c_str(),
             [app](benchmark::State& state) {
@@ -97,8 +111,10 @@ main(int argc, char** argv)
             ->Unit(benchmark::kMillisecond);
     }
     benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

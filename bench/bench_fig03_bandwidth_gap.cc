@@ -50,6 +50,7 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const PlatformSpec& platform : figure3Platforms()) {
         benchmark::RegisterBenchmark(
             ("fig3/" + platform.name).c_str(),
@@ -62,5 +63,6 @@ main(int argc, char** argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

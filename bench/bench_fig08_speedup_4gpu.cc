@@ -47,15 +47,22 @@ struct Cell
 std::map<std::string, std::map<std::string, Cell>> results;
 BaselineCache baselines;
 
+RunConfig
+cellConfig(ParadigmKind paradigm)
+{
+    RunConfig config = defaultConfig();
+    config.paradigm = paradigm;
+    return config;
+}
+
 void
 BM_fig8(benchmark::State& state, const std::string& workload,
         ParadigmKind paradigm)
 {
-    RunConfig config = defaultConfig();
-    config.paradigm = paradigm;
+    const RunConfig config = cellConfig(paradigm);
     const RunResult& base = baselines.get(workload, config);
     for (auto _ : state) {
-        const RunResult result = runWorkload(workload, config);
+        const RunResult& result = runCached(workload, config);
         const double speedup = speedupOver(base, result);
         results[workload][to_string(paradigm)] = {speedup};
         state.counters["speedup"] = speedup;
@@ -95,8 +102,12 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const std::string& app : gps::workloadNames()) {
         for (const gps::ParadigmKind paradigm : gps::allParadigms()) {
+            plan().addWithBaseline(
+                app, cellConfig(paradigm),
+                "fig8/" + app + "/" + gps::to_string(paradigm));
             benchmark::RegisterBenchmark(
                 ("fig8/" + app + "/" + gps::to_string(paradigm)).c_str(),
                 [app, paradigm](benchmark::State& state) {
@@ -107,8 +118,10 @@ main(int argc, char** argv)
         }
     }
     benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

@@ -28,13 +28,20 @@ struct Row
 
 std::map<std::string, Row> results;
 
-void
-BM_fig9(benchmark::State& state, const std::string& workload)
+RunConfig
+cellConfig()
 {
     RunConfig config = defaultConfig();
     config.paradigm = ParadigmKind::Gps;
+    return config;
+}
+
+void
+BM_fig9(benchmark::State& state, const std::string& workload)
+{
+    const RunConfig config = cellConfig();
     for (auto _ : state) {
-        const RunResult result = runWorkload(workload, config);
+        const RunResult& result = runCached(workload, config);
         Row row;
         if (result.hasSubscriberHist) {
             row.sharedPages = result.subscriberHist.total();
@@ -70,7 +77,9 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const std::string& app : gps::workloadNames()) {
+        plan().add(app, cellConfig(), "fig9/" + app);
         benchmark::RegisterBenchmark(
             ("fig9/" + app).c_str(),
             [app](benchmark::State& state) { BM_fig9(state, app); })
@@ -78,8 +87,10 @@ main(int argc, char** argv)
             ->Unit(benchmark::kMillisecond);
     }
     benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

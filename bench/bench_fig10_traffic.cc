@@ -30,14 +30,21 @@ const std::vector<ParadigmKind> plotted = {
 std::map<std::string, std::map<std::string, double>> ratio;
 std::map<std::string, double> memcpyBytes;
 
+RunConfig
+cellConfig(ParadigmKind paradigm)
+{
+    RunConfig config = defaultConfig();
+    config.paradigm = paradigm;
+    return config;
+}
+
 double
 memcpyBaseline(const std::string& workload)
 {
     auto it = memcpyBytes.find(workload);
     if (it == memcpyBytes.end()) {
-        RunConfig config = defaultConfig();
-        config.paradigm = ParadigmKind::Memcpy;
-        const RunResult result = runWorkload(workload, config);
+        const RunResult& result =
+            runCached(workload, cellConfig(ParadigmKind::Memcpy));
         it = memcpyBytes
                  .emplace(workload,
                           static_cast<double>(result.interconnectBytes))
@@ -50,11 +57,10 @@ void
 BM_fig10(benchmark::State& state, const std::string& workload,
          ParadigmKind paradigm)
 {
-    RunConfig config = defaultConfig();
-    config.paradigm = paradigm;
+    const RunConfig config = cellConfig(paradigm);
     const double base = memcpyBaseline(workload);
     for (auto _ : state) {
-        const RunResult result = runWorkload(workload, config);
+        const RunResult& result = runCached(workload, config);
         const double r =
             base == 0.0
                 ? 0.0
@@ -86,8 +92,13 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const std::string& app : gps::workloadNames()) {
+        plan().add(app, cellConfig(ParadigmKind::Memcpy),
+                   "fig10/" + app + "/Memcpy");
         for (const ParadigmKind paradigm : plotted) {
+            plan().add(app, cellConfig(paradigm),
+                       "fig10/" + app + "/" + gps::to_string(paradigm));
             benchmark::RegisterBenchmark(
                 ("fig10/" + app + "/" + gps::to_string(paradigm)).c_str(),
                 [app, paradigm](benchmark::State& state) {
@@ -98,8 +109,10 @@ main(int argc, char** argv)
         }
     }
     benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

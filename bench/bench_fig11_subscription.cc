@@ -23,16 +23,23 @@ using namespace gps::bench;
 std::map<std::string, std::map<bool, double>> results;
 BaselineCache baselines;
 
-void
-BM_fig11(benchmark::State& state, const std::string& workload,
-         bool with_subscription)
+RunConfig
+cellConfig(bool with_subscription)
 {
     RunConfig config = defaultConfig();
     config.paradigm = ParadigmKind::Gps;
     config.system.gps.autoUnsubscribe = with_subscription;
+    return config;
+}
+
+void
+BM_fig11(benchmark::State& state, const std::string& workload,
+         bool with_subscription)
+{
+    const RunConfig config = cellConfig(with_subscription);
     const RunResult& base = baselines.get(workload, config);
     for (auto _ : state) {
-        const RunResult result = runWorkload(workload, config);
+        const RunResult& result = runCached(workload, config);
         const double speedup = speedupOver(base, result);
         results[workload][with_subscription] = speedup;
         state.counters["speedup"] = speedup;
@@ -69,8 +76,13 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const std::string& app : gps::workloadNames()) {
         for (const bool with_subscription : {false, true}) {
+            plan().addWithBaseline(
+                app, cellConfig(with_subscription),
+                "fig11/" + app +
+                    (with_subscription ? "/subscribed" : "/all_to_all"));
             benchmark::RegisterBenchmark(
                 ("fig11/" + app +
                  (with_subscription ? "/subscribed" : "/all_to_all"))
@@ -83,8 +95,10 @@ main(int argc, char** argv)
         }
     }
     benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

@@ -31,15 +31,22 @@ config16()
     return config;
 }
 
+RunConfig
+cellConfig(ParadigmKind paradigm)
+{
+    RunConfig config = config16();
+    config.paradigm = paradigm;
+    return config;
+}
+
 void
 BM_fig12(benchmark::State& state, const std::string& workload,
          ParadigmKind paradigm)
 {
-    RunConfig config = config16();
-    config.paradigm = paradigm;
+    const RunConfig config = cellConfig(paradigm);
     const RunResult& base = baselines.get(workload, config);
     for (auto _ : state) {
-        const RunResult result = runWorkload(workload, config);
+        const RunResult& result = runCached(workload, config);
         const double speedup = speedupOver(base, result);
         results[workload][to_string(paradigm)] = speedup;
         state.counters["speedup"] = speedup;
@@ -86,8 +93,12 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const std::string& app : gps::workloadNames()) {
         for (const gps::ParadigmKind paradigm : gps::allParadigms()) {
+            plan().addWithBaseline(
+                app, cellConfig(paradigm),
+                "fig12/" + app + "/" + gps::to_string(paradigm));
             benchmark::RegisterBenchmark(
                 ("fig12/" + app + "/" + gps::to_string(paradigm))
                     .c_str(),
@@ -99,8 +110,10 @@ main(int argc, char** argv)
         }
     }
     benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

@@ -24,16 +24,23 @@ std::map<std::string, std::map<std::string, std::vector<double>>>
     samples; // interconnect -> paradigm -> speedups
 BaselineCache baselines;
 
-void
-BM_fig13(benchmark::State& state, const std::string& workload,
-         InterconnectKind interconnect, ParadigmKind paradigm)
+RunConfig
+cellConfig(InterconnectKind interconnect, ParadigmKind paradigm)
 {
     RunConfig config = defaultConfig();
     config.system.interconnect = interconnect;
     config.paradigm = paradigm;
+    return config;
+}
+
+void
+BM_fig13(benchmark::State& state, const std::string& workload,
+         InterconnectKind interconnect, ParadigmKind paradigm)
+{
+    const RunConfig config = cellConfig(interconnect, paradigm);
     const RunResult& base = baselines.get(workload, config);
     for (auto _ : state) {
-        const RunResult result = runWorkload(workload, config);
+        const RunResult& result = runCached(workload, config);
         const double speedup = speedupOver(base, result);
         samples[to_string(interconnect)][to_string(paradigm)].push_back(
             speedup);
@@ -63,10 +70,15 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const InterconnectKind ic : gps::figure13Sweep()) {
         for (const std::string& app : gps::workloadNames()) {
             for (const gps::ParadigmKind paradigm :
                  gps::allParadigms()) {
+                plan().addWithBaseline(
+                    app, cellConfig(ic, paradigm),
+                    "fig13/" + gps::to_string(ic) + "/" + app + "/" +
+                        gps::to_string(paradigm));
                 benchmark::RegisterBenchmark(
                     ("fig13/" + gps::to_string(ic) + "/" + app + "/" +
                      gps::to_string(paradigm))
@@ -80,8 +92,10 @@ main(int argc, char** argv)
         }
     }
     benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

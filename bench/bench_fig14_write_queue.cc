@@ -30,15 +30,22 @@ const std::vector<std::string> zeroApps = {"Jacobi", "Pagerank", "SSSP",
 
 std::map<std::string, std::map<std::uint32_t, double>> results;
 
-void
-BM_fig14(benchmark::State& state, const std::string& workload,
-         std::uint32_t queue_entries)
+RunConfig
+cellConfig(std::uint32_t queue_entries)
 {
     RunConfig config = defaultConfig();
     config.paradigm = ParadigmKind::Gps;
     config.system.gps.wqEntries = queue_entries;
+    return config;
+}
+
+void
+BM_fig14(benchmark::State& state, const std::string& workload,
+         std::uint32_t queue_entries)
+{
+    const RunConfig config = cellConfig(queue_entries);
     for (auto _ : state) {
-        const RunResult result = runWorkload(workload, config);
+        const RunResult& result = runCached(workload, config);
         results[workload][queue_entries] = result.wqHitRate * 100.0;
         state.counters["wq_hit_pct"] = result.wqHitRate * 100.0;
     }
@@ -73,8 +80,11 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const std::string& app : rampApps) {
         for (const std::uint32_t size : queueSizes) {
+            plan().add(app, cellConfig(size),
+                       "fig14/" + app + "/q" + std::to_string(size));
             benchmark::RegisterBenchmark(
                 ("fig14/" + app + "/q" + std::to_string(size)).c_str(),
                 [app, size](benchmark::State& state) {
@@ -86,6 +96,7 @@ main(int argc, char** argv)
     }
     // 0%-hit applications: measured once at the default 512 entries.
     for (const std::string& app : zeroApps) {
+        plan().add(app, cellConfig(512), "fig14/" + app + "/q512");
         benchmark::RegisterBenchmark(
             ("fig14/" + app + "/q512").c_str(),
             [app](benchmark::State& state) {
@@ -101,8 +112,10 @@ main(int argc, char** argv)
             ->Unit(benchmark::kMillisecond);
     }
     benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

@@ -20,16 +20,23 @@ const std::vector<std::uint32_t> tlbSizes = {4, 8, 16, 32, 64, 128};
 
 std::map<std::string, std::map<std::uint32_t, double>> results;
 
-void
-BM_sens(benchmark::State& state, const std::string& workload,
-        std::uint32_t entries)
+RunConfig
+cellConfig(std::uint32_t entries)
 {
     RunConfig config = defaultConfig();
     config.paradigm = ParadigmKind::Gps;
     config.system.gps.gpsTlbEntries = entries;
     config.system.gps.gpsTlbWays = std::min<std::uint32_t>(entries, 8);
+    return config;
+}
+
+void
+BM_sens(benchmark::State& state, const std::string& workload,
+        std::uint32_t entries)
+{
+    const RunConfig config = cellConfig(entries);
     for (auto _ : state) {
-        const RunResult result = runWorkload(workload, config);
+        const RunResult& result = runCached(workload, config);
         results[workload][entries] = result.gpsTlbHitRate * 100.0;
         state.counters["gps_tlb_hit_pct"] =
             result.gpsTlbHitRate * 100.0;
@@ -59,8 +66,12 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const std::string& app : gps::workloadNames()) {
         for (const std::uint32_t size : tlbSizes) {
+            plan().add(app, cellConfig(size),
+                       "sens_gps_tlb/" + app + "/e" +
+                           std::to_string(size));
             benchmark::RegisterBenchmark(
                 ("sens_gps_tlb/" + app + "/e" + std::to_string(size))
                     .c_str(),
@@ -72,8 +83,10 @@ main(int argc, char** argv)
         }
     }
     benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

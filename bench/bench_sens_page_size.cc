@@ -25,16 +25,23 @@ const std::vector<std::uint64_t> pageSizes = {4 * KiB, 64 * KiB,
 std::map<std::uint64_t, std::vector<double>> speedups;
 BaselineCache baselines;
 
-void
-BM_sens(benchmark::State& state, const std::string& workload,
-        std::uint64_t page_bytes)
+RunConfig
+cellConfig(std::uint64_t page_bytes)
 {
     RunConfig config = defaultConfig();
     config.paradigm = ParadigmKind::Gps;
     config.system.pageBytes = page_bytes;
+    return config;
+}
+
+void
+BM_sens(benchmark::State& state, const std::string& workload,
+        std::uint64_t page_bytes)
+{
+    const RunConfig config = cellConfig(page_bytes);
     const RunResult& base = baselines.get(workload, config);
     for (auto _ : state) {
-        const RunResult result = runWorkload(workload, config);
+        const RunResult& result = runCached(workload, config);
         const double speedup = speedupOver(base, result);
         speedups[page_bytes].push_back(speedup);
         state.counters["speedup"] = speedup;
@@ -65,8 +72,13 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const std::uint64_t size : pageSizes) {
         for (const std::string& app : gps::workloadNames()) {
+            plan().addWithBaseline(
+                app, cellConfig(size),
+                "sens_page_size/" + app + "/" +
+                    std::to_string(size / gps::KiB) + "KB");
             benchmark::RegisterBenchmark(
                 ("sens_page_size/" + app + "/" +
                  std::to_string(size / gps::KiB) + "KB")
@@ -79,8 +91,10 @@ main(int argc, char** argv)
         }
     }
     benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

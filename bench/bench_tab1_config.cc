@@ -49,6 +49,8 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
+    (void)jobs; // no simulation grid to fan out
     benchmark::RegisterBenchmark("tab1/config", BM_tab1)->Iterations(1);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

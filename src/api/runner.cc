@@ -175,13 +175,20 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
     const Tick prefetch_time =
         paradigm.beginPhase(phase, stage_counters, traffic);
 
-    // --- Concurrent kernels: chunked round-robin replay. ---
+    // --- Concurrent kernels: chunked round-robin replay. Each turn
+    // pulls one chunk through the batched stream API (one virtual call
+    // per chunk, not per access) and caches the driver state of the
+    // last-touched page so same-page runs skip state re-translation.
+    // The access order, TLB behavior and counter semantics are
+    // byte-identical to the scalar next() loop. ---
     std::vector<KernelCounters> counters(n);
 
     struct Cursor
     {
         KernelLaunch* kernel;
         bool done = false;
+        PageNum lastVpn = ~PageNum(0);
+        PageState* lastState = nullptr;
     };
     std::vector<Cursor> cursors;
     for (KernelLaunch& kernel : phase.kernels) {
@@ -189,23 +196,30 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
         gps_assert(kernel.stream != nullptr, "kernel without a stream");
         counters[kernel.gpu].computeInstrs += kernel.computeInstrs;
         counters[kernel.gpu].dramBytes += kernel.prechargedDramBytes;
-        cursors.push_back({&kernel, false});
+        cursors.push_back({&kernel, false, ~PageNum(0), nullptr});
     }
 
+    Driver& driver = system.driver();
+    const std::size_t chunk =
+        std::max<std::size_t>(config_.replayChunk, 1);
+    std::vector<MemAccess> batch(chunk);
     std::size_t live = cursors.size();
-    MemAccess access;
     while (live > 0) {
         for (Cursor& cursor : cursors) {
             if (cursor.done)
                 continue;
             const GpuId gpu = cursor.kernel->gpu;
+            GpuModel& gpu_model = system.gpu(gpu);
             KernelCounters& c = counters[gpu];
-            for (std::size_t i = 0; i < config_.replayChunk; ++i) {
-                if (!cursor.kernel->stream->next(access)) {
-                    cursor.done = true;
-                    --live;
-                    break;
-                }
+            const std::size_t got =
+                cursor.kernel->stream->nextBatch(batch.data(), chunk);
+            if (got < chunk) {
+                // nextBatch() under-fills only at end of stream.
+                cursor.done = true;
+                --live;
+            }
+            for (std::size_t i = 0; i < got; ++i) {
+                const MemAccess& access = batch[i];
                 ++c.accesses;
                 switch (access.type) {
                   case AccessType::Load: ++c.loads; break;
@@ -213,9 +227,13 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
                   case AccessType::Atomic: ++c.atomics; break;
                 }
                 const PageNum vpn = geo.pageNum(access.vaddr);
-                const bool tlb_miss =
-                    system.gpu(gpu).tlbAccess(vpn, c);
-                paradigm.access(gpu, access, vpn, tlb_miss, c, traffic);
+                const bool tlb_miss = gpu_model.tlbAccess(vpn, c);
+                if (vpn != cursor.lastVpn) {
+                    cursor.lastVpn = vpn;
+                    cursor.lastState = &driver.state(vpn);
+                }
+                paradigm.access(gpu, access, vpn, *cursor.lastState,
+                                tlb_miss, c, traffic);
             }
         }
     }
@@ -257,12 +275,15 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
     const Tick phase_time = prefetch_time + slowest + barrier_time;
 
     // Drive simulated time through the event queue: one completion event
-    // per kernel, then the barrier.
+    // per kernel, then the barrier. The name prefix is built once and
+    // the buffer reused across kernels.
+    std::string done_name = phase.name + ".kernel_done.";
+    const std::size_t done_prefix = done_name.size();
     for (const Cursor& cursor : cursors) {
         const GpuId gpu = cursor.kernel->gpu;
-        events.schedule(start + prefetch_time + gpu_time[gpu],
-                        phase.name + ".kernel_done." +
-                            std::to_string(gpu),
+        done_name.resize(done_prefix);
+        done_name += std::to_string(gpu);
+        events.schedule(start + prefetch_time + gpu_time[gpu], done_name,
                         [] {});
     }
     events.schedule(start + phase_time, phase.name + ".barrier", [] {},

@@ -1,0 +1,134 @@
+#include "api/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+namespace gps
+{
+
+std::size_t
+defaultSweepJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+namespace
+{
+
+void
+runOne(const SweepJob& job, SweepOutcome& out)
+{
+    out.label = job.label;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        out.result = runWorkload(job.workload, job.config);
+    } catch (...) {
+        out.error = std::current_exception();
+    }
+    out.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+}
+
+} // namespace
+
+std::vector<SweepOutcome>
+runSweep(const std::vector<SweepJob>& jobs, std::size_t workers)
+{
+    std::vector<SweepOutcome> out(jobs.size());
+    if (jobs.empty())
+        return out;
+    if (workers < 1)
+        workers = 1;
+    if (workers > jobs.size())
+        workers = jobs.size();
+
+    if (workers == 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            runOne(jobs[i], out[i]);
+        return out;
+    }
+
+    // Work stealing off a shared ticket counter: threads claim the next
+    // unclaimed job index, so long runs do not serialize behind a static
+    // partition. Outcomes land at their job's index regardless of which
+    // worker ran it.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (std::size_t i = next.fetch_add(1); i < jobs.size();
+             i = next.fetch_add(1))
+            runOne(jobs[i], out[i]);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (std::thread& t : pool)
+        t.join();
+    return out;
+}
+
+namespace
+{
+
+void
+appendDouble(std::ostringstream& os, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf << '|';
+}
+
+} // namespace
+
+std::string
+configKey(const std::string& workload, const RunConfig& config)
+{
+    std::ostringstream os;
+    os << workload << '|';
+
+    const SystemConfig& sys = config.system;
+    os << sys.numGpus << '|' << static_cast<int>(sys.interconnect) << '|'
+       << sys.pageBytes << '|';
+
+    const GpuConfig& gpu = sys.gpu;
+    os << gpu.cacheLineBytes << '|' << gpu.globalMemoryBytes << '|'
+       << gpu.numSms << '|' << gpu.cudaCoresPerSm << '|'
+       << gpu.l2CacheBytes << '|' << gpu.warpSize << '|'
+       << gpu.maxThreadsPerSm << '|' << gpu.maxThreadsPerCta << '|'
+       << gpu.virtualAddressBits << '|' << gpu.physicalAddressBits << '|'
+       << gpu.l2Ways << '|' << gpu.tlbEntries << '|' << gpu.tlbWays << '|'
+       << gpu.pageWalkLatency << '|' << gpu.smCoalescerDepth << '|'
+       << gpu.remoteLoadMlp << '|' << gpu.remoteAtomicMlp << '|'
+       << gpu.kernelLaunchOverhead << '|';
+    appendDouble(os, gpu.coreClockGHz);
+    appendDouble(os, gpu.dramBandwidth);
+    appendDouble(os, gpu.l2Bandwidth);
+    appendDouble(os, gpu.issueEfficiency);
+
+    const GpsConfig& gcfg = sys.gps;
+    os << gcfg.wqEntries << '|' << gcfg.wqEntryBytes << '|'
+       << gcfg.gpsTlbEntries << '|' << gcfg.gpsTlbWays << '|'
+       << gcfg.gpsWalkLatency << '|' << gcfg.saturatedWatermarkDivisor
+       << '|' << gcfg.wqStallPenalty << '|' << gcfg.resubscribeAfter
+       << '|' << gcfg.autoUnsubscribe << '|' << gcfg.smCoalescerEnabled
+       << '|' << gcfg.virtuallyAddressedWq << '|';
+
+    os << static_cast<int>(config.paradigm) << '|';
+    appendDouble(os, config.scale);
+    os << config.steadyIterations << '|' << config.replayChunk << '|'
+       << config.effectiveIterationsOverride << '|';
+
+    os << config.faultPlan.seed << '|' << config.faultPlan.pcieFallback
+       << '|';
+    for (const FaultEvent& ev : config.faultPlan.events)
+        os << ev.time << ':' << ev.describe() << '|';
+    return os.str();
+}
+
+} // namespace gps

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Parallel sweep runner: fans independent (workload, RunConfig) runs
+ * across a pool of worker threads.
+ *
+ * Every simulation run is self-contained — Runner::run constructs its
+ * own MultiGpuSystem, paradigm and workload instance and shares no
+ * mutable state with other runs — so config sweeps (paradigm grids,
+ * GPU-count scans, sensitivity studies) are embarrassingly parallel.
+ * runSweep() executes the job list on up to @p workers threads and
+ * returns the outcomes in input order, so callers can print results
+ * serially and the output is byte-identical to a one-worker run.
+ */
+
+#ifndef GPS_API_SWEEP_HH
+#define GPS_API_SWEEP_HH
+
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "api/runner.hh"
+
+namespace gps
+{
+
+/** One independent simulation in a sweep. */
+struct SweepJob
+{
+    std::string workload;
+    RunConfig config;
+
+    /** Free-form display label carried through to the outcome. */
+    std::string label;
+};
+
+/** Result of one sweep job, in the same position as its input. */
+struct SweepOutcome
+{
+    RunResult result;
+
+    /** Host wall-clock time of this run, seconds. */
+    double wallSeconds = 0.0;
+
+    /** Label copied from the job. */
+    std::string label;
+
+    /** Set when the run threw; result is default-constructed then. */
+    std::exception_ptr error;
+
+    bool ok() const { return error == nullptr; }
+};
+
+/** Worker count to use when the user asked for "all cores" (>= 1). */
+std::size_t defaultSweepJobs();
+
+/**
+ * Run every job (even after failures — outcomes carry per-job errors)
+ * on up to @p workers threads.
+ * @return outcomes in input order, independent of completion order
+ */
+std::vector<SweepOutcome> runSweep(const std::vector<SweepJob>& jobs,
+                                   std::size_t workers);
+
+/**
+ * Deterministic serialization of every field that can change a run's
+ * outcome. Two (workload, config) pairs with equal keys produce equal
+ * RunResults; used as the memoization key by the bench harness.
+ */
+std::string configKey(const std::string& workload,
+                      const RunConfig& config);
+
+} // namespace gps
+
+#endif // GPS_API_SWEEP_HH

@@ -1,6 +1,7 @@
 #include "common/logging.hh"
 
 #include <cstdlib>
+#include <mutex>
 
 namespace gps
 {
@@ -10,7 +11,20 @@ namespace detail
 namespace
 {
 bool verboseFlag = true;
+
+/**
+ * Serializes warn()/inform() lines so concurrent sweep workers (see
+ * api/sweep.hh) never interleave mid-line. fprintf of one line is
+ * usually atomic per POSIX stream locking, but the standard does not
+ * promise it and message assembly spans several calls on some libcs.
+ */
+std::mutex&
+logMutex()
+{
+    static std::mutex m;
+    return m;
 }
+} // namespace
 
 void
 setVerbose(bool verbose)
@@ -43,14 +57,17 @@ fatalImpl(const char* file, int line, const std::string& msg)
 void
 warnImpl(const std::string& msg)
 {
+    const std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string& msg)
 {
-    if (verboseFlag)
-        std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (!verboseFlag)
+        return;
+    const std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
 } // namespace detail

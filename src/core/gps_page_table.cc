@@ -5,10 +5,34 @@
 namespace gps
 {
 
+GpsPte&
+GpsPageTable::slot(PageNum vpn)
+{
+    if (table_.empty()) {
+        base_ = vpn;
+        table_.resize(1);
+        return table_.front();
+    }
+    if (vpn < base_) {
+        // Rare: a lower GPS region appears after a higher one was
+        // touched first. Prepend the gap.
+        const std::size_t grow = static_cast<std::size_t>(base_ - vpn);
+        table_.insert(table_.begin(), grow, GpsPte{});
+        base_ = vpn;
+        return table_.front();
+    }
+    const std::size_t off = static_cast<std::size_t>(vpn - base_);
+    if (off >= table_.size())
+        table_.resize(off + 1);
+    return table_[off];
+}
+
 void
 GpsPageTable::addReplica(PageNum vpn, GpuId gpu, PageNum ppn)
 {
-    GpsPte& pte = table_[vpn];
+    GpsPte& pte = slot(vpn);
+    if (pte.replicas.empty())
+        ++live_;
     for (auto& r : pte.replicas) {
         if (r.gpu == gpu) {
             r.ppn = ppn;
@@ -21,24 +45,29 @@ GpsPageTable::addReplica(PageNum vpn, GpuId gpu, PageNum ppn)
 void
 GpsPageTable::removeReplica(PageNum vpn, GpuId gpu)
 {
-    auto it = table_.find(vpn);
-    if (it == table_.end())
+    if (table_.empty() || vpn < base_ ||
+        vpn - base_ >= table_.size())
         return;
-    auto& replicas = it->second.replicas;
+    auto& replicas = table_[vpn - base_].replicas;
+    if (replicas.empty())
+        return;
     replicas.erase(std::remove_if(replicas.begin(), replicas.end(),
                                   [gpu](const GpsReplica& r) {
                                       return r.gpu == gpu;
                                   }),
                    replicas.end());
     if (replicas.empty())
-        table_.erase(it);
+        --live_;
 }
 
 const GpsPte*
 GpsPageTable::lookup(PageNum vpn) const
 {
-    auto it = table_.find(vpn);
-    return it == table_.end() ? nullptr : &it->second;
+    if (table_.empty() || vpn < base_ ||
+        vpn - base_ >= table_.size())
+        return nullptr;
+    const GpsPte& pte = table_[vpn - base_];
+    return pte.replicas.empty() ? nullptr : &pte;
 }
 
 std::uint64_t
@@ -54,7 +83,7 @@ GpsPageTable::pteBits(std::size_t num_gpus, std::uint32_t vpn_bits,
 void
 GpsPageTable::exportStats(StatSet& out) const
 {
-    out.set(name() + ".entries", static_cast<double>(table_.size()));
+    out.set(name() + ".entries", static_cast<double>(live_));
 }
 
 } // namespace gps

@@ -4,13 +4,18 @@
  * record, for each GPS virtual page, the physical frame of every
  * subscriber's replica (Section 5.2). It sits off the critical path and
  * is consulted only when the remote write queue drains.
+ *
+ * Storage is a dense array indexed by vpn - base: GPS regions are
+ * contiguous VPN ranges by construction, so a lookup is one bounds
+ * check plus an index, and iteration visits PTEs in ascending VPN
+ * order (deterministic, unlike the unordered_map it replaced).
  */
 
 #ifndef GPS_CORE_GPS_PAGE_TABLE_HH
 #define GPS_CORE_GPS_PAGE_TABLE_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <type_traits>
 #include <vector>
 
 #include "common/gpu_mask.hh"
@@ -64,7 +69,7 @@ class GpsPageTable : public SimObject
     /** Add (or refresh) @p gpu's replica frame for @p vpn. */
     void addReplica(PageNum vpn, GpuId gpu, PageNum ppn);
 
-    /** Remove @p gpu's replica record; drops the PTE when empty. */
+    /** Remove @p gpu's replica record; the PTE dies when empty. */
     void removeReplica(PageNum vpn, GpuId gpu);
 
     /** PTE for @p vpn, or nullptr. */
@@ -79,19 +84,47 @@ class GpsPageTable : public SimObject
                                  std::uint32_t vpn_bits,
                                  std::uint32_t ppn_bits);
 
-    std::size_t size() const { return table_.size(); }
+    /** Live (non-empty) PTE count. */
+    std::size_t size() const { return live_; }
 
-    /** All live PTEs (subscription census, Figure 9). */
-    const std::unordered_map<PageNum, GpsPte>&
-    entries() const
+    /**
+     * Visit every live PTE in ascending VPN order (subscription census,
+     * Figure 9; reclaim victim scans). @p fn is called as
+     * fn(vpn, const GpsPte&); when it returns bool, false stops the
+     * scan early.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn&& fn) const
     {
-        return table_;
+        for (std::size_t i = 0; i < table_.size(); ++i) {
+            if (table_[i].replicas.empty())
+                continue;
+            const PageNum vpn = base_ + static_cast<PageNum>(i);
+            if constexpr (std::is_void_v<std::invoke_result_t<
+                              Fn, PageNum, const GpsPte&>>) {
+                fn(vpn, table_[i]);
+            } else {
+                if (!fn(vpn, table_[i]))
+                    return;
+            }
+        }
     }
 
     void exportStats(StatSet& out) const override;
 
   private:
-    std::unordered_map<PageNum, GpsPte> table_;
+    /** Slot for @p vpn, growing the dense array to cover it. */
+    GpsPte& slot(PageNum vpn);
+
+    /** VPN of table_[0]; meaningful only when table_ is non-empty. */
+    PageNum base_ = 0;
+
+    /** Dense array over [base_, base_ + table_.size()). */
+    std::vector<GpsPte> table_;
+
+    /** PTEs with at least one replica. */
+    std::size_t live_ = 0;
 };
 
 } // namespace gps

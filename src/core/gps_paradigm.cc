@@ -44,11 +44,9 @@ GpsParadigm::onSetupComplete()
 
 void
 GpsParadigm::accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
-                          bool tlb_miss, KernelCounters& counters,
-                          TrafficMatrix& traffic)
+                          PageState& st, bool tlb_miss,
+                          KernelCounters& counters, TrafficMatrix& traffic)
 {
-    PageState& st = drv().state(vpn);
-
     if (st.collapsed) {
         // Demoted to a conventional single-copy page (§5.3).
         if (st.location == gpu) {
@@ -216,11 +214,12 @@ GpsParadigm::onFaultPageRetire(GpuId gpu, std::uint64_t count,
     // (the swap-out preconditions). Sorted for determinism, victims
     // drawn with the engine's seeded Rng.
     std::vector<PageNum> candidates;
-    for (const auto& [vpn, pte] : gpsTable_->entries())
+    gpsTable_->forEach([&](PageNum vpn, const GpsPte& pte) {
         if (pte.replicas.size() >= 2 && pte.hasSubscriber(gpu) &&
             !drv().state(vpn).collapsed)
             candidates.push_back(vpn);
-    std::sort(candidates.begin(), candidates.end());
+    });
+    // forEach already visits in ascending VPN order (deterministic).
 
     FaultEngine* engine = sys().faults();
     while (remaining > 0 && !candidates.empty()) {

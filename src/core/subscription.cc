@@ -14,14 +14,19 @@ SubscriptionManager::SubscriptionManager(Driver& driver,
 bool
 SubscriptionManager::swapOutOneReplica(GpuId gpu)
 {
-    for (const auto& [vpn, pte] : table_->entries()) {
+    bool done = false;
+    bool ok = false;
+    table_->forEach([&](PageNum vpn, const GpsPte& pte) {
         if (pte.replicas.size() >= 2 && pte.hasSubscriber(gpu) &&
             !driver_->state(vpn).collapsed) {
             ++swapOuts_;
-            return unsubscribe(vpn, gpu) == UnsubscribeResult::Ok;
+            ok = unsubscribe(vpn, gpu) == UnsubscribeResult::Ok;
+            done = true;
+            return false; // stop at the first (lowest-VPN) victim
         }
-    }
-    return false;
+        return true;
+    });
+    return done && ok;
 }
 
 void
@@ -168,11 +173,11 @@ SubscriptionManager::collapse(PageNum vpn, GpuId keeper,
 void
 SubscriptionManager::fillHistogram(Histogram& hist) const
 {
-    for (const auto& [vpn, pte] : table_->entries()) {
+    table_->forEach([&](PageNum, const GpsPte& pte) {
         const std::size_t count = pte.replicas.size();
         if (count >= 2)
             hist.sample(count);
-    }
+    });
 }
 
 void

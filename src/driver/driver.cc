@@ -24,11 +24,13 @@ Driver::allocCommon(std::uint64_t size, MemKind kind, std::string label,
     gps_assert(home < numGpus(), "allocation on unknown GPU ", home);
     const Region& region =
         vas_->allocate(size, kind, std::move(label), home, manual);
-    forEachPage(region, [&](PageNum vpn) {
-        PageState state;
-        state.kind = kind;
-        pages_.emplace(vpn, state);
-    });
+    const PageGeometry& geo = geometry();
+    const PageNum first = geo.pageNum(region.base);
+    const PageNum last = geo.pageNum(region.base + region.size - 1);
+    PageState init;
+    init.kind = kind;
+    pages_.addRange(first, static_cast<std::size_t>(last - first + 1),
+                    init);
     return region;
 }
 
@@ -107,8 +109,8 @@ Driver::free(Addr base)
             pageTable(g).unmap(vpn);
             gpu(g).tlb().invalidate(vpn);
         });
-        pages_.erase(vpn);
     });
+    pages_.removeRange(geometry().pageNum(region->base));
     vas_->release(base);
 }
 
@@ -131,28 +133,6 @@ void
 Driver::adviseReadMostly(Addr base, std::uint64_t len)
 {
     forEachPageIn(base, len, [&](PageState& st) { st.readMostly = true; });
-}
-
-PageState&
-Driver::state(PageNum vpn)
-{
-    auto it = pages_.find(vpn);
-    gps_assert(it != pages_.end(), "no page state for vpn ", vpn);
-    return it->second;
-}
-
-const PageState&
-Driver::state(PageNum vpn) const
-{
-    auto it = pages_.find(vpn);
-    gps_assert(it != pages_.end(), "no page state for vpn ", vpn);
-    return it->second;
-}
-
-bool
-Driver::hasState(PageNum vpn) const
-{
-    return pages_.find(vpn) != pages_.end();
 }
 
 bool
@@ -284,7 +264,7 @@ Driver::migratePage(PageNum vpn, GpuId to, KernelCounters& counters,
 void
 Driver::exportStats(StatSet& out) const
 {
-    out.set("driver.pages", static_cast<double>(pages_.size()));
+    out.set("driver.pages", static_cast<double>(pages_.pages()));
     out.set("driver.migrations", static_cast<double>(migrations_));
     out.set("driver.shootdown_rounds",
             static_cast<double>(shootdownRounds_));

@@ -14,12 +14,12 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/gpu_mask.hh"
 #include "common/types.hh"
 #include "driver/page_state.hh"
+#include "driver/page_state_store.hh"
 #include "gpu/gpu_model.hh"
 #include "gpu/kernel_counters.hh"
 #include "interconnect/topology.hh"
@@ -75,9 +75,12 @@ class Driver : public SimObject
     // ------------------------------------------------------------------
     // State access.
     // ------------------------------------------------------------------
-    PageState& state(PageNum vpn);
-    const PageState& state(PageNum vpn) const;
-    bool hasState(PageNum vpn) const;
+    PageState& state(PageNum vpn) { return pages_.at(vpn); }
+    const PageState& state(PageNum vpn) const { return pages_.at(vpn); }
+    bool hasState(PageNum vpn) const { return pages_.find(vpn) != nullptr; }
+
+    /** State of @p vpn, or nullptr when unallocated (hot-path form). */
+    PageState* findState(PageNum vpn) { return pages_.find(vpn); }
 
     const Region* regionOf(Addr addr) const { return vas_->regionOf(addr); }
     const AddressSpace& addressSpace() const { return *vas_; }
@@ -169,7 +172,9 @@ class Driver : public SimObject
     std::vector<std::unique_ptr<GpuModel>>* gpus_;
     Topology* topology_;
     std::vector<std::unique_ptr<PageTable>> pageTables_;
-    std::unordered_map<PageNum, PageState> pages_;
+
+    /** Dense per-region page state (see PageStateStore). */
+    PageStateStore pages_;
 
     ReclaimHook reclaim_;
     std::uint64_t migrations_ = 0;

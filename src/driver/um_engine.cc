@@ -7,11 +7,10 @@ namespace gps
 
 UmDecision
 UmEngine::access(GpuId gpu, const MemAccess& access, PageNum vpn,
-                 bool hints_mode, KernelCounters& counters,
-                 TrafficMatrix& traffic)
+                 PageState& st, bool hints_mode,
+                 KernelCounters& counters, TrafficMatrix& traffic)
 {
     Driver& drv = *driver_;
-    PageState& st = drv.state(vpn);
     gps_assert(st.kind == MemKind::Managed,
                "UM engine applied to non-managed page");
 

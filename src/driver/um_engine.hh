@@ -46,11 +46,21 @@ class UmEngine
     /**
      * Apply UM policy to an access to a managed page: may fault, place,
      * migrate, duplicate or collapse the page.
+     * @param st the page's driver state (caller-resolved, hot path)
      * @param hints_mode honor preferred-location/accessed-by hints
      */
     UmDecision access(GpuId gpu, const MemAccess& access, PageNum vpn,
-                      bool hints_mode, KernelCounters& counters,
-                      TrafficMatrix& traffic);
+                      PageState& st, bool hints_mode,
+                      KernelCounters& counters, TrafficMatrix& traffic);
+
+    /** Convenience overload that resolves the page state itself. */
+    UmDecision
+    access(GpuId gpu, const MemAccess& a, PageNum vpn, bool hints_mode,
+           KernelCounters& counters, TrafficMatrix& traffic)
+    {
+        return access(gpu, a, vpn, driver_->state(vpn), hints_mode,
+                      counters, traffic);
+    }
 
     /**
      * cudaMemPrefetchAsync analogue: migrate the range's remote managed

@@ -17,7 +17,7 @@ MemcpyParadigm::beginPhase(const Phase& phase, KernelCounters& counters,
 
 void
 MemcpyParadigm::accessShared(GpuId gpu, const MemAccess& access,
-                             PageNum vpn, bool tlb_miss,
+                             PageNum vpn, PageState& st, bool tlb_miss,
                              KernelCounters& counters,
                              TrafficMatrix& traffic)
 {
@@ -26,7 +26,6 @@ MemcpyParadigm::accessShared(GpuId gpu, const MemAccess& access,
     // Every GPU works on its local replica; no remote accesses during
     // kernels, no overlap of transfers with compute.
     if (access.isWrite()) {
-        PageState& st = drv().state(vpn);
         st.lastWriter = gpu;
         if (pendingBroadcasts_.empty() && !st.dirtySinceBarrier) {
             st.dirtySinceBarrier = true;

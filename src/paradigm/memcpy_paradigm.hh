@@ -47,7 +47,8 @@ class MemcpyParadigm : public Paradigm
 
   protected:
     void accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
-                      bool tlb_miss, KernelCounters& counters,
+                      PageState& st, bool tlb_miss,
+                      KernelCounters& counters,
                       TrafficMatrix& traffic) override;
 
     /** Whether barrier DMA consumes interconnect time (Infinite: no). */

@@ -66,7 +66,15 @@ Paradigm::access(GpuId gpu, const MemAccess& access, PageNum vpn,
                  bool tlb_miss, KernelCounters& counters,
                  TrafficMatrix& traffic)
 {
-    const PageState& st = drv().state(vpn);
+    this->access(gpu, access, vpn, drv().state(vpn), tlb_miss, counters,
+                 traffic);
+}
+
+void
+Paradigm::access(GpuId gpu, const MemAccess& access, PageNum vpn,
+                 PageState& st, bool tlb_miss, KernelCounters& counters,
+                 TrafficMatrix& traffic)
+{
     if (st.kind == MemKind::Pinned) {
         // Private allocations: local when owned, conventional peer
         // access otherwise (identical under every paradigm).
@@ -81,7 +89,7 @@ Paradigm::access(GpuId gpu, const MemAccess& access, PageNum vpn,
         }
         return;
     }
-    accessShared(gpu, access, vpn, tlb_miss, counters, traffic);
+    accessShared(gpu, access, vpn, st, tlb_miss, counters, traffic);
 }
 
 void

@@ -90,6 +90,15 @@ class Paradigm : public SimObject
                 bool tlb_miss, KernelCounters& counters,
                 TrafficMatrix& traffic);
 
+    /**
+     * Hot-path variant: the caller already holds the page's driver
+     * state (the replay loop caches the PageState of the last-touched
+     * VPN per kernel cursor, so same-page runs skip re-translation).
+     */
+    void access(GpuId gpu, const MemAccess& access, PageNum vpn,
+                PageState& st, bool tlb_miss, KernelCounters& counters,
+                TrafficMatrix& traffic);
+
     /** End of one GPU's kernel: the implicit grid-wide release point. */
     virtual void
     endKernel(GpuId gpu, KernelCounters& counters, TrafficMatrix& traffic)
@@ -181,7 +190,7 @@ class Paradigm : public SimObject
   protected:
     /** Policy hook for accesses to this paradigm's shared regions. */
     virtual void accessShared(GpuId gpu, const MemAccess& access,
-                              PageNum vpn, bool tlb_miss,
+                              PageNum vpn, PageState& st, bool tlb_miss,
                               KernelCounters& counters,
                               TrafficMatrix& traffic) = 0;
 

@@ -5,11 +5,10 @@ namespace gps
 
 void
 RdlParadigm::accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
-                          bool tlb_miss, KernelCounters& counters,
-                          TrafficMatrix& traffic)
+                          PageState& st, bool tlb_miss,
+                          KernelCounters& counters, TrafficMatrix& traffic)
 {
     (void)tlb_miss;
-    PageState& st = drv().state(vpn);
 
     if (access.isStore()) {
         // Stores always land in the local replica.

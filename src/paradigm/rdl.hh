@@ -31,7 +31,8 @@ class RdlParadigm : public Paradigm
 
   protected:
     void accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
-                      bool tlb_miss, KernelCounters& counters,
+                      PageState& st, bool tlb_miss,
+                      KernelCounters& counters,
                       TrafficMatrix& traffic) override;
 
   private:

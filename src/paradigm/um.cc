@@ -5,14 +5,14 @@ namespace gps
 
 void
 UmParadigm::accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
-                         bool tlb_miss, KernelCounters& counters,
-                         TrafficMatrix& traffic)
+                         PageState& st, bool tlb_miss,
+                         KernelCounters& counters, TrafficMatrix& traffic)
 {
     (void)tlb_miss;
     if (access.isWrite())
         dirtyPages_.insert(vpn);
-    const UmDecision decision =
-        engine_.access(gpu, access, vpn, hintsMode(), counters, traffic);
+    const UmDecision decision = engine_.access(
+        gpu, access, vpn, st, hintsMode(), counters, traffic);
     switch (decision.route) {
       case UmRoute::Local:
         localAccess(gpu, access, counters);

@@ -30,7 +30,8 @@ class UmParadigm : public Paradigm
 
   protected:
     void accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
-                      bool tlb_miss, KernelCounters& counters,
+                      PageState& st, bool tlb_miss,
+                      KernelCounters& counters,
                       TrafficMatrix& traffic) override;
 
     /** Hint-awareness toggle for the derived UM+hints paradigm. */

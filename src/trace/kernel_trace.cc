@@ -14,4 +14,16 @@ ConcatStream::next(MemAccess& out)
     return false;
 }
 
+std::size_t
+ConcatStream::nextBatch(MemAccess* out, std::size_t max)
+{
+    std::size_t n = 0;
+    while (n < max && current_ < parts_.size()) {
+        n += parts_[current_]->nextBatch(out + n, max - n);
+        if (n < max)
+            ++current_; // the part ran dry; move to the next one
+    }
+    return n;
+}
+
 } // namespace gps

@@ -10,6 +10,7 @@
 #ifndef GPS_TRACE_KERNEL_TRACE_HH
 #define GPS_TRACE_KERNEL_TRACE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -34,6 +35,22 @@ class AccessStream
      * @return false when the stream is exhausted.
      */
     virtual bool next(MemAccess& out) = 0;
+
+    /**
+     * Batched pull: fill up to @p max accesses into @p out and return
+     * the count produced. Returns less than @p max only at end of
+     * stream, so the replay loop pays one virtual call per chunk
+     * instead of one per access. The base implementation loops next();
+     * vector-backed streams override it with a straight copy.
+     */
+    virtual std::size_t
+    nextBatch(MemAccess* out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
 };
 
 /** Stream over a pre-built vector (tests, small kernels). */
@@ -51,6 +68,18 @@ class VectorStream : public AccessStream
             return false;
         out = accesses_[pos_++];
         return true;
+    }
+
+    std::size_t
+    nextBatch(MemAccess* out, std::size_t max) override
+    {
+        const std::size_t n =
+            std::min(max, accesses_.size() - pos_);
+        std::copy_n(accesses_.begin() +
+                        static_cast<std::ptrdiff_t>(pos_),
+                    n, out);
+        pos_ += n;
+        return n;
     }
 
   private:
@@ -83,6 +112,7 @@ class ConcatStream : public AccessStream
     {}
 
     bool next(MemAccess& out) override;
+    std::size_t nextBatch(MemAccess* out, std::size_t max) override;
 
   private:
     std::vector<std::unique_ptr<AccessStream>> parts_;

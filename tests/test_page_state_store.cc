@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the dense per-region page-state storage that backs the
+ * driver's replay hot path: slab grow/shrink, hint-cached lookups,
+ * pointer stability of in-place state transitions (GPS subscriber masks
+ * and collapse bits), and driver-level region lifecycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/system.hh"
+#include "driver/page_state_store.hh"
+
+namespace gps
+{
+namespace
+{
+
+PageState
+managedState()
+{
+    PageState st;
+    st.kind = MemKind::Managed;
+    return st;
+}
+
+TEST(PageStateStore, AddRangeThenFindEveryPage)
+{
+    PageStateStore store;
+    store.addRange(100, 4, managedState());
+    EXPECT_EQ(store.pages(), 4u);
+    EXPECT_EQ(store.ranges(), 1u);
+    for (PageNum vpn = 100; vpn < 104; ++vpn) {
+        PageState* st = store.find(vpn);
+        ASSERT_NE(st, nullptr) << "vpn " << vpn;
+        EXPECT_EQ(st->kind, MemKind::Managed);
+    }
+    EXPECT_EQ(store.find(99), nullptr);
+    EXPECT_EQ(store.find(104), nullptr);
+}
+
+TEST(PageStateStore, LookupsCrossSlabsAndGaps)
+{
+    PageStateStore store;
+    PageState pinned; // default kind Pinned
+    store.addRange(10, 2, pinned);
+    store.addRange(20, 3, managedState());
+    store.addRange(40, 1, pinned);
+    EXPECT_EQ(store.ranges(), 3u);
+    EXPECT_EQ(store.pages(), 6u);
+
+    // Alternate between slabs so the hint keeps missing and the
+    // binary-search fallback is exercised, including the gaps.
+    EXPECT_EQ(store.at(10).kind, MemKind::Pinned);
+    EXPECT_EQ(store.at(22).kind, MemKind::Managed);
+    EXPECT_EQ(store.at(11).kind, MemKind::Pinned);
+    EXPECT_EQ(store.at(40).kind, MemKind::Pinned);
+    EXPECT_EQ(store.find(12), nullptr); // gap after first slab
+    EXPECT_EQ(store.find(19), nullptr); // gap before second slab
+    EXPECT_EQ(store.find(23), nullptr);
+    EXPECT_EQ(store.find(39), nullptr);
+    EXPECT_EQ(store.find(41), nullptr);
+    EXPECT_EQ(store.find(0), nullptr); // before every slab
+}
+
+TEST(PageStateStore, RemoveMiddleRangeKeepsNeighbors)
+{
+    PageStateStore store;
+    store.addRange(10, 2, managedState());
+    store.addRange(20, 2, managedState());
+    store.addRange(30, 2, managedState());
+    store.removeRange(20);
+    EXPECT_EQ(store.ranges(), 2u);
+    EXPECT_EQ(store.pages(), 4u);
+    EXPECT_EQ(store.find(20), nullptr);
+    EXPECT_EQ(store.find(21), nullptr);
+    ASSERT_NE(store.find(11), nullptr);
+    ASSERT_NE(store.find(30), nullptr);
+}
+
+TEST(PageStateStore, StateMutationsPersistInPlace)
+{
+    PageStateStore store;
+    store.addRange(50, 2, managedState());
+
+    // GPS-style transitions mutate the record in place; a later lookup
+    // must observe them through the same stable storage.
+    PageState* st = store.find(51);
+    ASSERT_NE(st, nullptr);
+    st->subscribers = maskSet(maskSet(0, 0), 2);
+    st->gpsBitSet = true;
+    st->collapsed = false;
+
+    PageState* again = store.find(51);
+    EXPECT_EQ(again, st);
+    EXPECT_EQ(again->subscribers, maskSet(maskSet(0, 0), 2));
+    EXPECT_TRUE(again->gpsBitSet);
+
+    // Collapse: subscriber mask drops, collapsed latches.
+    again->subscribers = 0;
+    again->collapsed = true;
+    EXPECT_TRUE(store.at(51).collapsed);
+    EXPECT_EQ(store.at(51).subscribers, 0u);
+    EXPECT_FALSE(store.at(50).collapsed); // neighbor untouched
+}
+
+class DriverStateTest : public ::testing::Test
+{
+  protected:
+    DriverStateTest()
+    {
+        SystemConfig config;
+        config.numGpus = 4;
+        system = std::make_unique<MultiGpuSystem>(config);
+    }
+
+    Driver& drv() { return system->driver(); }
+    PageNum
+    firstVpn(const Region& region)
+    {
+        return system->geometry().pageNum(region.base);
+    }
+
+    std::unique_ptr<MultiGpuSystem> system;
+};
+
+TEST_F(DriverStateTest, RegionsGrowAndShrinkTheStore)
+{
+    const Region& a = drv().malloc(128 * KiB, 0, "a");
+    const Region& b = drv().mallocManaged(64 * KiB, "b");
+    const Region& c = drv().mallocGps(64 * KiB, "c", 0);
+
+    const PageNum va = firstVpn(a);
+    const PageNum vb = firstVpn(b);
+    const PageNum vc = firstVpn(c);
+    EXPECT_TRUE(drv().hasState(va));
+    EXPECT_TRUE(drv().hasState(va + 1)); // 128 KiB = 2 pages
+    EXPECT_TRUE(drv().hasState(vb));
+    EXPECT_TRUE(drv().hasState(vc));
+    EXPECT_EQ(drv().state(vc).kind, MemKind::Gps);
+
+    // Free the middle region: its pages vanish, neighbors survive.
+    const Addr b_base = b.base;
+    drv().free(b_base);
+    EXPECT_FALSE(drv().hasState(vb));
+    EXPECT_TRUE(drv().hasState(va));
+    EXPECT_TRUE(drv().hasState(vc));
+    EXPECT_EQ(drv().state(vc).kind, MemKind::Gps);
+}
+
+TEST_F(DriverStateTest, GuardGapsBetweenRegionsHaveNoState)
+{
+    const Region& a = drv().malloc(64 * KiB, 0, "a");
+    const Region& b = drv().malloc(64 * KiB, 1, "b");
+    const PageNum last_a =
+        system->geometry().pageNum(a.base + a.size - 1);
+    const PageNum first_b = firstVpn(b);
+    ASSERT_GT(first_b, last_a + 1); // bump allocator leaves a guard page
+    for (PageNum vpn = last_a + 1; vpn < first_b; ++vpn)
+        EXPECT_FALSE(drv().hasState(vpn)) << "vpn " << vpn;
+    EXPECT_EQ(drv().findState(last_a + 1), nullptr);
+}
+
+TEST_F(DriverStateTest, StatePointerStableAcrossHotPathLookups)
+{
+    const Region& r = drv().mallocGps(256 * KiB, "r", 0);
+    const PageNum vpn = firstVpn(r) + 2;
+    PageState* st = drv().findState(vpn);
+    ASSERT_NE(st, nullptr);
+    st->subscribers = maskAll(4);
+    st->gpsBitSet = true;
+
+    // Interleave lookups of other pages (the replay loop pattern) and
+    // confirm the cached pointer target still reflects the mutations.
+    for (PageNum other = firstVpn(r); other < firstVpn(r) + 4; ++other)
+        ASSERT_NE(drv().findState(other), nullptr);
+    EXPECT_EQ(drv().findState(vpn), st);
+    EXPECT_EQ(drv().state(vpn).subscribers, maskAll(4));
+    EXPECT_TRUE(drv().state(vpn).gpsBitSet);
+}
+
+TEST_F(DriverStateTest, RetirePathUnbackKeepsStateRecord)
+{
+    // Page retirement (fault path) unbacks replicas but the driver
+    // record itself must survive until the region is freed.
+    const Region& r = drv().mallocReplicated(64 * KiB, "rep", 0);
+    const PageNum vpn = firstVpn(r);
+    PageState& st = drv().state(vpn);
+    ASSERT_NE(st.backed, 0u);
+    const GpuMask before = st.backed;
+    KernelCounters counters;
+    drv().unbackPage(vpn, 1, &counters);
+    EXPECT_TRUE(drv().hasState(vpn));
+    EXPECT_EQ(drv().state(vpn).backed, maskClear(before, 1));
+}
+
+} // namespace
+} // namespace gps

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner: input-order outcomes, per-job
+ * error capture, byte-identical determinism across worker counts, and
+ * configKey discrimination between configs that must not share a
+ * memoized result.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/result_export.hh"
+#include "api/sweep.hh"
+#include "common/logging.hh"
+
+namespace gps
+{
+namespace
+{
+
+/** Small, fast config: every test run finishes in milliseconds. */
+RunConfig
+smallConfig(ParadigmKind paradigm, std::size_t gpus = 2)
+{
+    RunConfig config;
+    config.system.numGpus = gpus;
+    config.paradigm = paradigm;
+    config.scale = 0.02;
+    return config;
+}
+
+TEST(Sweep, OutcomesArriveInInputOrder)
+{
+    std::vector<SweepJob> jobs = {
+        {"Jacobi", smallConfig(ParadigmKind::Memcpy), "a"},
+        {"Jacobi", smallConfig(ParadigmKind::Gps), "b"},
+        {"HIT", smallConfig(ParadigmKind::Um), "c"},
+    };
+    const std::vector<SweepOutcome> out = runSweep(jobs, 4);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].label, "a");
+    EXPECT_EQ(out[1].label, "b");
+    EXPECT_EQ(out[2].label, "c");
+    for (const SweepOutcome& o : out) {
+        ASSERT_TRUE(o.ok());
+        EXPECT_GT(o.result.totals.accesses, 0u);
+        EXPECT_GE(o.wallSeconds, 0.0);
+    }
+}
+
+TEST(Sweep, ParallelRunsMatchSerialByteForByte)
+{
+    std::vector<SweepJob> jobs;
+    for (const ParadigmKind paradigm :
+         {ParadigmKind::Um, ParadigmKind::Rdl, ParadigmKind::Memcpy,
+          ParadigmKind::Gps}) {
+        jobs.push_back({"Jacobi", smallConfig(paradigm), ""});
+        jobs.push_back({"HIT", smallConfig(paradigm, 4), ""});
+    }
+    const std::vector<SweepOutcome> serial = runSweep(jobs, 1);
+    const std::vector<SweepOutcome> parallel = runSweep(jobs, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok());
+        ASSERT_TRUE(parallel[i].ok());
+        EXPECT_EQ(resultToJson(serial[i].result, true),
+                  resultToJson(parallel[i].result, true))
+            << "job " << i;
+    }
+}
+
+TEST(Sweep, FailedJobCarriesErrorAndOthersStillRun)
+{
+    std::vector<SweepJob> jobs = {
+        {"Jacobi", smallConfig(ParadigmKind::Memcpy), "good"},
+        {"NoSuchWorkload", smallConfig(ParadigmKind::Memcpy), "bad"},
+        {"HIT", smallConfig(ParadigmKind::Gps), "also good"},
+    };
+    const std::vector<SweepOutcome> out = runSweep(jobs, 2);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_TRUE(out[0].ok());
+    EXPECT_FALSE(out[1].ok());
+    EXPECT_TRUE(out[2].ok());
+    EXPECT_GT(out[2].result.totals.accesses, 0u);
+    ASSERT_NE(out[1].error, nullptr);
+    try {
+        std::rethrow_exception(out[1].error);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("NoSuchWorkload"),
+                  std::string::npos);
+    }
+}
+
+TEST(Sweep, DefaultJobsIsAtLeastOne)
+{
+    EXPECT_GE(defaultSweepJobs(), 1u);
+}
+
+TEST(Sweep, ConfigKeySeparatesDistinctRuns)
+{
+    const RunConfig base = smallConfig(ParadigmKind::Gps);
+    EXPECT_EQ(configKey("Jacobi", base), configKey("Jacobi", base));
+
+    // Every field that can change a result must change the key.
+    EXPECT_NE(configKey("Jacobi", base), configKey("HIT", base));
+
+    RunConfig other = base;
+    other.paradigm = ParadigmKind::Um;
+    EXPECT_NE(configKey("Jacobi", base), configKey("Jacobi", other));
+
+    other = base;
+    other.scale = 0.04;
+    EXPECT_NE(configKey("Jacobi", base), configKey("Jacobi", other));
+
+    other = base;
+    other.system.numGpus = 4;
+    EXPECT_NE(configKey("Jacobi", base), configKey("Jacobi", other));
+
+    other = base;
+    other.system.interconnect = InterconnectKind::NvLink3;
+    EXPECT_NE(configKey("Jacobi", base), configKey("Jacobi", other));
+
+    other = base;
+    other.system.gps.wqEntries /= 2;
+    EXPECT_NE(configKey("Jacobi", base), configKey("Jacobi", other));
+
+    other = base;
+    other.system.gps.smCoalescerEnabled =
+        !other.system.gps.smCoalescerEnabled;
+    EXPECT_NE(configKey("Jacobi", base), configKey("Jacobi", other));
+
+    other = base;
+    other.system.pageBytes *= 2;
+    EXPECT_NE(configKey("Jacobi", base), configKey("Jacobi", other));
+
+    other = base;
+    other.faultPlan.addSpec("link:down@0:0-1");
+    EXPECT_NE(configKey("Jacobi", base), configKey("Jacobi", other));
+}
+
+} // namespace
+} // namespace gps

@@ -13,6 +13,7 @@
  *   gpsim --config
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -21,6 +22,7 @@
 
 #include "api/result_export.hh"
 #include "api/runner.hh"
+#include "api/sweep.hh"
 #include "common/logging.hh"
 #include "fault/fault_plan.hh"
 
@@ -43,6 +45,7 @@ struct Options
     bool dumpConfig = false;
     bool json = false;
     std::vector<std::size_t> gpuSweep; ///< empty: just --gpus
+    std::size_t jobs = 1; ///< sweep worker threads
     FaultPlan faultPlan;
 };
 
@@ -102,6 +105,10 @@ usage(const char* argv0, int exit_code)
         "  --no-unsubscribe          keep the all-to-all subscription\n"
         "  --sweep-gpus <a,b,c>      strong-scaling sweep over GPU"
         " counts\n"
+        "  --jobs <n|auto>           run the config grid on n worker"
+        " threads\n"
+        "                            (results stay in deterministic"
+        " order; default 1)\n"
         "  --fault <spec>            inject a fault (repeatable), e.g.\n"
         "                            link:down@2ms:gpu0-gpu1,\n"
         "                            link:degrade@1ms:0-1:0.25,\n"
@@ -219,6 +226,12 @@ parseArgs(int argc, char** argv)
                     break;
                 pos = comma + 1;
             }
+        } else if (arg == "--jobs") {
+            const std::string v = value(i);
+            opts.jobs = v == "auto"
+                            ? defaultSweepJobs()
+                            : std::max<std::uint64_t>(
+                                  parseUnsigned("--jobs", v), 1);
         } else if (arg == "--stats") {
             opts.dumpStats = true;
         } else if (arg == "--config") {
@@ -272,20 +285,43 @@ main(int argc, char** argv)
                         "app", "paradigm", "gpus", "time(ms)",
                         "traffic(MB)", "speedup", "l2_hit", "wq_hit");
         }
+        // Build the full job list in print order — one single-GPU
+        // reference per app followed by that app's config grid — then
+        // fan it across --jobs worker threads. Results come back in
+        // input order, so the serial print loop below emits output
+        // byte-identical to --jobs 1.
+        std::vector<SweepJob> jobs;
         for (const std::string& app : opts.apps) {
-            // Single-GPU reference for this app at the same settings.
             RunConfig base_config = makeConfig(opts);
             base_config.system.numGpus = 1;
             base_config.paradigm = ParadigmKind::Memcpy;
             base_config.faultPlan = FaultPlan{}; // fault-free reference
-            const RunResult baseline = runWorkload(app, base_config);
-
+            jobs.push_back({app, base_config, "baseline"});
             for (const std::size_t gpus : gpu_counts) {
                 for (const ParadigmKind paradigm : opts.paradigms) {
                     RunConfig config = makeConfig(opts);
                     config.system.numGpus = gpus;
                     config.paradigm = paradigm;
-                    const RunResult result = runWorkload(app, config);
+                    jobs.push_back({app, config, "cell"});
+                }
+            }
+        }
+        const std::vector<SweepOutcome> outcomes =
+            runSweep(jobs, opts.jobs);
+
+        std::size_t idx = 0;
+        for (const std::string& app : opts.apps) {
+            const SweepOutcome& base_outcome = outcomes.at(idx++);
+            if (!base_outcome.ok())
+                std::rethrow_exception(base_outcome.error);
+            const RunResult& baseline = base_outcome.result;
+
+            for (const std::size_t gpus : gpu_counts) {
+                for (const ParadigmKind paradigm : opts.paradigms) {
+                    const SweepOutcome& outcome = outcomes.at(idx++);
+                    if (!outcome.ok())
+                        std::rethrow_exception(outcome.error);
+                    const RunResult& result = outcome.result;
                     if (opts.json) {
                         std::printf(
                             "%s\n",
