@@ -68,6 +68,10 @@ struct PerfRow
     std::string label;
     double wallSeconds = 0.0;
     std::uint64_t accesses = 0;
+
+    /** Simulated outcome of the run (BENCH_perf.json per-run totals). */
+    double simMs = 0.0;
+    std::uint64_t interconnectBytes = 0;
 };
 
 /**
@@ -155,7 +159,9 @@ class RunCache
         const std::lock_guard<std::mutex> lock(mu_);
         perf_.push_back({outcome.label.empty() ? key : outcome.label,
                          outcome.wallSeconds,
-                         outcome.result.totals.accesses});
+                         outcome.result.totals.accesses,
+                         outcome.result.timeMs(),
+                         outcome.result.interconnectBytes});
         return cache_.emplace(key, std::move(outcome))
             .first->second.result;
     }
@@ -288,6 +294,8 @@ writePerfLog(const std::string& path, std::size_t jobs)
                     ? static_cast<double>(row.accesses) /
                           row.wallSeconds / 1e6
                     : 0.0);
+        w.field("sim_ms", row.simMs);
+        w.field("interconnect_bytes", row.interconnectBytes);
         w.endObject();
     }
     w.endArray();

@@ -6,6 +6,7 @@
 #ifndef GPS_API_METRICS_HH
 #define GPS_API_METRICS_HH
 
+#include <memory>
 #include <string>
 
 #include "common/gpu_mask.hh"
@@ -17,6 +18,8 @@
 
 namespace gps
 {
+
+struct ObsReport;
 
 /** Outcome of running one workload under one paradigm. */
 struct RunResult
@@ -49,6 +52,9 @@ struct RunResult
 
     /** Full component stat dump. */
     StatSet stats;
+
+    /** Observability output; null unless RunConfig::obs enabled it. */
+    std::shared_ptr<const ObsReport> obs;
 
     double timeMs() const { return ticksToMs(totalTime); }
 };

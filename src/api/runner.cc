@@ -32,6 +32,33 @@ Runner::run(Workload& workload)
         workload.applyUmHints(ctx);
     paradigm->onSetupComplete();
 
+    // Observability: constructed only when requested, so the disabled
+    // path runs exactly the pre-observability code.
+    std::unique_ptr<Observability> obs;
+    if (config_.obs.enabled()) {
+        obs = std::make_unique<Observability>(config_.obs);
+        system.registerMetrics(obs->registry());
+        paradigm->registerMetrics(obs->registry());
+        if (fault_engine != nullptr)
+            fault_engine->registerMetrics(obs->registry());
+        if (TimelineRecorder* rec = obs->recorder()) {
+            system.installRecorder(rec);
+            paradigm->attachRecorder(rec);
+            if (fault_engine != nullptr)
+                fault_engine->attachRecorder(rec);
+            for (std::size_t g = 0; g < system.numGpus(); ++g)
+                rec->nameTrack(static_cast<int>(g),
+                               "gpu" + std::to_string(g));
+            rec->nameTrack(TimelineRecorder::systemTid, "system");
+            rec->nameTrack(TimelineRecorder::faultTid, "faults");
+            rec->nameTrack(TimelineRecorder::driverTid, "driver");
+        }
+        obs->startSampling(system.events().now());
+        system.events().setObserver(
+            [&obs](Tick now, const std::string&) { obs->poll(now); });
+        obs_ = obs.get();
+    }
+
     const std::size_t eff_requested =
         config_.effectiveIterationsOverride != 0
             ? config_.effectiveIterationsOverride
@@ -100,7 +127,7 @@ Runner::run(Workload& workload)
     }
 
     result.totalTime = total_time;
-    result.interconnectBytes = static_cast<std::uint64_t>(total_bytes);
+    result.interconnectBytes = clampToUint64(total_bytes);
     result.totals = totals;
 
     // Aggregate cache/TLB rates across GPUs.
@@ -140,6 +167,19 @@ Runner::run(Workload& workload)
         system.installFaultEngine(nullptr);
         faults_ = nullptr;
     }
+
+    if (obs != nullptr) {
+        system.events().setObserver(nullptr);
+        result.obs = std::make_shared<const ObsReport>(
+            obs->finalize(system.events().now()));
+        if (obs->recorder() != nullptr) {
+            system.installRecorder(nullptr);
+            paradigm->attachRecorder(nullptr);
+            if (fault_engine != nullptr)
+                fault_engine->attachRecorder(nullptr);
+        }
+        obs_ = nullptr;
+    }
     return result;
 }
 
@@ -165,6 +205,12 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
         faults_->pump(events, paradigm);
 
     const Tick start = events.now();
+
+    // Intra-phase events (drains, migrations, link transfers) are
+    // recorded against the phase's start tick.
+    TimelineRecorder* rec = obs_ != nullptr ? obs_->recorder() : nullptr;
+    if (rec != nullptr)
+        rec->advanceTo(start);
 
     // --- Pre-kernel stage: prefetch hints (UM+hints). Prefetches are
     // asynchronous, so their transfers overlap with the kernels (they
@@ -291,6 +337,27 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
     events.run();
     gps_assert(events.now() == start + phase_time,
                "event queue out of sync with phase timing");
+
+    if (rec != nullptr) {
+        if (prefetch_time > 0)
+            rec->complete(TimelineRecorder::driverTid,
+                          phase.name + ".prefetch", "prefetch", start,
+                          prefetch_time);
+        for (const Cursor& cursor : cursors) {
+            const GpuId gpu = cursor.kernel->gpu;
+            rec->complete(
+                static_cast<int>(gpu), phase.name, "kernel",
+                start + prefetch_time, gpu_time[gpu],
+                {{"accesses",
+                  static_cast<double>(counters[gpu].accesses)}});
+        }
+        if (barrier_time > 0)
+            rec->complete(TimelineRecorder::systemTid,
+                          phase.name + ".barrier", "barrier",
+                          start + prefetch_time + slowest, barrier_time);
+        rec->complete(TimelineRecorder::systemTid, phase.name, "phase",
+                      start, phase_time);
+    }
 
     for (const KernelCounters& c : counters)
         totals.merge(c);

@@ -25,6 +25,7 @@
 #include "api/system.hh"
 #include "apps/workload.hh"
 #include "fault/fault_plan.hh"
+#include "obs/observability.hh"
 #include "paradigm/paradigm.hh"
 
 namespace gps
@@ -58,6 +59,13 @@ struct RunConfig
      * engine is constructed at all (zero overhead when idle).
      */
     FaultPlan faultPlan;
+
+    /**
+     * What to observe during the run. Disabled by default: no registry,
+     * sampler or recorder is constructed and results are byte-identical
+     * to a build without the observability layer.
+     */
+    ObsConfig obs;
 };
 
 /** Executes workloads and produces RunResults. */
@@ -88,6 +96,9 @@ class Runner
 
     /** Active fault engine during run(); nullptr otherwise. */
     FaultEngine* faults_ = nullptr;
+
+    /** Active observability bundle during run(); nullptr otherwise. */
+    Observability* obs_ = nullptr;
 };
 
 /** One-call helper used throughout the benches. */

@@ -1,6 +1,8 @@
 #include "api/system.hh"
 
 #include "common/logging.hh"
+#include "obs/metric_registry.hh"
+#include "obs/timeline.hh"
 
 namespace gps
 {
@@ -74,6 +76,23 @@ MultiGpuSystem::stats() const
     topology_->exportStats(out);
     driver_->exportStats(out);
     return out;
+}
+
+void
+MultiGpuSystem::registerMetrics(MetricRegistry& reg) const
+{
+    for (const auto& gpu : gpus_)
+        gpu->registerMetrics(reg);
+    topology_->registerMetrics(reg);
+    driver_->registerMetrics(reg);
+}
+
+void
+MultiGpuSystem::installRecorder(TimelineRecorder* recorder)
+{
+    recorder_ = recorder;
+    topology_->attachRecorder(recorder);
+    driver_->attachRecorder(recorder);
 }
 
 void

@@ -29,6 +29,8 @@ namespace gps
 {
 
 class FaultEngine;
+class MetricRegistry;
+class TimelineRecorder;
 
 /** Full system configuration. */
 struct SystemConfig
@@ -78,6 +80,19 @@ class MultiGpuSystem
     /** Snapshot of every component's statistics. */
     StatSet stats() const;
 
+    /** Register every component's metrics (same set as stats()). */
+    void registerMetrics(MetricRegistry& reg) const;
+
+    /**
+     * Install the timeline recorder on the driver and topology (nullptr
+     * uninstalls). Paradigm-owned components attach separately through
+     * Paradigm::attachRecorder.
+     */
+    void installRecorder(TimelineRecorder* recorder);
+
+    /** Recorder currently installed, or nullptr. */
+    TimelineRecorder* recorder() { return recorder_; }
+
     void resetStats();
 
   private:
@@ -88,6 +103,7 @@ class MultiGpuSystem
     std::unique_ptr<Driver> driver_;
     EventQueue events_;
     FaultEngine* faults_ = nullptr;
+    TimelineRecorder* recorder_ = nullptr;
 };
 
 } // namespace gps

@@ -1,6 +1,7 @@
 #include "cache/cache_model.hh"
 
 #include "common/logging.hh"
+#include "obs/metric_registry.hh"
 
 namespace gps
 {
@@ -127,6 +128,21 @@ CacheModel::exportStats(StatSet& out) const
     out.set(name() + ".evictions", static_cast<double>(evictions_));
     out.set(name() + ".writebacks", static_cast<double>(writebacks_));
     out.set(name() + ".hit_rate", hitRate());
+}
+
+void
+CacheModel::registerMetrics(MetricRegistry& reg) const
+{
+    const std::string p = name() + '.';
+    reg.counter(p + "hits", "events",
+                [this] { return static_cast<double>(hits_); });
+    reg.counter(p + "misses", "events",
+                [this] { return static_cast<double>(misses_); });
+    reg.counter(p + "evictions", "events",
+                [this] { return static_cast<double>(evictions_); });
+    reg.counter(p + "writebacks", "events",
+                [this] { return static_cast<double>(writebacks_); });
+    reg.gauge(p + "hit_rate", "ratio", [this] { return hitRate(); });
 }
 
 void

@@ -66,6 +66,7 @@ class CacheModel : public SimObject
     double hitRate() const;
 
     void exportStats(StatSet& out) const override;
+    void registerMetrics(MetricRegistry& reg) const override;
     void resetStats() override;
 
   private:

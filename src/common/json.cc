@@ -93,8 +93,10 @@ JsonWriter::value(double number)
         out_ += "null";
         return *this;
     }
+    // 17 significant digits round-trip any IEEE 754 double exactly;
+    // %.12g silently corrupted large byte counters.
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.12g", number);
+    std::snprintf(buf, sizeof(buf), "%.17g", number);
     out_ += buf;
     return *this;
 }

@@ -48,14 +48,25 @@ StatSet::dump(const std::string& prefix) const
 }
 
 double
-geomean(const std::vector<double>& values)
+geomean(const std::vector<double>& values, std::size_t* dropped)
 {
-    if (values.empty())
-        return 0.0;
     double log_sum = 0.0;
-    for (double v : values)
-        log_sum += std::log(v);
-    return std::exp(log_sum / static_cast<double>(values.size()));
+    std::size_t kept = 0;
+    std::size_t skipped = 0;
+    for (double v : values) {
+        // NaN compares false, so it is skipped along with v <= 0.
+        if (v > 0.0) {
+            log_sum += std::log(v);
+            ++kept;
+        } else {
+            ++skipped;
+        }
+    }
+    if (dropped != nullptr)
+        *dropped = skipped;
+    if (kept == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(kept));
 }
 
 } // namespace gps

@@ -100,8 +100,14 @@ class Histogram
     std::uint64_t total_ = 0;
 };
 
-/** Geometric mean of a vector of positive values (0 if empty). */
-double geomean(const std::vector<double>& values);
+/**
+ * Geometric mean of the positive entries of @p values. Non-positive
+ * entries (a failed run's 0x "speedup", a NaN) would poison the whole
+ * mean with -inf/NaN, so they are skipped and counted into @p dropped
+ * when given. Returns 0 when no positive entries remain.
+ */
+double geomean(const std::vector<double>& values,
+               std::size_t* dropped = nullptr);
 
 } // namespace gps
 

@@ -10,6 +10,7 @@
 #ifndef GPS_COMMON_UNITS_HH
 #define GPS_COMMON_UNITS_HH
 
+#include <cassert>
 #include <cstdint>
 
 #include "common/types.hh"
@@ -79,6 +80,25 @@ transferTicks(std::uint64_t bytes, double bytes_per_sec)
     double seconds = static_cast<double>(bytes) / bytes_per_sec;
     return static_cast<Tick>(seconds * static_cast<double>(ticksPerSecond)) +
            1;
+}
+
+/**
+ * Checked double -> uint64 conversion for accumulated totals. A plain
+ * static_cast is undefined for negative, non-finite or >= 2^64 values;
+ * this clamps into range instead (asserting in debug builds, where a
+ * negative or NaN total indicates an accounting bug upstream).
+ */
+inline std::uint64_t
+clampToUint64(double value)
+{
+    assert(value >= 0.0 && "negative or NaN total");
+    if (!(value > 0.0))
+        return 0; // also catches NaN
+    // Largest double strictly below 2^64.
+    constexpr double max_exact = 18446744073709549568.0;
+    if (value >= max_exact)
+        return static_cast<std::uint64_t>(max_exact);
+    return static_cast<std::uint64_t>(value);
 }
 
 } // namespace gps

@@ -4,6 +4,8 @@
 
 #include "common/logging.hh"
 #include "fault/fault_engine.hh"
+#include "obs/metric_registry.hh"
+#include "obs/timeline.hh"
 
 namespace gps
 {
@@ -396,6 +398,31 @@ GpsParadigm::exportStats(StatSet& out) const
     out.set("gps.wq_forward_hits", static_cast<double>(wqForwardHits_));
     out.set("gps.wq_hit_rate", wqHitRate());
     out.set("gps.gps_tlb_hit_rate", gpsTlbHitRate());
+}
+
+void
+GpsParadigm::registerMetrics(MetricRegistry& reg) const
+{
+    subs_->registerMetrics(reg);
+    gpsTable_->registerMetrics(reg);
+    tracker_->registerMetrics(reg);
+    for (const auto& queue : queues_)
+        queue->registerMetrics(reg);
+    for (const auto& unit : units_)
+        unit->registerMetrics(reg);
+    reg.counter("gps.wq_forward_hits", "loads",
+                [this] { return static_cast<double>(wqForwardHits_); });
+    reg.gauge("gps.wq_hit_rate", "ratio",
+              [this] { return wqHitRate(); });
+    reg.gauge("gps.gps_tlb_hit_rate", "ratio",
+              [this] { return gpsTlbHitRate(); });
+}
+
+void
+GpsParadigm::attachRecorder(TimelineRecorder* recorder)
+{
+    for (std::size_t g = 0; g < queues_.size(); ++g)
+        queues_[g]->attachRecorder(recorder, static_cast<int>(g));
 }
 
 } // namespace gps

@@ -96,6 +96,10 @@ class GpsParadigm : public Paradigm
     double gpsTlbHitRate() const;
 
     void exportStats(StatSet& out) const override;
+    void registerMetrics(MetricRegistry& reg) const override;
+
+    /** Forward the recorder to every GPU's remote write queue. */
+    void attachRecorder(TimelineRecorder* recorder) override;
 
   protected:
     void accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,

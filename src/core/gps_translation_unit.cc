@@ -1,5 +1,7 @@
 #include "core/gps_translation_unit.hh"
 
+#include "obs/metric_registry.hh"
+
 namespace gps
 {
 
@@ -30,6 +32,14 @@ GpsTranslationUnit::exportStats(StatSet& out) const
 {
     tlb_->exportStats(out);
     out.set(name() + ".walks", static_cast<double>(walks_));
+}
+
+void
+GpsTranslationUnit::registerMetrics(MetricRegistry& reg) const
+{
+    tlb_->registerMetrics(reg);
+    reg.counter(name() + ".walks", "events",
+                [this] { return static_cast<double>(walks_); });
 }
 
 } // namespace gps

@@ -41,6 +41,7 @@ class GpsTranslationUnit : public SimObject
     std::uint64_t walks() const { return walks_; }
 
     void exportStats(StatSet& out) const override;
+    void registerMetrics(MetricRegistry& reg) const override;
 
   private:
     const GpsPageTable* table_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/metric_registry.hh"
+#include "obs/timeline.hh"
 
 namespace gps
 {
@@ -73,10 +75,27 @@ RemoteWriteQueue::contains(Addr addr) const
 }
 
 void
+RemoteWriteQueue::setSaturated(bool saturated)
+{
+    if (saturated == saturated_)
+        return;
+    saturated_ = saturated;
+    if (recorder_ != nullptr)
+        recorder_->instantNow(recorderTid_,
+                              saturated ? "wq_saturated" : "wq_restored",
+                              "rwq");
+}
+
+void
 RemoteWriteQueue::drainAll()
 {
+    const std::uint64_t before = drains_;
     while (!fifo_.empty())
         drainOne();
+    if (recorder_ != nullptr && drains_ > before)
+        recorder_->instantNow(
+            recorderTid_, "wq_drain_all", "rwq",
+            {{"entries", static_cast<double>(drains_ - before)}});
 }
 
 void
@@ -139,6 +158,27 @@ RemoteWriteQueue::exportStats(StatSet& out) const
             static_cast<double>(watermarkDrains_));
     out.set(name() + ".stall_drains", static_cast<double>(stallDrains_));
     out.set(name() + ".hit_rate", hitRate());
+}
+
+void
+RemoteWriteQueue::registerMetrics(MetricRegistry& reg) const
+{
+    const std::string p = name() + '.';
+    reg.counter(p + "inserts", "entries",
+                [this] { return static_cast<double>(inserts_); });
+    reg.counter(p + "coalesced", "stores",
+                [this] { return static_cast<double>(coalesced_); });
+    reg.counter(p + "drains", "entries",
+                [this] { return static_cast<double>(drains_); });
+    reg.counter(p + "atomic_bypass", "ops",
+                [this] { return static_cast<double>(atomicBypass_); });
+    reg.counter(p + "watermark_drains", "entries",
+                [this] { return static_cast<double>(watermarkDrains_); });
+    reg.counter(p + "stall_drains", "entries",
+                [this] { return static_cast<double>(stallDrains_); });
+    reg.gauge(p + "occupancy", "units",
+              [this] { return static_cast<double>(occupancy_); });
+    reg.gauge(p + "hit_rate", "ratio", [this] { return hitRate(); });
 }
 
 void

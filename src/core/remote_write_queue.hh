@@ -23,6 +23,8 @@
 namespace gps
 {
 
+class TimelineRecorder;
+
 /** One coalescing buffer entry (one cache block). */
 struct WqEntry
 {
@@ -85,8 +87,19 @@ class RemoteWriteQueue : public SimObject
      * drops to wqEntries / saturatedWatermarkDivisor and every
      * watermark-forced drain counts as an SM stall (stallDrains).
      */
-    void setSaturated(bool saturated) { saturated_ = saturated; }
+    void setSaturated(bool saturated);
     bool saturated() const { return saturated_; }
+
+    /**
+     * Attach the timeline recorder (nullptr detaches). Full drains and
+     * saturation transitions are then recorded as timeline events at
+     * the recorder's current stamp.
+     */
+    void attachRecorder(TimelineRecorder* recorder, int tid)
+    {
+        recorder_ = recorder;
+        recorderTid_ = tid;
+    }
 
     /** Drains forced while saturated (each stalls the producing SM). */
     std::uint64_t stallDrains() const { return stallDrains_; }
@@ -110,6 +123,7 @@ class RemoteWriteQueue : public SimObject
     std::uint64_t sramBytes() const;
 
     void exportStats(StatSet& out) const override;
+    void registerMetrics(MetricRegistry& reg) const override;
     void resetStats();
 
   private:
@@ -134,6 +148,8 @@ class RemoteWriteQueue : public SimObject
     std::uint64_t forwardHits_ = 0;
     std::uint64_t stallDrains_ = 0;
     bool saturated_ = false;
+    TimelineRecorder* recorder_ = nullptr;
+    int recorderTid_ = 0;
 };
 
 } // namespace gps

@@ -1,6 +1,7 @@
 #include "core/subscription.hh"
 
 #include "common/logging.hh"
+#include "obs/metric_registry.hh"
 
 namespace gps
 {
@@ -207,6 +208,25 @@ SubscriptionManager::exportStats(StatSet& out) const
     if (replicaRetires_ > 0)
         out.set(name() + ".replica_retires",
                 static_cast<double>(replicaRetires_));
+}
+
+void
+SubscriptionManager::registerMetrics(MetricRegistry& reg) const
+{
+    const std::string p = name() + '.';
+    reg.counter(p + "subscribe_ops", "events",
+                [this] { return static_cast<double>(subscribeOps_); });
+    reg.counter(p + "unsubscribe_ops", "events",
+                [this] { return static_cast<double>(unsubscribeOps_); });
+    reg.counter(p + "oversubscription_rejects", "events", [this] {
+        return static_cast<double>(oversubscriptionRejects_);
+    });
+    reg.counter(p + "collapses", "events",
+                [this] { return static_cast<double>(collapses_); });
+    reg.counter(p + "swap_outs", "events",
+                [this] { return static_cast<double>(swapOuts_); });
+    reg.counter(p + "replica_retires", "events",
+                [this] { return static_cast<double>(replicaRetires_); });
 }
 
 } // namespace gps

@@ -108,6 +108,7 @@ class SubscriptionManager : public SimObject
     std::uint64_t unsubscribeOps() const { return unsubscribeOps_; }
 
     void exportStats(StatSet& out) const override;
+    void registerMetrics(MetricRegistry& reg) const override;
 
   private:
     /** Keep PageState and conventional/GPS page tables consistent. */

@@ -1,6 +1,8 @@
 #include "driver/driver.hh"
 
 #include "common/logging.hh"
+#include "obs/metric_registry.hh"
+#include "obs/timeline.hh"
 
 namespace gps
 {
@@ -259,6 +261,12 @@ Driver::migratePage(PageNum vpn, GpuId to, KernelCounters& counters,
     ++migrations_;
     ++counters.pageMigrations;
     counters.migrationBytes += page_bytes;
+    if (recorder_ != nullptr)
+        recorder_->instantNow(TimelineRecorder::driverTid, "migrate",
+                              "driver",
+                              {{"vpn", static_cast<double>(vpn)},
+                               {"from", static_cast<double>(from)},
+                               {"to", static_cast<double>(to)}});
 }
 
 void
@@ -271,6 +279,22 @@ Driver::exportStats(StatSet& out) const
     out.set("driver.reclaims", static_cast<double>(reclaims_));
     for (const auto& pt : pageTables_)
         pt->exportStats(out);
+}
+
+void
+Driver::registerMetrics(MetricRegistry& reg) const
+{
+    reg.gauge("driver.pages", "pages",
+              [this] { return static_cast<double>(pages_.pages()); });
+    reg.counter("driver.migrations", "pages",
+                [this] { return static_cast<double>(migrations_); });
+    reg.counter("driver.shootdown_rounds", "rounds", [this] {
+        return static_cast<double>(shootdownRounds_);
+    });
+    reg.counter("driver.reclaims", "frames",
+                [this] { return static_cast<double>(reclaims_); });
+    for (const auto& pt : pageTables_)
+        pt->registerMetrics(reg);
 }
 
 } // namespace gps

@@ -30,6 +30,8 @@
 namespace gps
 {
 
+class TimelineRecorder;
+
 /** The multi-GPU driver: allocation API plus page-management mechanics. */
 class Driver : public SimObject
 {
@@ -151,6 +153,16 @@ class Driver : public SimObject
     }
 
     void exportStats(StatSet& out) const override;
+    void registerMetrics(MetricRegistry& reg) const override;
+
+    /**
+     * Attach the timeline recorder (nullptr detaches); page migrations
+     * are then recorded as instants on the driver track.
+     */
+    void attachRecorder(TimelineRecorder* recorder)
+    {
+        recorder_ = recorder;
+    }
 
   private:
     const Region& allocCommon(std::uint64_t size, MemKind kind,
@@ -180,6 +192,7 @@ class Driver : public SimObject
     std::uint64_t migrations_ = 0;
     std::uint64_t shootdownRounds_ = 0;
     std::uint64_t reclaims_ = 0;
+    TimelineRecorder* recorder_ = nullptr;
 };
 
 } // namespace gps

@@ -3,6 +3,8 @@
 #include "api/system.hh"
 #include "common/logging.hh"
 #include "interconnect/topology.hh"
+#include "obs/metric_registry.hh"
+#include "obs/timeline.hh"
 #include "paradigm/paradigm.hh"
 #include "sim/event_queue.hh"
 
@@ -47,6 +49,9 @@ void
 FaultEngine::apply(const FaultEvent& ev, Paradigm& paradigm)
 {
     ++report_.faultsInjected;
+    if (recorder_ != nullptr)
+        recorder_->instant(TimelineRecorder::faultTid, ev.describe(),
+                           "fault", ev.time);
     Topology& topo = system_->topology();
 
     const auto for_each_pair = [&](auto&& fn) {
@@ -89,6 +94,34 @@ FaultEngine::apply(const FaultEvent& ev, Paradigm& paradigm)
         paradigm.onFaultWqSaturate(ev.a, false, report_);
         break;
     }
+}
+
+void
+FaultEngine::registerMetrics(MetricRegistry& reg) const
+{
+    const FaultReport& r = report_;
+    reg.counter("fault.injected", "events",
+                [&r] { return static_cast<double>(r.faultsInjected); });
+    reg.counter("fault.links_down", "links",
+                [&r] { return static_cast<double>(r.linksDown); });
+    reg.counter("fault.links_degraded", "links",
+                [&r] { return static_cast<double>(r.linksDegraded); });
+    reg.counter("fault.links_restored", "links",
+                [&r] { return static_cast<double>(r.linksRestored); });
+    reg.counter("fault.reroutes", "flows",
+                [&r] { return static_cast<double>(r.reroutes); });
+    reg.counter("fault.rerouted_bytes", "bytes",
+                [&r] { return static_cast<double>(r.reroutedBytes); });
+    reg.counter("fault.pcie_fallbacks", "flows",
+                [&r] { return static_cast<double>(r.pcieFallbacks); });
+    reg.counter("fault.pages_retired", "pages",
+                [&r] { return static_cast<double>(r.pagesRetired); });
+    reg.counter("fault.replicas_lost", "pages",
+                [&r] { return static_cast<double>(r.replicasLost); });
+    reg.counter("fault.resubscribes", "pages",
+                [&r] { return static_cast<double>(r.resubscribes); });
+    reg.counter("fault.wq_saturations", "events",
+                [&r] { return static_cast<double>(r.wqSaturations); });
 }
 
 } // namespace gps

@@ -21,8 +21,10 @@ namespace gps
 {
 
 class EventQueue;
+class MetricRegistry;
 class MultiGpuSystem;
 class Paradigm;
+class TimelineRecorder;
 
 /** Deterministic, seeded fault injector. */
 class FaultEngine
@@ -46,6 +48,18 @@ class FaultEngine
     Rng& rng() { return rng_; }
     const FaultPlan& plan() const { return plan_; }
 
+    /** Register the FaultReport counters under the "fault." prefix. */
+    void registerMetrics(MetricRegistry& reg) const;
+
+    /**
+     * Attach the timeline recorder (nullptr detaches); each injected
+     * fault is then recorded as an instant on the fault track.
+     */
+    void attachRecorder(TimelineRecorder* recorder)
+    {
+        recorder_ = recorder;
+    }
+
   private:
     void apply(const FaultEvent& ev, Paradigm& paradigm);
 
@@ -54,6 +68,7 @@ class FaultEngine
     Rng rng_;
     FaultReport report_;
     std::size_t next_ = 0;
+    TimelineRecorder* recorder_ = nullptr;
 };
 
 } // namespace gps

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "obs/metric_registry.hh"
 
 namespace gps
 {
@@ -205,6 +206,15 @@ GpuModel::exportStats(StatSet& out) const
     tlb_->exportStats(out);
     coalescer_->exportStats(out);
     memory_->exportStats(out);
+}
+
+void
+GpuModel::registerMetrics(MetricRegistry& reg) const
+{
+    l2_->registerMetrics(reg);
+    tlb_->registerMetrics(reg);
+    coalescer_->registerMetrics(reg);
+    memory_->registerMetrics(reg);
 }
 
 void

@@ -1,6 +1,7 @@
 #include "gpu/store_coalescer.hh"
 
 #include "common/logging.hh"
+#include "obs/metric_registry.hh"
 
 namespace gps
 {
@@ -43,6 +44,16 @@ StoreCoalescer::exportStats(StatSet& out) const
 {
     out.set(name() + ".absorbed", static_cast<double>(absorbed_));
     out.set(name() + ".forwarded", static_cast<double>(forwarded_));
+}
+
+void
+StoreCoalescer::registerMetrics(MetricRegistry& reg) const
+{
+    const std::string p = name() + '.';
+    reg.counter(p + "absorbed", "events",
+                [this] { return static_cast<double>(absorbed_); });
+    reg.counter(p + "forwarded", "events",
+                [this] { return static_cast<double>(forwarded_); });
 }
 
 void

@@ -51,6 +51,7 @@ class StoreCoalescer : public SimObject
     std::uint64_t forwarded() const { return forwarded_; }
 
     void exportStats(StatSet& out) const override;
+    void registerMetrics(MetricRegistry& reg) const override;
     void resetStats() override;
 
   private:

@@ -1,6 +1,7 @@
 #include "interconnect/link.hh"
 
 #include "common/units.hh"
+#include "obs/metric_registry.hh"
 
 namespace gps
 {
@@ -18,6 +19,16 @@ Link::exportStats(StatSet& out) const
 {
     out.set(name() + ".bytes", static_cast<double>(totalBytes_));
     out.set(name() + ".busy_us", ticksToUs(busyTime_));
+}
+
+void
+Link::registerMetrics(MetricRegistry& reg) const
+{
+    const std::string p = name() + '.';
+    reg.counter(p + "bytes", "bytes",
+                [this] { return static_cast<double>(totalBytes_); });
+    reg.counter(p + "busy_us", "us",
+                [this] { return ticksToUs(busyTime_); });
 }
 
 void

@@ -42,6 +42,7 @@ class Link : public SimObject
     Tick busyTime() const { return busyTime_; }
 
     void exportStats(StatSet& out) const override;
+    void registerMetrics(MetricRegistry& reg) const override;
     void resetStats() override;
 
   private:

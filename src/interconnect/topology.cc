@@ -6,6 +6,8 @@
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "fault/fault_plan.hh"
+#include "obs/metric_registry.hh"
+#include "obs/timeline.hh"
 
 namespace gps
 {
@@ -83,6 +85,17 @@ Topology::applyPhaseTraffic(const TrafficMatrix& traffic)
         ingress_[g]->record(in, in_time);
         worst = std::max({worst, out_time, in_time});
         totalBytes_ += out;
+        if (recorder_ != nullptr) {
+            const int tid = static_cast<int>(g);
+            if (out > 0)
+                recorder_->complete(
+                    tid, "egress", "link", recorder_->now(), out_time,
+                    {{"bytes", static_cast<double>(out)}});
+            if (in > 0)
+                recorder_->complete(
+                    tid, "ingress", "link", recorder_->now(), in_time,
+                    {{"bytes", static_cast<double>(in)}});
+        }
     }
     totalPayload_ += traffic.payload();
     return worst;
@@ -233,6 +246,22 @@ Topology::exportStats(StatSet& out) const
         link->exportStats(out);
     for (const auto& link : ingress_)
         link->exportStats(out);
+}
+
+void
+Topology::registerMetrics(MetricRegistry& reg) const
+{
+    const std::string p = name() + '.';
+    reg.counter(p + "total_bytes", "bytes",
+                [this] { return static_cast<double>(totalBytes_); });
+    reg.counter(p + "total_payload_bytes", "bytes",
+                [this] { return static_cast<double>(totalPayload_); });
+    reg.gauge(p + "path_faults", "paths",
+              [this] { return static_cast<double>(paths_.size()); });
+    for (const auto& link : egress_)
+        link->registerMetrics(reg);
+    for (const auto& link : ingress_)
+        link->registerMetrics(reg);
 }
 
 void

@@ -27,6 +27,7 @@ namespace gps
 {
 
 struct FaultReport;
+class TimelineRecorder;
 
 /** Health of the switched path between one pair of GPUs. */
 enum class PathHealth : std::uint8_t {
@@ -173,7 +174,18 @@ class Topology : public SimObject
                            FaultReport& report) const;
 
     void exportStats(StatSet& out) const override;
+    void registerMetrics(MetricRegistry& reg) const override;
     void resetStats() override;
+
+    /**
+     * Attach the timeline recorder (nullptr detaches). Per-link
+     * transfers are then recorded as complete events at the recorder's
+     * current stamp (the enclosing phase's start tick).
+     */
+    void attachRecorder(TimelineRecorder* recorder)
+    {
+        recorder_ = recorder;
+    }
 
   private:
     static std::uint32_t
@@ -195,6 +207,7 @@ class Topology : public SimObject
     std::uint64_t totalPayload_ = 0;
     std::unordered_map<std::uint32_t, PathState> paths_;
     bool pcieFallback_ = true;
+    TimelineRecorder* recorder_ = nullptr;
 };
 
 } // namespace gps

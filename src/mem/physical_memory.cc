@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/metric_registry.hh"
 
 namespace gps
 {
@@ -83,6 +84,20 @@ PhysicalMemory::exportStats(StatSet& out) const
     if (framesRetired_ > 0)
         out.set(name() + ".frames_retired",
                 static_cast<double>(framesRetired_));
+}
+
+void
+PhysicalMemory::registerMetrics(MetricRegistry& reg) const
+{
+    const std::string p = name() + '.';
+    reg.gauge(p + "frames_in_use", "frames",
+              [this] { return static_cast<double>(framesInUse_); });
+    reg.gauge(p + "frames_peak", "frames",
+              [this] { return static_cast<double>(peakFramesInUse_); });
+    reg.gauge(p + "frames_total", "frames",
+              [this] { return static_cast<double>(totalFrames_); });
+    reg.counter(p + "frames_retired", "frames",
+                [this] { return static_cast<double>(framesRetired_); });
 }
 
 } // namespace gps

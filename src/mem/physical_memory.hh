@@ -61,6 +61,7 @@ class PhysicalMemory : public SimObject
     const PageGeometry& geometry() const { return geometry_; }
 
     void exportStats(StatSet& out) const override;
+    void registerMetrics(MetricRegistry& reg) const override;
 
   private:
     std::uint64_t capacityBytes_;

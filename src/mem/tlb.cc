@@ -1,6 +1,7 @@
 #include "mem/tlb.hh"
 
 #include "common/logging.hh"
+#include "obs/metric_registry.hh"
 
 namespace gps
 {
@@ -104,6 +105,21 @@ Tlb::exportStats(StatSet& out) const
     out.set(name() + ".evictions", static_cast<double>(evictions_));
     out.set(name() + ".shootdowns", static_cast<double>(shootdowns_));
     out.set(name() + ".hit_rate", hitRate());
+}
+
+void
+Tlb::registerMetrics(MetricRegistry& reg) const
+{
+    const std::string p = name() + '.';
+    reg.counter(p + "hits", "events",
+                [this] { return static_cast<double>(hits_); });
+    reg.counter(p + "misses", "events",
+                [this] { return static_cast<double>(misses_); });
+    reg.counter(p + "evictions", "events",
+                [this] { return static_cast<double>(evictions_); });
+    reg.counter(p + "shootdowns", "events",
+                [this] { return static_cast<double>(shootdowns_); });
+    reg.gauge(p + "hit_rate", "ratio", [this] { return hitRate(); });
 }
 
 void

@@ -58,6 +58,7 @@ class Tlb : public SimObject
     double hitRate() const;
 
     void exportStats(StatSet& out) const override;
+    void registerMetrics(MetricRegistry& reg) const override;
     void resetStats() override;
 
   private:

@@ -1,0 +1,62 @@
+#include "obs/metric_registry.hh"
+
+#include "common/logging.hh"
+
+namespace gps
+{
+
+std::string
+to_string(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+    }
+    return "unknown";
+}
+
+void
+MetricRegistry::counter(std::string name, std::string unit,
+                        std::function<double()> read)
+{
+    add({std::move(name), MetricKind::Counter, std::move(unit),
+         std::move(read)});
+}
+
+void
+MetricRegistry::gauge(std::string name, std::string unit,
+                      std::function<double()> read)
+{
+    add({std::move(name), MetricKind::Gauge, std::move(unit),
+         std::move(read)});
+}
+
+void
+MetricRegistry::add(MetricDef def)
+{
+    gps_assert(def.read != nullptr, "metric '", def.name,
+               "' registered without a getter");
+    const auto [it, inserted] = index_.emplace(def.name, defs_.size());
+    (void)it;
+    gps_assert(inserted, "metric '", def.name, "' registered twice");
+    defs_.push_back(std::move(def));
+}
+
+const MetricDef*
+MetricRegistry::find(const std::string& name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &defs_[it->second];
+}
+
+std::vector<MetricValue>
+MetricRegistry::snapshot() const
+{
+    std::vector<MetricValue> out;
+    out.reserve(defs_.size());
+    for (const MetricDef& def : defs_)
+        out.push_back({def.name, def.kind, def.unit, def.read()});
+    return out;
+}
+
+} // namespace gps

@@ -1,0 +1,88 @@
+#include "obs/observability.hh"
+
+#include "common/json.hh"
+
+namespace gps
+{
+
+Observability::Observability(const ObsConfig& config)
+    : config_(config)
+{
+    if (config_.timeline)
+        recorder_ =
+            std::make_unique<TimelineRecorder>(config_.maxTimelineEvents);
+}
+
+void
+Observability::startSampling(Tick start)
+{
+    if (!config_.metrics || sampler_)
+        return;
+    sampler_ = std::make_unique<Sampler>(registry_, config_.sampleEvery);
+    if (config_.sampleEvery != 0)
+        sampler_->poll(start);
+}
+
+ObsReport
+Observability::finalize(Tick end)
+{
+    ObsReport report;
+    if (config_.metrics) {
+        report.hasMetrics = true;
+        if (sampler_ == nullptr)
+            startSampling(end);
+        sampler_->finish(end);
+        report.finals = registry_.snapshot();
+        report.sampleTicks = sampler_->sampleTicks();
+        report.seriesColumns = sampler_->columns();
+    }
+    if (recorder_) {
+        report.hasTimeline = true;
+        report.timeline = recorder_->events();
+        report.timelineTracks = recorder_->trackNames();
+        report.timelineDropped = recorder_->dropped();
+    }
+    return report;
+}
+
+std::string
+metricsToJson(const ObsReport& report)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("metrics").beginArray();
+    for (const MetricValue& m : report.finals) {
+        w.beginObject();
+        w.field("name", m.name);
+        w.field("kind", to_string(m.kind));
+        w.field("unit", m.unit);
+        w.field("value", m.value);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("samples").beginObject();
+    w.key("ticks").beginArray();
+    for (const Tick t : report.sampleTicks)
+        w.value(static_cast<std::uint64_t>(t));
+    w.endArray();
+    w.key("series").beginObject();
+    for (std::size_t m = 0; m < report.seriesColumns.size(); ++m) {
+        w.key(report.finals[m].name).beginArray();
+        for (const double v : report.seriesColumns[m])
+            w.value(v);
+        w.endArray();
+    }
+    w.endObject();
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+timelineToJson(const ObsReport& report)
+{
+    return timelineToJson(report.timeline, report.timelineTracks,
+                          report.timelineDropped);
+}
+
+} // namespace gps

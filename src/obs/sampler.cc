@@ -1,0 +1,38 @@
+#include "obs/sampler.hh"
+
+namespace gps
+{
+
+Sampler::Sampler(const MetricRegistry& registry, Tick every)
+    : registry_(&registry), every_(every),
+      columns_(registry.size())
+{}
+
+void
+Sampler::poll(Tick now)
+{
+    if (every_ == 0)
+        return;
+    if (!ticks_.empty() && now < ticks_.back() + every_)
+        return;
+    record(now);
+}
+
+void
+Sampler::finish(Tick now)
+{
+    if (!ticks_.empty() && ticks_.back() == now)
+        return;
+    record(now);
+}
+
+void
+Sampler::record(Tick now)
+{
+    ticks_.push_back(now);
+    const std::vector<MetricDef>& defs = registry_->metrics();
+    for (std::size_t m = 0; m < defs.size(); ++m)
+        columns_[m].push_back(defs[m].read());
+}
+
+} // namespace gps

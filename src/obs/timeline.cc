@@ -1,0 +1,122 @@
+#include "obs/timeline.hh"
+
+#include "common/json.hh"
+#include "common/units.hh"
+
+namespace gps
+{
+
+void
+TimelineRecorder::nameTrack(int tid, std::string label)
+{
+    trackNames_[tid] = std::move(label);
+}
+
+bool
+TimelineRecorder::admit()
+{
+    if (events_.size() >= maxEvents_) {
+        ++dropped_;
+        return false;
+    }
+    return true;
+}
+
+void
+TimelineRecorder::complete(int tid, std::string name, std::string cat,
+                           Tick start, Tick dur,
+                           std::vector<std::pair<std::string, double>> args)
+{
+    if (!admit())
+        return;
+    events_.push_back({std::move(name), std::move(cat), 'X', tid, start,
+                       dur, std::move(args)});
+}
+
+void
+TimelineRecorder::instant(int tid, std::string name, std::string cat,
+                          Tick ts,
+                          std::vector<std::pair<std::string, double>> args)
+{
+    if (!admit())
+        return;
+    events_.push_back({std::move(name), std::move(cat), 'i', tid, ts, 0,
+                       std::move(args)});
+}
+
+void
+TimelineRecorder::counterNow(std::string name, double value)
+{
+    if (!admit())
+        return;
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = "counter";
+    ev.ph = 'C';
+    ev.tid = systemTid;
+    ev.ts = now_;
+    ev.args.emplace_back("value", value);
+    events_.push_back(std::move(ev));
+}
+
+std::string
+timelineToJson(const std::vector<TraceEvent>& events,
+               const std::map<int, std::string>& track_names,
+               std::uint64_t dropped)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+
+    // Metadata events first: process and per-track names.
+    w.beginObject();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", std::uint64_t(0));
+    w.field("tid", std::uint64_t(0));
+    w.key("args").beginObject();
+    w.field("name", "gpsim");
+    w.endObject();
+    w.endObject();
+    for (const auto& [tid, label] : track_names) {
+        w.beginObject();
+        w.field("name", "thread_name");
+        w.field("ph", "M");
+        w.field("pid", std::uint64_t(0));
+        w.field("tid", static_cast<std::uint64_t>(tid));
+        w.key("args").beginObject();
+        w.field("name", label);
+        w.endObject();
+        w.endObject();
+    }
+
+    for (const TraceEvent& ev : events) {
+        w.beginObject();
+        w.field("name", ev.name);
+        w.field("cat", ev.cat);
+        w.field("ph", std::string(1, ev.ph));
+        w.field("pid", std::uint64_t(0));
+        w.field("tid", static_cast<std::uint64_t>(ev.tid));
+        w.field("ts", ticksToUs(ev.ts));
+        if (ev.ph == 'X')
+            w.field("dur", ticksToUs(ev.dur));
+        if (ev.ph == 'i')
+            w.field("s", "t"); // thread-scoped instant
+        if (!ev.args.empty()) {
+            w.key("args").beginObject();
+            for (const auto& [name, value] : ev.args)
+                w.field(name, value);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.field("displayTimeUnit", "ms");
+    w.key("otherData").beginObject();
+    w.field("dropped_events", dropped);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace gps

@@ -28,6 +28,7 @@ namespace gps
 {
 
 struct FaultReport;
+class TimelineRecorder;
 
 /** The evaluated multi-GPU programming paradigms. */
 enum class ParadigmKind : std::uint8_t {
@@ -186,6 +187,15 @@ class Paradigm : public SimObject
 
     /** Paradigm-specific stats. */
     void exportStats(StatSet& out) const override { (void)out; }
+
+    /**
+     * Attach the timeline recorder to paradigm-owned components (GPS
+     * write queues); a no-op for paradigms without any.
+     */
+    virtual void attachRecorder(TimelineRecorder* recorder)
+    {
+        (void)recorder;
+    }
 
   protected:
     /** Policy hook for accesses to this paradigm's shared regions. */

@@ -33,6 +33,8 @@ EventQueue::serviceOne()
     now_ = ev.when();
     ++executed_;
     ev.run();
+    if (observer_)
+        observer_(now_, ev.name());
     return true;
 }
 

@@ -92,6 +92,14 @@ class EventQueue
     /** Execute the earliest event; returns false if the queue is empty. */
     bool serviceOne();
 
+    /**
+     * Observer invoked after each serviced event with the new time and
+     * the event's name. The observability layer hooks this to poll the
+     * metric sampler at event granularity; pass nullptr to detach.
+     */
+    using Observer = std::function<void(Tick, const std::string&)>;
+    void setObserver(Observer observer) { observer_ = std::move(observer); }
+
     /** Run until the queue is empty or @p limit ticks is reached. */
     void run(Tick limit = maxTick);
 
@@ -109,6 +117,7 @@ class EventQueue
     };
 
     std::priority_queue<Event, std::vector<Event>, Compare> queue_;
+    Observer observer_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;

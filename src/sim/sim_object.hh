@@ -14,6 +14,8 @@
 namespace gps
 {
 
+class MetricRegistry;
+
 /**
  * A named component of the simulated system. Components expose their
  * counters through exportStats() so the runner can aggregate a full system
@@ -35,6 +37,14 @@ class SimObject
 
     /** Append this component's stats, prefixed with its name. */
     virtual void exportStats(StatSet& out) const { (void)out; }
+
+    /**
+     * Register this component's metrics (prefixed with its name) into
+     * the observability registry. Only called when observability is
+     * enabled for a run; getters must be read-only (see
+     * obs/metric_registry.hh).
+     */
+    virtual void registerMetrics(MetricRegistry& reg) const { (void)reg; }
 
     /** Reset all statistic counters (not architectural state). */
     virtual void resetStats() {}

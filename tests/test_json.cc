@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "api/result_export.hh"
 #include "api/runner.hh"
 #include "common/json.hh"
@@ -57,6 +59,29 @@ TEST(JsonWriter, NonFiniteNumbersBecomeNull)
     JsonWriter json;
     json.beginArray().value(1.0 / 0.0).endArray();
     EXPECT_EQ(json.str(), "[null]");
+}
+
+TEST(JsonWriter, DoublesRoundTripExactly)
+{
+    // %.17g preserves every IEEE 754 double bit-for-bit; the old %.12g
+    // silently corrupted large byte counters and tick totals.
+    const double cases[] = {
+        0.1,
+        1.0 / 3.0,
+        3.141592653589793,
+        9007199254740993.0,    // 2^53 + 1 rounds to 2^53 + 2
+        123456789012345680.0,  // a realistic extrapolated byte total
+        1.7976931348623157e308,
+        5e-324,
+    };
+    for (const double expected : cases) {
+        JsonWriter json;
+        json.beginArray().value(expected).endArray();
+        const std::string text = json.str();
+        const double parsed =
+            std::strtod(text.c_str() + 1, nullptr); // skip '['
+        EXPECT_EQ(parsed, expected) << text;
+    }
 }
 
 TEST(ResultExport, ContainsHeadlineFields)

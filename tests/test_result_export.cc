@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Golden-string tests for resultToJson: the exported schema is consumed
+ * by plotting scripts, so any field rename or reorder must be a
+ * deliberate diff here, not an accident.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/result_export.hh"
+
+namespace gps
+{
+namespace
+{
+
+RunResult
+makeResult()
+{
+    RunResult result;
+    result.workload = "Toy";
+    result.paradigm = "GPS";
+    result.numGpus = 2;
+    result.totalTime = 2500000000; // 2.5 ms
+    result.interconnectBytes = 123456789;
+    result.totals.accesses = 1000;
+    result.totals.loads = 600;
+    result.totals.stores = 390;
+    result.totals.atomics = 10;
+    result.totals.pageFaults = 7;
+    result.totals.pageMigrations = 3;
+    result.totals.remoteLoads = 42;
+    result.totals.remoteAtomics = 5;
+    result.totals.pushedStoreBytes = 4096;
+    result.totals.wqInserts = 128;
+    result.totals.wqCoalesced = 64;
+    result.totals.wqDrains = 32;
+    result.totals.sysCollapses = 1;
+    result.l2HitRate = 0.5;
+    result.tlbHitRate = 0.25;
+    result.wqHitRate = 0.75;
+    result.gpsTlbHitRate = 1.0;
+    return result;
+}
+
+TEST(ResultExport, GoldenHeadlineDocument)
+{
+    const std::string expected =
+        "{\"workload\":\"Toy\",\"paradigm\":\"GPS\",\"num_gpus\":2,"
+        "\"total_time_ms\":2.5,\"interconnect_bytes\":123456789,"
+        "\"l2_hit_rate\":0.5,\"tlb_hit_rate\":0.25,\"wq_hit_rate\":0.75,"
+        "\"gps_tlb_hit_rate\":1,"
+        "\"totals\":{\"accesses\":1000,\"loads\":600,\"stores\":390,"
+        "\"atomics\":10,\"page_faults\":7,\"page_migrations\":3,"
+        "\"remote_loads\":42,\"remote_atomics\":5,"
+        "\"pushed_store_bytes\":4096,\"wq_inserts\":128,"
+        "\"wq_coalesced\":64,\"wq_drains\":32,\"sys_collapses\":1}}";
+    EXPECT_EQ(resultToJson(makeResult()), expected);
+}
+
+TEST(ResultExport, GoldenOptionalSections)
+{
+    RunResult result = makeResult();
+    result.hasSubscriberHist = true;
+    result.subscriberHist.sample(1, 5);
+    result.subscriberHist.sample(2, 3);
+    result.hasFaultReport = true;
+    result.faultReport.faultsInjected = 2;
+    result.faultReport.linksDown = 1;
+    result.faultReport.reroutes = 9;
+    result.faultReport.reroutedBytes = 512;
+    result.faultReport.stallTicks = 1000000000; // 1 ms
+    result.stats.set("gpu0.l2.hits", 12.0);
+    result.stats.set("gpu1.l2.hits", 8.5);
+
+    // 33 histogram buckets (maxGpus + 1): only 1 and 2 are populated.
+    std::string hist = "\"subscriber_histogram\":[0,5,3";
+    for (std::size_t b = 3; b <= maxGpus; ++b)
+        hist += ",0";
+    hist += "]";
+
+    const std::string expected =
+        "{\"workload\":\"Toy\",\"paradigm\":\"GPS\",\"num_gpus\":2,"
+        "\"total_time_ms\":2.5,\"interconnect_bytes\":123456789,"
+        "\"l2_hit_rate\":0.5,\"tlb_hit_rate\":0.25,\"wq_hit_rate\":0.75,"
+        "\"gps_tlb_hit_rate\":1,"
+        "\"totals\":{\"accesses\":1000,\"loads\":600,\"stores\":390,"
+        "\"atomics\":10,\"page_faults\":7,\"page_migrations\":3,"
+        "\"remote_loads\":42,\"remote_atomics\":5,"
+        "\"pushed_store_bytes\":4096,\"wq_inserts\":128,"
+        "\"wq_coalesced\":64,\"wq_drains\":32,\"sys_collapses\":1}," +
+        hist +
+        ",\"faults\":{\"injected\":2,\"links_down\":1,"
+        "\"links_degraded\":0,\"links_restored\":0,\"reroutes\":9,"
+        "\"rerouted_bytes\":512,\"pcie_fallbacks\":0,"
+        "\"pcie_fallback_bytes\":0,\"pages_retired\":0,"
+        "\"replicas_lost\":0,\"pages_degraded\":0,\"resubscribes\":0,"
+        "\"wq_saturations\":0,\"wq_saturated_drains\":0,"
+        "\"stall_time_ms\":1},"
+        "\"stats\":{\"gpu0.l2.hits\":12,\"gpu1.l2.hits\":8.5}}";
+    EXPECT_EQ(resultToJson(result, true), expected);
+}
+
+} // namespace
+} // namespace gps

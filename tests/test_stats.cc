@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/stats.hh"
 
 namespace gps
@@ -110,6 +112,27 @@ TEST(Geomean, MatchesClosedForm)
 TEST(Geomean, EmptyIsZero)
 {
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, SkipsNonPositiveValues)
+{
+    // A failed run's 0x entry must not drag the mean to 0 (log(0) is
+    // -inf and would previously poison the whole table cell).
+    std::size_t dropped = 0;
+    EXPECT_NEAR(geomean({2.0, 8.0, 0.0}, &dropped), 4.0, 1e-12);
+    EXPECT_EQ(dropped, 1u);
+    EXPECT_NEAR(geomean({-1.0, 3.0, 3.0, 3.0}, &dropped), 3.0, 1e-12);
+    EXPECT_EQ(dropped, 1u);
+    const double nan = std::nan("");
+    EXPECT_NEAR(geomean({nan, 2.0, 8.0}, &dropped), 4.0, 1e-12);
+    EXPECT_EQ(dropped, 1u);
+}
+
+TEST(Geomean, AllNonPositiveIsZero)
+{
+    std::size_t dropped = 0;
+    EXPECT_DOUBLE_EQ(geomean({0.0, -2.0}, &dropped), 0.0);
+    EXPECT_EQ(dropped, 2u);
 }
 
 } // namespace

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -47,6 +48,9 @@ struct Options
     std::vector<std::size_t> gpuSweep; ///< empty: just --gpus
     std::size_t jobs = 1; ///< sweep worker threads
     FaultPlan faultPlan;
+    std::string metricsOut;  ///< metrics JSON path; empty disables
+    std::string timelineOut; ///< trace JSON path; empty disables
+    Tick sampleEvery = 0;    ///< metric sampling period in ticks
 };
 
 /**
@@ -117,6 +121,12 @@ usage(const char* argv0, int exit_code)
         "  --fault-plan <file.json>  load a JSON fault plan\n"
         "  --fault-seed <n>          seed for fault victim selection\n"
         "  --no-pcie-fallback        unreachable partitions are fatal\n"
+        "  --metrics-out <file>      write per-component metrics JSON\n"
+        "                            (and print per-GPU/per-link tables)\n"
+        "  --timeline-out <file>     write a Chrome trace-event JSON\n"
+        "                            (open in Perfetto / about:tracing)\n"
+        "  --sample-every <ticks>    metric sampling period in simulated\n"
+        "                            ticks (default 0: final values only)\n"
         "  --json                    one JSON object per run on stdout\n"
         "  --stats                   dump full component statistics\n"
         "  --config                  print the Table 1 configuration and"
@@ -207,6 +217,12 @@ parseArgs(int argc, char** argv)
             opts.faultPlan.seed = parseUnsigned("--fault-seed", value(i));
         } else if (arg == "--no-pcie-fallback") {
             opts.faultPlan.pcieFallback = false;
+        } else if (arg == "--metrics-out") {
+            opts.metricsOut = value(i);
+        } else if (arg == "--timeline-out") {
+            opts.timelineOut = value(i);
+        } else if (arg == "--sample-every") {
+            opts.sampleEvery = parseUnsigned("--sample-every", value(i));
         } else if (arg == "--no-unsubscribe") {
             opts.autoUnsubscribe = false;
         } else if (arg == "--json") {
@@ -258,7 +274,56 @@ makeConfig(const Options& opts)
     config.system.gps.autoUnsubscribe = opts.autoUnsubscribe;
     config.scale = opts.scale;
     config.faultPlan = opts.faultPlan;
+    config.obs.metrics = !opts.metricsOut.empty();
+    config.obs.timeline = !opts.timelineOut.empty();
+    config.obs.sampleEvery = opts.sampleEvery;
     return config;
+}
+
+/** Per-GPU and per-link breakdown from a run's metric snapshot. */
+void
+printObsBreakdown(const ObsReport& report, std::size_t gpus)
+{
+    const auto metric = [&report](const std::string& name) {
+        for (const MetricValue& m : report.finals)
+            if (m.name == name)
+                return m.value;
+        return 0.0;
+    };
+    std::printf("    per-GPU:\n");
+    std::printf("    %6s %12s %12s %8s %12s %8s\n", "gpu", "l2_hits",
+                "l2_misses", "l2_hit", "tlb_misses", "tlb_hit");
+    for (std::size_t g = 0; g < gpus; ++g) {
+        const std::string p = "gpu" + std::to_string(g) + '.';
+        std::printf("    %6zu %12.0f %12.0f %7.1f%% %12.0f %7.1f%%\n", g,
+                    metric(p + "l2.hits"), metric(p + "l2.misses"),
+                    metric(p + "l2.hit_rate") * 100.0,
+                    metric(p + "tlb.misses"),
+                    metric(p + "tlb.hit_rate") * 100.0);
+    }
+    std::printf("    per-link:\n");
+    std::printf("    %6s %12s %12s %12s %12s\n", "gpu", "egress_MB",
+                "egress_us", "ingress_MB", "ingress_us");
+    for (std::size_t g = 0; g < gpus; ++g) {
+        const std::string p =
+            "interconnect.gpu" + std::to_string(g) + '.';
+        std::printf("    %6zu %12.2f %12.1f %12.2f %12.1f\n", g,
+                    metric(p + "egress.bytes") / 1e6,
+                    metric(p + "egress.busy_us"),
+                    metric(p + "ingress.bytes") / 1e6,
+                    metric(p + "ingress.busy_us"));
+    }
+}
+
+void
+writeTextFile(const std::string& path, const std::string& text)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        gps_fatal("cannot open '", path, "' for writing");
+    out << text;
+    if (!out.flush())
+        gps_fatal("write to '", path, "' failed");
 }
 
 } // namespace
@@ -296,6 +361,7 @@ main(int argc, char** argv)
             base_config.system.numGpus = 1;
             base_config.paradigm = ParadigmKind::Memcpy;
             base_config.faultPlan = FaultPlan{}; // fault-free reference
+            base_config.obs = ObsConfig{}; // observe only the cells
             jobs.push_back({app, base_config, "baseline"});
             for (const std::size_t gpus : gpu_counts) {
                 for (const ParadigmKind paradigm : opts.paradigms) {
@@ -309,6 +375,8 @@ main(int argc, char** argv)
         const std::vector<SweepOutcome> outcomes =
             runSweep(jobs, opts.jobs);
 
+        std::shared_ptr<const ObsReport> last_obs;
+        std::size_t obs_cells = 0;
         std::size_t idx = 0;
         for (const std::string& app : opts.apps) {
             const SweepOutcome& base_outcome = outcomes.at(idx++);
@@ -322,6 +390,10 @@ main(int argc, char** argv)
                     if (!outcome.ok())
                         std::rethrow_exception(outcome.error);
                     const RunResult& result = outcome.result;
+                    if (result.obs != nullptr) {
+                        last_obs = result.obs;
+                        ++obs_cells;
+                    }
                     if (opts.json) {
                         std::printf(
                             "%s\n",
@@ -359,12 +431,24 @@ main(int argc, char** argv)
                                 fr.wqSaturatedDrains),
                             ticksToMs(fr.stallTicks));
                     }
+                    if (result.obs != nullptr && result.obs->hasMetrics)
+                        printObsBreakdown(*result.obs, gpus);
                     if (opts.dumpStats) {
                         std::printf(
                             "%s", result.stats.dump("    ").c_str());
                     }
                 }
             }
+        }
+        if (last_obs != nullptr) {
+            if (obs_cells > 1)
+                gps_warn("observability files reflect only the last of ",
+                         obs_cells, " runs");
+            if (!opts.metricsOut.empty())
+                writeTextFile(opts.metricsOut, metricsToJson(*last_obs));
+            if (!opts.timelineOut.empty())
+                writeTextFile(opts.timelineOut,
+                              timelineToJson(*last_obs));
         }
         return 0;
     } catch (const FatalError& error) {
