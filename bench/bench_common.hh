@@ -280,6 +280,8 @@ writePerfLog(const std::string& path, std::size_t jobs)
     std::uint64_t total_accesses = 0;
     JsonWriter w;
     w.beginObject();
+    // Version stamp consumed by tools/perf_compare (schema check).
+    w.field("schema", static_cast<std::uint64_t>(1));
     w.field("jobs", static_cast<std::uint64_t>(jobs));
     w.key("runs").beginArray();
     for (const PerfRow& row : rows) {

@@ -53,6 +53,17 @@ Runner::run(Workload& workload)
             rec->nameTrack(TimelineRecorder::faultTid, "faults");
             rec->nameTrack(TimelineRecorder::driverTid, "driver");
         }
+        if (ProfileCollector* prof = obs->profile()) {
+            system.installProfile(prof);
+            paradigm->attachProfile(prof);
+            // Resolved at finalize(), while the system is still alive.
+            prof->setRegionResolver([&system](PageNum vpn) {
+                const Region* region = system.driver().regionOf(
+                    system.geometry().pageBase(vpn));
+                return region != nullptr ? region->label
+                                         : std::string("<unmapped>");
+            });
+        }
         obs->startSampling(system.events().now());
         system.events().setObserver(
             [&obs](Tick now, const std::string&) { obs->poll(now); });
@@ -178,6 +189,10 @@ Runner::run(Workload& workload)
             if (fault_engine != nullptr)
                 fault_engine->attachRecorder(nullptr);
         }
+        if (obs->profile() != nullptr) {
+            system.installProfile(nullptr);
+            paradigm->attachProfile(nullptr);
+        }
         obs_ = nullptr;
     }
     return result;
@@ -294,18 +309,45 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
         topo.routeAroundFaults(traffic, faults_->report());
 
     // --- Timing: per-GPU bottleneck, then the barrier max. ---
+    // kernelTimeBreakdown().total is exactly kernelTime(); the
+    // intermediate terms only leave this loop when profiling is on.
+    ProfileCollector* prof = obs_ != nullptr ? obs_->profile() : nullptr;
     const Tick launch = system.config().gpu.kernelLaunchOverhead;
     Tick slowest = 0;
     std::vector<Tick> gpu_time(n, 0);
     for (const Cursor& cursor : cursors) {
         const GpuId gpu = cursor.kernel->gpu;
-        const Tick kernel_time =
-            system.gpu(gpu).kernelTime(counters[gpu], topo) + launch;
+        const KernelTimeBreakdown bd =
+            system.gpu(gpu).kernelTimeBreakdown(counters[gpu], topo);
+        const Tick kernel_time = bd.total + launch;
         const Tick egress_time = topo.linkTime(traffic.egress(gpu));
         const Tick ingress_time = topo.linkTime(traffic.ingress(gpu));
         gpu_time[gpu] =
             std::max({kernel_time, egress_time, ingress_time});
         slowest = std::max(slowest, gpu_time[gpu]);
+        if (prof != nullptr) {
+            BottleneckProfile p;
+            p.phase = phase.name;
+            p.gpu = gpu;
+            p.tCompute = bd.tCompute;
+            p.tL2 = bd.tL2;
+            p.tDram = bd.tDram;
+            p.tWalks = bd.tWalks;
+            p.tRemote = bd.tRemote;
+            p.tFaults = bd.tFaults;
+            p.tShootdowns = bd.tShootdowns;
+            p.tWqStall = bd.tWqStall;
+            p.tEgress = egress_time;
+            p.tIngress = ingress_time;
+            p.total = gpu_time[gpu];
+            p.dramBytes = counters[gpu].dramBytes;
+            p.egressBytes = traffic.egress(gpu);
+            p.ingressBytes = traffic.ingress(gpu);
+            p.peakDramBps = system.config().gpu.dramBandwidth;
+            p.peakLinkBps =
+                topo.spec().infinite ? 0.0 : topo.spec().bandwidth;
+            prof->addKernel(std::move(p));
+        }
     }
     topo.applyPhaseTraffic(traffic);
 

@@ -96,6 +96,14 @@ MultiGpuSystem::installRecorder(TimelineRecorder* recorder)
 }
 
 void
+MultiGpuSystem::installProfile(ProfileCollector* profile)
+{
+    profile_ = profile;
+    topology_->attachProfile(profile);
+    driver_->attachProfile(profile);
+}
+
+void
 MultiGpuSystem::resetStats()
 {
     for (auto& gpu : gpus_)

@@ -31,6 +31,7 @@ namespace gps
 class FaultEngine;
 class MetricRegistry;
 class TimelineRecorder;
+class ProfileCollector;
 
 /** Full system configuration. */
 struct SystemConfig
@@ -93,6 +94,16 @@ class MultiGpuSystem
     /** Recorder currently installed, or nullptr. */
     TimelineRecorder* recorder() { return recorder_; }
 
+    /**
+     * Install the profile collector on the driver and topology (nullptr
+     * uninstalls). Paradigm-owned components attach separately through
+     * Paradigm::attachProfile.
+     */
+    void installProfile(ProfileCollector* profile);
+
+    /** Profile collector currently installed, or nullptr. */
+    ProfileCollector* profile() { return profile_; }
+
     void resetStats();
 
   private:
@@ -104,6 +115,7 @@ class MultiGpuSystem
     EventQueue events_;
     FaultEngine* faults_ = nullptr;
     TimelineRecorder* recorder_ = nullptr;
+    ProfileCollector* profile_ = nullptr;
 };
 
 } // namespace gps

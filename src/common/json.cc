@@ -1,7 +1,9 @@
 #include "common/json.hh"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.hh"
 
@@ -115,6 +117,322 @@ JsonWriter::value(bool flag)
     separate();
     out_ += flag ? "true" : "false";
     return *this;
+}
+
+const JsonValue*
+JsonValue::find(const std::string& name) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    const auto it = members_.find(name);
+    return it == members_.end() ? nullptr : &it->second;
+}
+
+double
+JsonValue::number(const std::string& name, double fallback) const
+{
+    const JsonValue* v = find(name);
+    return v != nullptr && v->isNumber() ? v->asNumber() : fallback;
+}
+
+std::string
+JsonValue::string(const std::string& name,
+                  const std::string& fallback) const
+{
+    const JsonValue* v = find(name);
+    return v != nullptr && v->isString() ? v->asString() : fallback;
+}
+
+/** Recursive-descent parser over one in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text)
+        : text_(text)
+    {}
+
+    std::unique_ptr<JsonValue>
+    parse(std::string& error)
+    {
+        error.clear();
+        JsonValue root;
+        if (!parseValue(root)) {
+            error = error_;
+            return nullptr;
+        }
+        skipSpace();
+        if (pos_ != text_.size()) {
+            error = fail("trailing characters after document");
+            return nullptr;
+        }
+        return std::make_unique<JsonValue>(std::move(root));
+    }
+
+  private:
+    std::string
+    fail(const std::string& what)
+    {
+        if (error_.empty())
+            error_ =
+                what + " at offset " + std::to_string(pos_);
+        return error_;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        const std::size_t len = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue& out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of document");
+            return false;
+        }
+        const char c = text_[pos_];
+        switch (c) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind_ = JsonValue::Kind::String;
+            return parseString(out.string_);
+          case 't':
+            if (!literal("true")) {
+                fail("malformed literal");
+                return false;
+            }
+            out.kind_ = JsonValue::Kind::Bool;
+            out.boolean_ = true;
+            return true;
+          case 'f':
+            if (!literal("false")) {
+                fail("malformed literal");
+                return false;
+            }
+            out.kind_ = JsonValue::Kind::Bool;
+            out.boolean_ = false;
+            return true;
+          case 'n':
+            if (!literal("null")) {
+                fail("malformed literal");
+                return false;
+            }
+            out.kind_ = JsonValue::Kind::Null;
+            return true;
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue& out)
+    {
+        out.kind_ = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                return false;
+            }
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':') {
+                fail("expected ':' after object key");
+                return false;
+            }
+            ++pos_;
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.members_.emplace(std::move(key), std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size()) {
+                fail("unterminated object");
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            fail("expected ',' or '}' in object");
+            return false;
+        }
+    }
+
+    bool
+    parseArray(JsonValue& out)
+    {
+        out.kind_ = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.items_.push_back(std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size()) {
+                fail("unterminated array");
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            fail("expected ',' or ']' in array");
+            return false;
+        }
+    }
+
+    bool
+    parseString(std::string& out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    break;
+                const char esc = text_[pos_];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 >= text_.size()) {
+                        fail("truncated \\u escape");
+                        return false;
+                    }
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_ + 1 + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else {
+                            fail("bad \\u escape digit");
+                            return false;
+                        }
+                    }
+                    pos_ += 4;
+                    // The writer only emits \u00xx control escapes;
+                    // encode the general case as UTF-8.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    fail("unknown escape sequence");
+                    return false;
+                }
+                ++pos_;
+                continue;
+            }
+            out += c;
+            ++pos_;
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool
+    parseNumber(JsonValue& out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) {
+            fail("expected a value");
+            return false;
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            pos_ = start;
+            fail("malformed number");
+            return false;
+        }
+        out.kind_ = JsonValue::Kind::Number;
+        out.number_ = v;
+        return true;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+std::unique_ptr<JsonValue>
+parseJson(const std::string& text, std::string& error)
+{
+    JsonParser parser(text);
+    return parser.parse(error);
 }
 
 std::string

@@ -1,14 +1,17 @@
 /**
  * @file
  * Minimal JSON writer for exporting results to downstream tooling
- * (plotting scripts, dashboards). Write-only by design: the simulator
- * never needs to parse JSON, so there is no parser to maintain.
+ * (plotting scripts, dashboards), plus a small DOM parser for the few
+ * tools that read JSON back (perf_compare diffs two BENCH_perf.json
+ * files). The simulator itself never parses JSON.
  */
 
 #ifndef GPS_COMMON_JSON_HH
 #define GPS_COMMON_JSON_HH
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,6 +62,70 @@ class JsonWriter
     std::vector<bool> hasMember_; ///< per open container
     bool pendingKey_ = false;
 };
+
+/**
+ * One parsed JSON value. Numbers are held as doubles (sufficient for
+ * the perf-log fields perf_compare consumes); object member order is
+ * not preserved.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return boolean_; }
+    double asNumber() const { return number_; }
+    const std::string& asString() const { return string_; }
+    const std::vector<JsonValue>& items() const { return items_; }
+    const std::map<std::string, JsonValue>& members() const
+    {
+        return members_;
+    }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue* find(const std::string& name) const;
+
+    /** Member as a number; @p fallback when absent or mistyped. */
+    double number(const std::string& name, double fallback = 0.0) const;
+
+    /** Member as a string; @p fallback when absent or mistyped. */
+    std::string string(const std::string& name,
+                       const std::string& fallback = "") const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool boolean_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::map<std::string, JsonValue> members_;
+};
+
+/**
+ * Parse one JSON document.
+ * @param text the complete document
+ * @param error set to a position-bearing message on failure
+ * @return the parsed value, or nullptr on malformed input
+ */
+std::unique_ptr<JsonValue> parseJson(const std::string& text,
+                                     std::string& error);
 
 } // namespace gps
 

@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "fault/fault_engine.hh"
 #include "obs/metric_registry.hh"
+#include "obs/profile.hh"
 #include "obs/timeline.hh"
 
 namespace gps
@@ -116,6 +117,8 @@ GpsParadigm::accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
             traffic.add(gpu, sub, access.size + headerBytes(),
                         access.size);
             counters.pushedStoreBytes += access.size;
+            if (profile_ != nullptr)
+                profile_->noteRemoteWriteForward(vpn, access.size);
         });
         return;
     }
@@ -157,6 +160,8 @@ GpsParadigm::onDrain(GpuId producer, const WqEntry& entry)
             return;
         ctxTraffic_->add(producer, sub, line + headerBytes(), line);
         ctxCounters_->pushedStoreBytes += line;
+        if (profile_ != nullptr)
+            profile_->noteRemoteWriteForward(entry.vpn, line);
     });
     ++ctxCounters_->wqDrains;
 }
@@ -423,6 +428,15 @@ GpsParadigm::attachRecorder(TimelineRecorder* recorder)
 {
     for (std::size_t g = 0; g < queues_.size(); ++g)
         queues_[g]->attachRecorder(recorder, static_cast<int>(g));
+}
+
+void
+GpsParadigm::attachProfile(ProfileCollector* profile)
+{
+    profile_ = profile;
+    subs_->attachProfile(profile);
+    for (auto& queue : queues_)
+        queue->attachProfile(profile);
 }
 
 } // namespace gps

@@ -101,6 +101,12 @@ class GpsParadigm : public Paradigm
     /** Forward the recorder to every GPU's remote write queue. */
     void attachRecorder(TimelineRecorder* recorder) override;
 
+    /**
+     * Forward the profile collector to the write queues and the
+     * subscription manager, and feed remote-write heat from drains.
+     */
+    void attachProfile(ProfileCollector* profile) override;
+
   protected:
     void accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
                       PageState& st, bool tlb_miss,
@@ -140,6 +146,9 @@ class GpsParadigm : public Paradigm
     TrafficMatrix* ctxTraffic_ = nullptr;
 
     std::uint64_t wqForwardHits_ = 0;
+
+    /** Profile collector, nullptr when profiling is off. */
+    ProfileCollector* profile_ = nullptr;
 
     /** (vpn, gpu) -> remote accesses since the replica was lost. */
     std::unordered_map<std::uint64_t, std::uint32_t> degraded_;

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "obs/metric_registry.hh"
+#include "obs/profile.hh"
 #include "obs/timeline.hh"
 
 namespace gps
@@ -44,10 +45,13 @@ RemoteWriteQueue::insert(Addr addr, std::uint32_t size,
     entry.weight =
         config_->virtuallyAddressedWq ? 1 : std::max(copies, 1u);
 
+    entry.seq = inserts_;
     fifo_.push_back(entry);
     index_.emplace(line, std::prev(fifo_.end()));
     occupancy_ += entry.weight;
     ++inserts_;
+    if (profile_ != nullptr)
+        profile_->noteRwqOccupancy(occupancy_);
 
     // At the high watermark, drain least-recently-added entries to free
     // space while leaving maximum coalescing opportunity (§5.2). Under
@@ -126,6 +130,8 @@ RemoteWriteQueue::drainEntry(std::list<WqEntry>::iterator it)
     occupancy_ -= entry.weight;
     fifo_.erase(it);
     ++drains_;
+    if (profile_ != nullptr)
+        profile_->noteRwqDrainResidency(inserts_ - entry.seq);
     if (drain_)
         drain_(entry);
 }

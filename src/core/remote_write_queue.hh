@@ -24,6 +24,7 @@ namespace gps
 {
 
 class TimelineRecorder;
+class ProfileCollector;
 
 /** One coalescing buffer entry (one cache block). */
 struct WqEntry
@@ -46,6 +47,12 @@ struct WqEntry
      * (Section 5.3 discussion).
      */
     std::uint32_t weight = 1;
+
+    /**
+     * Insert sequence number (the queue's insert count when the entry
+     * was created); the profiler derives drain residency from it.
+     */
+    std::uint64_t seq = 0;
 };
 
 /** Per-GPU remote write queue. */
@@ -101,6 +108,13 @@ class RemoteWriteQueue : public SimObject
         recorderTid_ = tid;
     }
 
+    /**
+     * Attach the profile collector (nullptr detaches): occupancy is
+     * then sampled at each new-entry enqueue and drain residency (in
+     * insert operations spanned) at each drain.
+     */
+    void attachProfile(ProfileCollector* profile) { profile_ = profile; }
+
     /** Drains forced while saturated (each stalls the producing SM). */
     std::uint64_t stallDrains() const { return stallDrains_; }
 
@@ -150,6 +164,7 @@ class RemoteWriteQueue : public SimObject
     bool saturated_ = false;
     TimelineRecorder* recorder_ = nullptr;
     int recorderTid_ = 0;
+    ProfileCollector* profile_ = nullptr;
 };
 
 } // namespace gps

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "obs/metric_registry.hh"
+#include "obs/profile.hh"
 
 namespace gps
 {
@@ -82,6 +83,8 @@ SubscriptionManager::subscribe(PageNum vpn, GpuId gpu)
     table_->addReplica(vpn, gpu, pte->ppn);
     refreshGpsBit(vpn);
     ++subscribeOps_;
+    if (profile_ != nullptr)
+        profile_->noteSubscriptionFlip(vpn);
     return SubscribeResult::Ok;
 }
 
@@ -104,6 +107,8 @@ SubscriptionManager::unsubscribe(PageNum vpn, GpuId gpu,
         st.location = maskFirst(st.subscribers);
     refreshGpsBit(vpn);
     ++unsubscribeOps_;
+    if (profile_ != nullptr)
+        profile_->noteSubscriptionFlip(vpn);
     return UnsubscribeResult::Ok;
 }
 

@@ -22,6 +22,8 @@
 namespace gps
 {
 
+class ProfileCollector;
+
 /** Outcome of a subscription request. */
 enum class SubscribeResult : std::uint8_t {
     Ok,
@@ -110,6 +112,12 @@ class SubscriptionManager : public SimObject
     void exportStats(StatSet& out) const override;
     void registerMetrics(MetricRegistry& reg) const override;
 
+    /**
+     * Attach the profile collector (nullptr detaches): successful
+     * subscribe/unsubscribe flips then feed the per-page churn heat.
+     */
+    void attachProfile(ProfileCollector* profile) { profile_ = profile; }
+
   private:
     /** Keep PageState and conventional/GPS page tables consistent. */
     void refreshGpsBit(PageNum vpn);
@@ -122,6 +130,7 @@ class SubscriptionManager : public SimObject
     std::uint64_t collapses_ = 0;
     std::uint64_t swapOuts_ = 0;
     std::uint64_t replicaRetires_ = 0;
+    ProfileCollector* profile_ = nullptr;
 };
 
 } // namespace gps

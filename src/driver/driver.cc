@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "obs/metric_registry.hh"
+#include "obs/profile.hh"
 #include "obs/timeline.hh"
 
 namespace gps
@@ -261,6 +262,8 @@ Driver::migratePage(PageNum vpn, GpuId to, KernelCounters& counters,
     ++migrations_;
     ++counters.pageMigrations;
     counters.migrationBytes += page_bytes;
+    if (profile_ != nullptr)
+        profile_->noteMigration(vpn);
     if (recorder_ != nullptr)
         recorder_->instantNow(TimelineRecorder::driverTid, "migrate",
                               "driver",

@@ -31,6 +31,7 @@ namespace gps
 {
 
 class TimelineRecorder;
+class ProfileCollector;
 
 /** The multi-GPU driver: allocation API plus page-management mechanics. */
 class Driver : public SimObject
@@ -164,6 +165,12 @@ class Driver : public SimObject
         recorder_ = recorder;
     }
 
+    /**
+     * Attach the profile collector (nullptr detaches); page migrations
+     * then feed the per-page migration heat.
+     */
+    void attachProfile(ProfileCollector* profile) { profile_ = profile; }
+
   private:
     const Region& allocCommon(std::uint64_t size, MemKind kind,
                               std::string label, GpuId home, bool manual);
@@ -193,6 +200,7 @@ class Driver : public SimObject
     std::uint64_t shootdownRounds_ = 0;
     std::uint64_t reclaims_ = 0;
     TimelineRecorder* recorder_ = nullptr;
+    ProfileCollector* profile_ = nullptr;
 };
 
 } // namespace gps

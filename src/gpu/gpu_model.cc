@@ -129,29 +129,35 @@ Tick
 GpuModel::kernelTime(const KernelCounters& counters,
                      const Topology& topology) const
 {
+    return kernelTimeBreakdown(counters, topology).total;
+}
+
+KernelTimeBreakdown
+GpuModel::kernelTimeBreakdown(const KernelCounters& counters,
+                              const Topology& topology) const
+{
+    KernelTimeBreakdown bd;
     const double period = config_.clockPeriodTicks();
 
     // Issue-throughput bound.
     const double compute_cycles =
         static_cast<double>(counters.computeInstrs) / config_.issueWidth();
-    const Tick t_compute = static_cast<Tick>(compute_cycles * period);
+    bd.tCompute = static_cast<Tick>(compute_cycles * period);
 
     // L2 throughput bound: every access moves one line through L2.
     const std::uint64_t l2_bytes =
         (counters.l2Hits + counters.l2Misses) *
         static_cast<std::uint64_t>(config_.cacheLineBytes);
-    const Tick t_l2 = transferTicks(l2_bytes, config_.l2Bandwidth);
+    bd.tL2 = transferTicks(l2_bytes, config_.l2Bandwidth);
 
     // Local DRAM bandwidth bound.
-    const Tick t_dram = transferTicks(counters.dramBytes,
-                                      config_.dramBandwidth);
+    bd.tDram = transferTicks(counters.dramBytes, config_.dramBandwidth);
 
     // Remote demand loads and atomics: round-trip latency divided by
     // the parallelism the GPU can sustain. These sit on the dependence
     // critical path, so they extend the kernel rather than hiding under
     // it. Bandwidth occupancy of the responses is charged at the phase
     // level through the traffic matrix.
-    Tick t_remote = 0;
     if (!topology.spec().infinite) {
         const Tick line_time =
             topology.linkTime(config_.cacheLineBytes +
@@ -161,42 +167,46 @@ GpuModel::kernelTime(const KernelCounters& counters,
             const double batches =
                 std::ceil(static_cast<double>(counters.remoteLoads) /
                           static_cast<double>(config_.remoteLoadMlp));
-            t_remote += static_cast<Tick>(
+            bd.tRemote += static_cast<Tick>(
                 batches * static_cast<double>(round_trip));
         }
         if (counters.remoteAtomics > 0) {
             const double batches = std::ceil(
                 static_cast<double>(counters.remoteAtomics) /
                 static_cast<double>(config_.remoteAtomicMlp));
-            t_remote += static_cast<Tick>(
+            bd.tRemote += static_cast<Tick>(
                 batches * static_cast<double>(round_trip));
         }
     }
 
     // Conventional page walks, overlapped across walkers.
-    const Tick t_walks = static_cast<Tick>(
+    bd.tWalks = static_cast<Tick>(
         static_cast<double>(counters.tlbMisses) *
         static_cast<double>(config_.pageWalkLatency) /
         static_cast<double>(faultTiming_.walkConcurrency));
 
     // Overlappable bounds compose as a max; remote stalls extend it.
     Tick t_core =
-        std::max({t_compute, t_l2, t_dram, t_walks}) + t_remote;
+        std::max({bd.tCompute, bd.tL2, bd.tDram, bd.tWalks}) + bd.tRemote;
 
     // Serialized stalls: page faults (batched) and TLB shootdowns.
     if (counters.pageFaults > 0) {
         const double batches =
             std::ceil(static_cast<double>(counters.pageFaults) /
                       static_cast<double>(faultTiming_.faultConcurrency));
-        t_core += static_cast<Tick>(
+        bd.tFaults = static_cast<Tick>(
             batches * static_cast<double>(faultTiming_.faultLatency));
+        t_core += bd.tFaults;
     }
-    t_core += counters.tlbShootdowns * faultTiming_.shootdownLatency;
+    bd.tShootdowns = counters.tlbShootdowns * faultTiming_.shootdownLatency;
+    t_core += bd.tShootdowns;
 
     // Saturated-WQ drains stall the producing SM serially.
-    t_core += counters.wqStallTicks;
+    bd.tWqStall = counters.wqStallTicks;
+    t_core += bd.tWqStall;
 
-    return t_core;
+    bd.total = t_core;
+    return bd;
 }
 
 void

@@ -47,6 +47,25 @@ struct FaultTiming
     std::uint32_t walkConcurrency = 8;
 };
 
+/**
+ * The per-resource service demands behind one kernelTime() result.
+ * Overlappable bounds (compute, L2, DRAM, walks) compose as a max;
+ * remote stalls and the serialized terms extend it. `total` is exactly
+ * what kernelTime() returns.
+ */
+struct KernelTimeBreakdown
+{
+    Tick tCompute = 0;
+    Tick tL2 = 0;
+    Tick tDram = 0;
+    Tick tWalks = 0;
+    Tick tRemote = 0;
+    Tick tFaults = 0;
+    Tick tShootdowns = 0;
+    Tick tWqStall = 0;
+    Tick total = 0;
+};
+
 /** One GPU of the simulated system. */
 class GpuModel : public SimObject
 {
@@ -84,6 +103,10 @@ class GpuModel : public SimObject
      */
     Tick kernelTime(const KernelCounters& counters,
                     const Topology& topology) const;
+
+    /** kernelTime() with every intermediate term exposed (profiling). */
+    KernelTimeBreakdown kernelTimeBreakdown(
+        const KernelCounters& counters, const Topology& topology) const;
 
     const FaultTiming& faultTiming() const { return faultTiming_; }
 

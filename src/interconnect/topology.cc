@@ -7,6 +7,7 @@
 #include "common/units.hh"
 #include "fault/fault_plan.hh"
 #include "obs/metric_registry.hh"
+#include "obs/profile.hh"
 #include "obs/timeline.hh"
 
 namespace gps
@@ -85,6 +86,12 @@ Topology::applyPhaseTraffic(const TrafficMatrix& traffic)
         ingress_[g]->record(in, in_time);
         worst = std::max({worst, out_time, in_time});
         totalBytes_ += out;
+        if (profile_ != nullptr) {
+            if (out > 0)
+                profile_->noteLinkBusy(out_time);
+            if (in > 0)
+                profile_->noteLinkBusy(in_time);
+        }
         if (recorder_ != nullptr) {
             const int tid = static_cast<int>(g);
             if (out > 0)

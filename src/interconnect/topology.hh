@@ -28,6 +28,7 @@ namespace gps
 
 struct FaultReport;
 class TimelineRecorder;
+class ProfileCollector;
 
 /** Health of the switched path between one pair of GPUs. */
 enum class PathHealth : std::uint8_t {
@@ -187,6 +188,13 @@ class Topology : public SimObject
         recorder_ = recorder;
     }
 
+    /**
+     * Attach the profile collector (nullptr detaches); each non-idle
+     * link direction then feeds its per-phase busy time into the
+     * link-delay histogram.
+     */
+    void attachProfile(ProfileCollector* profile) { profile_ = profile; }
+
   private:
     static std::uint32_t
     pathKey(GpuId a, GpuId b)
@@ -208,6 +216,7 @@ class Topology : public SimObject
     std::unordered_map<std::uint32_t, PathState> paths_;
     bool pcieFallback_ = true;
     TimelineRecorder* recorder_ = nullptr;
+    ProfileCollector* profile_ = nullptr;
 };
 
 } // namespace gps

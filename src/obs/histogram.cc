@@ -1,0 +1,105 @@
+#include "obs/histogram.hh"
+
+#include <algorithm>
+
+namespace gps
+{
+
+std::size_t
+LogHistogram::bucketOf(std::uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    std::size_t bits = 0;
+    while (value != 0) {
+        value >>= 1;
+        ++bits;
+    }
+    return bits; // 1 + floor(log2 v); value 1 -> bucket 1.
+}
+
+std::uint64_t
+LogHistogram::bucketLow(std::size_t b)
+{
+    if (b == 0)
+        return 0;
+    return std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t
+LogHistogram::bucketHigh(std::size_t b)
+{
+    if (b == 0)
+        return 0;
+    if (b >= 64)
+        return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+}
+
+void
+LogHistogram::record(std::uint64_t value)
+{
+    ++buckets_[bucketOf(value)];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+LogHistogram::merge(const LogHistogram& other)
+{
+    for (std::size_t b = 0; b < numBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ != 0) {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+}
+
+double
+LogHistogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double
+LogHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Rank of the requested sample, in [0, count - 1].
+    const double rank = p * static_cast<double>(count_ - 1);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < numBuckets; ++b) {
+        const std::uint64_t n = buckets_[b];
+        if (n == 0)
+            continue;
+        const double first = static_cast<double>(seen);
+        const double last = static_cast<double>(seen + n - 1);
+        if (rank <= last) {
+            // Interpolate by rank across the bucket's value range,
+            // clamped to the observed extremes so single-bucket data
+            // does not overshoot.
+            const double lo = std::max(
+                static_cast<double>(bucketLow(b)),
+                static_cast<double>(min()));
+            const double hi = std::min(
+                static_cast<double>(bucketHigh(b)),
+                static_cast<double>(max_));
+            if (n == 1 || hi <= lo)
+                return lo;
+            const double frac = (rank - first) / static_cast<double>(n - 1);
+            return lo + frac * (hi - lo);
+        }
+        seen += n;
+    }
+    return static_cast<double>(max_);
+}
+
+} // namespace gps

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Streaming fixed-bucket log2 histogram for latency/occupancy profiles.
+ *
+ * The bucket layout is fixed (65 buckets covering the full uint64 range)
+ * so two histograms filled on different threads — or in different sweep
+ * jobs — merge by elementwise addition, independent of fill order. That
+ * makes percentiles deterministic for serial vs. `--jobs N` sweep runs:
+ * merging is associative and commutative, so any reduction order over
+ * the input-ordered outcomes yields the same buckets.
+ */
+
+#ifndef GPS_OBS_HISTOGRAM_HH
+#define GPS_OBS_HISTOGRAM_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gps
+{
+
+/**
+ * Log2-bucketed histogram of uint64 samples.
+ *
+ * Bucket 0 holds the exact value 0; bucket b in [1, 64] holds values in
+ * [2^(b-1), 2^b). Plain data: copyable, mergeable, no allocation beyond
+ * the fixed bucket array.
+ */
+class LogHistogram
+{
+  public:
+    static constexpr std::size_t numBuckets = 65;
+
+    /** Bucket index of @p value (0 for 0, else 1 + floor(log2 v)). */
+    static std::size_t bucketOf(std::uint64_t value);
+
+    /** Inclusive lower bound of bucket @p b. */
+    static std::uint64_t bucketLow(std::size_t b);
+
+    /**
+     * Inclusive upper bound of bucket @p b (2^b - 1 for b >= 1; the
+     * last bucket tops out at the max uint64).
+     */
+    static std::uint64_t bucketHigh(std::size_t b);
+
+    void record(std::uint64_t value);
+
+    /** Elementwise merge; associative and commutative. */
+    void merge(const LogHistogram& other);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+    bool empty() const { return count_ == 0; }
+
+    const std::array<std::uint64_t, numBuckets>& buckets() const
+    {
+        return buckets_;
+    }
+
+    /**
+     * Estimated value at quantile @p p in [0, 1]: walk the cumulative
+     * counts to the bucket containing the p-th sample, then interpolate
+     * linearly across that bucket's value range by rank. Clamped to the
+     * observed [min, max], so percentile(0) == min and
+     * percentile(1) == max; monotone in @p p by construction. Returns 0
+     * for an empty histogram.
+     */
+    double percentile(double p) const;
+
+  private:
+    std::array<std::uint64_t, numBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+};
+
+/** A histogram plus its identity, as exported in the profile report. */
+struct NamedHistogram
+{
+    std::string name;
+    std::string unit;
+    LogHistogram hist;
+};
+
+} // namespace gps
+
+#endif // GPS_OBS_HISTOGRAM_HH

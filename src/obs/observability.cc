@@ -11,6 +11,9 @@ Observability::Observability(const ObsConfig& config)
     if (config_.timeline)
         recorder_ =
             std::make_unique<TimelineRecorder>(config_.maxTimelineEvents);
+    if (config_.profile)
+        profile_ = std::make_unique<ProfileCollector>(
+            config_.profilePagesPerBucket, config_.profileTopN);
 }
 
 void
@@ -19,8 +22,7 @@ Observability::startSampling(Tick start)
     if (!config_.metrics || sampler_)
         return;
     sampler_ = std::make_unique<Sampler>(registry_, config_.sampleEvery);
-    if (config_.sampleEvery != 0)
-        sampler_->poll(start);
+    sampler_->start(start);
 }
 
 ObsReport
@@ -41,6 +43,10 @@ Observability::finalize(Tick end)
         report.timeline = recorder_->events();
         report.timelineTracks = recorder_->trackNames();
         report.timelineDropped = recorder_->dropped();
+    }
+    if (profile_) {
+        report.hasProfile = true;
+        report.profile = profile_->finalize();
     }
     return report;
 }
@@ -83,6 +89,12 @@ timelineToJson(const ObsReport& report)
 {
     return timelineToJson(report.timeline, report.timelineTracks,
                           report.timelineDropped);
+}
+
+std::string
+profileToJson(const ObsReport& report)
+{
+    return profileToJson(report.profile);
 }
 
 } // namespace gps

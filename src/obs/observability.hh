@@ -18,6 +18,7 @@
 
 #include "common/units.hh"
 #include "obs/metric_registry.hh"
+#include "obs/profile.hh"
 #include "obs/sampler.hh"
 #include "obs/timeline.hh"
 
@@ -42,7 +43,16 @@ struct ObsConfig
     /** Timeline event cap (see TimelineRecorder). */
     std::size_t maxTimelineEvents = 1 << 20;
 
-    bool enabled() const { return metrics || timeline; }
+    /** Collect the bottleneck/heat profile (see obs/profile.hh). */
+    bool profile = false;
+
+    /** Pages per hot-page heat bucket (1 = exact pages). */
+    std::uint64_t profilePagesPerBucket = 1;
+
+    /** Rows kept in the top-N hot-page table. */
+    std::size_t profileTopN = 20;
+
+    bool enabled() const { return metrics || timeline || profile; }
 };
 
 /** Plain-data observability output of one run. */
@@ -63,6 +73,9 @@ struct ObsReport
     std::vector<TraceEvent> timeline;
     std::map<int, std::string> timelineTracks;
     std::uint64_t timelineDropped = 0;
+
+    bool hasProfile = false;
+    ProfileReport profile;
 };
 
 /** Live collectors for one run. */
@@ -78,6 +91,9 @@ class Observability
 
     /** Timeline recorder, or nullptr when timeline is off. */
     TimelineRecorder* recorder() { return recorder_.get(); }
+
+    /** Profile collector, or nullptr when profiling is off. */
+    ProfileCollector* profile() { return profile_.get(); }
 
     /**
      * Freeze registration and start sampling at @p start. Call after
@@ -101,6 +117,7 @@ class Observability
     MetricRegistry registry_;
     std::unique_ptr<TimelineRecorder> recorder_;
     std::unique_ptr<Sampler> sampler_;
+    std::unique_ptr<ProfileCollector> profile_;
 };
 
 /**
@@ -112,6 +129,9 @@ std::string metricsToJson(const ObsReport& report);
 
 /** Serialize a report's timeline as Chrome trace-event JSON. */
 std::string timelineToJson(const ObsReport& report);
+
+/** Serialize a report's profile as one JSON document. */
+std::string profileToJson(const ObsReport& report);
 
 } // namespace gps
 

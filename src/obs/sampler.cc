@@ -9,6 +9,14 @@ Sampler::Sampler(const MetricRegistry& registry, Tick every)
 {}
 
 void
+Sampler::start(Tick now)
+{
+    if (!ticks_.empty())
+        return;
+    record(now);
+}
+
+void
 Sampler::poll(Tick now)
 {
     if (every_ == 0)

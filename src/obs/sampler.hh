@@ -33,6 +33,14 @@ class Sampler
      */
     Sampler(const MetricRegistry& registry, Tick every);
 
+    /**
+     * Record the baseline sample at run start, unconditionally: every
+     * series then has a row at the start tick, so delta computations
+     * over the first period are not skewed by the first poll() landing
+     * anywhere up to `every` ticks in.
+     */
+    void start(Tick now);
+
     /** Record a sample at @p now if one is due. */
     void poll(Tick now);
 

@@ -29,6 +29,7 @@ namespace gps
 
 struct FaultReport;
 class TimelineRecorder;
+class ProfileCollector;
 
 /** The evaluated multi-GPU programming paradigms. */
 enum class ParadigmKind : std::uint8_t {
@@ -195,6 +196,16 @@ class Paradigm : public SimObject
     virtual void attachRecorder(TimelineRecorder* recorder)
     {
         (void)recorder;
+    }
+
+    /**
+     * Attach the profile collector to paradigm-owned components (GPS
+     * write queues, subscription manager); a no-op for paradigms
+     * without any.
+     */
+    virtual void attachProfile(ProfileCollector* profile)
+    {
+        (void)profile;
     }
 
   protected:

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the log2 histogram: bucket edges, merge algebra, percentile
+ * monotonicity and interpolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/histogram.hh"
+
+namespace gps
+{
+namespace
+{
+
+constexpr std::uint64_t kMaxU64 = ~std::uint64_t{0};
+
+TEST(LogHistogram, BucketEdges)
+{
+    EXPECT_EQ(LogHistogram::bucketOf(0), 0u);
+    EXPECT_EQ(LogHistogram::bucketOf(1), 1u);
+    EXPECT_EQ(LogHistogram::bucketOf(2), 2u);
+    EXPECT_EQ(LogHistogram::bucketOf(3), 2u);
+    EXPECT_EQ(LogHistogram::bucketOf(4), 3u);
+    EXPECT_EQ(LogHistogram::bucketOf(7), 3u);
+    EXPECT_EQ(LogHistogram::bucketOf(8), 4u);
+    EXPECT_EQ(LogHistogram::bucketOf(std::uint64_t{1} << 63), 64u);
+    EXPECT_EQ(LogHistogram::bucketOf(kMaxU64), 64u);
+
+    // Bucket [low, high] ranges tile the uint64 domain with no gaps.
+    EXPECT_EQ(LogHistogram::bucketLow(0), 0u);
+    EXPECT_EQ(LogHistogram::bucketHigh(0), 0u);
+    for (std::size_t b = 1; b < LogHistogram::numBuckets; ++b) {
+        EXPECT_EQ(LogHistogram::bucketLow(b),
+                  LogHistogram::bucketHigh(b - 1) + 1)
+            << b;
+        EXPECT_EQ(LogHistogram::bucketOf(LogHistogram::bucketLow(b)), b);
+        EXPECT_EQ(LogHistogram::bucketOf(LogHistogram::bucketHigh(b)), b);
+    }
+    EXPECT_EQ(LogHistogram::bucketHigh(64), kMaxU64);
+}
+
+TEST(LogHistogram, RecordTracksMoments)
+{
+    LogHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+
+    for (const std::uint64_t v : {5u, 0u, 17u, 5u})
+        h.record(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 27u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 17u);
+    EXPECT_DOUBLE_EQ(h.mean(), 27.0 / 4.0);
+    EXPECT_EQ(h.buckets()[0], 1u);                       // the 0
+    EXPECT_EQ(h.buckets()[LogHistogram::bucketOf(5)], 2u);
+    EXPECT_EQ(h.buckets()[LogHistogram::bucketOf(17)], 1u);
+}
+
+TEST(LogHistogram, MergeIsAssociativeAndOrderIndependent)
+{
+    const std::vector<std::uint64_t> samples = {0,  1,  1,   3,  64,
+                                                65, 100, 4096, kMaxU64};
+    // Split the samples three ways, merge in two different orders, and
+    // compare against recording everything into one histogram.
+    LogHistogram a, b, c, serial;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(samples[i]);
+        serial.record(samples[i]);
+    }
+    LogHistogram ab = a;
+    ab.merge(b);
+    LogHistogram ab_c = ab;
+    ab_c.merge(c);
+
+    LogHistogram bc = b;
+    bc.merge(c);
+    LogHistogram a_bc = a;
+    a_bc.merge(bc);
+
+    for (const LogHistogram* m : {&ab_c, &a_bc}) {
+        EXPECT_EQ(m->buckets(), serial.buckets());
+        EXPECT_EQ(m->count(), serial.count());
+        EXPECT_EQ(m->sum(), serial.sum());
+        EXPECT_EQ(m->min(), serial.min());
+        EXPECT_EQ(m->max(), serial.max());
+        EXPECT_DOUBLE_EQ(m->percentile(0.5), serial.percentile(0.5));
+        EXPECT_DOUBLE_EQ(m->percentile(0.99), serial.percentile(0.99));
+    }
+}
+
+TEST(LogHistogram, MergeWithEmptyKeepsMinMax)
+{
+    LogHistogram h, empty;
+    h.record(7);
+    h.merge(empty);
+    EXPECT_EQ(h.min(), 7u);
+    EXPECT_EQ(h.max(), 7u);
+
+    LogHistogram other = empty;
+    other.merge(h);
+    EXPECT_EQ(other.min(), 7u);
+    EXPECT_EQ(other.max(), 7u);
+}
+
+TEST(LogHistogram, PercentilesAreMonotoneAndClamped)
+{
+    LogHistogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.record(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+    double prev = -1.0;
+    for (double p = 0.0; p <= 1.0; p += 0.01) {
+        const double v = h.percentile(p);
+        EXPECT_GE(v, prev) << p;
+        EXPECT_GE(v, 1.0);
+        EXPECT_LE(v, 1000.0);
+        prev = v;
+    }
+    // The median of 1..1000 should land inside its bucket, in the
+    // right ballpark (log buckets are coarse, not exact).
+    const double p50 = h.percentile(0.5);
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 1000.0);
+}
+
+TEST(LogHistogram, SingleSamplePercentileIsExact)
+{
+    LogHistogram h;
+    h.record(42);
+    for (const double p : {0.0, 0.5, 0.9, 1.0})
+        EXPECT_DOUBLE_EQ(h.percentile(p), 42.0) << p;
+}
+
+TEST(LogHistogram, ExtremeValuesDoNotOverflow)
+{
+    LogHistogram h;
+    h.record(kMaxU64);
+    h.record(kMaxU64 - 1);
+    EXPECT_EQ(h.buckets()[64], 2u);
+    EXPECT_EQ(h.max(), kMaxU64);
+    EXPECT_GE(h.percentile(0.5), static_cast<double>(kMaxU64 - 1));
+}
+
+} // namespace
+} // namespace gps

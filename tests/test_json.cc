@@ -84,6 +84,70 @@ TEST(JsonWriter, DoublesRoundTripExactly)
     }
 }
 
+TEST(JsonParser, ParsesScalarsAndContainers)
+{
+    std::string error;
+    const auto doc = parseJson(
+        R"({"n":-2.5e3,"s":"hi","t":true,"f":false,"z":null,)"
+        R"("a":[1,2,3],"o":{"k":"v"}})",
+        error);
+    ASSERT_NE(doc, nullptr) << error;
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_DOUBLE_EQ(doc->number("n"), -2500.0);
+    EXPECT_EQ(doc->string("s"), "hi");
+    EXPECT_TRUE(doc->find("t")->asBool());
+    EXPECT_FALSE(doc->find("f")->asBool());
+    EXPECT_TRUE(doc->find("z")->isNull());
+    ASSERT_TRUE(doc->find("a")->isArray());
+    EXPECT_EQ(doc->find("a")->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(doc->find("a")->items()[2].asNumber(), 3.0);
+    EXPECT_EQ(doc->find("o")->string("k"), "v");
+    // Typed fallbacks on missing/mistyped members.
+    EXPECT_DOUBLE_EQ(doc->number("missing", -1.0), -1.0);
+    EXPECT_EQ(doc->string("n", "fb"), "fb");
+    EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonParser, DecodesEscapes)
+{
+    std::string error;
+    const auto doc =
+        parseJson(R"(["a\"b\\c\/\n\t","\u0041\u00e9\u20ac"])", error);
+    ASSERT_NE(doc, nullptr) << error;
+    EXPECT_EQ(doc->items()[0].asString(), "a\"b\\c/\n\t");
+    EXPECT_EQ(doc->items()[1].asString(), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonParser, RoundTripsTheWriter)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("pi", 3.141592653589793);
+    w.field("count", std::uint64_t{123456789});
+    w.field("label", std::string("quote \" and \\ bs"));
+    w.key("nested").beginArray().value(false).endArray();
+    w.endObject();
+
+    std::string error;
+    const auto doc = parseJson(w.str(), error);
+    ASSERT_NE(doc, nullptr) << error;
+    EXPECT_DOUBLE_EQ(doc->number("pi"), 3.141592653589793);
+    EXPECT_DOUBLE_EQ(doc->number("count"), 123456789.0);
+    EXPECT_EQ(doc->string("label"), "quote \" and \\ bs");
+}
+
+TEST(JsonParser, RejectsMalformedDocuments)
+{
+    for (const char* bad :
+         {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "01a",
+          "\"unterminated", "{\"a\":1} trailing", "[1 2]",
+          "{\"a\":\"\\u12zz\"}", "nan"}) {
+        std::string error;
+        EXPECT_EQ(parseJson(bad, error), nullptr) << bad;
+        EXPECT_NE(error.find("at offset"), std::string::npos) << bad;
+    }
+}
+
 TEST(ResultExport, ContainsHeadlineFields)
 {
     RunConfig config;

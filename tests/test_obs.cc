@@ -113,6 +113,20 @@ TEST(Sampler, ZeroPeriodOnlyRecordsFinal)
     EXPECT_EQ(sampler.sampleTicks().size(), 1u);
 }
 
+TEST(Sampler, StartRecordsOneBaselineSample)
+{
+    MetricRegistry reg;
+    reg.counter("v", "events", [] { return 1.0; });
+    Sampler sampler(reg, 0); // even with periodic sampling off
+    sampler.start(5);
+    sampler.start(5); // idempotent
+    const std::vector<Tick> expect{5};
+    EXPECT_EQ(sampler.sampleTicks(), expect);
+    sampler.finish(200);
+    EXPECT_EQ(sampler.sampleTicks().size(), 2u);
+}
+
+
 TEST(TimelineRecorder, RecordsAndBounds)
 {
     TimelineRecorder rec(2);
@@ -153,12 +167,26 @@ obsConfig()
     return config;
 }
 
+TEST(Observability, MetricsRunsAlwaysHaveABaselineSample)
+{
+    // Even with --sample-every 0 the series brackets the run: one
+    // sample at the start, one at the end.
+    RunConfig config = obsConfig();
+    config.obs.metrics = true;
+    const RunResult result = runWorkload("Jacobi", config);
+    ASSERT_NE(result.obs, nullptr);
+    ASSERT_EQ(result.obs->sampleTicks.size(), 2u);
+    EXPECT_LT(result.obs->sampleTicks.front(),
+              result.obs->sampleTicks.back());
+}
+
 TEST(Observability, DisabledPathIsByteIdentical)
 {
     const RunResult plain = runWorkload("Jacobi", obsConfig());
     RunConfig observed_config = obsConfig();
     observed_config.obs.metrics = true;
     observed_config.obs.timeline = true;
+    observed_config.obs.profile = true;
     observed_config.obs.sampleEvery = usToTicks(50.0);
     const RunResult observed = runWorkload("Jacobi", observed_config);
 

@@ -11,6 +11,7 @@
 #include "api/result_export.hh"
 #include "api/sweep.hh"
 #include "common/logging.hh"
+#include "obs/observability.hh"
 
 namespace gps
 {
@@ -66,6 +67,48 @@ TEST(Sweep, ParallelRunsMatchSerialByteForByte)
                   resultToJson(parallel[i].result, true))
             << "job " << i;
     }
+}
+
+TEST(Sweep, ProfileHistogramsAreDeterministicAcrossJobCounts)
+{
+    // Log2 histograms merge elementwise, so a profiled grid must export
+    // bit-identical buckets and percentiles whether the sweep runs
+    // serially or fanned across workers.
+    std::vector<SweepJob> jobs;
+    for (const std::size_t gpus : {2u, 4u}) {
+        RunConfig config = smallConfig(ParadigmKind::Gps, gpus);
+        config.obs.profile = true;
+        jobs.push_back({"Jacobi", config, ""});
+        jobs.push_back({"HIT", config, ""});
+    }
+    const std::vector<SweepOutcome> serial = runSweep(jobs, 1);
+    const std::vector<SweepOutcome> parallel = runSweep(jobs, 3);
+    ASSERT_EQ(serial.size(), parallel.size());
+
+    LogHistogram serial_merged, parallel_merged;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok());
+        ASSERT_TRUE(parallel[i].ok());
+        ASSERT_NE(serial[i].result.obs, nullptr);
+        ASSERT_NE(parallel[i].result.obs, nullptr);
+        // Each job's full profile export is byte-identical...
+        EXPECT_EQ(profileToJson(*serial[i].result.obs),
+                  profileToJson(*parallel[i].result.obs))
+            << "job " << i;
+        // ...and so is the cross-job histogram reduction.
+        for (const NamedHistogram& h :
+             serial[i].result.obs->profile.histograms)
+            serial_merged.merge(h.hist);
+        for (const NamedHistogram& h :
+             parallel[i].result.obs->profile.histograms)
+            parallel_merged.merge(h.hist);
+    }
+    EXPECT_GT(serial_merged.count(), 0u);
+    EXPECT_EQ(serial_merged.buckets(), parallel_merged.buckets());
+    EXPECT_DOUBLE_EQ(serial_merged.percentile(0.5),
+                     parallel_merged.percentile(0.5));
+    EXPECT_DOUBLE_EQ(serial_merged.percentile(0.99),
+                     parallel_merged.percentile(0.99));
 }
 
 TEST(Sweep, FailedJobCarriesErrorAndOthersStillRun)

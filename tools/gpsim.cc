@@ -50,7 +50,11 @@ struct Options
     FaultPlan faultPlan;
     std::string metricsOut;  ///< metrics JSON path; empty disables
     std::string timelineOut; ///< trace JSON path; empty disables
+    std::string profileOut;  ///< bottleneck profile JSON; empty disables
     Tick sampleEvery = 0;    ///< metric sampling period in ticks
+    std::size_t timelineMaxEvents = 1 << 20;
+    std::size_t profileTop = 20;         ///< hot-page rows kept
+    std::uint64_t profileBucketPages = 1; ///< pages per heat bucket
 };
 
 /**
@@ -125,6 +129,13 @@ usage(const char* argv0, int exit_code)
         "                            (and print per-GPU/per-link tables)\n"
         "  --timeline-out <file>     write a Chrome trace-event JSON\n"
         "                            (open in Perfetto / about:tracing)\n"
+        "  --timeline-max-events <n> timeline event cap before dropping\n"
+        "                            (default 1048576)\n"
+        "  --profile-out <file>      write the bottleneck-attribution\n"
+        "                            profile JSON (per-kernel breakdown,\n"
+        "                            hot pages, latency histograms)\n"
+        "  --profile-top <n>         hot-page rows to keep (default 20)\n"
+        "  --profile-bucket-pages <n>  pages per heat bucket (default 1)\n"
         "  --sample-every <ticks>    metric sampling period in simulated\n"
         "                            ticks (default 0: final values only)\n"
         "  --json                    one JSON object per run on stdout\n"
@@ -221,6 +232,19 @@ parseArgs(int argc, char** argv)
             opts.metricsOut = value(i);
         } else if (arg == "--timeline-out") {
             opts.timelineOut = value(i);
+        } else if (arg == "--timeline-max-events") {
+            opts.timelineMaxEvents = static_cast<std::size_t>(
+                parseUnsigned("--timeline-max-events", value(i)));
+        } else if (arg == "--profile-out") {
+            opts.profileOut = value(i);
+        } else if (arg == "--profile-top") {
+            opts.profileTop = static_cast<std::size_t>(
+                parseUnsigned("--profile-top", value(i)));
+        } else if (arg == "--profile-bucket-pages") {
+            opts.profileBucketPages =
+                parseUnsigned("--profile-bucket-pages", value(i));
+            if (opts.profileBucketPages == 0)
+                gps_fatal("--profile-bucket-pages must be >= 1");
         } else if (arg == "--sample-every") {
             opts.sampleEvery = parseUnsigned("--sample-every", value(i));
         } else if (arg == "--no-unsubscribe") {
@@ -277,6 +301,10 @@ makeConfig(const Options& opts)
     config.obs.metrics = !opts.metricsOut.empty();
     config.obs.timeline = !opts.timelineOut.empty();
     config.obs.sampleEvery = opts.sampleEvery;
+    config.obs.maxTimelineEvents = opts.timelineMaxEvents;
+    config.obs.profile = !opts.profileOut.empty();
+    config.obs.profileTopN = opts.profileTop;
+    config.obs.profilePagesPerBucket = opts.profileBucketPages;
     return config;
 }
 
@@ -326,6 +354,69 @@ writeTextFile(const std::string& path, const std::string& text)
         gps_fatal("write to '", path, "' failed");
 }
 
+/**
+ * Fail fast on unwritable output paths — before the simulation runs, so
+ * a typo'd directory costs seconds, not a completed run's worth of work.
+ * Append mode probes writability without truncating an existing file.
+ */
+void
+requireWritable(const char* flag, const std::string& path)
+{
+    if (path.empty())
+        return;
+    std::ofstream probe(path, std::ios::app);
+    if (!probe)
+        gps_fatal("cannot open '", path, "' for writing (", flag, ")");
+}
+
+/** Text summary of the bottleneck profile (full detail is in the JSON). */
+void
+printProfileSummary(const ObsReport& report)
+{
+    const ProfileReport& prof = report.profile;
+    std::printf("    bottlenecks:\n");
+    std::printf("    %-14s %4s %10s  %-10s %8s %8s %8s\n", "phase", "gpu",
+                "time(ms)", "limiter", "dram%", "link%", "remote%");
+    for (const BottleneckProfile& k : prof.kernels) {
+        const auto shares = k.shares();
+        const auto& names = BottleneckProfile::componentNames();
+        double dram = 0.0, link = 0.0, remote = 0.0;
+        for (std::size_t i = 0; i < shares.size(); ++i) {
+            const std::string name = names[i];
+            if (name == "dram")
+                dram = shares[i];
+            else if (name == "egress" || name == "ingress")
+                link += shares[i];
+            else if (name == "remote")
+                remote = shares[i];
+        }
+        std::printf("    %-14s %4u %10.3f  %-10s %7.1f%% %7.1f%% %7.1f%%\n",
+                    k.phase.c_str(), static_cast<unsigned>(k.gpu),
+                    ticksToMs(k.total), k.limiter(), dram * 100.0,
+                    link * 100.0, remote * 100.0);
+    }
+    if (!prof.hotPages.empty()) {
+        std::printf("    hot pages (top %zu of %llu buckets, %llu "
+                    "page(s)/bucket):\n",
+                    prof.hotPages.size(),
+                    static_cast<unsigned long long>(prof.totalHotBuckets),
+                    static_cast<unsigned long long>(prof.pagesPerBucket));
+        std::printf("    %10s %-16s %12s %12s %8s %8s\n", "vpn", "region",
+                    "rwq_bytes", "rem_writes", "subflip", "migrate");
+        for (const HotPage& page : prof.hotPages) {
+            std::printf(
+                "    %10llu %-16s %12llu %12llu %8llu %8llu\n",
+                static_cast<unsigned long long>(page.firstVpn),
+                page.region.c_str(),
+                static_cast<unsigned long long>(page.heat.rwqBytes),
+                static_cast<unsigned long long>(
+                    page.heat.remoteWritesForwarded),
+                static_cast<unsigned long long>(page.heat.subFlips),
+                static_cast<unsigned long long>(page.heat.migrations));
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -340,6 +431,10 @@ main(int argc, char** argv)
             std::printf("%s", system.configDump().render().c_str());
             return 0;
         }
+
+        requireWritable("--metrics-out", opts.metricsOut);
+        requireWritable("--timeline-out", opts.timelineOut);
+        requireWritable("--profile-out", opts.profileOut);
 
         std::vector<std::size_t> gpu_counts =
             opts.gpuSweep.empty()
@@ -433,6 +528,8 @@ main(int argc, char** argv)
                     }
                     if (result.obs != nullptr && result.obs->hasMetrics)
                         printObsBreakdown(*result.obs, gpus);
+                    if (result.obs != nullptr && result.obs->hasProfile)
+                        printProfileSummary(*result.obs);
                     if (opts.dumpStats) {
                         std::printf(
                             "%s", result.stats.dump("    ").c_str());
@@ -449,6 +546,13 @@ main(int argc, char** argv)
             if (!opts.timelineOut.empty())
                 writeTextFile(opts.timelineOut,
                               timelineToJson(*last_obs));
+            if (!opts.profileOut.empty())
+                writeTextFile(opts.profileOut, profileToJson(*last_obs));
+            if (last_obs->timelineDropped > 0)
+                gps_warn("timeline truncated: ",
+                         last_obs->timelineDropped,
+                         " event(s) dropped past the cap; raise "
+                         "--timeline-max-events");
         }
         return 0;
     } catch (const FatalError& error) {
