@@ -20,6 +20,7 @@ namespace gps
 {
 
 struct ObsReport;
+struct CheckReport;
 
 /** Outcome of running one workload under one paradigm. */
 struct RunResult
@@ -55,6 +56,9 @@ struct RunResult
 
     /** Observability output; null unless RunConfig::obs enabled it. */
     std::shared_ptr<const ObsReport> obs;
+
+    /** Differential-validation report; null unless RunConfig::check. */
+    std::shared_ptr<const CheckReport> check;
 
     double timeMs() const { return ticksToMs(totalTime); }
 };

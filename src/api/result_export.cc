@@ -1,5 +1,6 @@
 #include "api/result_export.hh"
 
+#include "check/check_config.hh"
 #include "common/json.hh"
 
 namespace gps
@@ -62,6 +63,36 @@ resultToJson(const RunResult& result, bool include_stats)
         json.field("wq_saturations", faults.wqSaturations);
         json.field("wq_saturated_drains", faults.wqSaturatedDrains);
         json.field("stall_time_ms", ticksToMs(faults.stallTicks));
+        json.endObject();
+    }
+
+    if (result.check != nullptr) {
+        const CheckReport& check = *result.check;
+        json.key("check").beginObject();
+        json.field("ok", check.ok());
+        json.field("ref_accesses", check.refAccesses);
+        json.field("unmodeled_accesses", check.unmodeledAccesses);
+        json.field("sink_events", check.sinkEvents);
+        json.field("invariant_checks", check.invariantChecks);
+        json.field("counter_checks", check.counterChecks);
+        json.field("divergences", check.divergences);
+        if (!check.findings.empty()) {
+            json.key("findings").beginArray();
+            for (const CheckFinding& f : check.findings) {
+                json.beginObject();
+                json.field("invariant", f.invariant);
+                json.field("detail", f.detail);
+                json.field("phase", f.phase);
+                if (f.gpu != invalidGpu)
+                    json.field("gpu",
+                               static_cast<std::uint64_t>(f.gpu));
+                if (f.hasVpn)
+                    json.field("vpn",
+                               static_cast<std::uint64_t>(f.vpn));
+                json.endObject();
+            }
+            json.endArray();
+        }
         json.endObject();
     }
 

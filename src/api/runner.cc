@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
 #include "common/logging.hh"
 #include "fault/fault_engine.hh"
 
@@ -30,6 +31,18 @@ Runner::run(Workload& workload)
     workload.setup(ctx);
     if (paradigm->kind() == ParadigmKind::UmHints)
         workload.applyUmHints(ctx);
+
+    // Differential validation: constructed only when requested, so the
+    // disabled path runs exactly the pre-check code. Attached before
+    // onSetupComplete() so setup-time subscriptions reach the sink.
+    std::unique_ptr<CheckContext> check;
+    if (config_.check.enabled) {
+        check = std::make_unique<CheckContext>(config_.check, system);
+        check->attachParadigm(paradigm.get());
+        paradigm->attachChecker(check.get());
+        check_ = check.get();
+    }
+
     paradigm->onSetupComplete();
 
     // Observability: constructed only when requested, so the disabled
@@ -179,6 +192,13 @@ Runner::run(Workload& workload)
         faults_ = nullptr;
     }
 
+    if (check != nullptr) {
+        result.check = std::make_shared<const CheckReport>(
+            check->finalize(totals, result.stats));
+        paradigm->attachChecker(nullptr);
+        check_ = nullptr;
+    }
+
     if (obs != nullptr) {
         system.events().setObserver(nullptr);
         result.obs = std::make_shared<const ObsReport>(
@@ -233,6 +253,8 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
     // serializes. ---
     TrafficMatrix traffic(n);
     KernelCounters stage_counters;
+    if (check_ != nullptr)
+        check_->beginPhase(phase.name);
     const Tick prefetch_time =
         paradigm.beginPhase(phase, stage_counters, traffic);
 
@@ -295,14 +317,19 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
                 }
                 paradigm.access(gpu, access, vpn, *cursor.lastState,
                                 tlb_miss, c, traffic);
+                if (check_ != nullptr)
+                    check_->onAccess(gpu, access, vpn);
             }
         }
     }
 
     // End of each grid: implicit release (GPS drains its write queues).
-    for (Cursor& cursor : cursors)
+    for (Cursor& cursor : cursors) {
         paradigm.endKernel(cursor.kernel->gpu, counters[cursor.kernel->gpu],
                            traffic);
+        if (check_ != nullptr)
+            check_->onKernelEnd(cursor.kernel->gpu);
+    }
 
     // Faulted paths: move flows off Down links, inflate Degraded ones.
     if (faults_ != nullptr)

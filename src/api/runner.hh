@@ -24,6 +24,7 @@
 #include "api/metrics.hh"
 #include "api/system.hh"
 #include "apps/workload.hh"
+#include "check/check_config.hh"
 #include "fault/fault_plan.hh"
 #include "obs/observability.hh"
 #include "paradigm/paradigm.hh"
@@ -32,6 +33,7 @@ namespace gps
 {
 
 class FaultEngine;
+class CheckContext;
 
 /** Everything needed to run one (workload, paradigm, system) triple. */
 struct RunConfig
@@ -66,6 +68,13 @@ struct RunConfig
      * to a build without the observability layer.
      */
     ObsConfig obs;
+
+    /**
+     * Differential validation against the reference model. Disabled by
+     * default: no checker is constructed and results are byte-identical
+     * to a build without the check subsystem.
+     */
+    CheckConfig check;
 };
 
 /** Executes workloads and produces RunResults. */
@@ -99,6 +108,9 @@ class Runner
 
     /** Active observability bundle during run(); nullptr otherwise. */
     Observability* obs_ = nullptr;
+
+    /** Active differential checker during run(); nullptr otherwise. */
+    CheckContext* check_ = nullptr;
 };
 
 /** One-call helper used throughout the benches. */

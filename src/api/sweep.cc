@@ -128,6 +128,9 @@ configKey(const std::string& workload, const RunConfig& config)
        << '|';
     for (const FaultEvent& ev : config.faultPlan.events)
         os << ev.time << ':' << ev.describe() << '|';
+
+    os << config.check.enabled << '|' << config.check.everyAccesses
+       << '|' << config.check.testMutation << '|';
     return os.str();
 }
 

@@ -1,0 +1,327 @@
+#include "check/check.hh"
+
+#include <sstream>
+
+#include "api/system.hh"
+#include "core/gps_paradigm.hh"
+
+namespace gps
+{
+
+void
+addFinding(CheckReport& report, CheckFinding finding)
+{
+    ++report.divergences;
+    if (report.findings.size() < CheckReport::maxFindings)
+        report.findings.push_back(std::move(finding));
+}
+
+std::string
+describe(const CheckFinding& finding)
+{
+    std::ostringstream os;
+    os << finding.invariant << ": " << finding.detail << " [phase "
+       << finding.phase;
+    if (finding.gpu != invalidGpu)
+        os << ", gpu " << finding.gpu;
+    if (finding.hasVpn)
+        os << ", page " << finding.vpn;
+    os << ']';
+    return os.str();
+}
+
+CheckContext::CheckContext(const CheckConfig& config,
+                           MultiGpuSystem& system)
+    : config_(config), system_(&system)
+{
+    ref_ = std::make_unique<RefModel>(
+        system.config().gps, system.geometry(),
+        system.config().gpu.cacheLineBytes,
+        system.config().gpu.smCoalescerDepth, system.numGpus());
+    invariants_ = std::make_unique<InvariantChecker>(system, nullptr);
+}
+
+void
+CheckContext::attachParadigm(Paradigm* paradigm)
+{
+    if (paradigm == nullptr || paradigm->kind() != ParadigmKind::Gps) {
+        gps_ = nullptr;
+        invariants_ = std::make_unique<InvariantChecker>(*system_,
+                                                         nullptr);
+        return;
+    }
+    gps_ = static_cast<GpsParadigm*>(paradigm);
+    invariants_ = std::make_unique<InvariantChecker>(*system_, gps_);
+}
+
+void
+CheckContext::onAccess(GpuId gpu, const MemAccess& access, PageNum vpn)
+{
+    ++taps_;
+    if (gps_ != nullptr) {
+        seedIfUnknown(vpn);
+        const bool skip = config_.testMutation == 1 && !mutation1Done_ &&
+                          maybeApplyMutation1(gpu, access, vpn);
+        if (!skip) {
+            ref_->replay(gpu, access, vpn);
+            ++report_.refAccesses;
+        }
+    }
+    if (config_.everyAccesses > 0 &&
+        taps_ % config_.everyAccesses == 0)
+        invariants_->runAll(phase_, report_);
+}
+
+void
+CheckContext::onKernelEnd(GpuId gpu)
+{
+    if (gps_ != nullptr) {
+        ref_->endKernel(gpu);
+        compareQueue(gpu);
+    }
+    invariants_->runCheap(phase_, report_);
+}
+
+CheckReport
+CheckContext::finalize(const KernelCounters& totals, const StatSet& stats)
+{
+    phase_ = "finalize";
+    if (gps_ != nullptr) {
+        drainViolations();
+        compareTotals(totals, stats);
+        comparePages();
+        report_.unmodeledAccesses = ref_->unmodeledAccesses();
+    }
+    invariants_->runAll(phase_, report_);
+    report_.enabled = true;
+    return report_;
+}
+
+void
+CheckContext::noteSubscribe(PageNum vpn, GpuId gpu)
+{
+    ++report_.sinkEvents;
+    seedIfUnknown(vpn);
+    ref_->applySubscribe(vpn, gpu);
+}
+
+void
+CheckContext::noteUnsubscribe(PageNum vpn, GpuId gpu)
+{
+    ++report_.sinkEvents;
+    seedIfUnknown(vpn);
+    if (config_.testMutation == 2 && !mutation2Done_) {
+        // Only drop an event that actually changes reference state;
+        // dropping one that seeding already reflects would self-heal.
+        RefPage* page = ref_->findPage(vpn);
+        if (page != nullptr && maskHas(page->subscribers, gpu)) {
+            mutation2Done_ = true;
+            return;
+        }
+    }
+    ref_->applyUnsubscribe(vpn, gpu);
+}
+
+void
+CheckContext::noteCollapse(PageNum vpn, GpuId keeper)
+{
+    ++report_.sinkEvents;
+    seedIfUnknown(vpn);
+    ref_->applyCollapse(vpn, keeper);
+}
+
+void
+CheckContext::noteSysFlush(PageNum vpn)
+{
+    ++report_.sinkEvents;
+    seedIfUnknown(vpn);
+    ref_->applySysFlush(vpn);
+}
+
+void
+CheckContext::noteWqSaturation(GpuId gpu, bool saturated)
+{
+    ++report_.sinkEvents;
+    ref_->applyWqSaturation(gpu, saturated);
+}
+
+void
+CheckContext::seedIfUnknown(PageNum vpn)
+{
+    if (ref_->knows(vpn))
+        return;
+    const PageState* st = system_->driver().findState(vpn);
+    if (st == nullptr)
+        return;
+    RefPage page;
+    page.kind = st->kind;
+    page.location = st->location;
+    page.subscribers = st->subscribers;
+    page.collapsed = st->collapsed;
+    ref_->seedPage(vpn, page);
+}
+
+bool
+CheckContext::maybeApplyMutation1(GpuId gpu, const MemAccess& access,
+                                  PageNum vpn)
+{
+    // Skip exactly one weak store that must reach the reference's
+    // coalescer/queue stage; one of the per-GPU counters then diverges
+    // at the next kernel end.
+    if (!access.isStore() || access.scope == Scope::Sys)
+        return false;
+    RefPage* page = ref_->findPage(vpn);
+    if (page == nullptr || page->kind != MemKind::Gps || page->collapsed)
+        return false;
+    if (maskClear(page->subscribers, gpu) == 0)
+        return false;
+    mutation1Done_ = true;
+    return true;
+}
+
+void
+CheckContext::compare(const std::string& what, GpuId gpu,
+                      std::uint64_t reference, std::uint64_t simulator)
+{
+    ++report_.counterChecks;
+    if (reference == simulator)
+        return;
+    std::ostringstream os;
+    os << "reference=" << reference << " simulator=" << simulator;
+    CheckFinding f;
+    f.invariant = "counter:" + what;
+    f.detail = os.str();
+    f.phase = phase_;
+    f.gpu = gpu;
+    addFinding(report_, std::move(f));
+}
+
+void
+CheckContext::compareQueue(GpuId gpu)
+{
+    const RemoteWriteQueue& wq = gps_->writeQueue(gpu);
+    const RefModel::GpuCounters& rc = ref_->counters(gpu);
+    compare("rwq.inserts", gpu, rc.inserts, wq.inserts());
+    compare("rwq.coalesced", gpu, rc.coalesced, wq.coalesced());
+    compare("rwq.drains", gpu, rc.drains, wq.drains());
+    compare("rwq.watermark_drains", gpu, rc.watermarkDrains,
+            wq.watermarkDrains());
+    compare("rwq.atomic_bypass", gpu, rc.atomicBypass,
+            wq.atomicBypass());
+    compare("rwq.forward_hits", gpu, rc.forwardHits, wq.forwardHits());
+    compare("rwq.occupancy", gpu, ref_->occupancy(gpu), wq.occupancy());
+    compare("rwq.resident", gpu, ref_->resident(gpu),
+            wq.residentEntries());
+    compare("sm_coalescer.absorbed", gpu, ref_->coalescerAbsorbed(gpu),
+            system_->gpu(gpu).storeCoalescer().absorbed());
+}
+
+void
+CheckContext::compareTotals(const KernelCounters& totals,
+                            const StatSet& stats)
+{
+    RefModel::GpuCounters sum;
+    for (std::size_t g = 0; g < system_->numGpus(); ++g) {
+        const RefModel::GpuCounters& rc =
+            ref_->counters(static_cast<GpuId>(g));
+        sum.inserts += rc.inserts;
+        sum.coalesced += rc.coalesced;
+        sum.drains += rc.drains;
+        sum.atomicBypass += rc.atomicBypass;
+        sum.forwardHits += rc.forwardHits;
+        sum.smCoalesced += rc.smCoalesced;
+    }
+    compare("totals.wq_inserts", invalidGpu, sum.inserts,
+            totals.wqInserts);
+    compare("totals.wq_coalesced", invalidGpu, sum.coalesced,
+            totals.wqCoalesced);
+    compare("totals.wq_drains", invalidGpu, sum.drains, totals.wqDrains);
+    compare("totals.wq_atomic_bypass", invalidGpu, sum.atomicBypass,
+            totals.wqAtomicBypass);
+    compare("totals.sm_coalesced", invalidGpu, sum.smCoalesced,
+            totals.smCoalesced);
+    compare("totals.pushed_store_bytes", invalidGpu,
+            ref_->pushedStoreBytes(), totals.pushedStoreBytes);
+    if (stats.has("gps.wq_forward_hits"))
+        compare("stats.gps.wq_forward_hits", invalidGpu, sum.forwardHits,
+                static_cast<std::uint64_t>(
+                    stats.get("gps.wq_forward_hits")));
+}
+
+void
+CheckContext::comparePages()
+{
+    Driver& drv = system_->driver();
+    ref_->forEachPage([&](PageNum vpn, const RefPage& page) {
+        if (page.kind != MemKind::Gps)
+            return;
+        ++report_.counterChecks;
+        const PageState* st = drv.findState(vpn);
+        if (st == nullptr) {
+            CheckFinding f;
+            f.invariant = "page.vanished";
+            f.detail = "reference knows a page the driver lost";
+            f.phase = phase_;
+            f.vpn = vpn;
+            f.hasVpn = true;
+            addFinding(report_, std::move(f));
+            return;
+        }
+        if (st->subscribers != page.subscribers) {
+            std::ostringstream os;
+            os << "reference_mask=0x" << std::hex << page.subscribers
+               << " simulator_mask=0x" << st->subscribers;
+            CheckFinding f;
+            f.invariant = "page.subscribers";
+            f.detail = os.str();
+            f.phase = phase_;
+            f.vpn = vpn;
+            f.hasVpn = true;
+            addFinding(report_, std::move(f));
+        }
+        ++report_.counterChecks;
+        if (st->collapsed != page.collapsed) {
+            std::ostringstream os;
+            os << "reference_collapsed=" << page.collapsed
+               << " simulator_collapsed=" << st->collapsed;
+            CheckFinding f;
+            f.invariant = "page.collapsed";
+            f.detail = os.str();
+            f.phase = phase_;
+            f.vpn = vpn;
+            f.hasVpn = true;
+            addFinding(report_, std::move(f));
+        }
+        if (st->collapsed && page.collapsed) {
+            ++report_.counterChecks;
+            if (st->location != page.location) {
+                std::ostringstream os;
+                os << "reference_location=" << page.location
+                   << " simulator_location=" << st->location;
+                CheckFinding f;
+                f.invariant = "page.location";
+                f.detail = os.str();
+                f.phase = phase_;
+                f.vpn = vpn;
+                f.hasVpn = true;
+                addFinding(report_, std::move(f));
+            }
+        }
+    });
+}
+
+void
+CheckContext::drainViolations()
+{
+    for (RefViolation& v : ref_->takeViolations()) {
+        CheckFinding f;
+        f.invariant = "protocol.violation";
+        f.detail = std::move(v.what);
+        f.phase = phase_;
+        f.vpn = v.vpn;
+        f.hasVpn = true;
+        addFinding(report_, std::move(f));
+    }
+}
+
+} // namespace gps

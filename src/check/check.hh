@@ -1,0 +1,96 @@
+/**
+ * @file
+ * CheckContext: the differential-validation driver for one run.
+ *
+ * Installed by the Runner when RunConfig::check is enabled. It taps the
+ * replay loop (one call after each access and each kernel end), mirrors
+ * the GPS subscription protocol into a RefModel via the GpsCheckSink
+ * events, evaluates structural invariants at a configurable cadence,
+ * and at finalize compares the reference's end-of-run counters and page
+ * state against the timing model's. When checking is disabled none of
+ * this exists and runs are byte-identical to an uninstrumented build.
+ */
+
+#ifndef GPS_CHECK_CHECK_HH
+#define GPS_CHECK_CHECK_HH
+
+#include <memory>
+#include <string>
+
+#include "check/check_config.hh"
+#include "check/invariants.hh"
+#include "check/ref_model.hh"
+#include "check/sink.hh"
+#include "common/stats.hh"
+#include "gpu/kernel_counters.hh"
+#include "trace/access.hh"
+
+namespace gps
+{
+
+class MultiGpuSystem;
+class Paradigm;
+class GpsParadigm;
+
+/** Per-run differential checker; owned by the Runner. */
+class CheckContext : public GpsCheckSink
+{
+  public:
+    CheckContext(const CheckConfig& config, MultiGpuSystem& system);
+    ~CheckContext() override = default;
+
+    /**
+     * Bind the run's paradigm. Under GPS this activates reference
+     * replay and queue/subscription invariants; other paradigms keep
+     * the structure-independent invariants only.
+     */
+    void attachParadigm(Paradigm* paradigm);
+
+    /** A new phase starts (context for findings). */
+    void beginPhase(const std::string& name) { phase_ = name; }
+
+    /** One access was replayed by the timing model (tap runs after). */
+    void onAccess(GpuId gpu, const MemAccess& access, PageNum vpn);
+
+    /** @p gpu's kernel ended and its write queue fully drained. */
+    void onKernelEnd(GpuId gpu);
+
+    /** End of run: totals comparison, page-state sweep, full
+     *  invariants. Returns the accumulated report. */
+    CheckReport finalize(const KernelCounters& totals,
+                         const StatSet& stats);
+
+    // --- GpsCheckSink ---
+    void noteSubscribe(PageNum vpn, GpuId gpu) override;
+    void noteUnsubscribe(PageNum vpn, GpuId gpu) override;
+    void noteCollapse(PageNum vpn, GpuId keeper) override;
+    void noteSysFlush(PageNum vpn) override;
+    void noteWqSaturation(GpuId gpu, bool saturated) override;
+
+  private:
+    void seedIfUnknown(PageNum vpn);
+    bool maybeApplyMutation1(GpuId gpu, const MemAccess& access,
+                             PageNum vpn);
+    void compare(const std::string& what, GpuId gpu,
+                 std::uint64_t reference, std::uint64_t simulator);
+    void compareQueue(GpuId gpu);
+    void compareTotals(const KernelCounters& totals,
+                       const StatSet& stats);
+    void comparePages();
+    void drainViolations();
+
+    CheckConfig config_;
+    MultiGpuSystem* system_;
+    GpsParadigm* gps_ = nullptr;
+    std::unique_ptr<RefModel> ref_;
+    std::unique_ptr<InvariantChecker> invariants_;
+    CheckReport report_;
+    std::string phase_ = "setup";
+    std::uint64_t taps_ = 0;
+    bool mutation1Done_ = false;
+    bool mutation2Done_ = false;
+};
+
+} // namespace gps
+
+#endif // GPS_CHECK_CHECK_HH

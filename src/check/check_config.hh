@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Configuration and report types for the differential-validation
+ * subsystem (src/check/). Deliberately free of heavy includes so
+ * RunConfig and RunResult can embed them cheaply.
+ */
+
+#ifndef GPS_CHECK_CHECK_CONFIG_HH
+#define GPS_CHECK_CHECK_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace gps
+{
+
+/** Knobs of the runtime validation layer (gpsim --check). */
+struct CheckConfig
+{
+    /**
+     * Master switch. Disabled runs construct no checker at all and are
+     * byte-identical to a build without the check subsystem.
+     */
+    bool enabled = false;
+
+    /**
+     * Run the full invariant suite every N replayed accesses on top of
+     * the kernel-end and finalize sweeps (0 = kernel ends and finalize
+     * only).
+     */
+    std::uint64_t everyAccesses = 0;
+
+    /**
+     * Test-only seeded defect, used by the divergence-detection tests
+     * to prove the checker actually fires:
+     *   0  none
+     *   1  the reference model silently skips one weak store
+     *      (guaranteed counter divergence at the next kernel end)
+     *   2  the reference model drops one unsubscribe event
+     *      (page-state divergence at finalize, with page context)
+     */
+    std::uint32_t testMutation = 0;
+};
+
+/** One detected divergence or invariant violation. */
+struct CheckFinding
+{
+    /** Which invariant / comparison failed (e.g. "rwq.conservation"). */
+    std::string invariant;
+
+    /** Human-readable expected-vs-actual detail. */
+    std::string detail;
+
+    /** Phase (kernel) being replayed when the divergence was caught. */
+    std::string phase;
+
+    /** GPU context; invalidGpu when not GPU-specific. */
+    GpuId gpu = invalidGpu;
+
+    /** Page context; meaningful only when hasVpn. */
+    PageNum vpn = 0;
+    bool hasVpn = false;
+};
+
+/** Outcome of one checked run. */
+struct CheckReport
+{
+    bool enabled = false;
+
+    /** Accesses replayed through the reference model. */
+    std::uint64_t refAccesses = 0;
+
+    /** Accesses the reference model declined to model (non-GPS kinds). */
+    std::uint64_t unmodeledAccesses = 0;
+
+    /** Subscription/collapse/flush events mirrored into the reference. */
+    std::uint64_t sinkEvents = 0;
+
+    /** Individual invariant evaluations performed. */
+    std::uint64_t invariantChecks = 0;
+
+    /** Individual reference-vs-simulator counter comparisons. */
+    std::uint64_t counterChecks = 0;
+
+    /** Total divergences (findings is capped; this count is not). */
+    std::uint64_t divergences = 0;
+
+    /** First findings, capped at maxFindings. */
+    static constexpr std::size_t maxFindings = 32;
+    std::vector<CheckFinding> findings;
+
+    bool ok() const { return divergences == 0; }
+};
+
+/** Record @p finding: always counted, stored only below the cap. */
+void addFinding(CheckReport& report, CheckFinding finding);
+
+/** One-line rendering with phase/GPU/page context. */
+std::string describe(const CheckFinding& finding);
+
+} // namespace gps
+
+#endif // GPS_CHECK_CHECK_CONFIG_HH

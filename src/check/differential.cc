@@ -1,0 +1,36 @@
+#include "check/differential.hh"
+
+namespace gps
+{
+
+DifferentialResult
+runDifferentialCheck(std::vector<SweepJob> jobs, const CheckConfig& check,
+                     std::size_t workers)
+{
+    for (SweepJob& job : jobs) {
+        job.config.check = check;
+        job.config.check.enabled = true;
+    }
+
+    DifferentialResult out;
+    out.outcomes = runSweep(jobs, workers);
+    for (std::size_t i = 0; i < out.outcomes.size(); ++i) {
+        const SweepOutcome& outcome = out.outcomes[i];
+        if (!outcome.ok() || outcome.result.check == nullptr)
+            continue;
+        const CheckReport& report = *outcome.result.check;
+        if (report.ok())
+            continue;
+        DifferentialDivergence div;
+        div.jobIndex = i;
+        div.label = outcome.label;
+        if (!report.findings.empty())
+            div.finding = report.findings.front();
+        else
+            div.finding.invariant = "unknown";
+        out.divergences.push_back(std::move(div));
+    }
+    return out;
+}
+
+} // namespace gps

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Differential sweep mode: run a job list with checking forced on and
+ * collect the first divergence of every diverged run, with enough
+ * context (label, phase, GPU, page) to reproduce it.
+ */
+
+#ifndef GPS_CHECK_DIFFERENTIAL_HH
+#define GPS_CHECK_DIFFERENTIAL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "api/sweep.hh"
+#include "check/check_config.hh"
+
+namespace gps
+{
+
+/** First divergence of one diverged sweep job. */
+struct DifferentialDivergence
+{
+    /** Index of the job in the sweep's input order. */
+    std::size_t jobIndex = 0;
+
+    /** The job's display label. */
+    std::string label;
+
+    CheckFinding finding;
+};
+
+/** Outcome of a differential sweep. */
+struct DifferentialResult
+{
+    /** Per-job outcomes, in input order (as runSweep returns them). */
+    std::vector<SweepOutcome> outcomes;
+
+    /** One entry per diverged job, in input order. */
+    std::vector<DifferentialDivergence> divergences;
+
+    bool ok() const { return divergences.empty(); }
+
+    /** First divergence across the sweep, or nullptr. */
+    const DifferentialDivergence*
+    first() const
+    {
+        return divergences.empty() ? nullptr : &divergences.front();
+    }
+};
+
+/**
+ * Run every job with @p check forced on (enabled regardless of what the
+ * job's config says) on up to @p workers threads.
+ */
+DifferentialResult runDifferentialCheck(std::vector<SweepJob> jobs,
+                                        const CheckConfig& check,
+                                        std::size_t workers);
+
+} // namespace gps
+
+#endif // GPS_CHECK_DIFFERENTIAL_HH

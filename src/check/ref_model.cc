@@ -1,0 +1,293 @@
+#include "check/ref_model.hh"
+
+#include <algorithm>
+
+namespace gps
+{
+
+RefModel::RefModel(const GpsConfig& config, PageGeometry geometry,
+                   std::uint32_t line_bytes,
+                   std::uint32_t coalescer_depth, std::size_t num_gpus)
+    : config_(config), geometry_(geometry), lineBytes_(line_bytes),
+      coalescerDepth_(coalescer_depth), gpus_(num_gpus)
+{
+    for (GpuState& gs : gpus_)
+        gs.coalLines.assign(coalescer_depth, 0);
+}
+
+void
+RefModel::seedPage(PageNum vpn, const RefPage& page)
+{
+    pages_.emplace(vpn, page);
+}
+
+RefPage*
+RefModel::findPage(PageNum vpn)
+{
+    auto it = pages_.find(vpn);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+void
+RefModel::applySubscribe(PageNum vpn, GpuId gpu)
+{
+    auto it = pages_.find(vpn);
+    if (it == pages_.end())
+        it = pages_.emplace(vpn, RefPage{MemKind::Gps, gpu, 0, false})
+                 .first;
+    it->second.subscribers = maskSet(it->second.subscribers, gpu);
+}
+
+void
+RefModel::applyUnsubscribe(PageNum vpn, GpuId gpu)
+{
+    RefPage* page = findPage(vpn);
+    if (page == nullptr)
+        return;
+    page->subscribers = maskClear(page->subscribers, gpu);
+    // Mirror the driver's location fixup: the primary copy moves to the
+    // lowest surviving subscriber.
+    if (page->location == gpu)
+        page->location = maskFirst(page->subscribers);
+}
+
+void
+RefModel::applyCollapse(PageNum vpn, GpuId keeper)
+{
+    RefPage* page = findPage(vpn);
+    if (page == nullptr)
+        return;
+    // The non-keeper unsubscribes arrive as individual events first;
+    // this just demotes the page for good.
+    page->collapsed = true;
+    page->location = keeper;
+}
+
+void
+RefModel::applySysFlush(PageNum vpn)
+{
+    // Every queue flushes its entries of this page, forwarding with the
+    // current (pre-collapse) subscriber masks.
+    for (std::size_t g = 0; g < gpus_.size(); ++g) {
+        const GpuId gpu = static_cast<GpuId>(g);
+        GpuState& gs = gpus_[g];
+        std::deque<Addr> kept;
+        for (const Addr line : gs.fifo) {
+            auto it = gs.lines.find(line);
+            if (it == gs.lines.end())
+                continue;
+            if (it->second.vpn != vpn) {
+                kept.push_back(line);
+                continue;
+            }
+            const RefWqEntry entry = it->second;
+            gs.lines.erase(it);
+            gs.occupancy -= entry.weight;
+            ++gs.counters.drains;
+            forwardDrained(gpu, entry);
+        }
+        gs.fifo.swap(kept);
+    }
+}
+
+void
+RefModel::applyWqSaturation(GpuId gpu, bool saturated)
+{
+    if (gpu == invalidGpu) {
+        for (GpuState& gs : gpus_)
+            gs.saturated = saturated;
+        return;
+    }
+    gpus_.at(gpu).saturated = saturated;
+}
+
+void
+RefModel::replay(GpuId gpu, const MemAccess& access, PageNum vpn)
+{
+    auto pit = pages_.find(vpn);
+    if (pit == pages_.end()) {
+        ++unmodeled_;
+        return;
+    }
+    RefPage& page = pit->second;
+
+    if (page.kind == MemKind::Pinned) {
+        // Pinned pages: only remote stores push bytes; loads and
+        // atomics pull, which the reference does not track.
+        if (access.isStore() && page.location != gpu)
+            pushedStoreBytes_ += access.size;
+        return;
+    }
+    if (page.kind != MemKind::Gps) {
+        ++unmodeled_;
+        return;
+    }
+
+    if (page.collapsed) {
+        // Demoted to a conventional single-copy page (Section 5.3).
+        if (access.isStore() && page.location != gpu)
+            pushedStoreBytes_ += access.size;
+        return;
+    }
+
+    GpuState& gs = gpus_.at(gpu);
+
+    if (access.isLoad()) {
+        if (maskHas(page.subscribers, gpu))
+            return; // serviced from the local replica
+        // Non-subscriber corner case: store-forward from the write
+        // queue when the line is still buffered.
+        if (gs.lines.count(lineOf(access.vaddr)) != 0)
+            ++gs.counters.forwardHits;
+        return;
+    }
+
+    if (access.scope == Scope::Sys) {
+        // The simulator collapses the page before this replay runs (the
+        // flush and collapse events land first), so reaching here with
+        // the page still expanded means those events never arrived.
+        violations_.push_back(
+            {vpn, "sys-scoped write replayed against an expanded page"});
+        return;
+    }
+
+    const GpuMask remote = maskClear(page.subscribers, gpu);
+    if (remote == 0)
+        return; // sole subscriber: nothing leaves the GPU
+
+    if (access.isAtomic()) {
+        ++gs.counters.atomicBypass;
+        pushedStoreBytes_ += static_cast<std::uint64_t>(access.size) *
+                             maskCount(remote);
+        return;
+    }
+
+    // Weak store: SM-level spatial coalescing first, then the queue.
+    if (config_.smCoalescerEnabled && coalescerAbsorb(gs, access.vaddr)) {
+        ++gs.counters.smCoalesced;
+        return;
+    }
+    insertStore(gpu, access.vaddr,
+                static_cast<std::uint32_t>(maskCount(remote)));
+}
+
+void
+RefModel::endKernel(GpuId gpu)
+{
+    GpuState& gs = gpus_.at(gpu);
+    while (!gs.fifo.empty())
+        drainOldest(gpu);
+    // Grid end resets the SM coalescer window (counters persist).
+    gs.coalHead = 0;
+    gs.coalValid = 0;
+}
+
+std::vector<RefViolation>
+RefModel::takeViolations()
+{
+    std::vector<RefViolation> out;
+    out.swap(violations_);
+    return out;
+}
+
+std::uint64_t
+RefModel::watermark(const GpuState& gs) const
+{
+    std::uint64_t mark = config_.highWatermark();
+    if (gs.saturated && config_.saturatedWatermarkDivisor > 0)
+        mark = std::min<std::uint64_t>(
+            mark, config_.wqEntries / config_.saturatedWatermarkDivisor);
+    return mark;
+}
+
+bool
+RefModel::coalescerAbsorb(GpuState& gs, Addr addr)
+{
+    if (coalescerDepth_ == 0)
+        return false;
+    const std::uint64_t line = addr / lineBytes_;
+    for (std::uint32_t i = 0; i < gs.coalValid; ++i) {
+        const std::uint32_t slot =
+            (gs.coalHead + coalescerDepth_ - 1 - i) % coalescerDepth_;
+        if (gs.coalLines[slot] == line) {
+            ++gs.coalAbsorbed;
+            return true;
+        }
+    }
+    gs.coalLines[gs.coalHead] = line;
+    gs.coalHead = (gs.coalHead + 1) % coalescerDepth_;
+    if (gs.coalValid < coalescerDepth_)
+        ++gs.coalValid;
+    return false;
+}
+
+void
+RefModel::insertStore(GpuId gpu, Addr addr, std::uint32_t copies)
+{
+    GpuState& gs = gpus_.at(gpu);
+    const Addr line = lineOf(addr);
+    const std::uint32_t weight =
+        config_.virtuallyAddressedWq ? 1 : std::max(copies, 1u);
+
+    auto it = gs.lines.find(line);
+    if (it != gs.lines.end()) {
+        ++gs.counters.coalesced;
+        // Physically-addressed ablation: the entry's capacity weight
+        // tracks the current copy count.
+        if (weight != it->second.weight) {
+            gs.occupancy = gs.occupancy - it->second.weight + weight;
+            it->second.weight = weight;
+            drainToWatermark(gpu);
+        }
+        return;
+    }
+
+    gs.fifo.push_back(line);
+    gs.lines.emplace(line,
+                     RefWqEntry{line, geometry_.pageNum(line), weight});
+    gs.occupancy += weight;
+    ++gs.counters.inserts;
+    drainToWatermark(gpu);
+}
+
+void
+RefModel::drainToWatermark(GpuId gpu)
+{
+    GpuState& gs = gpus_.at(gpu);
+    const std::uint64_t mark = watermark(gs);
+    while (gs.occupancy > mark && gs.fifo.size() > 1) {
+        ++gs.counters.watermarkDrains;
+        drainOldest(gpu);
+    }
+}
+
+void
+RefModel::drainOldest(GpuId gpu)
+{
+    GpuState& gs = gpus_.at(gpu);
+    const Addr line = gs.fifo.front();
+    gs.fifo.pop_front();
+    auto it = gs.lines.find(line);
+    if (it == gs.lines.end())
+        return;
+    const RefWqEntry entry = it->second;
+    gs.lines.erase(it);
+    gs.occupancy -= entry.weight;
+    ++gs.counters.drains;
+    forwardDrained(gpu, entry);
+}
+
+void
+RefModel::forwardDrained(GpuId gpu, const RefWqEntry& entry)
+{
+    // One cache-block message per remote subscriber, using the page's
+    // subscriber set at drain time (exactly like the simulator).
+    auto pit = pages_.find(entry.vpn);
+    if (pit == pages_.end())
+        return;
+    const GpuMask remote = maskClear(pit->second.subscribers, gpu);
+    pushedStoreBytes_ +=
+        static_cast<std::uint64_t>(lineBytes_) * maskCount(remote);
+}
+
+} // namespace gps

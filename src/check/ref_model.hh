@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Reference model for differential validation.
+ *
+ * A deliberately simple, unoptimized functional re-implementation of
+ * the GPS semantics the timing model must preserve: subscription state,
+ * replica sets, write-queue coalescing/draining and the forwarded byte
+ * counts. It replays the same access stream through plain maps and
+ * deques — no iterator caches, no hot-path shortcuts — and at run end
+ * its counters must agree exactly with the timing model's. Where the
+ * two diverge, one of them is wrong.
+ */
+
+#ifndef GPS_CHECK_REF_MODEL_HH
+#define GPS_CHECK_REF_MODEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/gpu_mask.hh"
+#include "common/types.hh"
+#include "core/gps_config.hh"
+#include "mem/address_space.hh"
+#include "mem/page.hh"
+#include "trace/access.hh"
+
+namespace gps
+{
+
+/** Functional mirror of one page's GPS-relevant driver state. */
+struct RefPage
+{
+    MemKind kind = MemKind::Pinned;
+    GpuId location = invalidGpu;
+    GpuMask subscribers = 0;
+    bool collapsed = false;
+};
+
+/** A protocol violation the reference noticed during replay. */
+struct RefViolation
+{
+    PageNum vpn = 0;
+    std::string what;
+};
+
+/** The slow-but-obvious functional model of GPS. */
+class RefModel
+{
+  public:
+    /** Per-GPU counters mirroring the simulator's write-queue stats. */
+    struct GpuCounters
+    {
+        std::uint64_t inserts = 0;
+        std::uint64_t coalesced = 0;
+        std::uint64_t drains = 0;
+        std::uint64_t watermarkDrains = 0;
+        std::uint64_t atomicBypass = 0;
+        std::uint64_t forwardHits = 0;
+        std::uint64_t smCoalesced = 0;
+    };
+
+    RefModel(const GpsConfig& config, PageGeometry geometry,
+             std::uint32_t line_bytes, std::uint32_t coalescer_depth,
+             std::size_t num_gpus);
+
+    // --- Page seeding (lazy, from driver truth at first sighting) ---
+    bool knows(PageNum vpn) const { return pages_.count(vpn) != 0; }
+    void seedPage(PageNum vpn, const RefPage& page);
+    RefPage* findPage(PageNum vpn);
+
+    // --- Event application (GpsCheckSink callbacks, idempotent) ---
+    void applySubscribe(PageNum vpn, GpuId gpu);
+    void applyUnsubscribe(PageNum vpn, GpuId gpu);
+    void applyCollapse(PageNum vpn, GpuId keeper);
+    void applySysFlush(PageNum vpn);
+    void applyWqSaturation(GpuId gpu, bool saturated);
+
+    /** Replay one access; unknown pages count as unmodeled. */
+    void replay(GpuId gpu, const MemAccess& access, PageNum vpn);
+
+    /** End-of-grid release: full drain plus SM-coalescer reset. */
+    void endKernel(GpuId gpu);
+
+    // --- Comparison accessors ---
+    const GpuCounters& counters(GpuId gpu) const
+    {
+        return gpus_.at(gpu).counters;
+    }
+    std::uint64_t occupancy(GpuId gpu) const
+    {
+        return gpus_.at(gpu).occupancy;
+    }
+    std::uint64_t resident(GpuId gpu) const
+    {
+        return gpus_.at(gpu).fifo.size();
+    }
+    std::uint64_t coalescerAbsorbed(GpuId gpu) const
+    {
+        return gpus_.at(gpu).coalAbsorbed;
+    }
+    std::uint64_t pushedStoreBytes() const { return pushedStoreBytes_; }
+    std::uint64_t unmodeledAccesses() const { return unmodeled_; }
+
+    /** Protocol violations noticed during replay (drains the list). */
+    std::vector<RefViolation> takeViolations();
+
+    /** Visit every known page in ascending VPN order. */
+    template <typename Fn>
+    void
+    forEachPage(Fn&& fn) const
+    {
+        for (const auto& [vpn, page] : pages_)
+            fn(vpn, page);
+    }
+
+  private:
+    /** One buffered line in a reference write queue. */
+    struct RefWqEntry
+    {
+        Addr line = 0;
+        PageNum vpn = 0;
+        std::uint32_t weight = 1;
+    };
+
+    /** One GPU's write queue plus SM-coalescer replica. */
+    struct GpuState
+    {
+        std::deque<Addr> fifo; ///< insertion order, front = oldest
+        std::unordered_map<Addr, RefWqEntry> lines;
+        std::uint64_t occupancy = 0;
+        bool saturated = false;
+        GpuCounters counters;
+
+        // SM store coalescer: circular buffer of line numbers.
+        std::vector<std::uint64_t> coalLines;
+        std::uint32_t coalHead = 0;
+        std::uint32_t coalValid = 0;
+        std::uint64_t coalAbsorbed = 0;
+    };
+
+    Addr lineOf(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(lineBytes_ - 1);
+    }
+    std::uint64_t watermark(const GpuState& gs) const;
+    bool coalescerAbsorb(GpuState& gs, Addr addr);
+    void insertStore(GpuId gpu, Addr addr, std::uint32_t copies);
+    void drainToWatermark(GpuId gpu);
+    void drainOldest(GpuId gpu);
+    void forwardDrained(GpuId gpu, const RefWqEntry& entry);
+
+    GpsConfig config_;
+    PageGeometry geometry_;
+    std::uint32_t lineBytes_;
+    std::uint32_t coalescerDepth_;
+
+    std::vector<GpuState> gpus_;
+
+    /** Ordered so finalize comparisons are deterministic. */
+    std::map<PageNum, RefPage> pages_;
+
+    std::uint64_t pushedStoreBytes_ = 0;
+    std::uint64_t unmodeled_ = 0;
+    std::vector<RefViolation> violations_;
+};
+
+} // namespace gps
+
+#endif // GPS_CHECK_REF_MODEL_HH

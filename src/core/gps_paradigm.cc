@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/sink.hh"
 #include "common/logging.hh"
 #include "fault/fault_engine.hh"
 #include "obs/metric_registry.hh"
@@ -82,7 +83,7 @@ GpsParadigm::accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
         // Non-subscriber corner case: forward from the write queue if
         // the line is still buffered, else read a remote subscriber.
         if (queues_[gpu]->contains(access.vaddr)) {
-            ++wqForwardHits_;
+            queues_[gpu]->noteForwardHit();
             ++counters.l2Hits;
             return;
         }
@@ -173,9 +174,13 @@ GpsParadigm::handleSysWrite(GpuId gpu, const MemAccess& access,
 {
     PageState& st = drv().state(vpn);
 
-    // Flush all in-flight writes to the page, everywhere.
+    // Flush all in-flight writes to the page, everywhere. The checker
+    // hears about the flush first so its reference model drains with
+    // the same pre-collapse subscriber masks the drains below see.
     ctxCounters_ = &counters;
     ctxTraffic_ = &traffic;
+    if (check_ != nullptr)
+        check_->noteSysFlush(vpn);
     for (auto& queue : queues_)
         queue->drainPage(vpn);
 
@@ -256,6 +261,8 @@ GpsParadigm::onFaultWqSaturate(GpuId gpu, bool saturated,
                                FaultReport& report)
 {
     (void)report;
+    if (check_ != nullptr)
+        check_->noteWqSaturation(gpu, saturated);
     if (gpu == invalidGpu) {
         for (auto& queue : queues_)
             queue->setSaturated(saturated);
@@ -400,7 +407,10 @@ GpsParadigm::exportStats(StatSet& out) const
         queue->exportStats(out);
     for (const auto& unit : units_)
         unit->exportStats(out);
-    out.set("gps.wq_forward_hits", static_cast<double>(wqForwardHits_));
+    std::uint64_t forward_hits = 0;
+    for (const auto& queue : queues_)
+        forward_hits += queue->forwardHits();
+    out.set("gps.wq_forward_hits", static_cast<double>(forward_hits));
     out.set("gps.wq_hit_rate", wqHitRate());
     out.set("gps.gps_tlb_hit_rate", gpsTlbHitRate());
 }
@@ -415,8 +425,12 @@ GpsParadigm::registerMetrics(MetricRegistry& reg) const
         queue->registerMetrics(reg);
     for (const auto& unit : units_)
         unit->registerMetrics(reg);
-    reg.counter("gps.wq_forward_hits", "loads",
-                [this] { return static_cast<double>(wqForwardHits_); });
+    reg.counter("gps.wq_forward_hits", "loads", [this] {
+        std::uint64_t forward_hits = 0;
+        for (const auto& queue : queues_)
+            forward_hits += queue->forwardHits();
+        return static_cast<double>(forward_hits);
+    });
     reg.gauge("gps.wq_hit_rate", "ratio",
               [this] { return wqHitRate(); });
     reg.gauge("gps.gps_tlb_hit_rate", "ratio",
@@ -437,6 +451,13 @@ GpsParadigm::attachProfile(ProfileCollector* profile)
     subs_->attachProfile(profile);
     for (auto& queue : queues_)
         queue->attachProfile(profile);
+}
+
+void
+GpsParadigm::attachChecker(GpsCheckSink* sink)
+{
+    check_ = sink;
+    subs_->attachCheck(sink);
 }
 
 } // namespace gps

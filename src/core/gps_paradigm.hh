@@ -107,6 +107,12 @@ class GpsParadigm : public Paradigm
      */
     void attachProfile(ProfileCollector* profile) override;
 
+    /**
+     * Forward the differential-validation sink to the subscription
+     * manager and mirror sys-flush / saturation events into it.
+     */
+    void attachChecker(GpsCheckSink* sink) override;
+
   protected:
     void accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
                       PageState& st, bool tlb_miss,
@@ -145,10 +151,11 @@ class GpsParadigm : public Paradigm
     KernelCounters* ctxCounters_ = nullptr;
     TrafficMatrix* ctxTraffic_ = nullptr;
 
-    std::uint64_t wqForwardHits_ = 0;
-
     /** Profile collector, nullptr when profiling is off. */
     ProfileCollector* profile_ = nullptr;
+
+    /** Differential-validation sink, nullptr when checking is off. */
+    GpsCheckSink* check_ = nullptr;
 
     /** (vpn, gpu) -> remote accesses since the replica was lost. */
     std::unordered_map<std::uint64_t, std::uint32_t> degraded_;

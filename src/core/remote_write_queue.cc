@@ -27,6 +27,9 @@ RemoteWriteQueue::insert(Addr addr, std::uint32_t size,
     (void)size;
     const Addr line = addr & ~static_cast<Addr>(lineBytes_ - 1);
 
+    const std::uint32_t weight =
+        config_->virtuallyAddressedWq ? 1 : std::max(copies, 1u);
+
     auto hit = index_.find(line);
     if (hit != index_.end()) {
         WqEntry& entry = *hit->second;
@@ -34,6 +37,16 @@ RemoteWriteQueue::insert(Addr addr, std::uint32_t size,
             std::min<std::uint32_t>(lineBytes_, entry.bytesWritten + size);
         ++entry.mergedStores;
         ++coalesced_;
+        // The subscriber set may have changed since the entry was
+        // created; under the physically-addressed ablation the entry's
+        // capacity weight tracks the current copy count, so occupancy
+        // is re-charged and a growth may force watermark drains. The
+        // entry itself can drain here — don't touch it afterwards.
+        if (weight != entry.weight) {
+            occupancy_ = occupancy_ - entry.weight + weight;
+            entry.weight = weight;
+            drainToWatermark();
+        }
         return true;
     }
 
@@ -42,8 +55,7 @@ RemoteWriteQueue::insert(Addr addr, std::uint32_t size,
     entry.vpn = geometry_.pageNum(line);
     entry.bytesWritten = std::min<std::uint32_t>(lineBytes_, size);
     entry.mergedStores = 1;
-    entry.weight =
-        config_->virtuallyAddressedWq ? 1 : std::max(copies, 1u);
+    entry.weight = weight;
 
     entry.seq = inserts_;
     fifo_.push_back(entry);
@@ -53,6 +65,13 @@ RemoteWriteQueue::insert(Addr addr, std::uint32_t size,
     if (profile_ != nullptr)
         profile_->noteRwqOccupancy(occupancy_);
 
+    drainToWatermark();
+    return false;
+}
+
+void
+RemoteWriteQueue::drainToWatermark()
+{
     // At the high watermark, drain least-recently-added entries to free
     // space while leaving maximum coalescing opportunity (§5.2). Under
     // injected saturation the watermark collapses and each forced drain
@@ -68,7 +87,6 @@ RemoteWriteQueue::insert(Addr addr, std::uint32_t size,
             ++stallDrains_;
         drainOne();
     }
-    return false;
 }
 
 bool
@@ -163,6 +181,7 @@ RemoteWriteQueue::exportStats(StatSet& out) const
     out.set(name() + ".watermark_drains",
             static_cast<double>(watermarkDrains_));
     out.set(name() + ".stall_drains", static_cast<double>(stallDrains_));
+    out.set(name() + ".forward_hits", static_cast<double>(forwardHits_));
     out.set(name() + ".hit_rate", hitRate());
 }
 
@@ -182,6 +201,8 @@ RemoteWriteQueue::registerMetrics(MetricRegistry& reg) const
                 [this] { return static_cast<double>(watermarkDrains_); });
     reg.counter(p + "stall_drains", "entries",
                 [this] { return static_cast<double>(stallDrains_); });
+    reg.counter(p + "forward_hits", "loads",
+                [this] { return static_cast<double>(forwardHits_); });
     reg.gauge(p + "occupancy", "units",
               [this] { return static_cast<double>(occupancy_); });
     reg.gauge(p + "hit_rate", "ratio", [this] { return hitRate(); });

@@ -80,6 +80,9 @@ class RemoteWriteQueue : public SimObject
     /** Record an atomic that bypassed coalescing (hit-rate accounting). */
     void noteAtomicBypass() { ++atomicBypass_; }
 
+    /** Record a load serviced straight out of the buffer (store forward). */
+    void noteForwardHit() { ++forwardHits_; }
+
     /** Whether the block containing @p addr is buffered (load forward). */
     bool contains(Addr addr) const;
 
@@ -125,6 +128,28 @@ class RemoteWriteQueue : public SimObject
     std::uint64_t coalesced() const { return coalesced_; }
     std::uint64_t drains() const { return drains_; }
     std::uint64_t atomicBypass() const { return atomicBypass_; }
+    std::uint64_t watermarkDrains() const { return watermarkDrains_; }
+    std::uint64_t forwardHits() const { return forwardHits_; }
+
+    /** Entries currently resident (inserts == drains + resident). */
+    std::uint64_t residentEntries() const { return fifo_.size(); }
+
+    /** Σ entry.weight over resident entries — must equal occupancy(). */
+    std::uint64_t weightSum() const
+    {
+        std::uint64_t sum = 0;
+        for (const WqEntry& entry : fifo_)
+            sum += entry.weight;
+        return sum;
+    }
+
+    /** Visit resident entries front (least recently added) to back. */
+    template <typename Fn>
+    void forEachEntry(Fn&& fn) const
+    {
+        for (const WqEntry& entry : fifo_)
+            fn(entry);
+    }
 
     /**
      * Write-queue hit rate as Figure 14 reports it: coalesced stores
@@ -143,6 +168,7 @@ class RemoteWriteQueue : public SimObject
   private:
     void drainOne();
     void drainEntry(std::list<WqEntry>::iterator it);
+    void drainToWatermark();
 
     const GpsConfig* config_;
     std::uint32_t lineBytes_;

@@ -1,5 +1,6 @@
 #include "core/subscription.hh"
 
+#include "check/sink.hh"
 #include "common/logging.hh"
 #include "obs/metric_registry.hh"
 #include "obs/profile.hh"
@@ -85,6 +86,8 @@ SubscriptionManager::subscribe(PageNum vpn, GpuId gpu)
     ++subscribeOps_;
     if (profile_ != nullptr)
         profile_->noteSubscriptionFlip(vpn);
+    if (check_ != nullptr)
+        check_->noteSubscribe(vpn, gpu);
     return SubscribeResult::Ok;
 }
 
@@ -109,6 +112,8 @@ SubscriptionManager::unsubscribe(PageNum vpn, GpuId gpu,
     ++unsubscribeOps_;
     if (profile_ != nullptr)
         profile_->noteSubscriptionFlip(vpn);
+    if (check_ != nullptr)
+        check_->noteUnsubscribe(vpn, gpu);
     return UnsubscribeResult::Ok;
 }
 
@@ -174,6 +179,8 @@ SubscriptionManager::collapse(PageNum vpn, GpuId keeper,
     st.location = keeper;
     refreshGpsBit(vpn);
     ++collapses_;
+    if (check_ != nullptr)
+        check_->noteCollapse(vpn, keeper);
 }
 
 void

@@ -23,6 +23,7 @@ namespace gps
 {
 
 class ProfileCollector;
+class GpsCheckSink;
 
 /** Outcome of a subscription request. */
 enum class SubscribeResult : std::uint8_t {
@@ -118,6 +119,13 @@ class SubscriptionManager : public SimObject
      */
     void attachProfile(ProfileCollector* profile) { profile_ = profile; }
 
+    /**
+     * Attach the differential-validation sink (nullptr detaches):
+     * successful subscribes/unsubscribes and collapses are then
+     * mirrored into the checker's reference model.
+     */
+    void attachCheck(GpsCheckSink* check) { check_ = check; }
+
   private:
     /** Keep PageState and conventional/GPS page tables consistent. */
     void refreshGpsBit(PageNum vpn);
@@ -131,6 +139,7 @@ class SubscriptionManager : public SimObject
     std::uint64_t swapOuts_ = 0;
     std::uint64_t replicaRetires_ = 0;
     ProfileCollector* profile_ = nullptr;
+    GpsCheckSink* check_ = nullptr;
 };
 
 } // namespace gps

@@ -13,7 +13,8 @@ PhysicalMemory::PhysicalMemory(std::string name,
                                PageGeometry geometry)
     : SimObject(std::move(name)), capacityBytes_(capacity_bytes),
       geometry_(geometry),
-      totalFrames_(capacity_bytes / geometry.bytes())
+      totalFrames_(capacity_bytes / geometry.bytes()),
+      initialFrames_(totalFrames_), bumpLimit_(totalFrames_)
 {
     gps_assert(totalFrames_ > 0, "zero-capacity physical memory");
 }
@@ -25,7 +26,7 @@ PhysicalMemory::allocFrame()
     if (!freeList_.empty()) {
         ppn = freeList_.back();
         freeList_.pop_back();
-    } else if (bumpNext_ < totalFrames_) {
+    } else if (bumpNext_ < bumpLimit_) {
         ppn = bumpNext_++;
     } else {
         return std::nullopt;
@@ -58,18 +59,23 @@ std::uint64_t
 PhysicalMemory::retireFrames(std::uint64_t count)
 {
     std::uint64_t retired = 0;
-    // Recycled frames first: they leave circulation for good.
+    // Recycled frames first: they leave circulation for good. Only the
+    // capacity count shrinks — the bump region is untouched, or a
+    // single retirement would cost two allocatable frames.
     while (retired < count && !freeList_.empty()) {
         freeList_.pop_back();
         --totalFrames_;
         ++retired;
     }
     // Then shrink the never-used bump region.
-    while (retired < count && bumpNext_ < totalFrames_) {
+    while (retired < count && bumpNext_ < bumpLimit_) {
+        --bumpLimit_;
         --totalFrames_;
         ++retired;
     }
     framesRetired_ += retired;
+    gps_assert(framesFree() == allocatableFrames(),
+               "frame accounting divergence in ", name());
     return retired;
 }
 

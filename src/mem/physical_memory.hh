@@ -58,6 +58,20 @@ class PhysicalMemory : public SimObject
     std::uint64_t totalFrames() const { return totalFrames_; }
     std::uint64_t framesInUse() const { return framesInUse_; }
     std::uint64_t framesFree() const { return totalFrames_ - framesInUse_; }
+
+    /** Frames the device held before any retirement. */
+    std::uint64_t initialFrames() const { return initialFrames_; }
+
+    /**
+     * Frames allocFrame could still hand out: the recycled free list
+     * plus the untouched tail of the bump region. Invariant-checked
+     * against framesFree() — the two must always agree.
+     */
+    std::uint64_t allocatableFrames() const
+    {
+        return freeList_.size() + (bumpLimit_ - bumpNext_);
+    }
+
     const PageGeometry& geometry() const { return geometry_; }
 
     void exportStats(StatSet& out) const override;
@@ -67,12 +81,21 @@ class PhysicalMemory : public SimObject
     std::uint64_t capacityBytes_;
     PageGeometry geometry_;
     std::uint64_t totalFrames_;
+    std::uint64_t initialFrames_;
     std::uint64_t framesInUse_ = 0;
     std::uint64_t peakFramesInUse_ = 0;
     std::uint64_t framesRetired_ = 0;
 
     /** Next never-used frame (bump allocation). */
     PageNum bumpNext_ = 0;
+
+    /**
+     * End of the bump region. Kept separate from totalFrames_ so that
+     * retiring a recycled (free-list) frame does not also shrink the
+     * never-used region — totalFrames_ counts capacity, bumpLimit_
+     * bounds frame numbers.
+     */
+    PageNum bumpLimit_;
 
     /** Recycled frames. */
     std::vector<PageNum> freeList_;

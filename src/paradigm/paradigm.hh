@@ -30,6 +30,7 @@ namespace gps
 struct FaultReport;
 class TimelineRecorder;
 class ProfileCollector;
+class GpsCheckSink;
 
 /** The evaluated multi-GPU programming paradigms. */
 enum class ParadigmKind : std::uint8_t {
@@ -207,6 +208,14 @@ class Paradigm : public SimObject
     {
         (void)profile;
     }
+
+    /**
+     * Attach the differential-validation event sink (nullptr detaches);
+     * GPS forwards it to the subscription manager so protocol events
+     * reach the checker's reference model. A no-op for paradigms
+     * without GPS machinery.
+     */
+    virtual void attachChecker(GpsCheckSink* sink) { (void)sink; }
 
   protected:
     /** Policy hook for accesses to this paradigm's shared regions. */

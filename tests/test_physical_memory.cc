@@ -89,6 +89,52 @@ TEST(PhysicalMemory, StatsTrackPeakUsage)
     EXPECT_DOUBLE_EQ(stats.get("mem.frames_in_use"), 0.0);
 }
 
+TEST(PhysicalMemory, RetiringRecycledFrameChargesCapacityOnce)
+{
+    // Regression: retiring a frame off the free list used to shrink
+    // both the free list and the bump region (the retired frame was
+    // double-charged), silently losing an extra frame of capacity.
+    auto mem = makeMemory(4);
+    const PageNum a = *mem.allocFrame();
+    mem.freeFrame(a);
+    EXPECT_EQ(mem.retireFrames(1), 1u);
+    EXPECT_EQ(mem.totalFrames(), 3u);
+    EXPECT_EQ(mem.framesFree(), 3u);
+    // All three surviving frames must still be allocatable.
+    EXPECT_TRUE(mem.allocFrame().has_value());
+    EXPECT_TRUE(mem.allocFrame().has_value());
+    EXPECT_TRUE(mem.allocFrame().has_value());
+    EXPECT_FALSE(mem.allocFrame().has_value());
+}
+
+TEST(PhysicalMemory, RetirementLedgerBalances)
+{
+    auto mem = makeMemory(8);
+    const PageNum a = *mem.allocFrame();
+    const PageNum b = *mem.allocFrame();
+    mem.freeFrame(a);
+    mem.freeFrame(b);
+    EXPECT_EQ(mem.retireFrames(3), 3u);
+    EXPECT_EQ(mem.initialFrames(),
+              mem.totalFrames() + mem.framesRetired());
+    EXPECT_EQ(mem.framesFree(), mem.allocatableFrames());
+}
+
+TEST(PhysicalMemory, RetireNeverTouchesFramesInUse)
+{
+    auto mem = makeMemory(4);
+    std::vector<PageNum> held;
+    for (int i = 0; i < 3; ++i)
+        held.push_back(*mem.allocFrame());
+    // Only one frame is free; a larger request retires just that one.
+    EXPECT_EQ(mem.retireFrames(3), 1u);
+    EXPECT_EQ(mem.framesInUse(), 3u);
+    EXPECT_EQ(mem.framesFree(), 0u);
+    EXPECT_EQ(mem.framesFree(), mem.allocatableFrames());
+    for (const PageNum ppn : held)
+        EXPECT_TRUE(mem.allocated(ppn));
+}
+
 TEST(PhysicalMemory, FullDrainAndRefill)
 {
     auto mem = makeMemory(32);

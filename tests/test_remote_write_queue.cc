@@ -168,6 +168,89 @@ TEST_F(WqTest, VirtualAddressingKeepsOneEntryRegardless)
     EXPECT_EQ(queue.occupancy(), 1u);
 }
 
+TEST_F(WqTest, CoalescingRefreshesWeightWhenCopiesGrow)
+{
+    // Physically addressed: an entry's weight is the subscriber copy
+    // count, which can change between the allocating store and a later
+    // coalescing one. The coalesce must re-charge occupancy.
+    auto& queue = makeQueue(16, false);
+    queue.insert(0, 4, 1);
+    EXPECT_EQ(queue.occupancy(), 1u);
+    EXPECT_TRUE(queue.insert(4, 4, 3));
+    EXPECT_EQ(queue.occupancy(), 3u);
+    EXPECT_EQ(queue.weightSum(), queue.occupancy());
+}
+
+TEST_F(WqTest, CoalescingRefreshesWeightWhenCopiesShrink)
+{
+    auto& queue = makeQueue(16, false);
+    queue.insert(0, 4, 3);
+    EXPECT_EQ(queue.occupancy(), 3u);
+    EXPECT_TRUE(queue.insert(4, 4, 1));
+    EXPECT_EQ(queue.occupancy(), 1u);
+    EXPECT_EQ(queue.weightSum(), queue.occupancy());
+}
+
+TEST_F(WqTest, WeightGrowthOnCoalesceCanForceWatermarkDrain)
+{
+    auto& queue = makeQueue(4, false); // watermark = 3
+    queue.insert(0 * 128, 4, 1);
+    queue.insert(1 * 128, 4, 1);
+    queue.insert(2 * 128, 4, 1);
+    EXPECT_TRUE(drained.empty());
+    // Coalesce into line 0 with more copies: occupancy 5 > watermark 3.
+    EXPECT_TRUE(queue.insert(0 * 128 + 4, 4, 3));
+    EXPECT_FALSE(drained.empty());
+    EXPECT_LE(queue.occupancy(), 3u);
+    EXPECT_EQ(queue.inserts(),
+              queue.drains() + queue.residentEntries());
+    EXPECT_EQ(queue.weightSum(), queue.occupancy());
+}
+
+TEST_F(WqTest, VirtualWqIgnoresCopiesOnCoalesce)
+{
+    auto& queue = makeQueue(16, true);
+    queue.insert(0, 4, 1);
+    EXPECT_TRUE(queue.insert(4, 4, 3));
+    EXPECT_EQ(queue.occupancy(), 1u);
+    EXPECT_EQ(queue.weightSum(), 1u);
+}
+
+TEST_F(WqTest, DrainPageInterleavedWithWatermarkKeepsConservation)
+{
+    // drainPage in the middle of watermark-driven churn must keep the
+    // books balanced: inserts == drains + resident, occupancy == Σ w.
+    auto& queue = makeQueue(4, false);
+    const Addr page1 = 64 * KiB;
+    queue.insert(0 * 128, 4, 2);        // page 0, weight 2
+    queue.insert(page1 + 0 * 128, 4, 1); // page 1
+    queue.drainPage(0);                  // flush page 0 only
+    queue.insert(page1 + 1 * 128, 4, 2);
+    queue.insert(0 * 128, 4, 2);         // page 0 again; forces drains
+    queue.insert(page1 + 2 * 128, 4, 1);
+    queue.drainPage(1);
+    queue.insert(0 * 128 + 8, 4, 2);     // coalesce or realloc
+    EXPECT_EQ(queue.inserts(),
+              queue.drains() + queue.residentEntries());
+    EXPECT_EQ(queue.weightSum(), queue.occupancy());
+    queue.drainAll();
+    EXPECT_EQ(queue.inserts(), queue.drains());
+    EXPECT_EQ(queue.occupancy(), 0u);
+    EXPECT_EQ(queue.residentEntries(), 0u);
+}
+
+TEST_F(WqTest, ForwardHitsCountAndExport)
+{
+    auto& queue = makeQueue(16);
+    queue.insert(0x1000, 4, 1);
+    queue.noteForwardHit();
+    queue.noteForwardHit();
+    EXPECT_EQ(queue.forwardHits(), 2u);
+    StatSet stats;
+    queue.exportStats(stats);
+    EXPECT_DOUBLE_EQ(stats.get("wq.forward_hits"), 2.0);
+}
+
 TEST_F(WqTest, SramFootprintMatchesTable1)
 {
     auto& queue = makeQueue(512);

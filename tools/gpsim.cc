@@ -55,6 +55,8 @@ struct Options
     std::size_t timelineMaxEvents = 1 << 20;
     std::size_t profileTop = 20;         ///< hot-page rows kept
     std::uint64_t profileBucketPages = 1; ///< pages per heat bucket
+    bool check = false;          ///< differential validation
+    std::uint64_t checkEvery = 0; ///< mid-run invariant cadence
 };
 
 /**
@@ -138,6 +140,11 @@ usage(const char* argv0, int exit_code)
         "  --profile-bucket-pages <n>  pages per heat bucket (default 1)\n"
         "  --sample-every <ticks>    metric sampling period in simulated\n"
         "                            ticks (default 0: final values only)\n"
+        "  --check[=N]               differential validation: replay the\n"
+        "                            run through the reference model and\n"
+        "                            assert runtime invariants (every N\n"
+        "                            accesses when given); exit 1 on any\n"
+        "                            divergence\n"
         "  --json                    one JSON object per run on stdout\n"
         "  --stats                   dump full component statistics\n"
         "  --config                  print the Table 1 configuration and"
@@ -247,6 +254,12 @@ parseArgs(int argc, char** argv)
                 gps_fatal("--profile-bucket-pages must be >= 1");
         } else if (arg == "--sample-every") {
             opts.sampleEvery = parseUnsigned("--sample-every", value(i));
+        } else if (arg == "--check") {
+            opts.check = true;
+        } else if (arg.rfind("--check=", 0) == 0) {
+            opts.check = true;
+            opts.checkEvery =
+                parseUnsigned("--check", arg.substr(8));
         } else if (arg == "--no-unsubscribe") {
             opts.autoUnsubscribe = false;
         } else if (arg == "--json") {
@@ -305,7 +318,34 @@ makeConfig(const Options& opts)
     config.obs.profile = !opts.profileOut.empty();
     config.obs.profileTopN = opts.profileTop;
     config.obs.profilePagesPerBucket = opts.profileBucketPages;
+    config.check.enabled = opts.check;
+    config.check.everyAccesses = opts.checkEvery;
     return config;
+}
+
+/**
+ * Per-row differential-validation verdict.
+ * @return true when the run diverged from the reference model.
+ */
+bool
+printCheckSummary(const RunResult& result)
+{
+    if (result.check == nullptr)
+        return false;
+    const CheckReport& check = *result.check;
+    if (check.ok()) {
+        std::printf("    check: OK (%llu invariant checks, %llu counter "
+                    "checks, %llu ref accesses)\n",
+                    static_cast<unsigned long long>(check.invariantChecks),
+                    static_cast<unsigned long long>(check.counterChecks),
+                    static_cast<unsigned long long>(check.refAccesses));
+        return false;
+    }
+    std::printf("    check: DIVERGED (%llu divergence(s))\n",
+                static_cast<unsigned long long>(check.divergences));
+    for (const CheckFinding& finding : check.findings)
+        std::printf("      %s\n", describe(finding).c_str());
+    return true;
 }
 
 /** Per-GPU and per-link breakdown from a run's metric snapshot. */
@@ -473,11 +513,16 @@ main(int argc, char** argv)
         std::shared_ptr<const ObsReport> last_obs;
         std::size_t obs_cells = 0;
         std::size_t idx = 0;
+        bool check_diverged = false;
         for (const std::string& app : opts.apps) {
             const SweepOutcome& base_outcome = outcomes.at(idx++);
             if (!base_outcome.ok())
                 std::rethrow_exception(base_outcome.error);
             const RunResult& baseline = base_outcome.result;
+            if (baseline.check != nullptr && !baseline.check->ok()) {
+                std::printf("%-10s baseline\n", app.c_str());
+                check_diverged |= printCheckSummary(baseline);
+            }
 
             for (const std::size_t gpus : gpu_counts) {
                 for (const ParadigmKind paradigm : opts.paradigms) {
@@ -494,6 +539,8 @@ main(int argc, char** argv)
                             "%s\n",
                             resultToJson(result, opts.dumpStats)
                                 .c_str());
+                        check_diverged |= result.check != nullptr &&
+                                          !result.check->ok();
                         continue;
                     }
                     std::printf(
@@ -526,6 +573,7 @@ main(int argc, char** argv)
                                 fr.wqSaturatedDrains),
                             ticksToMs(fr.stallTicks));
                     }
+                    check_diverged |= printCheckSummary(result);
                     if (result.obs != nullptr && result.obs->hasMetrics)
                         printObsBreakdown(*result.obs, gpus);
                     if (result.obs != nullptr && result.obs->hasProfile)
@@ -554,7 +602,7 @@ main(int argc, char** argv)
                          " event(s) dropped past the cap; raise "
                          "--timeline-max-events");
         }
-        return 0;
+        return check_diverged ? 1 : 0;
     } catch (const FatalError& error) {
         std::fprintf(stderr, "%s\n", error.what());
         return 1;
