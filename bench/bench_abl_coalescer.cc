@@ -55,9 +55,11 @@ BM_abl(benchmark::State& state, const std::string& workload,
        const Variant& variant)
 {
     const RunConfig config = cellConfig(variant);
-    const RunResult& base = baselines.get(workload, config);
+    const RunHandle base_h = baselines.get(workload, config);
+    const RunResult& base = *base_h;
     for (auto _ : state) {
-        const RunResult& result = runCached(workload, config);
+        const RunHandle result_h = runCached(workload, config);
+        const RunResult& result = *result_h;
         const double speedup = speedupOver(base, result);
         speedups[variant.name].push_back(speedup);
         trafficMb[variant.name] +=

@@ -19,7 +19,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -72,16 +74,42 @@ struct PerfRow
     /** Simulated outcome of the run (BENCH_perf.json per-run totals). */
     double simMs = 0.0;
     std::uint64_t interconnectBytes = 0;
+
+    /** Structured failure of the grid point, when it threw. */
+    std::string errorType;
+    std::string errorMessage;
 };
+
+/**
+ * Shared handle to a memoized run. Hold it for as long as the result is
+ * used: the cache is bounded and may evict the entry behind your back,
+ * but the handle keeps the RunResult alive regardless.
+ */
+using RunHandle = std::shared_ptr<const RunResult>;
 
 /**
  * Process-wide memo of finished runs, keyed by the full configKey().
  * get() runs on miss; prewarm() computes a batch of cells on a worker
- * pool so later get()s are hits. References are stable (std::map).
+ * pool so later get()s are hits.
+ *
+ * The cache is bounded (GPS_BENCH_CACHE_CAP entries, default 512,
+ * 0 = unbounded) with LRU eviction, so an arbitrarily large config
+ * grid cannot grow the resident set without limit. Entries are handed
+ * out as shared_ptr handles: eviction drops the cache's reference, but
+ * a handle a bench still holds keeps its RunResult alive — there is no
+ * way to dangle by interleaving get() calls. Hit/miss/eviction counts
+ * land in BENCH_perf.json.
  */
 class RunCache
 {
   public:
+    struct Counters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+    };
+
     static RunCache&
     instance()
     {
@@ -89,15 +117,19 @@ class RunCache
         return cache;
     }
 
-    const RunResult&
+    RunHandle
     get(const std::string& workload, const RunConfig& config)
     {
         const std::string key = configKey(workload, config);
         {
             const std::lock_guard<std::mutex> lock(mu_);
             auto it = cache_.find(key);
-            if (it != cache_.end())
-                return it->second.result;
+            if (it != cache_.end()) {
+                ++counters_.hits;
+                touchLocked(it->second);
+                return handleOf(it->second.outcome);
+            }
+            ++counters_.misses;
         }
         std::vector<SweepOutcome> out =
             runSweep({SweepJob{workload, config, workload}}, 1);
@@ -115,13 +147,18 @@ class RunCache
             for (const SweepJob& job : jobs) {
                 const std::string key =
                     configKey(job.workload, job.config);
-                if (cache_.find(key) != cache_.end())
+                auto it = cache_.find(key);
+                if (it != cache_.end()) {
+                    ++counters_.hits;
+                    touchLocked(it->second);
                     continue;
+                }
                 bool queued = false;
                 for (const std::string& k : keys)
                     queued = queued || k == key;
                 if (queued)
                     continue;
+                ++counters_.misses;
                 missing.push_back(job);
                 keys.push_back(key);
             }
@@ -131,8 +168,22 @@ class RunCache
         sweepElapsed_ += std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
-        for (std::size_t i = 0; i < outcomes.size(); ++i)
-            insert(keys[i], std::move(outcomes[i]));
+        // Record every outcome (including failures, as error rows)
+        // before surfacing the first failure — a failed grid point must
+        // not hide its siblings' perf rows or abort the whole pool
+        // silently.
+        std::exception_ptr first_error;
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            if (!outcomes[i].ok() && first_error == nullptr)
+                first_error = outcomes[i].error;
+            try {
+                insert(keys[i], std::move(outcomes[i]));
+            } catch (...) {
+                // Already captured above; keep recording the rest.
+            }
+        }
+        if (first_error != nullptr)
+            std::rethrow_exception(first_error);
     }
 
     std::vector<PerfRow>
@@ -150,30 +201,110 @@ class RunCache
         return sweepElapsed_;
     }
 
-  private:
-    const RunResult&
-    insert(const std::string& key, SweepOutcome&& outcome)
+    Counters
+    counters() const
     {
-        if (!outcome.ok())
-            std::rethrow_exception(outcome.error);
         const std::lock_guard<std::mutex> lock(mu_);
-        perf_.push_back({outcome.label.empty() ? key : outcome.label,
-                         outcome.wallSeconds,
-                         outcome.result.totals.accesses,
-                         outcome.result.timeMs(),
-                         outcome.result.interconnectBytes});
-        return cache_.emplace(key, std::move(outcome))
-            .first->second.result;
+        return counters_;
     }
 
+    std::size_t
+    capacity() const
+    {
+        return capacity_;
+    }
+
+    std::size_t
+    size() const
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        return cache_.size();
+    }
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const SweepOutcome> outcome;
+        std::list<std::string>::iterator lruIt;
+    };
+
+    RunCache()
+    {
+        if (const char* env = std::getenv("GPS_BENCH_CACHE_CAP"))
+            capacity_ = static_cast<std::size_t>(
+                std::strtoul(env, nullptr, 10));
+    }
+
+    static RunHandle
+    handleOf(const std::shared_ptr<const SweepOutcome>& outcome)
+    {
+        // Aliasing handle: shares the outcome's lifetime, points at
+        // its embedded result.
+        return RunHandle(outcome, &outcome->result);
+    }
+
+    /** Move @p entry to the most-recently-used position. */
+    void
+    touchLocked(Entry& entry)
+    {
+        lru_.splice(lru_.begin(), lru_, entry.lruIt);
+    }
+
+    void
+    evictIfNeededLocked()
+    {
+        while (capacity_ != 0 && cache_.size() > capacity_) {
+            cache_.erase(lru_.back());
+            lru_.pop_back();
+            ++counters_.evictions;
+        }
+    }
+
+    RunHandle
+    insert(const std::string& key, SweepOutcome&& outcome)
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        PerfRow row;
+        row.label = outcome.label.empty() ? key : outcome.label;
+        row.wallSeconds = outcome.wallSeconds;
+        if (!outcome.ok()) {
+            row.errorType = outcome.errorType;
+            row.errorMessage = outcome.errorMessage;
+            perf_.push_back(std::move(row));
+            std::rethrow_exception(outcome.error);
+        }
+        row.accesses = outcome.result.totals.accesses;
+        row.simMs = outcome.result.timeMs();
+        row.interconnectBytes = outcome.result.interconnectBytes;
+        perf_.push_back(std::move(row));
+
+        lru_.push_front(key);
+        Entry entry{
+            std::make_shared<const SweepOutcome>(std::move(outcome)),
+            lru_.begin()};
+        RunHandle handle = handleOf(entry.outcome);
+        auto emplaced = cache_.emplace(key, std::move(entry));
+        if (!emplaced.second) {
+            // Raced with another inserter; keep the existing entry.
+            lru_.pop_front();
+            touchLocked(emplaced.first->second);
+            return handleOf(emplaced.first->second.outcome);
+        }
+        evictIfNeededLocked();
+        return handle;
+    }
+
+    std::size_t capacity_ = 512;
     mutable std::mutex mu_;
-    std::map<std::string, SweepOutcome> cache_;
+    std::list<std::string> lru_; ///< front = most recently used
+    std::map<std::string, Entry> cache_;
+    Counters counters_;
     std::vector<PerfRow> perf_;
     double sweepElapsed_ = 0.0;
 };
 
 /** Memoized runWorkload (see RunCache). */
-inline const RunResult&
+inline RunHandle
 runCached(const std::string& workload, const RunConfig& config)
 {
     return RunCache::instance().get(workload, config);
@@ -183,7 +314,7 @@ runCached(const std::string& workload, const RunConfig& config)
 class BaselineCache
 {
   public:
-    const RunResult&
+    RunHandle
     get(const std::string& workload, const RunConfig& config)
     {
         return runCached(workload, baselineConfig(config));
@@ -298,6 +429,12 @@ writePerfLog(const std::string& path, std::size_t jobs)
                     : 0.0);
         w.field("sim_ms", row.simMs);
         w.field("interconnect_bytes", row.interconnectBytes);
+        if (!row.errorType.empty() || !row.errorMessage.empty()) {
+            w.key("error").beginObject();
+            w.field("type", row.errorType);
+            w.field("message", row.errorMessage);
+            w.endObject();
+        }
         w.endObject();
     }
     w.endArray();
@@ -309,6 +446,14 @@ writePerfLog(const std::string& path, std::size_t jobs)
                 ? static_cast<double>(total_accesses) /
                       cache.sweepElapsed() / 1e6
                 : 0.0);
+    const RunCache::Counters counters = cache.counters();
+    w.key("cache").beginObject();
+    w.field("capacity", static_cast<std::uint64_t>(cache.capacity()));
+    w.field("entries", static_cast<std::uint64_t>(cache.size()));
+    w.field("hits", counters.hits);
+    w.field("misses", counters.misses);
+    w.field("evictions", counters.evictions);
+    w.endObject();
     w.endObject();
     if (std::FILE* f = std::fopen(path.c_str(), "w")) {
         std::fputs(w.str().c_str(), f);

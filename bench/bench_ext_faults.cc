@@ -63,7 +63,8 @@ BM_fault(benchmark::State& state, const std::string& app,
 {
     const RunConfig config = planConfig(paradigm, plan.spec);
     for (auto _ : state) {
-        const RunResult& result = runCached(app, config);
+        const RunHandle result_h = runCached(app, config);
+        const RunResult& result = *result_h;
         samples[app][plan.name][to_string(paradigm)] = result.timeMs();
         state.counters["time_ms"] = result.timeMs();
         if (result.hasFaultReport) {

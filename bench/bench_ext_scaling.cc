@@ -42,9 +42,11 @@ BM_scaling(benchmark::State& state, const std::string& workload,
            std::size_t gpus, ParadigmKind paradigm)
 {
     const RunConfig config = cellConfig(gpus, paradigm);
-    const RunResult& base = baselines.get(workload, config);
+    const RunHandle base_h = baselines.get(workload, config);
+    const RunResult& base = *base_h;
     for (auto _ : state) {
-        const RunResult& result = runCached(workload, config);
+        const RunHandle result_h = runCached(workload, config);
+        const RunResult& result = *result_h;
         const double speedup = speedupOver(base, result);
         samples[gpus][to_string(paradigm)].push_back(speedup);
         state.counters["speedup"] = speedup;

@@ -43,10 +43,11 @@ BM_fig1(benchmark::State& state, const std::string& workload,
         InterconnectKind interconnect, bool infinite)
 {
     const RunConfig config = cellConfig(interconnect, infinite);
-    const RunResult& base = baselines.get(workload, config);
+    const RunHandle base_h = baselines.get(workload, config);
+    const RunResult& base = *base_h;
     for (auto _ : state) {
         const double best =
-            speedupOver(base, runCached(workload, config));
+            speedupOver(base, *runCached(workload, config));
         const std::string column =
             infinite ? "Infinite" : to_string(interconnect);
         results[workload][column] = best;

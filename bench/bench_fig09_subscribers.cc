@@ -41,7 +41,8 @@ BM_fig9(benchmark::State& state, const std::string& workload)
 {
     const RunConfig config = cellConfig();
     for (auto _ : state) {
-        const RunResult& result = runCached(workload, config);
+        const RunHandle result_h = runCached(workload, config);
+        const RunResult& result = *result_h;
         Row row;
         if (result.hasSubscriberHist) {
             row.sharedPages = result.subscriberHist.total();

@@ -43,8 +43,9 @@ memcpyBaseline(const std::string& workload)
 {
     auto it = memcpyBytes.find(workload);
     if (it == memcpyBytes.end()) {
-        const RunResult& result =
+        const RunHandle result_h =
             runCached(workload, cellConfig(ParadigmKind::Memcpy));
+        const RunResult& result = *result_h;
         it = memcpyBytes
                  .emplace(workload,
                           static_cast<double>(result.interconnectBytes))
@@ -60,7 +61,8 @@ BM_fig10(benchmark::State& state, const std::string& workload,
     const RunConfig config = cellConfig(paradigm);
     const double base = memcpyBaseline(workload);
     for (auto _ : state) {
-        const RunResult& result = runCached(workload, config);
+        const RunHandle result_h = runCached(workload, config);
+        const RunResult& result = *result_h;
         const double r =
             base == 0.0
                 ? 0.0

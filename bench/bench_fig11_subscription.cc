@@ -37,9 +37,11 @@ BM_fig11(benchmark::State& state, const std::string& workload,
          bool with_subscription)
 {
     const RunConfig config = cellConfig(with_subscription);
-    const RunResult& base = baselines.get(workload, config);
+    const RunHandle base_h = baselines.get(workload, config);
+    const RunResult& base = *base_h;
     for (auto _ : state) {
-        const RunResult& result = runCached(workload, config);
+        const RunHandle result_h = runCached(workload, config);
+        const RunResult& result = *result_h;
         const double speedup = speedupOver(base, result);
         results[workload][with_subscription] = speedup;
         state.counters["speedup"] = speedup;

@@ -44,9 +44,11 @@ BM_fig12(benchmark::State& state, const std::string& workload,
          ParadigmKind paradigm)
 {
     const RunConfig config = cellConfig(paradigm);
-    const RunResult& base = baselines.get(workload, config);
+    const RunHandle base_h = baselines.get(workload, config);
+    const RunResult& base = *base_h;
     for (auto _ : state) {
-        const RunResult& result = runCached(workload, config);
+        const RunHandle result_h = runCached(workload, config);
+        const RunResult& result = *result_h;
         const double speedup = speedupOver(base, result);
         results[workload][to_string(paradigm)] = speedup;
         state.counters["speedup"] = speedup;

@@ -38,9 +38,11 @@ BM_fig13(benchmark::State& state, const std::string& workload,
          InterconnectKind interconnect, ParadigmKind paradigm)
 {
     const RunConfig config = cellConfig(interconnect, paradigm);
-    const RunResult& base = baselines.get(workload, config);
+    const RunHandle base_h = baselines.get(workload, config);
+    const RunResult& base = *base_h;
     for (auto _ : state) {
-        const RunResult& result = runCached(workload, config);
+        const RunHandle result_h = runCached(workload, config);
+        const RunResult& result = *result_h;
         const double speedup = speedupOver(base, result);
         samples[to_string(interconnect)][to_string(paradigm)].push_back(
             speedup);

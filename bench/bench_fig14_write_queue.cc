@@ -45,7 +45,8 @@ BM_fig14(benchmark::State& state, const std::string& workload,
 {
     const RunConfig config = cellConfig(queue_entries);
     for (auto _ : state) {
-        const RunResult& result = runCached(workload, config);
+        const RunHandle result_h = runCached(workload, config);
+        const RunResult& result = *result_h;
         results[workload][queue_entries] = result.wqHitRate * 100.0;
         state.counters["wq_hit_pct"] = result.wqHitRate * 100.0;
     }

@@ -36,7 +36,8 @@ BM_sens(benchmark::State& state, const std::string& workload,
 {
     const RunConfig config = cellConfig(entries);
     for (auto _ : state) {
-        const RunResult& result = runCached(workload, config);
+        const RunHandle result_h = runCached(workload, config);
+        const RunResult& result = *result_h;
         results[workload][entries] = result.gpsTlbHitRate * 100.0;
         state.counters["gps_tlb_hit_pct"] =
             result.gpsTlbHitRate * 100.0;

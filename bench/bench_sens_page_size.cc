@@ -39,9 +39,11 @@ BM_sens(benchmark::State& state, const std::string& workload,
         std::uint64_t page_bytes)
 {
     const RunConfig config = cellConfig(page_bytes);
-    const RunResult& base = baselines.get(workload, config);
+    const RunHandle base_h = baselines.get(workload, config);
+    const RunResult& base = *base_h;
     for (auto _ : state) {
-        const RunResult& result = runCached(workload, config);
+        const RunHandle result_h = runCached(workload, config);
+        const RunResult& result = *result_h;
         const double speedup = speedupOver(base, result);
         speedups[page_bytes].push_back(speedup);
         state.counters["speedup"] = speedup;

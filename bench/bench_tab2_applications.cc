@@ -32,7 +32,8 @@ BM_tab2(benchmark::State& state, const std::string& workload)
 {
     const RunConfig config = cellConfig();
     for (auto _ : state) {
-        const RunResult& result = runCached(workload, config);
+        const RunHandle result_h = runCached(workload, config);
+        const RunResult& result = *result_h;
         double best = 0.0;
         std::size_t best_bucket = 0;
         for (std::size_t b = 2; b <= config.system.numGpus; ++b) {

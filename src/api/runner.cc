@@ -103,10 +103,13 @@ Runner::run(Workload& workload)
     // Normally the steady state is sampled and extrapolated; a pending
     // fault plan extends the simulated window (up to the workload's full
     // run) so events scheduled deep into the run still come due.
+    CancelToken* cancel = config_.cancel.get();
     for (std::size_t iter = 0; iter < max_iters; ++iter) {
         if (iter >= sim_iters &&
             (fault_engine == nullptr || fault_engine->done()))
             break;
+        if (cancel != nullptr)
+            cancel->throwIfCancelled();
         paradigm->beginIteration(iter);
         if (iter == 0)
             paradigm->trackingStart();
@@ -285,9 +288,15 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
     Driver& driver = system.driver();
     const std::size_t chunk =
         std::max<std::size_t>(config_.replayChunk, 1);
+    // Cancellation granularity: once per round-robin turn over all
+    // kernels (one chunk per GPU), so a cancel or deadline lands within
+    // microseconds without touching the per-access hot loop.
+    CancelToken* cancel = config_.cancel.get();
     std::vector<MemAccess> batch(chunk);
     std::size_t live = cursors.size();
     while (live > 0) {
+        if (cancel != nullptr)
+            cancel->throwIfCancelled();
         for (Cursor& cursor : cursors) {
             if (cursor.done)
                 continue;

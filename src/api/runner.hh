@@ -25,6 +25,7 @@
 #include "api/system.hh"
 #include "apps/workload.hh"
 #include "check/check_config.hh"
+#include "common/cancel.hh"
 #include "fault/fault_plan.hh"
 #include "obs/observability.hh"
 #include "paradigm/paradigm.hh"
@@ -75,6 +76,15 @@ struct RunConfig
      * to a build without the check subsystem.
      */
     CheckConfig check;
+
+    /**
+     * Cooperative cancellation/deadline token, shared with whoever may
+     * cancel the run (the serve-mode scheduler). Polled between replay
+     * chunks; a fired token unwinds the run with CancelledError. Null
+     * (the default) costs nothing and is excluded from configKey — a
+     * token cannot change a completed run's outcome.
+     */
+    std::shared_ptr<CancelToken> cancel;
 };
 
 /** Executes workloads and produces RunResults. */

@@ -3,8 +3,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <thread>
+#include <typeinfo>
+
+#if defined(__GNUG__)
+#include <cxxabi.h>
+#endif
+
+#include "common/cancel.hh"
 
 namespace gps
 {
@@ -19,20 +27,87 @@ defaultSweepJobs()
 namespace
 {
 
-void
-runOne(const SweepJob& job, SweepOutcome& out)
+/** Demangle a typeid name where the ABI supports it. */
+std::string
+demangle(const char* mangled)
 {
+#if defined(__GNUG__)
+    int status = 0;
+    char* name = abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+    if (status == 0 && name != nullptr) {
+        std::string out(name);
+        std::free(name);
+        return out;
+    }
+#endif
+    return mangled;
+}
+
+} // namespace
+
+void
+describeException(const std::exception_ptr& error, std::string& type,
+                  std::string& message)
+{
+    type.clear();
+    message.clear();
+    if (error == nullptr)
+        return;
+    try {
+        std::rethrow_exception(error);
+    } catch (const CancelledError& e) {
+        type = e.reason() == CancelReason::DeadlineExpired
+                   ? "DeadlineExpired"
+                   : "Cancelled";
+        message = e.what();
+    } catch (const std::exception& e) {
+        type = demangle(typeid(e).name());
+        // Strip the namespace: "gps::FatalError" -> "FatalError".
+        const std::size_t colons = type.rfind("::");
+        if (colons != std::string::npos)
+            type = type.substr(colons + 2);
+        message = e.what();
+    } catch (...) {
+        type = "unknown";
+        message = "non-std::exception thrown";
+    }
+}
+
+std::string
+SweepOutcome::errorText() const
+{
+    if (ok())
+        return "";
+    return errorType.empty() ? errorMessage
+                             : errorType + ": " + errorMessage;
+}
+
+SweepOutcome
+runSweepJob(const SweepJob& job)
+{
+    SweepOutcome out;
     out.label = job.label;
     const auto t0 = std::chrono::steady_clock::now();
     try {
         out.result = runWorkload(job.workload, job.config);
     } catch (...) {
         out.error = std::current_exception();
+        describeException(out.error, out.errorType, out.errorMessage);
     }
     out.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
+    return out;
+}
+
+namespace
+{
+
+void
+runOne(const SweepJob& job, SweepOutcome& out)
+{
+    out = runSweepJob(job);
 }
 
 } // namespace

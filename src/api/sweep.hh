@@ -48,8 +48,31 @@ struct SweepOutcome
     /** Set when the run threw; result is default-constructed then. */
     std::exception_ptr error;
 
+    /**
+     * Structured rendering of @ref error, so failed grid points stay
+     * diagnosable after the exception_ptr can no longer be rethrown
+     * (JSON exports, store entries, client responses): the exception's
+     * demangled type name and its what() message.
+     */
+    std::string errorType;
+    std::string errorMessage;
+
     bool ok() const { return error == nullptr; }
+
+    /** "Type: message" one-liner for logs and reports; "" when ok. */
+    std::string errorText() const;
 };
+
+/**
+ * Render any in-flight exception as (type, message). Exposed for the
+ * serve layer, which reports request failures the same way sweep
+ * outcomes do.
+ */
+void describeException(const std::exception_ptr& error,
+                       std::string& type, std::string& message);
+
+/** Execute one job, capturing wall time and any thrown error. */
+SweepOutcome runSweepJob(const SweepJob& job);
 
 /** Worker count to use when the user asked for "all cores" (>= 1). */
 std::size_t defaultSweepJobs();

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulations.
+ *
+ * A CancelToken is shared between a submitter (the serve-mode
+ * scheduler, a signal handler, a test) and the Runner executing the
+ * run. The submitter flips it; the Runner polls it between replay
+ * chunks and between iterations and unwinds with CancelledError. The
+ * token also carries an optional wall-clock deadline so a request's
+ * time budget keeps being enforced after its run has started.
+ *
+ * Every member is safe to call from any thread.
+ */
+
+#ifndef GPS_COMMON_CANCEL_HH
+#define GPS_COMMON_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace gps
+{
+
+/** Why a run was asked to stop. */
+enum class CancelReason : int {
+    None = 0,
+    Cancelled,       ///< explicit client cancel / shutdown drain
+    DeadlineExpired, ///< the request's deadline passed
+};
+
+/** Thrown out of Runner::run when its token fires mid-run. */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(CancelReason reason)
+        : std::runtime_error(reason == CancelReason::DeadlineExpired
+                                 ? "run cancelled: deadline expired"
+                                 : "run cancelled"),
+          reason_(reason)
+    {}
+
+    CancelReason reason() const { return reason_; }
+
+  private:
+    CancelReason reason_;
+};
+
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Request cancellation; the first reason to land wins. */
+    void
+    cancel(CancelReason reason = CancelReason::Cancelled)
+    {
+        int expected = static_cast<int>(CancelReason::None);
+        state_.compare_exchange_strong(expected,
+                                       static_cast<int>(reason),
+                                       std::memory_order_relaxed);
+    }
+
+    /**
+     * Arm a deadline. Call before the run starts (the deadline itself
+     * is read concurrently with poll(), so it is stored atomically as
+     * ticks since the clock epoch).
+     */
+    void
+    setDeadline(Clock::time_point deadline)
+    {
+        deadlineNs_.store(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                deadline.time_since_epoch())
+                .count(),
+            std::memory_order_relaxed);
+    }
+
+    /** Latched reason, checking the deadline as a side effect. */
+    CancelReason
+    poll()
+    {
+        const int s = state_.load(std::memory_order_relaxed);
+        if (s != static_cast<int>(CancelReason::None))
+            return static_cast<CancelReason>(s);
+        const std::int64_t d = deadlineNs_.load(std::memory_order_relaxed);
+        if (d != 0 &&
+            Clock::now().time_since_epoch() >=
+                std::chrono::nanoseconds(d)) {
+            cancel(CancelReason::DeadlineExpired);
+            return static_cast<CancelReason>(
+                state_.load(std::memory_order_relaxed));
+        }
+        return CancelReason::None;
+    }
+
+    bool
+    cancelled() const
+    {
+        return state_.load(std::memory_order_relaxed) !=
+               static_cast<int>(CancelReason::None);
+    }
+
+    /** poll() and throw CancelledError if the token has fired. */
+    void
+    throwIfCancelled()
+    {
+        const CancelReason reason = poll();
+        if (reason != CancelReason::None)
+            throw CancelledError(reason);
+    }
+
+  private:
+    std::atomic<int> state_{static_cast<int>(CancelReason::None)};
+    std::atomic<std::int64_t> deadlineNs_{0};
+};
+
+} // namespace gps
+
+#endif // GPS_COMMON_CANCEL_HH

@@ -104,6 +104,14 @@ JsonWriter::value(double number)
 }
 
 JsonWriter&
+JsonWriter::rawValue(const std::string& json)
+{
+    separate();
+    out_ += json;
+    return *this;
+}
+
+JsonWriter&
 JsonWriter::value(std::uint64_t number)
 {
     separate();

@@ -39,6 +39,14 @@ class JsonWriter
     JsonWriter& value(std::uint64_t number);
     JsonWriter& value(bool flag);
 
+    /**
+     * Splice @p json in verbatim as the next value. The caller
+     * guarantees it is one complete, well-formed JSON value; the serve
+     * layer uses this to embed a stored result payload byte-identically
+     * into a response envelope.
+     */
+    JsonWriter& rawValue(const std::string& json);
+
     /** Shorthand: key + value. */
     template <typename T>
     JsonWriter&

@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <mutex>
 
@@ -10,7 +11,12 @@ namespace detail
 
 namespace
 {
-bool verboseFlag = true;
+/**
+ * Atomic so concurrent sweep workers and the serve-mode front end can
+ * read it while a driver thread flips it — the last plain-global in
+ * the library's run paths.
+ */
+std::atomic<bool> verboseFlag{true};
 
 /**
  * Serializes warn()/inform() lines so concurrent sweep workers (see
@@ -29,13 +35,13 @@ logMutex()
 void
 setVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    verboseFlag.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return verboseFlag;
+    return verboseFlag.load(std::memory_order_relaxed);
 }
 
 void
@@ -64,7 +70,7 @@ warnImpl(const std::string& msg)
 void
 informImpl(const std::string& msg)
 {
-    if (!verboseFlag)
+    if (!verboseFlag.load(std::memory_order_relaxed))
         return;
     const std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());

@@ -1,0 +1,307 @@
+#include "serve/protocol.hh"
+
+#include <map>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace gps
+{
+
+InterconnectKind
+interconnectFromName(const std::string& name)
+{
+    static const std::map<std::string, InterconnectKind> kinds = {
+        {"pcie3", InterconnectKind::Pcie3},
+        {"pcie4", InterconnectKind::Pcie4},
+        {"pcie5", InterconnectKind::Pcie5},
+        {"pcie6", InterconnectKind::Pcie6},
+        {"nvlink2", InterconnectKind::NvLink2},
+        {"nvlink3", InterconnectKind::NvLink3},
+        {"infinite", InterconnectKind::Infinite},
+    };
+    auto it = kinds.find(name);
+    if (it == kinds.end())
+        gps_fatal("unknown interconnect '", name, "'");
+    return it->second;
+}
+
+ParadigmKind
+paradigmFromName(const std::string& name)
+{
+    for (const ParadigmKind kind : allParadigms()) {
+        if (name == to_string(kind))
+            return kind;
+    }
+    if (name == "Infinite")
+        return ParadigmKind::InfiniteBw;
+    gps_fatal("unknown paradigm '", name, "'");
+}
+
+namespace
+{
+
+/** Parse one job spec object into a ServeJob (id/index set later). */
+bool
+parseJobSpec(const JsonValue& spec, ServeJob& job, std::string& error)
+{
+    if (!spec.isObject()) {
+        error = "job spec must be an object";
+        return false;
+    }
+    job.workload = spec.string("app");
+    if (job.workload.empty()) {
+        error = "job spec is missing \"app\"";
+        return false;
+    }
+    try {
+        RunConfig& config = job.config;
+        config.paradigm = paradigmFromName(spec.string("paradigm", "GPS"));
+        config.system.numGpus = static_cast<std::size_t>(
+            spec.number("gpus", 4.0));
+        config.system.interconnect =
+            interconnectFromName(spec.string("interconnect", "pcie3"));
+        config.system.pageBytes = static_cast<std::uint64_t>(
+                                      spec.number("page_kb", 64.0)) *
+                                  KiB;
+        config.scale = spec.number("scale", 1.0);
+        config.system.gps.wqEntries = static_cast<std::uint32_t>(
+            spec.number("wq_entries", 512.0));
+        if (const JsonValue* v = spec.find("auto_unsubscribe")) {
+            if (v->isBool())
+                config.system.gps.autoUnsubscribe = v->asBool();
+        }
+        config.steadyIterations = static_cast<std::size_t>(
+            spec.number("steady_iterations", 4.0));
+        if (const JsonValue* v = spec.find("check")) {
+            if (v->isBool())
+                config.check.enabled = v->asBool();
+        }
+        if (config.system.numGpus < 1 || config.scale <= 0.0) {
+            error = "job spec has non-positive \"gpus\" or \"scale\"";
+            return false;
+        }
+        job.deadlineMs = static_cast<std::uint64_t>(
+            spec.number("deadline_ms", 0.0));
+        if (const JsonValue* v = spec.find("no_cache")) {
+            if (v->isBool())
+                job.noCache = v->asBool();
+        }
+    } catch (const FatalError& e) {
+        error = e.what();
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseServeRequest(const std::string& line, ServeRequest& out,
+                  std::string& error)
+{
+    out = ServeRequest{};
+    std::string parse_error;
+    const std::unique_ptr<JsonValue> doc = parseJson(line, parse_error);
+    if (doc == nullptr) {
+        error = "malformed JSON: " + parse_error;
+        return false;
+    }
+    if (!doc->isObject()) {
+        error = "request must be a JSON object";
+        return false;
+    }
+    out.id = static_cast<std::uint64_t>(doc->number("id", 0.0));
+    out.method = doc->string("method");
+    if (out.method.empty()) {
+        error = "request is missing \"method\"";
+        return false;
+    }
+
+    const JsonValue* params = doc->find("params");
+    if (out.method == "run") {
+        if (params == nullptr) {
+            error = "\"run\" needs params";
+            return false;
+        }
+        ServeJob job;
+        if (!parseJobSpec(*params, job, error))
+            return false;
+        job.id = out.id;
+        job.index = 0;
+        out.jobs.push_back(std::move(job));
+    } else if (out.method == "batch") {
+        const JsonValue* jobs =
+            params != nullptr ? params->find("jobs") : nullptr;
+        if (jobs == nullptr || !jobs->isArray() ||
+            jobs->items().empty()) {
+            error = "\"batch\" needs a non-empty params.jobs array";
+            return false;
+        }
+        for (std::size_t i = 0; i < jobs->items().size(); ++i) {
+            ServeJob job;
+            if (!parseJobSpec(jobs->items()[i], job, error)) {
+                error += " (job " + std::to_string(i) + ")";
+                return false;
+            }
+            job.id = out.id;
+            job.index = i;
+            out.jobs.push_back(std::move(job));
+        }
+    } else if (out.method == "cancel") {
+        const JsonValue* target =
+            params != nullptr ? params->find("id") : nullptr;
+        if (target == nullptr || !target->isNumber()) {
+            error = "\"cancel\" needs a numeric params.id";
+            return false;
+        }
+        out.cancelId = static_cast<std::uint64_t>(target->asNumber());
+    } else if (out.method != "stats" && out.method != "ping" &&
+               out.method != "shutdown") {
+        error = "unknown method '" + out.method + "'";
+        return false;
+    }
+    return true;
+}
+
+std::string
+responseToJson(const ServeResponse& response)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("id", response.id);
+    w.field("index", response.index);
+    w.field("status", to_string(response.status));
+    if (!response.errorType.empty() || !response.errorMessage.empty()) {
+        w.key("error").beginObject();
+        w.field("type", response.errorType);
+        w.field("message", response.errorMessage);
+        w.endObject();
+    }
+    if (response.retryAfterMs != 0)
+        w.field("retry_after_ms", response.retryAfterMs);
+    w.field("store_hit", response.storeHit);
+    w.field("wait_ms", response.waitMs);
+    w.field("run_ms", response.runMs);
+    if (response.status == JobStatus::Ok) {
+        // Spliced verbatim: a store hit is byte-identical to the fresh
+        // run that published it, all the way through the envelope.
+        w.key("result").rawValue(response.payload);
+    }
+    w.endObject();
+    return w.str();
+}
+
+std::string
+protocolErrorJson(std::uint64_t id, const std::string& type,
+                  const std::string& message)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("id", id);
+    w.field("status", "error");
+    w.key("error").beginObject();
+    w.field("type", type);
+    w.field("message", message);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+statsToJson(std::uint64_t id, const ServiceStats& stats)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("id", id);
+    w.field("status", "ok");
+    w.key("stats").beginObject();
+    w.field("submitted", stats.submitted);
+    w.field("completed", stats.completed);
+    w.field("failed", stats.failed);
+    w.field("cancelled", stats.cancelled);
+    w.field("deadline_expired", stats.expired);
+    w.field("rejected", stats.rejected);
+    w.field("store_hits", stats.storeHits);
+    w.field("queued", static_cast<std::uint64_t>(stats.queued));
+    w.field("running", static_cast<std::uint64_t>(stats.running));
+    w.field("draining", stats.draining);
+    w.key("store").beginObject();
+    w.field("lookups", stats.store.lookups);
+    w.field("hits", stats.store.hits);
+    w.field("publishes", stats.store.publishes);
+    w.field("quarantined", stats.store.quarantined);
+    w.field("temps_swept", stats.store.tempsSwept);
+    w.endObject();
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+LineProtocol::Action
+LineProtocol::handleLine(const std::string& clientId,
+                         const std::string& line, Write write)
+{
+    // Tolerate blank lines and CR line endings from naive clients.
+    std::string trimmed = line;
+    while (!trimmed.empty() &&
+           (trimmed.back() == '\r' || trimmed.back() == ' '))
+        trimmed.pop_back();
+    if (trimmed.empty())
+        return Action::None;
+
+    ServeRequest request;
+    std::string error;
+    if (!parseServeRequest(trimmed, request, error)) {
+        write(protocolErrorJson(request.id, "BadRequest", error));
+        return Action::None;
+    }
+
+    if (request.method == "ping") {
+        JsonWriter w;
+        w.beginObject();
+        w.field("id", request.id);
+        w.field("status", "ok");
+        w.endObject();
+        write(w.str());
+        return Action::None;
+    }
+    if (request.method == "stats") {
+        write(statsToJson(request.id, service_.stats()));
+        return Action::None;
+    }
+    if (request.method == "cancel") {
+        const std::size_t reached =
+            service_.cancel(clientId, request.cancelId);
+        JsonWriter w;
+        w.beginObject();
+        w.field("id", request.id);
+        w.field("status", "ok");
+        w.field("cancelled", static_cast<std::uint64_t>(reached));
+        w.endObject();
+        write(w.str());
+        return Action::None;
+    }
+    if (request.method == "shutdown") {
+        JsonWriter w;
+        w.beginObject();
+        w.field("id", request.id);
+        w.field("status", "ok");
+        w.field("shutting_down", true);
+        w.endObject();
+        write(w.str());
+        return Action::Shutdown;
+    }
+
+    // run / batch: one response per job through the shared writer.
+    for (ServeJob& job : request.jobs) {
+        job.clientId = clientId;
+        service_.submit(std::move(job),
+                        [write](const ServeResponse& response) {
+                            write(responseToJson(response));
+                        });
+    }
+    return Action::None;
+}
+
+} // namespace gps

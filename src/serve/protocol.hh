@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Line-delimited JSON request/response protocol for gpsim --serve.
+ *
+ * Each request is one JSON object on one line; each submitted job
+ * produces exactly one JSON response line. See docs/service.md for
+ * the full schema. Methods:
+ *
+ *   run      params: one job spec                -> one response
+ *   batch    params.jobs: array of job specs     -> one response per
+ *            job, each echoing the request id plus its "index"
+ *   cancel   params.id: request id to cancel     -> one ack response
+ *   stats    ->  scheduler + store counters
+ *   ping     ->  liveness ack
+ *   shutdown ->  ack, then the front end drains and exits
+ *
+ * The protocol layer is transport-agnostic: the front end hands it
+ * lines plus a write callback, and it drives the SweepService.
+ */
+
+#ifndef GPS_SERVE_PROTOCOL_HH
+#define GPS_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/service.hh"
+
+namespace gps
+{
+
+class JsonValue;
+
+/** Name -> InterconnectKind ("pcie3".."nvlink3", "infinite"). */
+InterconnectKind interconnectFromName(const std::string& name);
+
+/** Name -> ParadigmKind; accepts "Infinite" for InfiniteBw. */
+ParadigmKind paradigmFromName(const std::string& name);
+
+/** One parsed request line. */
+struct ServeRequest
+{
+    std::uint64_t id = 0;
+    std::string method;
+
+    /** Jobs for run/batch (run parses into one element). */
+    std::vector<ServeJob> jobs;
+
+    /** Target request id for cancel. */
+    std::uint64_t cancelId = 0;
+};
+
+/**
+ * Parse one request line.
+ * @return false with @p error set on malformed input; the id field is
+ *         still recovered when possible so the error can be correlated
+ */
+bool parseServeRequest(const std::string& line, ServeRequest& out,
+                       std::string& error);
+
+/** Serialize a job response (the store payload is spliced verbatim). */
+std::string responseToJson(const ServeResponse& response);
+
+/** Serialize an error for a request that never became a job. */
+std::string protocolErrorJson(std::uint64_t id, const std::string& type,
+                              const std::string& message);
+
+/** Serialize the stats snapshot. */
+std::string statsToJson(std::uint64_t id, const ServiceStats& stats);
+
+/**
+ * Transport-independent request dispatcher: parses @p line, drives
+ * @p service, and emits every response line through @p write (which
+ * must be thread-safe — completions land on worker threads).
+ */
+class LineProtocol
+{
+  public:
+    using Write = std::function<void(const std::string& line)>;
+
+    explicit LineProtocol(SweepService& service)
+        : service_(service)
+    {}
+
+    /** What the front end should do after handling a line. */
+    enum class Action : std::uint8_t { None, Shutdown };
+
+    Action handleLine(const std::string& clientId,
+                      const std::string& line, Write write);
+
+  private:
+    SweepService& service_;
+};
+
+} // namespace gps
+
+#endif // GPS_SERVE_PROTOCOL_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Crash-safe content-addressed on-disk store of finished runs.
+ *
+ * Maps a full configKey() to the run's serialized RunResult JSON so a
+ * repeated grid point — a CI perf gate, a parameter-exploration UI,
+ * many clients hammering the same figure — is served from disk in
+ * microseconds, byte-identical to a fresh run.
+ *
+ * Durability model:
+ *  - Entries are published with write-to-temp + fsync + rename, so a
+ *    reader only ever sees no entry or a complete entry, even while a
+ *    writer is publishing and even across kill -9.
+ *  - Every read re-checks the entry's length fields and CRC32 (the
+ *    shared common/crc32 machinery); a truncated or bit-flipped entry
+ *    is quarantined (renamed aside, never served) and reported as a
+ *    miss so the caller recomputes and republishes it.
+ *  - Orphaned temp files from crashed writers are swept on open.
+ *
+ * Entry format (one file per key, named by the key's FNV-1a-64 hash):
+ *   line 1: "GPSSTORE <version> <crc32-hex> <key-bytes> <payload-bytes>\n"
+ *   then the key bytes, '\n', and the payload bytes. The CRC covers
+ *   key + '\n' + payload. The full key is stored and compared on read,
+ *   so a hash collision degrades to a miss, never a wrong result.
+ *
+ * All members are safe to call from any thread; cross-process safety
+ * comes from the atomic-rename publish protocol.
+ */
+
+#ifndef GPS_SERVE_RUN_STORE_HH
+#define GPS_SERVE_RUN_STORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace gps
+{
+
+/** Counters exported through the service stats endpoint. */
+struct RunStoreStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t publishes = 0;
+
+    /** Entries renamed aside because they failed validation. */
+    std::uint64_t quarantined = 0;
+
+    /** Orphaned temp files removed by the open-time sweep. */
+    std::uint64_t tempsSwept = 0;
+};
+
+class RunStore
+{
+  public:
+    /**
+     * Open (creating if needed) the store rooted at @p dir and sweep
+     * temp files left by crashed writers. Throws FatalError when the
+     * directory cannot be created or is not writable.
+     */
+    explicit RunStore(std::string dir);
+
+    RunStore(const RunStore&) = delete;
+    RunStore& operator=(const RunStore&) = delete;
+
+    /**
+     * Fetch the payload stored for @p key.
+     * @return the exact published bytes, or nullopt on miss or when
+     *         the entry failed validation (it is quarantined first)
+     */
+    std::optional<std::string> lookup(const std::string& key);
+
+    /**
+     * Durably publish @p payload under @p key (last writer wins).
+     * Failures are reported with gps_warn and swallowed: the store is
+     * a cache, and the caller still holds the fresh result.
+     */
+    void publish(const std::string& key, const std::string& payload);
+
+    /** fsync the store directory (entry renames become durable). */
+    void flush();
+
+    RunStoreStats stats() const;
+
+    const std::string& dir() const { return dir_; }
+
+    /** Filesystem name of @p key's entry (exposed for tests). */
+    static std::string entryName(const std::string& key);
+
+  private:
+    std::string entryPath(const std::string& key) const;
+
+    /** Rename a bad entry aside so it is never served again. */
+    void quarantine(const std::string& path);
+
+    std::string dir_;
+
+    mutable std::mutex mu_; ///< guards stats_ and the temp counter
+    RunStoreStats stats_;
+    std::uint64_t tempSeq_ = 0;
+};
+
+} // namespace gps
+
+#endif // GPS_SERVE_RUN_STORE_HH

@@ -1,0 +1,325 @@
+#include "serve/server.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace gps
+{
+
+namespace
+{
+
+/**
+ * Self-pipe for async-signal-safe shutdown: the handler writes one
+ * byte, the poll loops wake up. The write end is the only global the
+ * serve subsystem owns — signal handlers cannot reach instance state.
+ */
+std::atomic<int> signalPipeWriteFd{-1};
+
+void
+onDrainSignal(int)
+{
+    const int fd = signalPipeWriteFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        const char byte = 1;
+        // The return value is intentionally unused: the pipe being
+        // full already means a wakeup is pending.
+        [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+    }
+}
+
+int signalPipeReadFd = -1;
+
+void
+makeSignalPipe()
+{
+    if (signalPipeWriteFd.load(std::memory_order_relaxed) >= 0)
+        return;
+    int fds[2];
+    if (::pipe(fds) != 0)
+        gps_fatal("cannot create signal pipe: ", std::strerror(errno));
+    signalPipeReadFd = fds[0];
+    signalPipeWriteFd.store(fds[1], std::memory_order_relaxed);
+}
+
+/** Read whole lines out of an accumulating buffer. */
+class LineSplitter
+{
+  public:
+    /** Append raw bytes; invoke @p onLine per complete line. */
+    template <typename Fn>
+    void
+    feed(const char* data, std::size_t len, Fn onLine)
+    {
+        buffer_.append(data, len);
+        std::size_t start = 0;
+        for (;;) {
+            const std::size_t nl = buffer_.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            onLine(buffer_.substr(start, nl - start));
+            start = nl + 1;
+        }
+        buffer_.erase(0, start);
+    }
+
+  private:
+    std::string buffer_;
+};
+
+/** One accepted connection: fd + serialized writer. */
+struct Connection
+{
+    explicit Connection(int fd, std::string id)
+        : fd(fd), clientId(std::move(id))
+    {}
+
+    void
+    writeLine(const std::string& line)
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (fd < 0)
+            return;
+        std::string out = line;
+        out += '\n';
+        std::size_t off = 0;
+        while (off < out.size()) {
+            const ssize_t n =
+                ::write(fd, out.data() + off, out.size() - off);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR)
+                    continue;
+                // Peer went away; responses to a dead client are
+                // droppable, the run store still has the result.
+                return;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+    }
+
+    void
+    shutdownBothEnds()
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (fd >= 0)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+
+    void
+    close()
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+
+    int fd;
+    std::string clientId;
+    std::mutex mu;
+};
+
+} // namespace
+
+void
+ServeFrontEnd::installSignalHandlers()
+{
+    makeSignalPipe();
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onDrainSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    // A client vanishing mid-response must not kill the daemon.
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+int
+ServeFrontEnd::runStdio()
+{
+    makeSignalPipe();
+    std::mutex out_mu;
+    const LineProtocol::Write write = [&out_mu](const std::string& line) {
+        const std::lock_guard<std::mutex> lock(out_mu);
+        std::fwrite(line.data(), 1, line.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+    };
+
+    LineSplitter splitter;
+    bool want_shutdown = false;
+    bool eof = false;
+    bool signalled = false;
+    while (!want_shutdown && !eof && !signalled) {
+        struct pollfd fds[2];
+        fds[0] = {STDIN_FILENO, POLLIN, 0};
+        fds[1] = {signalPipeReadFd, POLLIN, 0};
+        if (::poll(fds, 2, -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            gps_warn("serve: poll failed: ", std::strerror(errno));
+            break;
+        }
+        if (fds[1].revents != 0) {
+            signalled = true;
+            break;
+        }
+        if (fds[0].revents == 0)
+            continue;
+        char buf[4096];
+        const ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
+        if (n <= 0) {
+            eof = true;
+            break;
+        }
+        splitter.feed(buf, static_cast<std::size_t>(n),
+                      [&](const std::string& line) {
+                          if (protocol_.handleLine("stdio", line,
+                                                   write) ==
+                              LineProtocol::Action::Shutdown)
+                              want_shutdown = true;
+                      });
+    }
+
+    // EOF: the client finished submitting — finish everything accepted
+    // and respond. Signal/shutdown: drain fast, cancelling the backlog.
+    const bool cancel_pending = !eof || want_shutdown || signalled;
+    service_.shutdown(cancel_pending);
+    return 0;
+}
+
+int
+ServeFrontEnd::runSocket(const std::string& path)
+{
+    makeSignalPipe();
+    const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0)
+        gps_fatal("cannot create socket: ", std::strerror(errno));
+
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(listen_fd);
+        gps_fatal("socket path too long: '", path, "'");
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str()); // stale socket from a previous daemon
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        ::close(listen_fd);
+        gps_fatal("cannot bind '", path, "': ", std::strerror(errno));
+    }
+    if (::listen(listen_fd, 64) != 0) {
+        ::close(listen_fd);
+        gps_fatal("cannot listen on '", path, "': ",
+                  std::strerror(errno));
+    }
+    // stderr, not gps_inform: stdout may be a protocol stream and
+    // inform() is silenced by default in the CLI.
+    std::fprintf(stderr, "gpsim: serving on unix socket %s\n",
+                 path.c_str());
+
+    std::mutex conns_mu;
+    std::vector<std::shared_ptr<Connection>> conns;
+    std::vector<std::thread> readers;
+    std::atomic<bool> want_shutdown{false};
+    std::uint64_t next_conn = 0;
+
+    for (;;) {
+        struct pollfd fds[2];
+        fds[0] = {listen_fd, POLLIN, 0};
+        fds[1] = {signalPipeReadFd, POLLIN, 0};
+        if (::poll(fds, 2, want_shutdown.load() ? 50 : -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            gps_warn("serve: poll failed: ", std::strerror(errno));
+            break;
+        }
+        if (fds[1].revents != 0 || want_shutdown.load())
+            break;
+        if (fds[0].revents == 0)
+            continue;
+        const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+        if (conn_fd < 0)
+            continue;
+        auto conn = std::make_shared<Connection>(
+            conn_fd, "conn" + std::to_string(next_conn++));
+        {
+            const std::lock_guard<std::mutex> lock(conns_mu);
+            conns.push_back(conn);
+        }
+        readers.emplace_back([this, conn, &want_shutdown] {
+            LineSplitter splitter;
+            const LineProtocol::Write write =
+                [conn](const std::string& line) {
+                    conn->writeLine(line);
+                };
+            char buf[4096];
+            for (;;) {
+                const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+                if (n <= 0) {
+                    if (n < 0 && errno == EINTR)
+                        continue;
+                    break;
+                }
+                bool stop = false;
+                splitter.feed(buf, static_cast<std::size_t>(n),
+                              [&](const std::string& line) {
+                                  if (protocol_.handleLine(
+                                          conn->clientId, line,
+                                          write) ==
+                                      LineProtocol::Action::Shutdown)
+                                      stop = true;
+                              });
+                if (stop) {
+                    want_shutdown.store(true);
+                    // Nudge the accept loop off its blocking poll.
+                    onDrainSignal(0);
+                    break;
+                }
+            }
+        });
+    }
+
+    // Graceful drain: no new connections, cancel the backlog, let
+    // in-flight runs finish and their responses flush, sync the store.
+    ::close(listen_fd);
+    ::unlink(path.c_str());
+    service_.shutdown(/*cancelPending=*/true);
+    {
+        const std::lock_guard<std::mutex> lock(conns_mu);
+        for (const auto& conn : conns)
+            conn->shutdownBothEnds();
+    }
+    for (std::thread& t : readers) {
+        if (t.joinable())
+            t.join();
+    }
+    {
+        const std::lock_guard<std::mutex> lock(conns_mu);
+        for (const auto& conn : conns)
+            conn->close();
+    }
+    std::fprintf(stderr, "gpsim: serve drained, exiting\n");
+    return 0;
+}
+
+} // namespace gps

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Serve-mode front ends: stdio and Unix-domain-socket transports for
+ * the line protocol, plus SIGINT/SIGTERM graceful drain.
+ *
+ * stdio mode reads request lines from stdin and writes response lines
+ * to stdout — the simplest client is `printf ... | gpsim --serve`. On
+ * EOF the front end finishes every accepted job before exiting, so a
+ * piped batch always gets all its responses.
+ *
+ * Socket mode accepts many concurrent clients; each connection is one
+ * fairness domain (client id) with its own reader thread, and
+ * responses are written back on the submitting connection.
+ *
+ * SIGINT/SIGTERM (or a "shutdown" request) triggers a graceful drain:
+ * stop accepting, cancel the backlog, finish in-flight runs, flush
+ * the run store, then exit. A second signal is left at its default
+ * disposition semantics (the handler only ever records the first).
+ */
+
+#ifndef GPS_SERVE_SERVER_HH
+#define GPS_SERVE_SERVER_HH
+
+#include <string>
+
+#include "serve/protocol.hh"
+#include "serve/service.hh"
+
+namespace gps
+{
+
+class ServeFrontEnd
+{
+  public:
+    explicit ServeFrontEnd(SweepService& service)
+        : service_(service), protocol_(service)
+    {}
+
+    /**
+     * Install the SIGINT/SIGTERM self-pipe handler. Call once, before
+     * run*(); the handler is process-global (signal handlers cannot
+     * capture state), which is acceptable for the one daemon loop a
+     * process runs.
+     */
+    static void installSignalHandlers();
+
+    /** Serve stdin/stdout until EOF, shutdown request, or signal. */
+    int runStdio();
+
+    /** Serve a Unix socket until shutdown request or signal. */
+    int runSocket(const std::string& path);
+
+  private:
+    SweepService& service_;
+    LineProtocol protocol_;
+};
+
+} // namespace gps
+
+#endif // GPS_SERVE_SERVER_HH

@@ -1,0 +1,412 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "api/result_export.hh"
+#include "check/check_config.hh"
+#include "common/logging.hh"
+
+namespace gps
+{
+
+using Clock = std::chrono::steady_clock;
+
+const char*
+to_string(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Error: return "error";
+      case JobStatus::Cancelled: return "cancelled";
+      case JobStatus::DeadlineExpired: return "deadline_expired";
+      case JobStatus::Rejected: return "rejected";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+double
+msBetween(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+} // namespace
+
+SweepService::SweepService(ServeConfig config)
+    : config_(std::move(config))
+{
+    if (config_.workers < 1)
+        config_.workers = 1;
+    if (config_.maxQueue < 1)
+        config_.maxQueue = 1;
+    if (!config_.storeDir.empty())
+        store_ = std::make_unique<RunStore>(config_.storeDir);
+    workers_.reserve(config_.workers);
+    for (std::size_t w = 0; w < config_.workers; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+SweepService::~SweepService()
+{
+    shutdown(/*cancelPending=*/true);
+}
+
+std::uint64_t
+SweepService::retryAfterHintLocked() const
+{
+    // Rough time until a queue slot frees up: the backlog spread over
+    // the workers, at the observed average run time. Clamped to keep
+    // pathological estimates from parking clients forever.
+    const double depth = static_cast<double>(queuedTotal_ + 1);
+    const double per_worker =
+        depth / static_cast<double>(config_.workers);
+    const double hint = per_worker * std::max(avgRunMs_, 1.0);
+    return static_cast<std::uint64_t>(
+        std::clamp(hint, 1.0, 60'000.0));
+}
+
+void
+SweepService::submit(ServeJob job, Callback done)
+{
+    ServeResponse rejected;
+    rejected.clientId = job.clientId;
+    rejected.id = job.id;
+    rejected.index = job.index;
+    rejected.status = JobStatus::Rejected;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        ++stats_.submitted;
+        if (draining_ || stopping_) {
+            ++stats_.rejected;
+            rejected.errorType = "ShuttingDown";
+            rejected.errorMessage = "server is draining";
+        } else if (queuedTotal_ >= config_.maxQueue) {
+            ++stats_.rejected;
+            rejected.errorType = "QueueFull";
+            rejected.errorMessage =
+                "admission queue is full (" +
+                std::to_string(config_.maxQueue) + " pending)";
+            rejected.retryAfterMs = retryAfterHintLocked();
+        } else {
+            Pending p;
+            p.enqueued = Clock::now();
+            const std::uint64_t deadline_ms =
+                job.deadlineMs != 0 ? job.deadlineMs
+                                    : config_.defaultDeadlineMs;
+            p.deadline = deadline_ms != 0
+                             ? p.enqueued +
+                                   std::chrono::milliseconds(deadline_ms)
+                             : Clock::time_point::max();
+            p.token = std::make_shared<CancelToken>();
+            if (deadline_ms != 0)
+                p.token->setDeadline(p.deadline);
+            const std::string client = job.clientId;
+            p.job = std::move(job);
+            p.done = std::move(done);
+            if (queues_.find(client) == queues_.end())
+                rrOrder_.push_back(client);
+            queues_[client].push_back(std::move(p));
+            ++queuedTotal_;
+            lk.unlock();
+            workCv_.notify_one();
+            return;
+        }
+    }
+    done(rejected);
+}
+
+std::size_t
+SweepService::cancel(const std::string& clientId, std::uint64_t id)
+{
+    std::vector<Pending> dropped;
+    std::size_t reached = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        auto it = queues_.find(clientId);
+        if (it != queues_.end()) {
+            std::deque<Pending>& q = it->second;
+            for (auto jt = q.begin(); jt != q.end();) {
+                if (jt->job.id == id) {
+                    dropped.push_back(std::move(*jt));
+                    jt = q.erase(jt);
+                    --queuedTotal_;
+                    // In flight until its Cancelled response has been
+                    // delivered below (see workerLoop).
+                    ++runningTotal_;
+                } else {
+                    ++jt;
+                }
+            }
+            // Leave an emptied queue in place: popFair erases it.
+        }
+        for (auto& [key, token] : running_) {
+            if (key.clientId == clientId && key.id == id) {
+                token->cancel(CancelReason::Cancelled);
+                ++reached;
+            }
+        }
+    }
+    reached += dropped.size();
+    for (Pending& p : dropped) {
+        ServeResponse r;
+        r.clientId = p.job.clientId;
+        r.id = p.job.id;
+        r.index = p.job.index;
+        r.status = JobStatus::Cancelled;
+        r.errorType = "Cancelled";
+        r.errorMessage = "cancelled while queued";
+        r.waitMs = msBetween(p.enqueued, Clock::now());
+        finish(p, std::move(r));
+        const std::lock_guard<std::mutex> lock(mu_);
+        --runningTotal_;
+    }
+    idleCv_.notify_all();
+    return reached;
+}
+
+bool
+SweepService::popFair(Pending& out)
+{
+    // Each pass either serves the cursor's client or retires an idle
+    // one, so the loop terminates: rrOrder_ strictly shrinks until a
+    // job is found or no client has anything pending.
+    while (!rrOrder_.empty()) {
+        if (rrCursor_ >= rrOrder_.size())
+            rrCursor_ = 0;
+        auto it = queues_.find(rrOrder_[rrCursor_]);
+        if (it == queues_.end() || it->second.empty()) {
+            // Lazily retire clients with nothing pending so rrOrder_
+            // does not grow with every connection the daemon ever saw.
+            if (it != queues_.end())
+                queues_.erase(it);
+            rrOrder_.erase(rrOrder_.begin() +
+                           static_cast<std::ptrdiff_t>(rrCursor_));
+            continue;
+        }
+        out = std::move(it->second.front());
+        it->second.pop_front();
+        ++rrCursor_; // round-robin: next client gets the next worker
+        return true;
+    }
+    rrCursor_ = 0;
+    return false;
+}
+
+void
+SweepService::finish(const Pending& p, ServeResponse&& response)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        switch (response.status) {
+          case JobStatus::Ok:
+            ++stats_.completed;
+            if (response.storeHit)
+                ++stats_.storeHits;
+            break;
+          case JobStatus::Error: ++stats_.failed; break;
+          case JobStatus::Cancelled: ++stats_.cancelled; break;
+          case JobStatus::DeadlineExpired: ++stats_.expired; break;
+          case JobStatus::Rejected: ++stats_.rejected; break;
+        }
+    }
+    p.done(response);
+}
+
+void
+SweepService::workerLoop()
+{
+    for (;;) {
+        std::unique_lock<std::mutex> lk(mu_);
+        workCv_.wait(lk,
+                     [this] { return queuedTotal_ > 0 || stopping_; });
+        Pending p;
+        if (!popFair(p)) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        --queuedTotal_;
+        // The job counts as in flight until its callback has returned:
+        // awaitIdle() (and thus shutdown) must not complete while a
+        // response is still being delivered, or a front end could exit
+        // with the last line unwritten.
+        ++runningTotal_;
+
+        ServeResponse r;
+        r.clientId = p.job.clientId;
+        r.id = p.job.id;
+        r.index = p.job.index;
+        const Clock::time_point started = Clock::now();
+        r.waitMs = msBetween(p.enqueued, started);
+
+        // A deadline that lapsed while queued: answer without running.
+        // Tokens cancelled while pending (drain races) behave the same.
+        if (started >= p.deadline || p.token->cancelled()) {
+            const bool expired = started >= p.deadline;
+            r.status = expired ? JobStatus::DeadlineExpired
+                               : JobStatus::Cancelled;
+            r.errorType = expired ? "DeadlineExpired" : "Cancelled";
+            r.errorMessage = expired
+                                 ? "deadline expired while queued"
+                                 : "cancelled while queued";
+            lk.unlock();
+            finish(p, std::move(r));
+            lk.lock();
+            --runningTotal_;
+            lk.unlock();
+            idleCv_.notify_all();
+            continue;
+        }
+
+        const RunningKey key{p.job.clientId, p.job.id, ++seq_};
+        running_.emplace(key, p.token);
+        lk.unlock();
+
+        // --- Store fast path ---
+        const std::string cfg_key =
+            configKey(p.job.workload, p.job.config);
+        bool executed = false;
+        std::optional<std::string> hit;
+        if (store_ != nullptr && !p.job.noCache)
+            hit = store_->lookup(cfg_key);
+        if (hit.has_value()) {
+            r.status = JobStatus::Ok;
+            r.payload = std::move(*hit);
+            r.storeHit = true;
+        } else {
+            // --- Fresh run, cancellable through the shared token ---
+            executed = true;
+            SweepJob sweep_job;
+            sweep_job.workload = p.job.workload;
+            sweep_job.config = p.job.config;
+            sweep_job.config.cancel = p.token;
+            sweep_job.label =
+                p.job.clientId + '#' + std::to_string(p.job.id);
+            const SweepOutcome out = runSweepJob(sweep_job);
+            r.runMs = out.wallSeconds * 1e3;
+            if (!out.ok()) {
+                if (out.errorType == "Cancelled")
+                    r.status = JobStatus::Cancelled;
+                else if (out.errorType == "DeadlineExpired")
+                    r.status = JobStatus::DeadlineExpired;
+                else
+                    r.status = JobStatus::Error;
+                r.errorType = out.errorType;
+                r.errorMessage = out.errorMessage;
+            } else if (out.result.check != nullptr &&
+                       !out.result.check->ok()) {
+                // A differential-checker divergence is a per-job error;
+                // the pool and the other grid points keep going, and
+                // the diverged result is never published to the store.
+                r.status = JobStatus::Error;
+                r.errorType = "CheckDivergence";
+                r.errorMessage =
+                    out.result.check->findings.empty()
+                        ? std::to_string(out.result.check->divergences) +
+                              " divergence(s)"
+                        : describe(out.result.check->findings.front());
+            } else {
+                r.status = JobStatus::Ok;
+                r.payload = resultToJson(out.result, /*stats=*/true);
+                if (store_ != nullptr)
+                    store_->publish(cfg_key, r.payload);
+            }
+        }
+
+        lk.lock();
+        running_.erase(key);
+        if (executed && r.status == JobStatus::Ok)
+            avgRunMs_ = 0.8 * avgRunMs_ + 0.2 * r.runMs;
+        lk.unlock();
+        finish(p, std::move(r));
+        lk.lock();
+        --runningTotal_;
+        lk.unlock();
+        idleCv_.notify_all();
+    }
+}
+
+void
+SweepService::beginDrain(bool cancelPending)
+{
+    std::vector<Pending> dropped;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        draining_ = true;
+        stats_.draining = true;
+        if (cancelPending) {
+            for (auto& [client, q] : queues_) {
+                for (Pending& p : q)
+                    dropped.push_back(std::move(p));
+                q.clear();
+            }
+            queuedTotal_ = 0;
+            // In flight until their responses are delivered below.
+            runningTotal_ += dropped.size();
+        }
+    }
+    for (Pending& p : dropped) {
+        ServeResponse r;
+        r.clientId = p.job.clientId;
+        r.id = p.job.id;
+        r.index = p.job.index;
+        r.status = JobStatus::Cancelled;
+        r.errorType = "ShuttingDown";
+        r.errorMessage = "cancelled by server drain";
+        r.waitMs = msBetween(p.enqueued, Clock::now());
+        finish(p, std::move(r));
+        const std::lock_guard<std::mutex> lock(mu_);
+        --runningTotal_;
+    }
+    idleCv_.notify_all();
+}
+
+void
+SweepService::awaitIdle()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idleCv_.wait(lk, [this] {
+        return queuedTotal_ == 0 && runningTotal_ == 0;
+    });
+}
+
+void
+SweepService::shutdown(bool cancelPending)
+{
+    beginDrain(cancelPending);
+    awaitIdle();
+    if (store_ != nullptr)
+        store_->flush();
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread& t : workers_) {
+        if (t.joinable())
+            t.join();
+    }
+    workers_.clear();
+}
+
+ServiceStats
+SweepService::stats() const
+{
+    ServiceStats out;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        out = stats_;
+        out.queued = queuedTotal_;
+        out.running = runningTotal_;
+        out.draining = draining_;
+    }
+    if (store_ != nullptr)
+        out.store = store_->stats();
+    return out;
+}
+
+} // namespace gps

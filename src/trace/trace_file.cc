@@ -1,8 +1,8 @@
 #include "trace/trace_file.hh"
 
-#include <array>
 #include <cstring>
 
+#include "common/crc32.hh"
 #include "common/logging.hh"
 
 namespace gps
@@ -32,34 +32,6 @@ struct TraceRecord
 
 static_assert(sizeof(TraceHeader) == 24, "header layout drifted");
 static_assert(sizeof(TraceRecord) == 16, "record layout drifted");
-
-/** Table-based IEEE CRC32 (same polynomial as zlib's crc32). */
-const std::uint32_t*
-crcTable()
-{
-    static const auto table = [] {
-        std::array<std::uint32_t, 256> t{};
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-        return t;
-    }();
-    return table.data();
-}
-
-std::uint32_t
-crc32Update(std::uint32_t crc, const void* data, std::size_t len)
-{
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    const std::uint32_t* table = crcTable();
-    crc ^= 0xffffffffu;
-    for (std::size_t i = 0; i < len; ++i)
-        crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
-    return crc ^ 0xffffffffu;
-}
 
 } // namespace
 

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Crash-safety tests for the content-addressed run store: round trips,
+ * orphaned-temp sweeping, truncated and bit-flipped entries being
+ * quarantined (never served), hash collisions degrading to misses, and
+ * torn-read-freedom for concurrent readers during publishes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include "serve/run_store.hh"
+
+namespace gps
+{
+namespace
+{
+
+/** Fresh store directory per test, removed on teardown. */
+class RunStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        char tmpl[] = "/tmp/gps_store_test_XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        dir_ = tmpl;
+    }
+
+    void
+    TearDown() override
+    {
+        for (const std::string& name : listDir())
+            std::remove((dir_ + '/' + name).c_str());
+        ::rmdir(dir_.c_str());
+    }
+
+    std::vector<std::string>
+    listDir() const
+    {
+        std::vector<std::string> names;
+        DIR* d = ::opendir(dir_.c_str());
+        if (d == nullptr)
+            return names;
+        while (struct dirent* ent = ::readdir(d)) {
+            const std::string name = ent->d_name;
+            if (name != "." && name != "..")
+                names.push_back(name);
+        }
+        ::closedir(d);
+        return names;
+    }
+
+    std::string
+    entryPath(const std::string& key) const
+    {
+        return dir_ + '/' + RunStore::entryName(key);
+    }
+
+    std::string
+    readFile(const std::string& path) const
+    {
+        std::ifstream in(path, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    }
+
+    void
+    writeFile(const std::string& path, const std::string& bytes) const
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+
+    std::size_t
+    countMatching(const std::string& needle) const
+    {
+        std::size_t n = 0;
+        for (const std::string& name : listDir())
+            n += name.find(needle) != std::string::npos ? 1 : 0;
+        return n;
+    }
+
+    std::string dir_;
+};
+
+TEST_F(RunStoreTest, MissOnEmptyStore)
+{
+    RunStore store(dir_);
+    EXPECT_FALSE(store.lookup("no such key").has_value());
+    EXPECT_EQ(store.stats().lookups, 1u);
+    EXPECT_EQ(store.stats().hits, 0u);
+}
+
+TEST_F(RunStoreTest, RoundTripReturnsExactBytes)
+{
+    RunStore store(dir_);
+    const std::string key = "app=Jacobi|gpus=4|paradigm=GPS";
+    const std::string payload =
+        "{\"total_time_ms\":1.25,\"bytes\":[0,1,2]}";
+    store.publish(key, payload);
+    const auto got = store.lookup(key);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+    EXPECT_EQ(store.stats().publishes, 1u);
+    EXPECT_EQ(store.stats().hits, 1u);
+}
+
+TEST_F(RunStoreTest, SurvivesReopenByteIdentical)
+{
+    const std::string key = "key with spaces and | separators";
+    const std::string payload(64 * 1024, 'x');
+    {
+        RunStore store(dir_);
+        store.publish(key, payload);
+        store.flush();
+    }
+    RunStore reopened(dir_);
+    const auto got = reopened.lookup(key);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+}
+
+TEST_F(RunStoreTest, LastWriterWins)
+{
+    RunStore store(dir_);
+    store.publish("k", "first");
+    store.publish("k", "second");
+    const auto got = store.lookup("k");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "second");
+}
+
+TEST_F(RunStoreTest, OrphanedTempFilesAreSweptOnOpen)
+{
+    // A writer that died mid-publish leaves <entry>.tmp.<pid>.<seq>
+    // behind; a fresh daemon must remove it and serve a miss, not a
+    // half-written entry.
+    {
+        RunStore store(dir_);
+        store.publish("good", "payload");
+    }
+    const std::string orphan =
+        entryPath("crashed") + ".tmp.12345.0";
+    writeFile(orphan, "GPSSTORE 1 deadbeef 7 9999999\ncrashed\ntrunc");
+    RunStore store(dir_);
+    EXPECT_GE(store.stats().tempsSwept, 1u);
+    EXPECT_EQ(countMatching(".tmp."), 0u);
+    EXPECT_FALSE(store.lookup("crashed").has_value());
+    // The completed entry published before the crash is untouched.
+    EXPECT_TRUE(store.lookup("good").has_value());
+}
+
+TEST_F(RunStoreTest, TruncatedEntryIsQuarantinedAndRecomputable)
+{
+    const std::string key = "truncated-entry";
+    {
+        RunStore store(dir_);
+        store.publish(key, std::string(4096, 'p'));
+    }
+    // Simulate a torn write that somehow hit the final name (e.g. a
+    // filesystem without atomic rename durability): chop the file.
+    const std::string full = readFile(entryPath(key));
+    ASSERT_GT(full.size(), 100u);
+    writeFile(entryPath(key), full.substr(0, full.size() / 2));
+
+    RunStore store(dir_);
+    EXPECT_FALSE(store.lookup(key).has_value());
+    EXPECT_EQ(store.stats().quarantined, 1u);
+    // The bad entry was renamed aside, not deleted (post-mortem) and
+    // not left in place (would be served forever).
+    EXPECT_EQ(countMatching(".quarantined."), 1u);
+
+    // Republish and the key works again.
+    store.publish(key, "fresh payload");
+    const auto got = store.lookup(key);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "fresh payload");
+}
+
+TEST_F(RunStoreTest, CrcMismatchIsQuarantined)
+{
+    const std::string key = "bitflip";
+    const std::string payload(1024, 'q');
+    {
+        RunStore store(dir_);
+        store.publish(key, payload);
+    }
+    std::string bytes = readFile(entryPath(key));
+    bytes[bytes.size() - 10] ^= 0x01; // flip one payload bit
+    writeFile(entryPath(key), bytes);
+
+    RunStore store(dir_);
+    EXPECT_FALSE(store.lookup(key).has_value());
+    EXPECT_EQ(store.stats().quarantined, 1u);
+    EXPECT_EQ(countMatching(".quarantined."), 1u);
+}
+
+TEST_F(RunStoreTest, GarbageHeaderIsQuarantined)
+{
+    const std::string key = "garbage";
+    writeFile(entryPath(key), "not a store entry at all\n");
+    RunStore store(dir_);
+    EXPECT_FALSE(store.lookup(key).has_value());
+    EXPECT_EQ(store.stats().quarantined, 1u);
+}
+
+TEST_F(RunStoreTest, HashCollisionDegradesToMiss)
+{
+    // Forge a collision: copy key A's (valid) entry file onto key B's
+    // entry name. The stored key inside the file says "A", so a lookup
+    // of B must miss rather than return A's payload.
+    const std::string key_a = "collision-a";
+    const std::string key_b = "collision-b";
+    {
+        RunStore store(dir_);
+        store.publish(key_a, "payload of A");
+    }
+    writeFile(entryPath(key_b), readFile(entryPath(key_a)));
+
+    RunStore store(dir_);
+    EXPECT_FALSE(store.lookup(key_b).has_value());
+    // A collision is not corruption: the entry is valid, just for a
+    // different key, so nothing is quarantined.
+    EXPECT_EQ(store.stats().quarantined, 0u);
+    const auto a = store.lookup(key_a);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a, "payload of A");
+}
+
+TEST_F(RunStoreTest, ConcurrentReadersNeverSeeTornEntries)
+{
+    // Readers race lookups against a writer republishing the same key.
+    // The atomic-rename protocol guarantees each hit is one complete
+    // published payload — never a mix of two, never a partial write.
+    RunStore store(dir_);
+    const std::string key = "contended";
+    const std::string payload_a(8192, 'A');
+    const std::string payload_b(8192, 'B');
+    store.publish(key, payload_a);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> torn{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const auto got = store.lookup(key);
+                if (!got.has_value())
+                    continue;
+                ++hits;
+                if (*got != payload_a && *got != payload_b)
+                    ++torn;
+            }
+        });
+    }
+    for (int i = 0; i < 200; ++i)
+        store.publish(key, (i % 2) != 0 ? payload_a : payload_b);
+    stop.store(true);
+    for (std::thread& t : readers)
+        t.join();
+
+    EXPECT_EQ(torn.load(), 0u);
+    EXPECT_GT(hits.load(), 0u);
+    EXPECT_EQ(store.stats().quarantined, 0u);
+}
+
+TEST_F(RunStoreTest, EntryNameIsStableAndFilesystemSafe)
+{
+    const std::string name = RunStore::entryName("some|key=1");
+    EXPECT_EQ(name, RunStore::entryName("some|key=1"));
+    EXPECT_NE(name, RunStore::entryName("some|key=2"));
+    EXPECT_EQ(name.find('/'), std::string::npos);
+    EXPECT_NE(name.find(".gpsrun"), std::string::npos);
+}
+
+} // namespace
+} // namespace gps

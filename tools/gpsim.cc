@@ -24,8 +24,13 @@
 #include "api/result_export.hh"
 #include "api/runner.hh"
 #include "api/sweep.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "fault/fault_plan.hh"
+#include "serve/protocol.hh"
+#include "serve/run_store.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
 
 namespace
 {
@@ -57,6 +62,9 @@ struct Options
     std::uint64_t profileBucketPages = 1; ///< pages per heat bucket
     bool check = false;          ///< differential validation
     std::uint64_t checkEvery = 0; ///< mid-run invariant cadence
+    bool serve = false;          ///< daemon mode (stdio or socket)
+    std::string socketPath;      ///< unix socket; empty: serve stdio
+    ServeConfig serveConfig;     ///< scheduler + store settings
 };
 
 /**
@@ -145,6 +153,19 @@ usage(const char* argv0, int exit_code)
         "                            assert runtime invariants (every N\n"
         "                            accesses when given); exit 1 on any\n"
         "                            divergence\n"
+        "  --serve                   run as a sweep service (see\n"
+        "                            docs/service.md): line-delimited\n"
+        "                            JSON requests on stdin or --socket\n"
+        "  --socket <path>           serve a unix domain socket instead\n"
+        "                            of stdin/stdout\n"
+        "  --store <dir>             content-addressed run store for\n"
+        "                            serve mode (crash-safe result reuse)\n"
+        "  --serve-workers <n|auto>  serve-mode worker threads (default"
+        " 2)\n"
+        "  --max-queue <n>           admission queue bound before the\n"
+        "                            service sheds load (default 64)\n"
+        "  --default-deadline-ms <n> deadline applied to jobs that do\n"
+        "                            not carry one (default 0: none)\n"
         "  --json                    one JSON object per run on stdout\n"
         "  --stats                   dump full component statistics\n"
         "  --config                  print the Table 1 configuration and"
@@ -158,36 +179,6 @@ usage(const char* argv0, int exit_code)
             return names.c_str();
         }());
     std::exit(exit_code);
-}
-
-InterconnectKind
-parseInterconnect(const std::string& name)
-{
-    static const std::map<std::string, InterconnectKind> kinds = {
-        {"pcie3", InterconnectKind::Pcie3},
-        {"pcie4", InterconnectKind::Pcie4},
-        {"pcie5", InterconnectKind::Pcie5},
-        {"pcie6", InterconnectKind::Pcie6},
-        {"nvlink2", InterconnectKind::NvLink2},
-        {"nvlink3", InterconnectKind::NvLink3},
-        {"infinite", InterconnectKind::Infinite},
-    };
-    auto it = kinds.find(name);
-    if (it == kinds.end())
-        gps_fatal("unknown interconnect '", name, "'");
-    return it->second;
-}
-
-ParadigmKind
-parseParadigm(const std::string& name)
-{
-    for (const ParadigmKind kind : allParadigms()) {
-        if (name == to_string(kind))
-            return kind;
-    }
-    if (name == "Infinite")
-        return ParadigmKind::InfiniteBw;
-    gps_fatal("unknown paradigm '", name, "'");
 }
 
 Options
@@ -210,12 +201,12 @@ parseArgs(int argc, char** argv)
             if (v == "all") {
                 opts.paradigms = allParadigms();
             } else {
-                opts.paradigms = {parseParadigm(v)};
+                opts.paradigms = {paradigmFromName(v)};
             }
         } else if (arg == "--gpus") {
             opts.gpus = parseUnsigned("--gpus", value(i));
         } else if (arg == "--interconnect") {
-            opts.interconnect = parseInterconnect(value(i));
+            opts.interconnect = interconnectFromName(value(i));
         } else if (arg == "--page-kb") {
             opts.pageBytes = parseUnsigned("--page-kb", value(i)) * KiB;
         } else if (arg == "--scale") {
@@ -285,6 +276,24 @@ parseArgs(int argc, char** argv)
                             ? defaultSweepJobs()
                             : std::max<std::uint64_t>(
                                   parseUnsigned("--jobs", v), 1);
+        } else if (arg == "--serve") {
+            opts.serve = true;
+        } else if (arg == "--socket") {
+            opts.socketPath = value(i);
+        } else if (arg == "--store") {
+            opts.serveConfig.storeDir = value(i);
+        } else if (arg == "--serve-workers") {
+            const std::string v = value(i);
+            opts.serveConfig.workers =
+                v == "auto" ? defaultSweepJobs()
+                            : std::max<std::uint64_t>(
+                                  parseUnsigned("--serve-workers", v), 1);
+        } else if (arg == "--max-queue") {
+            opts.serveConfig.maxQueue = std::max<std::uint64_t>(
+                parseUnsigned("--max-queue", value(i)), 1);
+        } else if (arg == "--default-deadline-ms") {
+            opts.serveConfig.defaultDeadlineMs =
+                parseUnsigned("--default-deadline-ms", value(i));
         } else if (arg == "--stats") {
             opts.dumpStats = true;
         } else if (arg == "--config") {
@@ -466,6 +475,14 @@ main(int argc, char** argv)
     setVerbose(false);
     try {
         const Options opts = parseArgs(argc, argv);
+        if (opts.serve) {
+            SweepService service(opts.serveConfig);
+            ServeFrontEnd front(service);
+            ServeFrontEnd::installSignalHandlers();
+            return opts.socketPath.empty()
+                       ? front.runStdio()
+                       : front.runSocket(opts.socketPath);
+        }
         if (opts.dumpConfig) {
             MultiGpuSystem system(makeConfig(opts).system);
             std::printf("%s", system.configDump().render().c_str());
@@ -514,6 +531,33 @@ main(int argc, char** argv)
         std::size_t obs_cells = 0;
         std::size_t idx = 0;
         bool check_diverged = false;
+        bool run_failed = false;
+        // A failed grid point becomes a structured error row — the
+        // remaining cells still print (exit code stays non-zero).
+        const auto print_error_row = [&](const std::string& app,
+                                         ParadigmKind paradigm,
+                                         std::size_t gpus,
+                                         const SweepOutcome& outcome) {
+            run_failed = true;
+            if (opts.json) {
+                JsonWriter w;
+                w.beginObject();
+                w.field("workload", app);
+                w.field("paradigm", to_string(paradigm));
+                w.field("num_gpus", static_cast<std::uint64_t>(gpus));
+                w.key("error").beginObject();
+                w.field("type", outcome.errorType);
+                w.field("message", outcome.errorMessage);
+                w.endObject();
+                w.endObject();
+                std::printf("%s\n", w.str().c_str());
+            } else {
+                std::printf("%-10s %-12s %5zu ERROR %s: %s\n",
+                            app.c_str(), to_string(paradigm).c_str(),
+                            gpus, outcome.errorType.c_str(),
+                            outcome.errorMessage.c_str());
+            }
+        };
         for (const std::string& app : opts.apps) {
             const SweepOutcome& base_outcome = outcomes.at(idx++);
             if (!base_outcome.ok())
@@ -527,8 +571,10 @@ main(int argc, char** argv)
             for (const std::size_t gpus : gpu_counts) {
                 for (const ParadigmKind paradigm : opts.paradigms) {
                     const SweepOutcome& outcome = outcomes.at(idx++);
-                    if (!outcome.ok())
-                        std::rethrow_exception(outcome.error);
+                    if (!outcome.ok()) {
+                        print_error_row(app, paradigm, gpus, outcome);
+                        continue;
+                    }
                     const RunResult& result = outcome.result;
                     if (result.obs != nullptr) {
                         last_obs = result.obs;
@@ -602,7 +648,7 @@ main(int argc, char** argv)
                          " event(s) dropped past the cap; raise "
                          "--timeline-max-events");
         }
-        return check_diverged ? 1 : 0;
+        return (check_diverged || run_failed) ? 1 : 0;
     } catch (const FatalError& error) {
         std::fprintf(stderr, "%s\n", error.what());
         return 1;

@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Multi-client stress driver for `gpsim --serve` (CI serve-mode job).
+
+Exercises the daemon the way the unit tests cannot: as a real process
+behind a Unix socket, with concurrent clients, a kill -9 mid-load, a
+restart that must recover the run store, and a byte-identity check of
+store hits against the fresh run that published them.
+
+Phases:
+  1. stress     N clients x M requests over one socket: fresh configs,
+                duplicates (store hits), no_cache reruns, 1 ms deadlines
+                and racy cancels. Every request must get exactly one
+                response.
+  2. kill -9    SIGKILL the daemon while requests are in flight, then
+                restart it on the same store. The restart must sweep
+                orphaned temp files, serve no corrupted entry, and
+                answer a phase-1 config byte-identically from the store.
+  3. drain      SIGTERM with work queued: the daemon must exit cleanly.
+
+Stdlib only; exit code 0 on success, 1 with a report otherwise.
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+
+def job(app="Jacobi", gpus=2, scale=0.0625, wq=512, **extra):
+    spec = {"app": app, "gpus": gpus, "scale": scale, "wq_entries": wq}
+    spec.update(extra)
+    return spec
+
+
+class Client(threading.Thread):
+    """One connection: pipelines requests, collects response lines."""
+
+    def __init__(self, path, name, requests):
+        super().__init__(name=name)
+        self.path = path
+        self.requests = requests
+        self.responses = []
+        self.error = None
+
+    def run(self):
+        try:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(self.path)
+            expected = 0
+            for req in self.requests:
+                if req["method"] == "run":
+                    expected += 1
+                elif req["method"] == "batch":
+                    expected += len(req["params"]["jobs"])
+                else:
+                    expected += 1  # cancel/stats/ping each ack once
+                sock.sendall((json.dumps(req) + "\n").encode())
+            buf = b""
+            sock.settimeout(180)
+            while len(self.responses) < expected:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                buf += chunk
+                while b"\n" in buf:
+                    line, buf = buf.split(b"\n", 1)
+                    self.responses.append(json.loads(line))
+            sock.close()
+            if len(self.responses) != expected:
+                self.error = (f"expected {expected} responses, "
+                              f"got {len(self.responses)}")
+        except Exception as exc:  # surfaced by the main thread
+            self.error = f"{type(exc).__name__}: {exc}"
+
+
+def start_daemon(gpsim, sock_path, store, workers=4):
+    if os.path.exists(sock_path):
+        os.unlink(sock_path)
+    proc = subprocess.Popen(
+        [gpsim, "--serve", "--socket", sock_path, "--store", store,
+         "--serve-workers", str(workers), "--max-queue", "256"],
+        stdout=subprocess.DEVNULL)
+    for _ in range(200):
+        if os.path.exists(sock_path):
+            return proc
+        if proc.poll() is not None:
+            raise RuntimeError("daemon exited during startup")
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("daemon never created its socket")
+
+
+def one_shot(sock_path, request, timeout=180):
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(sock_path)
+    sock.settimeout(timeout)
+    sock.sendall((json.dumps(request) + "\n").encode())
+    buf = b""
+    while b"\n" not in buf:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise RuntimeError("daemon closed the connection early")
+        buf += chunk
+    sock.close()
+    return json.loads(buf.split(b"\n", 1)[0])
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def phase_stress(args, sock_path):
+    print(f"phase 1: {args.clients} clients x {args.requests} requests")
+    clients = []
+    for c in range(args.clients):
+        reqs = []
+        for i in range(args.requests):
+            rid = i + 1
+            if i % 9 == 4:
+                # Batch mixing a cached duplicate with a deadline job.
+                reqs.append({"id": rid, "method": "batch", "params": {
+                    "jobs": [job(), job(wq=64, deadline_ms=1)]}})
+            elif i % 7 == 3:
+                reqs.append({"id": rid, "method": "run",
+                             "params": job(wq=64 << (i % 4))})
+                reqs.append({"id": rid + 1000, "method": "cancel",
+                             "params": {"id": rid}})
+            elif i % 5 == 2:
+                reqs.append({"id": rid, "method": "run",
+                             "params": job(no_cache=True)})
+            else:
+                reqs.append({"id": rid, "method": "run",
+                             "params": job(wq=64 << (c % 3))})
+        clients.append(Client(sock_path, f"client{c}", reqs))
+    for c in clients:
+        c.start()
+    for c in clients:
+        c.join()
+    statuses = {}
+    for c in clients:
+        if c.error:
+            fail(f"{c.name}: {c.error}")
+        for r in c.responses:
+            statuses[r["status"]] = statuses.get(r["status"], 0) + 1
+    print(f"  statuses: {statuses}")
+    if statuses.get("ok", 0) == 0:
+        fail("no request succeeded")
+    stats = one_shot(sock_path, {"id": 99, "method": "stats"})
+    print(f"  daemon stats: {json.dumps(stats['stats'])}")
+    if stats["stats"]["store"]["quarantined"] != 0:
+        fail("store quarantined entries during clean operation")
+
+
+def phase_kill9(args, proc, sock_path, store, fresh):
+    print("phase 2: kill -9 under load, restart, store recovery")
+    # Get sustained load going, then SIGKILL mid-flight.
+    lurker = Client(sock_path, "lurker", [
+        {"id": i, "method": "run", "params": job(wq=96 + i, no_cache=True)}
+        for i in range(1, 9)])
+    lurker.start()
+    time.sleep(0.3)
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+    lurker.join()  # connection drops; partial responses are expected
+
+    proc = start_daemon(args.gpsim, sock_path, store)
+    # The canonical phase-1 config must come back as a store hit,
+    # byte-identical to the fresh run that published it.
+    r = one_shot(sock_path, {"id": 1, "method": "run", "params": job()})
+    if r["status"] != "ok":
+        fail(f"post-restart run failed: {r}")
+    if not r["store_hit"]:
+        fail("post-restart run was not served from the store")
+    if r["result"] != fresh:
+        fail("store entry changed across kill -9")
+    stats = one_shot(sock_path, {"id": 2, "method": "stats"})
+    if stats["stats"]["store"]["quarantined"] != 0:
+        fail("restart served/saw corrupted entries after kill -9")
+    print(f"  recovered: store_hit={r['store_hit']}, "
+          f"temps_swept={stats['stats']['store']['temps_swept']}")
+    return proc
+
+
+def phase_drain(proc, sock_path):
+    print("phase 3: SIGTERM graceful drain")
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(sock_path)
+    for i in range(4):
+        req = {"id": i + 1, "method": "run", "params": job(wq=48 + i)}
+        sock.sendall((json.dumps(req) + "\n").encode())
+    time.sleep(0.2)
+    os.kill(proc.pid, signal.SIGTERM)
+    rc = proc.wait(timeout=120)
+    sock.close()
+    if rc != 0:
+        fail(f"daemon exited {rc} on SIGTERM")
+    print("  daemon drained and exited 0")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gpsim", required=True)
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--requests", type=int, default=12)
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="gps_serve_stress_")
+    sock_path = os.path.join(workdir, "gpsim.sock")
+    store = os.path.join(workdir, "store")
+
+    proc = start_daemon(args.gpsim, sock_path, store)
+    try:
+        # The store is empty, so the canonical config's first run is
+        # fresh; its payload anchors the identity checks below.
+        fresh = one_shot(sock_path,
+                         {"id": 1, "method": "run", "params": job()})
+        if fresh["store_hit"]:
+            fail("first run on an empty store was a store hit")
+        fresh = fresh["result"]
+
+        phase_stress(args, sock_path)
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=120)
+
+        proc = start_daemon(args.gpsim, sock_path, store)
+        hit = one_shot(sock_path,
+                       {"id": 1, "method": "run", "params": job()})
+        if not hit["store_hit"]:
+            fail("fresh daemon did not hit the store")
+        if hit["result"] != fresh:
+            fail("store hit is not identical to the fresh run")
+        print("  restart store hit matches fresh run")
+
+        proc = phase_kill9(args, proc, sock_path, store, fresh)
+        phase_drain(proc, sock_path)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    print("serve stress: all phases passed")
+
+
+if __name__ == "__main__":
+    main()
