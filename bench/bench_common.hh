@@ -30,6 +30,7 @@
 #include "api/runner.hh"
 #include "api/sweep.hh"
 #include "apps/workload.hh"
+#include "apps/workload_cache.hh"
 #include "common/json.hh"
 
 namespace gps::bench
@@ -453,6 +454,18 @@ writePerfLog(const std::string& path, std::size_t jobs)
     w.field("hits", counters.hits);
     w.field("misses", counters.misses);
     w.field("evictions", counters.evictions);
+    w.endObject();
+    // Generated-input memoization (graphs + publish sets): the misses'
+    // build_s is generation wall time the hits did not have to pay.
+    const apps::WorkloadCache& wcache = apps::WorkloadCache::instance();
+    const apps::WorkloadCache::Counters wc = wcache.counters();
+    w.key("workload_cache").beginObject();
+    w.field("capacity", static_cast<std::uint64_t>(wcache.capacity()));
+    w.field("entries", static_cast<std::uint64_t>(wcache.size()));
+    w.field("hits", wc.hits);
+    w.field("misses", wc.misses);
+    w.field("evictions", wc.evictions);
+    w.field("build_s", wc.buildSeconds);
     w.endObject();
     w.endObject();
     if (std::FILE* f = std::fopen(path.c_str(), "w")) {

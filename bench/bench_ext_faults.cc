@@ -38,7 +38,7 @@ const std::vector<ParadigmKind> paradigms = {
     ParadigmKind::Um, ParadigmKind::Rdl, ParadigmKind::Memcpy,
     ParadigmKind::Gps};
 
-const std::vector<std::string> apps = {"Jacobi", "HIT"};
+const std::vector<std::string> appNames = {"Jacobi", "HIT"};
 
 /** time_ms[app][plan][paradigm] */
 std::map<std::string, std::map<std::string, std::map<std::string, double>>>
@@ -81,7 +81,7 @@ printTable()
 {
     // The shared Table columns are too narrow for "123.45ms (12.34x)"
     // cells, so this bench formats its own rows.
-    for (const std::string& app : apps) {
+    for (const std::string& app : appNames) {
         if (samples.find(app) == samples.end())
             continue; // app filtered out on the command line
         std::printf("\n=== Extension: %s under injected faults — "
@@ -115,7 +115,7 @@ main(int argc, char** argv)
 {
     gps::setVerbose(false);
     const std::size_t jobs = parseJobs(argc, argv);
-    for (const std::string& app : apps) {
+    for (const std::string& app : appNames) {
         for (const PlanCell& plan : plans) {
             for (const ParadigmKind paradigm : paradigms) {
                 gps::bench::plan().add(

@@ -8,6 +8,7 @@
 #ifndef GPS_APPS_APP_COMMON_HH
 #define GPS_APPS_APP_COMMON_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -50,15 +51,22 @@ struct Slab1D
 
     std::uint64_t count(GpuId gpu) const { return end(gpu) - first(gpu); }
 
-    /** GPU owning @p line. */
+    /**
+     * GPU owning @p line: the smallest g with line < end(g), in closed
+     * form. end(g) = floor(totalLines*(g+1)/numGpus) >= line+1 iff
+     * totalLines*(g+1) >= ceil-adjusted numGpus*(line+1), so the
+     * smallest such g is ceil(numGpus*(line+1)/totalLines) - 1. Lines
+     * at or past totalLines clamp to the last GPU, matching the old
+     * linear scan.
+     */
     GpuId
     owner(std::uint64_t line) const
     {
-        for (std::size_t g = 0; g < numGpus; ++g) {
-            if (line < end(static_cast<GpuId>(g)))
-                return static_cast<GpuId>(g);
-        }
-        return static_cast<GpuId>(numGpus - 1);
+        if (totalLines == 0)
+            return static_cast<GpuId>(numGpus - 1);
+        const std::uint64_t g =
+            (numGpus * (line + 1) + totalLines - 1) / totalLines - 1;
+        return static_cast<GpuId>(g >= numGpus ? numGpus - 1 : g);
     }
 };
 
@@ -122,6 +130,45 @@ class GroupStream : public AccessStream
         return false;
     }
 
+    std::size_t
+    nextBatch(MemAccess* out, std::size_t max) override
+    {
+        std::size_t n = 0;
+        while (n < max && groupIdx_ < groups_.size()) {
+            const Group& group = groups_[groupIdx_];
+            if (group.bursts.size() != 1) {
+                // Interleaved bursts keep the per-access path (the
+                // round-robin cursor is the semantics).
+                if (!next(out[n]))
+                    break;
+                ++n;
+                continue;
+            }
+            // Single-burst group: emit the strided run directly.
+            const Burst& burst = group.bursts[0];
+            const std::uint64_t left = burst.count - pos_[0];
+            const std::size_t chunk = static_cast<std::size_t>(
+                std::min<std::uint64_t>(left, max - n));
+            for (std::size_t i = 0; i < chunk; ++i) {
+                MemAccess& acc = out[n + i];
+                acc.vaddr = static_cast<Addr>(
+                    static_cast<std::int64_t>(burst.base) +
+                    static_cast<std::int64_t>(pos_[0] + i) *
+                        burst.strideBytes);
+                acc.size = burst.size;
+                acc.type = burst.type;
+                acc.scope = burst.scope;
+            }
+            pos_[0] += chunk;
+            n += chunk;
+            if (pos_[0] == burst.count) {
+                ++groupIdx_;
+                enterGroup();
+            }
+        }
+        return n;
+    }
+
   private:
     void
     enterGroup()
@@ -172,6 +219,27 @@ class ReplayStream : public AccessStream
         ++pos_;
         --remaining_;
         return true;
+    }
+
+    std::size_t
+    nextBatch(MemAccess* out, std::size_t max) override
+    {
+        const std::size_t size = trace_->size();
+        if (size == 0)
+            return 0;
+        const std::size_t want = std::min(max, remaining_);
+        std::size_t produced = 0;
+        // The circular slice is at most two contiguous spans per lap.
+        while (produced < want) {
+            const std::size_t at = pos_ % size;
+            const std::size_t chunk =
+                std::min(want - produced, size - at);
+            std::copy_n(trace_->data() + at, chunk, out + produced);
+            produced += chunk;
+            pos_ += chunk;
+        }
+        remaining_ -= produced;
+        return produced;
     }
 
   private:

@@ -11,8 +11,11 @@
 #ifndef GPS_APPS_PAGERANK_HH
 #define GPS_APPS_PAGERANK_HH
 
+#include <memory>
+
 #include "apps/graph.hh"
 #include "apps/workload.hh"
+#include "apps/workload_cache.hh"
 
 namespace gps::apps
 {
@@ -35,10 +38,11 @@ class PagerankWorkload : public Workload
                                  WorkloadContext& ctx) override;
     void applyUmHints(WorkloadContext& ctx) override;
 
-    const Graph& graph() const { return graph_; }
+    const Graph& graph() const { return bundle_->graph; }
 
   private:
-    Graph graph_;
+    /** Cached graph + publish sets (shared across runs, immutable). */
+    std::shared_ptr<const GraphBundle> bundle_;
     Addr rank_ = 0;       ///< shared: current ranks (read by owner)
     Addr rankNext_ = 0;   ///< shared: atomic accumulation target
     std::vector<Addr> edgeLists_; ///< private CSR slice per GPU

@@ -10,8 +10,11 @@
 #ifndef GPS_APPS_SSSP_HH
 #define GPS_APPS_SSSP_HH
 
+#include <memory>
+
 #include "apps/graph.hh"
 #include "apps/workload.hh"
+#include "apps/workload_cache.hh"
 
 namespace gps::apps
 {
@@ -34,8 +37,11 @@ class SsspWorkload : public Workload
                                  WorkloadContext& ctx) override;
     void applyUmHints(WorkloadContext& ctx) override;
 
+    const Graph& graph() const { return bundle_->graph; }
+
   private:
-    Graph graph_;
+    /** Cached graph + relax target sets (shared across runs). */
+    std::shared_ptr<const GraphBundle> bundle_;
     Addr dist_ = 0;                ///< shared distance array
     std::vector<Addr> edgeLists_;  ///< private CSR slice per GPU
     std::size_t numGpus_ = 0;

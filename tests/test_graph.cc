@@ -7,12 +7,78 @@
 
 #include <algorithm>
 
+#include <thread>
+
 #include "apps/graph.hh"
+#include "common/rng.hh"
 
 namespace gps::apps
 {
 namespace
 {
+
+/**
+ * The original per-vertex generator (push_back + per-row sort + direct
+ * rng.zipf), kept verbatim as the reference the optimized flat-CSR
+ * generator must reproduce byte for byte: figure outputs depend on the
+ * generated graph, so any divergence is a silent result change.
+ */
+Graph
+referenceGraph(const GraphParams& params)
+{
+    Graph graph;
+    graph.numVertices = params.numVertices;
+    graph.numParts = params.numParts;
+    graph.rowPtr.resize(params.numVertices + 1, 0);
+    graph.targets.reserve(params.numVertices * params.avgDegree);
+
+    Rng rng(params.seed);
+    for (std::uint64_t v = 0; v < params.numVertices; ++v) {
+        graph.rowPtr[v] = graph.targets.size();
+        const GpuId part = graph.owner(v);
+        const std::uint64_t pfirst = graph.partFirst(part);
+        const std::uint64_t pcount = graph.partEnd(part) - pfirst;
+        const std::uint32_t degree =
+            1 + static_cast<std::uint32_t>(
+                    rng.below(2 * params.avgDegree - 1));
+        for (std::uint32_t e = 0; e < degree; ++e) {
+            std::uint64_t target;
+            if (rng.chance(params.locality)) {
+                target = pfirst + rng.below(pcount);
+            } else {
+                target = rng.zipf(params.numVertices, params.hubSkew);
+            }
+            graph.targets.push_back(static_cast<std::uint32_t>(target));
+        }
+        auto begin = graph.targets.begin() +
+                     static_cast<std::ptrdiff_t>(graph.rowPtr[v]);
+        std::sort(begin, graph.targets.end());
+    }
+    graph.rowPtr[params.numVertices] = graph.targets.size();
+    return graph;
+}
+
+/** The original copy+sort+unique distinct-target collector. */
+std::vector<std::uint32_t>
+referenceDistinctTargetGroups(const Graph& graph, std::size_t part,
+                              std::uint32_t vertices_per_group)
+{
+    const std::uint64_t first = graph.partFirst(part);
+    const std::uint64_t end = graph.partEnd(part);
+    std::vector<std::uint32_t> groups(
+        graph.targets.begin() +
+            static_cast<std::ptrdiff_t>(graph.rowPtr[first]),
+        graph.targets.begin() +
+            static_cast<std::ptrdiff_t>(graph.rowPtr[end]));
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()),
+                 groups.end());
+    for (auto& g : groups)
+        g /= vertices_per_group;
+    groups.erase(std::unique(groups.begin(), groups.end()),
+                 groups.end());
+    return groups;
+}
 
 GraphParams
 smallParams()
@@ -128,6 +194,74 @@ TEST(Graph, DistinctTargetGroupsCollapseByGroupSize)
     for (const std::uint32_t g : groups)
         ASSERT_LT(static_cast<std::uint64_t>(g) * 32,
                   graph.numVertices);
+}
+
+TEST(Graph, DegreesStayWithinGeneratorBounds)
+{
+    const GraphParams params = smallParams();
+    const Graph graph = makePowerLawGraph(params);
+    const std::uint64_t max_degree = 2 * params.avgDegree - 1;
+    for (std::uint64_t v = 0; v < graph.numVertices; ++v) {
+        const std::uint64_t degree =
+            graph.rowPtr[v + 1] - graph.rowPtr[v];
+        ASSERT_GE(degree, 1u);
+        ASSERT_LE(degree, max_degree);
+    }
+    EXPECT_GE(graph.numEdges(), graph.numVertices);
+    EXPECT_LE(graph.numEdges(), graph.numVertices * max_degree);
+    EXPECT_EQ(graph.targets.size(), graph.numEdges());
+}
+
+TEST(Graph, MatchesReferenceGeneratorOnRandomizedParams)
+{
+    // The flat-CSR generator and the bitmap distinct-target collector
+    // must agree with the original implementations on arbitrary
+    // parameters — including uneven partition boundaries, where
+    // owner(v) is not the inverse of partFirst/partEnd.
+    Rng meta(2026);
+    for (int c = 0; c < 12; ++c) {
+        GraphParams params;
+        params.numVertices = 1024 + meta.below(8192);
+        params.avgDegree = 1 + static_cast<std::uint32_t>(meta.below(9));
+        params.numParts = 1 + static_cast<std::size_t>(meta.below(7));
+        params.locality = 0.05 * static_cast<double>(meta.below(20));
+        params.hubSkew =
+            0.1 + 0.08 * static_cast<double>(meta.below(10));
+        params.seed = meta.next();
+
+        const Graph got = makePowerLawGraph(params);
+        const Graph want = referenceGraph(params);
+        ASSERT_EQ(got.rowPtr, want.rowPtr) << "case " << c;
+        ASSERT_EQ(got.targets, want.targets) << "case " << c;
+
+        for (std::size_t p = 0; p < params.numParts; ++p) {
+            ASSERT_EQ(distinctTargets(got, p),
+                      referenceDistinctTargetGroups(want, p, 1))
+                << "case " << c << " part " << p;
+            ASSERT_EQ(distinctTargetGroups(got, p, 32),
+                      referenceDistinctTargetGroups(want, p, 32))
+                << "case " << c << " part " << p;
+        }
+    }
+}
+
+TEST(Graph, DeterministicUnderConcurrentGeneration)
+{
+    // Generation must not depend on how many threads run it (sweep
+    // workers generate concurrently).
+    const Graph serial = makePowerLawGraph(smallParams());
+    std::vector<Graph> results(4);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < results.size(); ++t)
+        threads.emplace_back([&results, t] {
+            results[t] = makePowerLawGraph(smallParams());
+        });
+    for (std::thread& thread : threads)
+        thread.join();
+    for (const Graph& graph : results) {
+        EXPECT_EQ(graph.rowPtr, serial.rowPtr);
+        EXPECT_EQ(graph.targets, serial.targets);
+    }
 }
 
 TEST(Graph, HubSkewConcentratesRemoteEdges)

@@ -182,6 +182,118 @@ TEST(TiledStores, PartialTailTileIsCovered)
     EXPECT_EQ(drain(stream).size(), 10u);
 }
 
+/** Drain via nextBatch with an odd chunk size (exercises boundaries). */
+std::vector<MemAccess>
+drainBatched(AccessStream& stream, std::size_t chunk)
+{
+    std::vector<MemAccess> out;
+    std::vector<MemAccess> buf(chunk);
+    std::size_t n;
+    while ((n = stream.nextBatch(buf.data(), chunk)) > 0)
+        out.insert(out.end(), buf.begin(),
+                   buf.begin() + static_cast<std::ptrdiff_t>(n));
+    return out;
+}
+
+void
+expectSameAccesses(const std::vector<MemAccess>& a,
+                   const std::vector<MemAccess>& b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].vaddr, b[i].vaddr) << "access " << i;
+        ASSERT_EQ(a[i].size, b[i].size) << "access " << i;
+        ASSERT_EQ(a[i].type, b[i].type) << "access " << i;
+        ASSERT_EQ(a[i].scope, b[i].scope) << "access " << i;
+    }
+}
+
+std::vector<apps::Group>
+mixedGroups()
+{
+    using apps::Burst;
+    using apps::Group;
+    std::vector<Group> groups;
+    // Single-burst group (batched fast path), odd count.
+    groups.push_back(Group{{Burst{0, 13, 128, AccessType::Load, 128,
+                                  Scope::Weak}}});
+    // Interleaved group (per-access path), uneven bursts.
+    groups.push_back(Group{{
+        Burst{10000, 5, 128, AccessType::Load, 128, Scope::Weak},
+        Burst{20000, 9, 128, AccessType::Store, 32, Scope::Weak},
+    }});
+    // Another single-burst group, negative stride.
+    groups.push_back(Group{{Burst{90000, 6, -128, AccessType::Store,
+                                  128, Scope::Sys}}});
+    return groups;
+}
+
+TEST(GroupStream, BatchedPullMatchesPerAccessPull)
+{
+    for (const std::size_t chunk : {1u, 7u, 64u}) {
+        apps::GroupStream per_access(mixedGroups());
+        apps::GroupStream batched(mixedGroups());
+        expectSameAccesses(drainBatched(batched, chunk),
+                           drain(per_access));
+    }
+}
+
+TEST(ReplayStream, BatchedPullMatchesPerAccessPull)
+{
+    std::vector<MemAccess> backing;
+    for (Addr a = 0; a < 57; ++a)
+        backing.push_back(a % 3 == 0 ? MemAccess::atomic(a)
+                                     : MemAccess::load(a));
+    // Wrapping slices, including multiple laps (count capped at size).
+    const struct
+    {
+        std::size_t start, count;
+    } slices[] = {{0, 57}, {50, 20}, {56, 57}, {12, 1}, {3, 0}};
+    for (const auto& s : slices) {
+        for (const std::size_t chunk : {1u, 8u, 100u}) {
+            apps::ReplayStream per_access(&backing, s.start, s.count);
+            apps::ReplayStream batched(&backing, s.start, s.count);
+            expectSameAccesses(drainBatched(batched, chunk),
+                               drain(per_access));
+        }
+    }
+}
+
+TEST(Slab1D, OwnerAgreesWithPartitionRanges)
+{
+    // The closed-form owner must land every line inside [first(g),
+    // end(g)) for every slab shape, including empty partitions
+    // (more GPUs than lines) and uneven boundaries.
+    for (const std::uint64_t total : {1u, 3u, 7u, 64u, 100u, 1023u}) {
+        for (const std::size_t gpus : {1u, 2u, 3u, 4u, 5u, 7u, 16u}) {
+            const apps::Slab1D slab{total, gpus};
+            for (std::uint64_t line = 0; line < total; ++line) {
+                const GpuId g = slab.owner(line);
+                ASSERT_LT(static_cast<std::size_t>(g), gpus);
+                ASSERT_GE(line, slab.first(g))
+                    << total << " lines / " << gpus << " gpus";
+                ASSERT_LT(line, slab.end(g))
+                    << total << " lines / " << gpus << " gpus";
+            }
+            // And the ranges map back: every line of every partition
+            // is owned by that partition.
+            for (std::size_t g = 0; g < gpus; ++g) {
+                const GpuId gpu = static_cast<GpuId>(g);
+                for (std::uint64_t line = slab.first(gpu);
+                     line < slab.end(gpu); ++line)
+                    ASSERT_EQ(slab.owner(line), gpu);
+            }
+        }
+    }
+}
+
+TEST(Slab1D, OwnerClampsPastTheEnd)
+{
+    const apps::Slab1D slab{10, 4};
+    EXPECT_EQ(slab.owner(10), 3);
+    EXPECT_EQ(slab.owner(1000), 3);
+}
+
 TEST(MemAccessHelpers, ClassifyCorrectly)
 {
     EXPECT_TRUE(MemAccess::load(0).isLoad());

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the cross-run workload-input cache: hit byte-identity
+ * against an uncached build, bounded LRU eviction, in-flight dedup and
+ * determinism under concurrent access (run under TSan in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "apps/graph.hh"
+#include "apps/workload_cache.hh"
+
+namespace gps::apps
+{
+namespace
+{
+
+GraphParams
+cacheParams(std::uint64_t seed = 7)
+{
+    GraphParams params;
+    params.numVertices = 4096;
+    params.avgDegree = 4;
+    params.numParts = 4;
+    params.locality = 0.8;
+    params.hubSkew = 0.75;
+    params.seed = seed;
+    return params;
+}
+
+class WorkloadCacheTest : public ::testing::Test
+{
+  protected:
+    WorkloadCacheTest()
+    {
+        WorkloadCache::instance().clear();
+        WorkloadCache::instance().setCapacity(32);
+    }
+    ~WorkloadCacheTest() override
+    {
+        WorkloadCache::instance().clear();
+        WorkloadCache::instance().setCapacity(32);
+    }
+};
+
+TEST_F(WorkloadCacheTest, HitIsByteIdenticalToUncachedBuild)
+{
+    WorkloadCache& cache = WorkloadCache::instance();
+    const GraphParams params = cacheParams();
+
+    const auto cold = cache.graphBundle(params, 32);
+    const auto warm = cache.graphBundle(params, 32);
+
+    // A hit hands back the very object the cold build produced.
+    EXPECT_EQ(cold.get(), warm.get());
+
+    // And that object matches a from-scratch, non-cached build.
+    const Graph direct = makePowerLawGraph(params);
+    EXPECT_EQ(cold->graph.rowPtr, direct.rowPtr);
+    EXPECT_EQ(cold->graph.targets, direct.targets);
+    ASSERT_EQ(cold->targetGroups.size(), params.numParts);
+    for (std::size_t p = 0; p < params.numParts; ++p)
+        EXPECT_EQ(cold->targetGroups[p],
+                  distinctTargetGroups(direct, p, 32));
+
+    const WorkloadCache::Counters counters = cache.counters();
+    EXPECT_EQ(counters.misses, 1u);
+    EXPECT_EQ(counters.hits, 1u);
+    EXPECT_GT(counters.buildSeconds, 0.0);
+}
+
+TEST_F(WorkloadCacheTest, KeySeparatesEveryGenerationField)
+{
+    const GraphParams base = cacheParams();
+    EXPECT_EQ(graphBundleKey(base, 32), graphBundleKey(base, 32));
+    EXPECT_NE(graphBundleKey(base, 32), graphBundleKey(base, 1));
+
+    GraphParams other = base;
+    other.seed = base.seed + 1;
+    EXPECT_NE(graphBundleKey(base, 32), graphBundleKey(other, 32));
+    other = base;
+    other.locality = 0.8000001;
+    EXPECT_NE(graphBundleKey(base, 32), graphBundleKey(other, 32));
+    other = base;
+    other.numParts = 2;
+    EXPECT_NE(graphBundleKey(base, 32), graphBundleKey(other, 32));
+}
+
+TEST_F(WorkloadCacheTest, DistinctKeysGetDistinctEntries)
+{
+    WorkloadCache& cache = WorkloadCache::instance();
+    const auto a = cache.graphBundle(cacheParams(1), 32);
+    const auto b = cache.graphBundle(cacheParams(2), 32);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(a->graph.targets, b->graph.targets);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.counters().misses, 2u);
+}
+
+TEST_F(WorkloadCacheTest, EvictionIsBoundedAndLru)
+{
+    WorkloadCache& cache = WorkloadCache::instance();
+    cache.setCapacity(2);
+
+    const auto a = cache.graphBundle(cacheParams(1), 32);
+    (void)cache.graphBundle(cacheParams(2), 32);
+    (void)cache.graphBundle(cacheParams(1), 32); // touch: 1 is now MRU
+    (void)cache.graphBundle(cacheParams(3), 32); // evicts 2, not 1
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.counters().evictions, 1u);
+
+    // Seed 1 survived the eviction: re-requesting it is a hit that
+    // returns the original object...
+    const std::uint64_t hits_before = cache.counters().hits;
+    const auto a2 = cache.graphBundle(cacheParams(1), 32);
+    EXPECT_EQ(a.get(), a2.get());
+    EXPECT_EQ(cache.counters().hits, hits_before + 1);
+
+    // ...while seed 2 was evicted and rebuilds to identical bytes.
+    const std::uint64_t misses_before = cache.counters().misses;
+    const auto b2 = cache.graphBundle(cacheParams(2), 32);
+    EXPECT_EQ(cache.counters().misses, misses_before + 1);
+    EXPECT_EQ(b2->graph.targets,
+              makePowerLawGraph(cacheParams(2)).targets);
+}
+
+TEST_F(WorkloadCacheTest, EvictedHandleStaysAlive)
+{
+    WorkloadCache& cache = WorkloadCache::instance();
+    cache.setCapacity(1);
+    const auto held = cache.graphBundle(cacheParams(1), 32);
+    (void)cache.graphBundle(cacheParams(2), 32); // evicts seed 1
+    EXPECT_EQ(cache.size(), 1u);
+    // The evicted bundle is still fully usable through the handle.
+    EXPECT_EQ(held->graph.numVertices, cacheParams(1).numVertices);
+    EXPECT_FALSE(held->graph.targets.empty());
+}
+
+TEST_F(WorkloadCacheTest, ConcurrentRequestsShareOneBuild)
+{
+    WorkloadCache& cache = WorkloadCache::instance();
+    const GraphParams params = cacheParams();
+
+    constexpr std::size_t numThreads = 8;
+    std::vector<std::shared_ptr<const GraphBundle>> results(numThreads);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < numThreads; ++t)
+        threads.emplace_back([&cache, &results, &params, t] {
+            results[t] = cache.graphBundle(params, 32);
+        });
+    for (std::thread& thread : threads)
+        thread.join();
+
+    // Exactly one build ran; every thread got the same object.
+    const WorkloadCache::Counters counters = cache.counters();
+    EXPECT_EQ(counters.misses, 1u);
+    EXPECT_EQ(counters.hits, numThreads - 1);
+    for (const auto& result : results) {
+        ASSERT_NE(result, nullptr);
+        EXPECT_EQ(result.get(), results[0].get());
+    }
+
+    // And the shared bytes equal a single-threaded build.
+    const Graph direct = makePowerLawGraph(params);
+    EXPECT_EQ(results[0]->graph.targets, direct.targets);
+    EXPECT_EQ(results[0]->graph.rowPtr, direct.rowPtr);
+}
+
+TEST_F(WorkloadCacheTest, ConcurrentDistinctKeysAllComplete)
+{
+    WorkloadCache& cache = WorkloadCache::instance();
+    constexpr std::size_t numThreads = 6;
+    std::vector<std::shared_ptr<const GraphBundle>> results(numThreads);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < numThreads; ++t)
+        threads.emplace_back([&cache, &results, t] {
+            // Three keys, two requesters each.
+            results[t] =
+                cache.graphBundle(cacheParams(1 + t % 3), 32);
+        });
+    for (std::thread& thread : threads)
+        thread.join();
+    for (std::size_t t = 0; t < numThreads; ++t) {
+        ASSERT_NE(results[t], nullptr);
+        EXPECT_EQ(results[t].get(), results[t % 3].get());
+    }
+    EXPECT_EQ(cache.counters().misses, 3u);
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+} // namespace
+} // namespace gps::apps
