@@ -31,7 +31,9 @@
 #include "api/sweep.hh"
 #include "apps/workload.hh"
 #include "apps/workload_cache.hh"
+#include "common/env.hh"
 #include "common/json.hh"
+#include "common/logging.hh"
 
 namespace gps::bench
 {
@@ -94,12 +96,18 @@ using RunHandle = std::shared_ptr<const RunResult>;
  * pool so later get()s are hits.
  *
  * The cache is bounded (GPS_BENCH_CACHE_CAP entries, default 512,
- * 0 = unbounded) with LRU eviction, so an arbitrarily large config
- * grid cannot grow the resident set without limit. Entries are handed
- * out as shared_ptr handles: eviction drops the cache's reference, but
- * a handle a bench still holds keeps its RunResult alive — there is no
- * way to dangle by interleaving get() calls. Hit/miss/eviction counts
- * land in BENCH_perf.json.
+ * 0 = caching disabled, every lookup recomputes) with LRU eviction, so
+ * an arbitrarily large config grid cannot grow the resident set without
+ * limit. Invalid GPS_BENCH_CACHE_CAP values warn and keep the default.
+ * Entries are handed out as shared_ptr handles: eviction drops the
+ * cache's reference, but a handle a bench still holds keeps its
+ * RunResult alive — there is no way to dangle by interleaving get()
+ * calls. Hit/miss/eviction counts land in BENCH_perf.json.
+ *
+ * prewarm() runs missing cells through the warm-started sweep runner
+ * (runSweepWarm) unless GPS_BENCH_WARM_START=0, so grid points that
+ * share a profile-boundary state fork from one warmup snapshot instead
+ * of each re-simulating iteration 0.
  */
 class RunCache
 {
@@ -165,10 +173,23 @@ class RunCache
             }
         }
         const auto t0 = std::chrono::steady_clock::now();
-        std::vector<SweepOutcome> outcomes = runSweep(missing, workers);
-        sweepElapsed_ += std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - t0)
-                             .count();
+        WarmSweepStats warm_stats;
+        std::vector<SweepOutcome> outcomes =
+            warmStartEnabled()
+                ? runSweepWarm(missing, workers, &warm_stats)
+                : runSweep(missing, workers);
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            sweepElapsed_ += std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+            warm_.groups += warm_stats.groups;
+            warm_.leaders += warm_stats.leaders;
+            warm_.followers += warm_stats.followers;
+            warm_.coldFallbacks += warm_stats.coldFallbacks;
+            warm_.leaderWallSeconds += warm_stats.leaderWallSeconds;
+            warm_.followerWallSeconds += warm_stats.followerWallSeconds;
+        }
         // Record every outcome (including failures, as error rows)
         // before surfacing the first failure — a failed grid point must
         // not hide its siblings' perf rows or abort the whole pool
@@ -209,6 +230,22 @@ class RunCache
         return counters_;
     }
 
+    /** Accumulated warm-started sweep statistics. */
+    WarmSweepStats
+    warm() const
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        return warm_;
+    }
+
+    /** GPS_BENCH_WARM_START=0 disables warm-started forking. */
+    static bool
+    warmStartEnabled()
+    {
+        const char* env = std::getenv("GPS_BENCH_WARM_START");
+        return env == nullptr || std::string(env) != "0";
+    }
+
     std::size_t
     capacity() const
     {
@@ -222,6 +259,32 @@ class RunCache
         return cache_.size();
     }
 
+    /** Rebound the cache, evicting LRU entries if needed (tests). */
+    void
+    setCapacity(std::size_t capacity)
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        capacity_ = capacity;
+        while (cache_.size() > capacity_) {
+            cache_.erase(lru_.back());
+            lru_.pop_back();
+            ++counters_.evictions;
+        }
+    }
+
+    /** Drop every entry and zero the counters and perf rows (tests). */
+    void
+    clear()
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        cache_.clear();
+        lru_.clear();
+        counters_ = Counters{};
+        perf_.clear();
+        sweepElapsed_ = 0.0;
+        warm_ = WarmSweepStats{};
+    }
+
   private:
     struct Entry
     {
@@ -231,9 +294,11 @@ class RunCache
 
     RunCache()
     {
-        if (const char* env = std::getenv("GPS_BENCH_CACHE_CAP"))
-            capacity_ = static_cast<std::size_t>(
-                std::strtoul(env, nullptr, 10));
+        // Validated parse: garbage or out-of-range values warn and keep
+        // the default instead of silently becoming 0 (disabled) or a
+        // wrapped-around huge capacity.
+        capacity_ = envSizeT("GPS_BENCH_CACHE_CAP", capacity_,
+                             std::size_t(1) << 20);
     }
 
     static RunHandle
@@ -254,7 +319,9 @@ class RunCache
     void
     evictIfNeededLocked()
     {
-        while (capacity_ != 0 && cache_.size() > capacity_) {
+        // capacity_ == 0 never stores entries, so this only trims the
+        // bounded-LRU case.
+        while (cache_.size() > capacity_ && capacity_ != 0) {
             cache_.erase(lru_.back());
             lru_.pop_back();
             ++counters_.evictions;
@@ -279,6 +346,14 @@ class RunCache
         row.interconnectBytes = outcome.result.interconnectBytes;
         perf_.push_back(std::move(row));
 
+        if (capacity_ == 0) {
+            // Capacity 0 = caching disabled: record the perf row and
+            // hand out a handle, but store nothing — every future
+            // lookup recomputes.
+            return handleOf(std::make_shared<const SweepOutcome>(
+                std::move(outcome)));
+        }
+
         lru_.push_front(key);
         Entry entry{
             std::make_shared<const SweepOutcome>(std::move(outcome)),
@@ -302,6 +377,7 @@ class RunCache
     Counters counters_;
     std::vector<PerfRow> perf_;
     double sweepElapsed_ = 0.0;
+    WarmSweepStats warm_;
 };
 
 /** Memoized runWorkload (see RunCache). */
@@ -361,6 +437,30 @@ plan()
     return p;
 }
 
+/** Hard ceiling on sweep worker threads (see parseWorkerCount). */
+inline constexpr std::size_t maxSweepJobs = 1024;
+
+/**
+ * Validated worker-count parse shared by --jobs, GPS_BENCH_JOBS and the
+ * --snapshot CLI paths: "auto" = all cores; otherwise a strict decimal
+ * in [1, maxSweepJobs]. Anything else — including "-1", which strtoul
+ * used to wrap to 2^64-1 worker threads — warns and keeps @p fallback.
+ */
+inline std::size_t
+parseWorkerCount(const std::string& text, std::size_t fallback)
+{
+    if (text == "auto")
+        return defaultSweepJobs();
+    const std::size_t n =
+        parseSizeTOr(text, "jobs", fallback, maxSweepJobs);
+    if (n == 0) {
+        gps_warn("jobs value '", text, "' must be >= 1; keeping ",
+                 fallback);
+        return fallback;
+    }
+    return n;
+}
+
 /**
  * Parse and strip --jobs N / --jobs=N / --jobs auto from argv (before
  * benchmark::Initialize, which rejects unknown flags). Falls back to
@@ -370,10 +470,7 @@ inline std::size_t
 parseJobs(int& argc, char** argv)
 {
     auto parse = [](const std::string& v) -> std::size_t {
-        if (v == "auto")
-            return defaultSweepJobs();
-        const unsigned long n = std::strtoul(v.c_str(), nullptr, 10);
-        return n < 1 ? 1 : static_cast<std::size_t>(n);
+        return parseWorkerCount(v, 1);
     };
     std::size_t jobs = 1;
     if (const char* env = std::getenv("GPS_BENCH_JOBS"))
@@ -454,6 +551,23 @@ writePerfLog(const std::string& path, std::size_t jobs)
     w.field("hits", counters.hits);
     w.field("misses", counters.misses);
     w.field("evictions", counters.evictions);
+    w.endObject();
+    // Warm-started sweep outcome: how many grid points forked from a
+    // shared profile snapshot, and the mean leader-vs-follower wall
+    // ratio (the warm-start speedup perf_compare ratchets).
+    const WarmSweepStats warm = cache.warm();
+    w.key("warm").beginObject();
+    w.field("enabled",
+            static_cast<std::uint64_t>(
+                RunCache::warmStartEnabled() ? 1 : 0));
+    w.field("groups", static_cast<std::uint64_t>(warm.groups));
+    w.field("leaders", static_cast<std::uint64_t>(warm.leaders));
+    w.field("followers", static_cast<std::uint64_t>(warm.followers));
+    w.field("cold_fallbacks",
+            static_cast<std::uint64_t>(warm.coldFallbacks));
+    w.field("leader_wall_s", warm.leaderWallSeconds);
+    w.field("follower_wall_s", warm.followerWallSeconds);
+    w.field("fork_speedup", warm.forkSpeedup());
     w.endObject();
     // Generated-input memoization (graphs + publish sets): the misses'
     // build_s is generation wall time the hits did not have to pay.

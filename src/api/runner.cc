@@ -1,6 +1,7 @@
 #include "api/runner.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "check/check.hh"
 #include "common/logging.hh"
@@ -12,6 +13,25 @@ namespace gps
 RunResult
 Runner::run(Workload& workload)
 {
+    // Snapshots freeze the bare simulation state; the check and
+    // observability layers keep live external mirrors (reference model,
+    // samplers) that a restore cannot reconstruct, so the combination
+    // is rejected up front.
+    const bool capturing =
+        config_.snapshotAt.active() &&
+        (!config_.snapshotOut.empty() ||
+         config_.snapshotSink != nullptr);
+    std::optional<snapshot::Snapshot> snap;
+    if (config_.restoreBlob != nullptr)
+        snap = snapshot::decodeSnapshot(*config_.restoreBlob);
+    else if (!config_.restoreFrom.empty())
+        snap = snapshot::readSnapshotFile(config_.restoreFrom);
+    if ((capturing || snap.has_value()) &&
+        (config_.check.enabled || config_.obs.enabled()))
+        throw snapshot::SnapshotError(
+            "snapshot capture/restore cannot be combined with the "
+            "check or observability layers");
+
     MultiGpuSystem system(config_.system);
     std::unique_ptr<Paradigm> paradigm =
         makeParadigm(config_.paradigm, system);
@@ -100,29 +120,172 @@ Runner::run(Workload& workload)
     std::vector<Tick> iter_time;
     std::vector<std::uint64_t> iter_bytes;
 
+    // --- Restore: rebuild loop position and machine state from the
+    // snapshot, verified before any phase replays. The iteration()
+    // calls the original run made before the capture point are
+    // re-issued first so workload-internal generator state matches;
+    // any paradigm/driver state they touch is overwritten by
+    // applyState() right after. ---
+    std::size_t start_iter = 0;
+    std::size_t resume_phase = 0;
+    bool resume_mid = false;
+    std::vector<Phase> resume_phases;
+    Tick resume_t_before = 0;
+    std::uint64_t resume_b_before = 0;
+    std::uint64_t global_phases = 0;
+
+    if (snap.has_value()) {
+        const snapshot::SnapshotMeta& meta = snap->meta;
+        if (meta.workload != workload.name())
+            throw snapshot::SnapshotError(
+                "snapshot was taken from workload '" + meta.workload +
+                "', this run is '" + workload.name() + "'");
+        if (meta.paradigm !=
+            static_cast<std::uint8_t>(paradigm->kind()))
+            throw snapshot::SnapshotError(
+                "snapshot paradigm differs from the configured run");
+        if (meta.numGpus != system.numGpus())
+            throw snapshot::SnapshotError(
+                "snapshot GPU count differs from the configured run");
+        if (meta.pageBytes != config_.system.pageBytes)
+            throw snapshot::SnapshotError(
+                "snapshot page size differs from the configured run");
+        if (meta.scale != config_.scale)
+            throw snapshot::SnapshotError(
+                "snapshot problem scale differs from the configured "
+                "run");
+
+        const snapshot::RunnerProgress& prog = snap->progress;
+        start_iter = static_cast<std::size_t>(prog.resumeIter);
+        resume_phase = static_cast<std::size_t>(prog.resumePhase);
+        for (std::size_t i = 0; i < start_iter; ++i)
+            (void)workload.iteration(i, ctx);
+        if (resume_phase > 0) {
+            paradigm->beginIteration(start_iter);
+            if (start_iter == 0)
+                paradigm->trackingStart();
+            resume_phases = workload.iteration(start_iter, ctx);
+            if (resume_phase > resume_phases.size())
+                throw snapshot::SnapshotError(
+                    "snapshot resume phase is beyond the workload's "
+                    "iteration");
+            resume_mid = true;
+        }
+
+        snapshot::applyState(*snap, system, *paradigm,
+                             fault_engine.get(),
+                             config_.restoreMutateForTest);
+
+        totals = prog.totals;
+        iter_time = prog.iterTime;
+        iter_bytes = prog.iterBytes;
+        global_phases = prog.globalPhases;
+        resume_t_before = prog.tBefore;
+        resume_b_before = prog.bBefore;
+        result.hasSubscriberHist = prog.hasSubscriberHist;
+        if (prog.hasSubscriberHist) {
+            result.subscriberHist.clear();
+            const std::size_t buckets =
+                std::min(prog.histBuckets.size(),
+                         result.subscriberHist.size());
+            for (std::size_t i = 0; i < buckets; ++i)
+                if (prog.histBuckets[i] != 0)
+                    result.subscriberHist.sample(i,
+                                                 prog.histBuckets[i]);
+        }
+    }
+
+    // --- Capture: encode the quiescent system once the requested
+    // point is reached, tagged with the loop position to resume at. ---
+    bool captured = false;
+    auto capture = [&](std::uint64_t at_iter, std::uint64_t at_phase,
+                       Tick t_before, std::uint64_t b_before) {
+        if (captured)
+            return;
+        snapshot::SnapshotMeta meta;
+        meta.workload = workload.name();
+        meta.paradigm = static_cast<std::uint8_t>(paradigm->kind());
+        meta.numGpus = static_cast<std::uint32_t>(system.numGpus());
+        meta.pageBytes = config_.system.pageBytes;
+        meta.scale = config_.scale;
+        meta.stateKey = config_.snapshotKey;
+        snapshot::RunnerProgress prog;
+        prog.resumeIter = at_iter;
+        prog.resumePhase = at_phase;
+        prog.globalPhases = global_phases;
+        prog.tBefore = t_before;
+        prog.bBefore = b_before;
+        prog.totals = totals;
+        prog.iterTime = iter_time;
+        prog.iterBytes = iter_bytes;
+        prog.hasSubscriberHist = result.hasSubscriberHist;
+        if (result.hasSubscriberHist)
+            for (std::size_t i = 0; i < result.subscriberHist.size();
+                 ++i)
+                prog.histBuckets.push_back(
+                    result.subscriberHist.bucket(i));
+        const std::string bytes = snapshot::encodeSnapshot(
+            system, *paradigm, fault_engine.get(), meta, prog);
+        if (!config_.snapshotOut.empty())
+            snapshot::writeSnapshotFile(config_.snapshotOut, bytes);
+        if (config_.snapshotSink != nullptr)
+            *config_.snapshotSink = bytes;
+        captured = true;
+    };
+
     // Normally the steady state is sampled and extrapolated; a pending
     // fault plan extends the simulated window (up to the workload's full
     // run) so events scheduled deep into the run still come due.
     CancelToken* cancel = config_.cancel.get();
-    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    for (std::size_t iter = start_iter; iter < max_iters; ++iter) {
         if (iter >= sim_iters &&
             (fault_engine == nullptr || fault_engine->done()))
             break;
         if (cancel != nullptr)
             cancel->throwIfCancelled();
-        paradigm->beginIteration(iter);
-        if (iter == 0)
-            paradigm->trackingStart();
 
-        const Tick t_before = system.events().now();
-        const std::uint64_t b_before =
-            system.topology().totalPayloadBytes();
+        const bool resuming = resume_mid && iter == start_iter;
+        if (capturing && !resuming &&
+            config_.snapshotAt.kind == snapshot::AtKind::Iter &&
+            config_.snapshotAt.n == iter)
+            capture(iter, 0, system.events().now(),
+                    system.topology().totalPayloadBytes());
 
-        std::vector<Phase> phases = workload.iteration(iter, ctx);
-        for (Phase& phase : phases)
-            executePhase(system, *paradigm, phase, totals);
+        Tick t_before = 0;
+        std::uint64_t b_before = 0;
+        std::vector<Phase> phases;
+        std::size_t first_phase = 0;
+        if (resuming) {
+            phases = std::move(resume_phases);
+            first_phase = resume_phase;
+            t_before = resume_t_before;
+            b_before = resume_b_before;
+        } else {
+            paradigm->beginIteration(iter);
+            if (iter == 0)
+                paradigm->trackingStart();
+            t_before = system.events().now();
+            b_before = system.topology().totalPayloadBytes();
+            phases = workload.iteration(iter, ctx);
+        }
+
+        for (std::size_t p = first_phase; p < phases.size(); ++p) {
+            executePhase(system, *paradigm, phases[p], totals);
+            ++global_phases;
+            if (capturing &&
+                config_.snapshotAt.kind == snapshot::AtKind::Phase &&
+                config_.snapshotAt.n == global_phases)
+                capture(iter, p + 1, t_before, b_before);
+        }
 
         if (iter == 0) {
+            // The profile point sits after iteration 0's phases but
+            // before cuGPSTrackingStop(): the warm boundary shared by
+            // every config that only differs in post-profile policy
+            // (e.g. gps.autoUnsubscribe).
+            if (capturing &&
+                config_.snapshotAt.kind == snapshot::AtKind::Profile)
+                capture(0, phases.size(), t_before, b_before);
             paradigm->trackingStop(totals);
             result.hasSubscriberHist =
                 paradigm->fillSubscriberHistogram(result.subscriberHist);
@@ -132,6 +295,10 @@ Runner::run(Workload& workload)
         iter_bytes.push_back(system.topology().totalPayloadBytes() -
                              b_before);
     }
+    if (capturing && !captured)
+        gps_warn("snapshot point ",
+                 snapshot::to_string(config_.snapshotAt),
+                 " was never reached; no snapshot written");
 
     // Extrapolate the simulated steady state to the full run length.
     const std::size_t n_sim = iter_time.size();

@@ -29,6 +29,7 @@
 #include "fault/fault_plan.hh"
 #include "obs/observability.hh"
 #include "paradigm/paradigm.hh"
+#include "snapshot/snapshot.hh"
 
 namespace gps
 {
@@ -85,6 +86,37 @@ struct RunConfig
      * token cannot change a completed run's outcome.
      */
     std::shared_ptr<CancelToken> cancel;
+
+    // ------------------------------------------------------------------
+    // Checkpoint/restore (src/snapshot/). Like `cancel`, every field
+    // below is excluded from configKey: capturing a snapshot or resuming
+    // from one cannot change a completed run's outcome — restored runs
+    // are verified byte-identical to uninterrupted ones.
+    // ------------------------------------------------------------------
+
+    /** When to capture a snapshot; inactive by default. */
+    snapshot::SnapshotPoint snapshotAt;
+
+    /** File to write the captured snapshot to ("" = no file). */
+    std::string snapshotOut;
+
+    /** In-memory sink for the snapshot bytes (warm-sweep forking). */
+    std::shared_ptr<std::string> snapshotSink;
+
+    /** Warm-key echo stored in the snapshot's meta section. */
+    std::string snapshotKey;
+
+    /** Snapshot file to resume from ("" = cold start). */
+    std::string restoreFrom;
+
+    /** In-memory snapshot to resume from (wins over restoreFrom). */
+    std::shared_ptr<const std::string> restoreBlob;
+
+    /**
+     * Test hook: perturb one page's driver state after the restore so
+     * the restore verification must reject the snapshot.
+     */
+    bool restoreMutateForTest = false;
 };
 
 /** Executes workloads and produces RunResults. */

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <typeinfo>
@@ -207,6 +209,144 @@ configKey(const std::string& workload, const RunConfig& config)
     os << config.check.enabled << '|' << config.check.everyAccesses
        << '|' << config.check.testMutation << '|';
     return os.str();
+}
+
+std::string
+warmKey(const std::string& workload, const RunConfig& config)
+{
+    RunConfig norm = config;
+    norm.system.gps.autoUnsubscribe = false;
+    norm.steadyIterations = 0;
+    norm.effectiveIterationsOverride = 0;
+    return configKey(workload, norm);
+}
+
+double
+WarmSweepStats::forkSpeedup() const
+{
+    if (leaders == 0 || followers == 0 || followerWallSeconds <= 0.0)
+        return 0.0;
+    const double leader_mean =
+        leaderWallSeconds / static_cast<double>(leaders);
+    const double follower_mean =
+        followerWallSeconds / static_cast<double>(followers);
+    return follower_mean > 0.0 ? leader_mean / follower_mean : 0.0;
+}
+
+namespace
+{
+
+/** Whether a job may participate in warm-start forking at all. */
+bool
+warmEligible(const SweepJob& job)
+{
+    const RunConfig& c = job.config;
+    return !c.check.enabled && !c.obs.enabled() &&
+           !c.snapshotAt.active() && c.snapshotOut.empty() &&
+           c.snapshotSink == nullptr && c.restoreFrom.empty() &&
+           c.restoreBlob == nullptr && !c.restoreMutateForTest;
+}
+
+} // namespace
+
+std::vector<SweepOutcome>
+runSweepWarm(const std::vector<SweepJob>& jobs, std::size_t workers,
+             WarmSweepStats* stats)
+{
+    std::vector<SweepOutcome> out(jobs.size());
+    if (jobs.empty())
+        return out;
+
+    // Group eligible jobs by warm key, preserving input order inside
+    // each group (the first member becomes the leader).
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        if (warmEligible(jobs[i]))
+            groups[warmKey(jobs[i].workload, jobs[i].config)]
+                .push_back(i);
+
+    struct Fork
+    {
+        std::size_t leader = 0;
+        std::shared_ptr<std::string> blob;
+    };
+    std::vector<bool> is_follower(jobs.size(), false);
+    std::map<std::size_t, Fork> forks; ///< follower index -> its leader
+    std::vector<SweepJob> wave1;
+    std::vector<std::size_t> wave1_idx;
+
+    std::map<std::size_t, SweepJob> leader_jobs;
+    for (const auto& [key, members] : groups) {
+        if (members.size() < 2)
+            continue;
+        const std::size_t leader = members.front();
+        SweepJob job = jobs[leader];
+        job.config.snapshotAt = {snapshot::AtKind::Profile, 0};
+        job.config.snapshotSink = std::make_shared<std::string>();
+        job.config.snapshotKey = key;
+        for (std::size_t m = 1; m < members.size(); ++m) {
+            is_follower[members[m]] = true;
+            forks[members[m]] =
+                Fork{leader, job.config.snapshotSink};
+        }
+        leader_jobs.emplace(leader, std::move(job));
+        if (stats != nullptr) {
+            ++stats->groups;
+            ++stats->leaders;
+        }
+    }
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (is_follower[i])
+            continue;
+        auto it = leader_jobs.find(i);
+        wave1.push_back(it != leader_jobs.end() ? std::move(it->second)
+                                                : jobs[i]);
+        wave1_idx.push_back(i);
+    }
+
+    std::vector<SweepOutcome> wave1_out = runSweep(wave1, workers);
+    for (std::size_t w = 0; w < wave1_out.size(); ++w)
+        out[wave1_idx[w]] = std::move(wave1_out[w]);
+
+    if (forks.empty())
+        return out;
+
+    // Wave 2: followers restore their leader's snapshot; a failed or
+    // empty capture demotes them to plain cold runs.
+    std::vector<SweepJob> wave2;
+    std::vector<std::size_t> wave2_idx;
+    std::vector<bool> wave2_warm;
+    for (const auto& [idx, fork] : forks) {
+        SweepJob job = jobs[idx];
+        const bool warm =
+            out[fork.leader].ok() && !fork.blob->empty();
+        if (warm)
+            job.config.restoreBlob = fork.blob;
+        wave2.push_back(std::move(job));
+        wave2_idx.push_back(idx);
+        wave2_warm.push_back(warm);
+    }
+    std::vector<SweepOutcome> wave2_out = runSweep(wave2, workers);
+    for (std::size_t w = 0; w < wave2_out.size(); ++w)
+        out[wave2_idx[w]] = std::move(wave2_out[w]);
+
+    if (stats != nullptr) {
+        for (std::size_t w = 0; w < wave2_idx.size(); ++w) {
+            if (wave2_warm[w]) {
+                ++stats->followers;
+                stats->followerWallSeconds +=
+                    out[wave2_idx[w]].wallSeconds;
+            } else {
+                ++stats->coldFallbacks;
+            }
+        }
+        for (const auto& [leader, job] : leader_jobs) {
+            (void)job;
+            stats->leaderWallSeconds += out[leader].wallSeconds;
+        }
+    }
+    return out;
 }
 
 } // namespace gps

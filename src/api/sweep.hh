@@ -93,6 +93,50 @@ std::vector<SweepOutcome> runSweep(const std::vector<SweepJob>& jobs,
 std::string configKey(const std::string& workload,
                       const RunConfig& config);
 
+/**
+ * Warm-start grouping key: configKey() with the post-profile policy
+ * knobs normalized away. Two jobs with equal warm keys are in
+ * byte-identical simulation states at the profile boundary (end of
+ * iteration 0, before cuGPSTrackingStop): gps.autoUnsubscribe is
+ * consumed solely by trackingStop, and steadyIterations /
+ * effectiveIterationsOverride only control how many further iterations
+ * are simulated and extrapolated.
+ */
+std::string warmKey(const std::string& workload,
+                    const RunConfig& config);
+
+/** What the warm-started sweep did; counters accumulate across calls. */
+struct WarmSweepStats
+{
+    std::size_t groups = 0;        ///< multi-member warm groups
+    std::size_t leaders = 0;       ///< cold leader runs that captured
+    std::size_t followers = 0;     ///< runs forked from a warm snapshot
+    std::size_t coldFallbacks = 0; ///< followers run cold (leader failed)
+
+    /** Wall seconds split by role, for the fork-speedup aggregate. */
+    double leaderWallSeconds = 0.0;
+    double followerWallSeconds = 0.0;
+
+    /** Mean leader wall over mean follower wall (0 when undefined). */
+    double forkSpeedup() const;
+};
+
+/**
+ * runSweep() with warm-started forking: jobs sharing a warmKey() are
+ * split into one cold leader — run with an in-memory profile-point
+ * snapshot capture — and followers that restore the leader's snapshot
+ * and only simulate from the profile boundary on. Results are
+ * byte-identical to runSweep() (every restore is verified against the
+ * captured functional summary); only wall time changes. Jobs that are
+ * ineligible (check/observability enabled, or already carrying
+ * snapshot/restore requests) and singleton groups run cold, and a
+ * failed leader demotes its followers to cold runs.
+ * @return outcomes in input order, independent of completion order
+ */
+std::vector<SweepOutcome> runSweepWarm(const std::vector<SweepJob>& jobs,
+                                       std::size_t workers,
+                                       WarmSweepStats* stats = nullptr);
+
 } // namespace gps
 
 #endif // GPS_API_SWEEP_HH

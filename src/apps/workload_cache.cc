@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/env.hh"
+
 namespace gps::apps
 {
 
@@ -47,9 +49,11 @@ buildBundle(const GraphParams& params, std::uint32_t vertices_per_group)
 
 WorkloadCache::WorkloadCache()
 {
-    if (const char* env = std::getenv("GPS_WORKLOAD_CACHE_CAP"))
-        capacity_ =
-            static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    // Validated parse: garbage or out-of-range values warn and keep the
+    // default instead of silently becoming 0 (disabled) or a
+    // wrapped-around huge capacity.
+    capacity_ = envSizeT("GPS_WORKLOAD_CACHE_CAP", capacity_,
+                         std::size_t(1) << 20);
 }
 
 WorkloadCache&
@@ -68,6 +72,22 @@ WorkloadCache::graphBundle(const GraphParams& params,
     std::promise<std::shared_ptr<const GraphBundle>> promise;
     std::shared_future<std::shared_ptr<const GraphBundle>> pending;
     std::uint64_t myId = 0;
+    bool disabled = false;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (capacity_ == 0)
+            disabled = true;
+    }
+    if (disabled) {
+        // Capacity 0 = caching disabled: build fresh and store nothing
+        // (no entry, no in-flight dedup).
+        std::shared_ptr<const GraphBundle> bundle =
+            buildBundle(params, vertices_per_group);
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.misses;
+        counters_.buildSeconds += bundle->buildSeconds;
+        return bundle;
+    }
     {
         const std::lock_guard<std::mutex> lock(mu_);
         auto it = entries_.find(key);
@@ -166,7 +186,9 @@ WorkloadCache::touchLocked(Entry& entry)
 void
 WorkloadCache::evictIfNeededLocked()
 {
-    while (capacity_ != 0 && lru_.size() > capacity_) {
+    // capacity 0 = caching disabled: nothing may stay resident, so the
+    // plain size comparison also drains the LRU after setCapacity(0).
+    while (lru_.size() > capacity_) {
         entries_.erase(lru_.back());
         lru_.pop_back();
         ++counters_.evictions;

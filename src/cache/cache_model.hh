@@ -14,6 +14,7 @@
 
 #include "common/types.hh"
 #include "sim/sim_object.hh"
+#include "snapshot/serial.hh"
 
 namespace gps
 {
@@ -68,6 +69,47 @@ class CacheModel : public SimObject
     void exportStats(StatSet& out) const override;
     void registerMetrics(MetricRegistry& reg) const override;
     void resetStats() override;
+
+    /** Serialize every line, the LRU clock, and the counters. */
+    void
+    saveState(snapshot::Serializer& out) const
+    {
+        out.section("cache");
+        out.u64(lines_.size());
+        for (const Line& l : lines_) {
+            out.u64(l.tag);
+            out.b(l.valid);
+            out.b(l.dirty);
+            out.u64(l.lastUse);
+        }
+        out.u64(useClock_);
+        out.u64(hits_);
+        out.u64(misses_);
+        out.u64(evictions_);
+        out.u64(writebacks_);
+    }
+
+    /** Counterpart of saveState; geometry must match this instance. */
+    void
+    restoreState(snapshot::Deserializer& in)
+    {
+        in.section("cache");
+        if (in.u64() != lines_.size())
+            throw snapshot::SnapshotError(
+                "snapshot cache geometry differs from the configured "
+                "cache");
+        for (Line& l : lines_) {
+            l.tag = in.u64();
+            l.valid = in.b();
+            l.dirty = in.b();
+            l.lastUse = in.u64();
+        }
+        useClock_ = in.u64();
+        hits_ = in.u64();
+        misses_ = in.u64();
+        evictions_ = in.u64();
+        writebacks_ = in.u64();
+    }
 
   private:
     struct Line

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Validated parsing of numeric knobs from the environment and CLI.
+ *
+ * Several tuning knobs (cache capacities, sweep worker counts) arrive
+ * as untrusted text. Routing them through strtoul directly lets
+ * garbage silently become 0 and negatives wrap to huge values; every
+ * caller shares these helpers instead, so bad input warns once and
+ * keeps the documented default.
+ */
+
+#ifndef GPS_COMMON_ENV_HH
+#define GPS_COMMON_ENV_HH
+
+#include <cstddef>
+#include <string>
+
+namespace gps
+{
+
+/**
+ * Strict full-string parse of a non-negative decimal integer.
+ * Rejects empty strings, signs, leading/trailing junk, and values
+ * that do not fit in std::size_t.
+ * @return true and set @p out on success.
+ */
+bool parseSizeT(const std::string& text, std::size_t& out);
+
+/**
+ * Parse @p text as a non-negative integer no greater than @p max.
+ * On any parse failure or out-of-range value, warn (naming @p what)
+ * and return @p fallback unchanged.
+ */
+std::size_t parseSizeTOr(const std::string& text, const char* what,
+                         std::size_t fallback,
+                         std::size_t max = static_cast<std::size_t>(-1));
+
+/**
+ * Read the environment variable @p name as a non-negative integer in
+ * [0, max]. Unset returns @p fallback silently; set-but-invalid warns
+ * and returns @p fallback.
+ */
+std::size_t envSizeT(const char* name, std::size_t fallback,
+                     std::size_t max = static_cast<std::size_t>(-1));
+
+} // namespace gps
+
+#endif // GPS_COMMON_ENV_HH

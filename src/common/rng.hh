@@ -70,6 +70,22 @@ class Rng
     /** Bernoulli draw with probability @p p. */
     bool chance(double p) { return uniform() < p; }
 
+    /** The four raw state words (checkpoint serialization). */
+    void
+    saveState(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state_[i];
+    }
+
+    /** Overwrite the state words (checkpoint restore). */
+    void
+    restoreState(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = in[i];
+    }
+
     /**
      * Skewed integer in [0, n): direct inversion of the bounded-Pareto
      * law P(X < x) = (x/n)^(1-s) for @p s in (0, 1), i.e.

@@ -21,6 +21,7 @@
 #include "common/gpu_mask.hh"
 #include "common/types.hh"
 #include "sim/sim_object.hh"
+#include "snapshot/serial.hh"
 
 namespace gps
 {
@@ -113,7 +114,44 @@ class GpsPageTable : public SimObject
 
     void exportStats(StatSet& out) const override;
 
+    /** Serialize the dense PTE array (replica lists are ordered). */
+    void
+    saveState(snapshot::Serializer& out) const
+    {
+        out.section("gpstable");
+        out.u64(base_);
+        out.u64(table_.size());
+        for (const GpsPte& pte : table_) {
+            out.u64(pte.replicas.size());
+            for (const GpsReplica& r : pte.replicas) {
+                out.u32(r.gpu);
+                out.u64(r.ppn);
+            }
+        }
+        out.u64(live_);
+    }
+
+    /** Counterpart of saveState; replaces the current contents. */
+    void
+    restoreState(snapshot::Deserializer& in)
+    {
+        in.section("gpstable");
+        base_ = in.u64();
+        table_.assign(in.count(1ULL << 32), GpsPte{});
+        for (GpsPte& pte : table_) {
+            pte.replicas.resize(in.count(maxGpusPerReplicaList));
+            for (GpsReplica& r : pte.replicas) {
+                r.gpu = static_cast<GpuId>(in.u32());
+                r.ppn = in.u64();
+            }
+        }
+        live_ = in.u64();
+    }
+
   private:
+    /** A replica list can never exceed the mask width. */
+    static constexpr std::uint64_t maxGpusPerReplicaList = 64;
+
     /** Slot for @p vpn, growing the dense array to cover it. */
     GpsPte& slot(PageNum vpn);
 

@@ -113,6 +113,15 @@ class GpsParadigm : public Paradigm
      */
     void attachChecker(GpsCheckSink* sink) override;
 
+    /**
+     * Serialize the full publish-subscribe machine: GPS page table,
+     * subscription counters, access tracker, per-GPU write queues and
+     * translation units, the degraded-page access counts, and the
+     * per-GPU stall-drain charge cursors.
+     */
+    void saveState(snapshot::Serializer& out) const override;
+    void restoreState(snapshot::Deserializer& in) override;
+
   protected:
     void accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
                       PageState& st, bool tlb_miss,

@@ -43,6 +43,24 @@ class GpsTranslationUnit : public SimObject
     void exportStats(StatSet& out) const override;
     void registerMetrics(MetricRegistry& reg) const override;
 
+    /** Serialize the GPS-TLB contents and the walk counter. */
+    void
+    saveState(snapshot::Serializer& out) const
+    {
+        out.section("gpstu");
+        tlb_->saveState(out);
+        out.u64(walks_);
+    }
+
+    /** Counterpart of saveState. */
+    void
+    restoreState(snapshot::Deserializer& in)
+    {
+        in.section("gpstu");
+        tlb_->restoreState(in);
+        walks_ = in.u64();
+    }
+
   private:
     const GpsPageTable* table_;
     std::unique_ptr<Tlb> tlb_;

@@ -19,6 +19,7 @@
 #include "core/gps_config.hh"
 #include "mem/page.hh"
 #include "sim/sim_object.hh"
+#include "snapshot/serial.hh"
 
 namespace gps
 {
@@ -164,6 +165,64 @@ class RemoteWriteQueue : public SimObject
     void exportStats(StatSet& out) const override;
     void registerMetrics(MetricRegistry& reg) const override;
     void resetStats();
+
+    /**
+     * Serialize resident entries in FIFO order plus all counters; the
+     * line index is rebuilt from the FIFO at restore.
+     */
+    void
+    saveState(snapshot::Serializer& out) const
+    {
+        out.section("rwq");
+        out.u64(fifo_.size());
+        for (const WqEntry& e : fifo_) {
+            out.u64(e.line);
+            out.u64(e.vpn);
+            out.u32(e.bytesWritten);
+            out.u32(e.mergedStores);
+            out.u32(e.weight);
+            out.u64(e.seq);
+        }
+        out.u32(occupancy_);
+        out.u64(inserts_);
+        out.u64(coalesced_);
+        out.u64(drains_);
+        out.u64(atomicBypass_);
+        out.u64(watermarkDrains_);
+        out.u64(forwardHits_);
+        out.u64(stallDrains_);
+        out.b(saturated_);
+    }
+
+    /** Counterpart of saveState. */
+    void
+    restoreState(snapshot::Deserializer& in)
+    {
+        in.section("rwq");
+        fifo_.clear();
+        index_.clear();
+        const std::uint64_t n = in.count(1ULL << 24);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            WqEntry e;
+            e.line = in.u64();
+            e.vpn = in.u64();
+            e.bytesWritten = in.u32();
+            e.mergedStores = in.u32();
+            e.weight = in.u32();
+            e.seq = in.u64();
+            fifo_.push_back(e);
+            index_[e.line] = std::prev(fifo_.end());
+        }
+        occupancy_ = in.u32();
+        inserts_ = in.u64();
+        coalesced_ = in.u64();
+        drains_ = in.u64();
+        atomicBypass_ = in.u64();
+        watermarkDrains_ = in.u64();
+        forwardHits_ = in.u64();
+        stallDrains_ = in.u64();
+        saturated_ = in.b();
+    }
 
   private:
     void drainOne();

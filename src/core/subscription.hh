@@ -126,6 +126,36 @@ class SubscriptionManager : public SimObject
      */
     void attachCheck(GpsCheckSink* check) { check_ = check; }
 
+    /**
+     * Serialize the op counters. The subscription state itself lives
+     * in the driver page state and the GPS page table, both covered by
+     * their own saveState.
+     */
+    void
+    saveState(snapshot::Serializer& out) const
+    {
+        out.section("subs");
+        out.u64(subscribeOps_);
+        out.u64(unsubscribeOps_);
+        out.u64(oversubscriptionRejects_);
+        out.u64(collapses_);
+        out.u64(swapOuts_);
+        out.u64(replicaRetires_);
+    }
+
+    /** Counterpart of saveState. */
+    void
+    restoreState(snapshot::Deserializer& in)
+    {
+        in.section("subs");
+        subscribeOps_ = in.u64();
+        unsubscribeOps_ = in.u64();
+        oversubscriptionRejects_ = in.u64();
+        collapses_ = in.u64();
+        swapOuts_ = in.u64();
+        replicaRetires_ = in.u64();
+    }
+
   private:
     /** Keep PageState and conventional/GPS page tables consistent. */
     void refreshGpsBit(PageNum vpn);

@@ -85,6 +85,9 @@ class Driver : public SimObject
     /** State of @p vpn, or nullptr when unallocated (hot-path form). */
     PageState* findState(PageNum vpn) { return pages_.find(vpn); }
 
+    /** Dense page-state store (snapshot/verification traversal). */
+    const PageStateStore& pageStates() const { return pages_; }
+
     const Region* regionOf(Addr addr) const { return vas_->regionOf(addr); }
     const AddressSpace& addressSpace() const { return *vas_; }
 
@@ -155,6 +158,16 @@ class Driver : public SimObject
 
     void exportStats(StatSet& out) const override;
     void registerMetrics(MetricRegistry& reg) const override;
+
+    /**
+     * Serialize per-GPU page tables, the dense page-state store, and
+     * the driver's own counters. The reclaim hook and observers are
+     * reattached by their owners at reconstruction, not persisted.
+     */
+    void saveState(snapshot::Serializer& out) const;
+
+    /** Counterpart of saveState. */
+    void restoreState(snapshot::Deserializer& in);
 
     /**
      * Attach the timeline recorder (nullptr detaches); page migrations

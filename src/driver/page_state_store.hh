@@ -21,6 +21,7 @@
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "driver/page_state.hh"
+#include "snapshot/serial.hh"
 
 namespace gps
 {
@@ -118,8 +119,79 @@ class PageStateStore
     /** Total pages across all live slabs. */
     std::size_t pages() const { return pages_; }
 
+    /** Visit every (vpn, state) pair in ascending VPN order. */
+    template <typename Fn>
+    void
+    forEach(Fn&& fn) const
+    {
+        for (const Slab& slab : slabs_)
+            for (std::size_t i = 0; i < slab.states.size(); ++i)
+                fn(slab.first + i, slab.states[i]);
+    }
+
     /** Number of live slabs (== live regions). */
     std::size_t ranges() const { return slabs_.size(); }
+
+    /** Serialize every slab with its full per-page records. */
+    void
+    saveState(snapshot::Serializer& out) const
+    {
+        out.section("pagestate");
+        out.u64(slabs_.size());
+        for (const Slab& slab : slabs_) {
+            out.u64(slab.first);
+            out.u64(slab.states.size());
+            for (const PageState& st : slab.states) {
+                out.u8(static_cast<std::uint8_t>(st.kind));
+                out.u32(st.location);
+                out.u32(st.mapped);
+                out.u32(st.backed);
+                out.u32(st.preferredLocation);
+                out.u32(st.accessedBy);
+                out.b(st.readMostly);
+                out.u32(st.readCopies);
+                out.u32(st.lastWriter);
+                out.b(st.dirtySinceBarrier);
+                out.u32(st.subscribers);
+                out.b(st.gpsBitSet);
+                out.b(st.collapsed);
+            }
+        }
+    }
+
+    /** Counterpart of saveState; replaces the current contents. */
+    void
+    restoreState(snapshot::Deserializer& in)
+    {
+        in.section("pagestate");
+        slabs_.clear();
+        pages_ = 0;
+        hint_ = 0;
+        const std::uint64_t nslabs = in.count(1ULL << 24);
+        slabs_.reserve(nslabs);
+        for (std::uint64_t i = 0; i < nslabs; ++i) {
+            Slab slab;
+            slab.first = in.u64();
+            slab.states.resize(in.count(1ULL << 32));
+            for (PageState& st : slab.states) {
+                st.kind = static_cast<MemKind>(in.u8());
+                st.location = static_cast<GpuId>(in.u32());
+                st.mapped = in.u32();
+                st.backed = in.u32();
+                st.preferredLocation = static_cast<GpuId>(in.u32());
+                st.accessedBy = in.u32();
+                st.readMostly = in.b();
+                st.readCopies = in.u32();
+                st.lastWriter = static_cast<GpuId>(in.u32());
+                st.dirtySinceBarrier = in.b();
+                st.subscribers = in.u32();
+                st.gpsBitSet = in.b();
+                st.collapsed = in.b();
+            }
+            pages_ += slab.states.size();
+            slabs_.push_back(std::move(slab));
+        }
+    }
 
   private:
     struct Slab

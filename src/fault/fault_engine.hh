@@ -16,6 +16,7 @@
 
 #include "common/rng.hh"
 #include "fault/fault_plan.hh"
+#include "snapshot/serial.hh"
 
 namespace gps
 {
@@ -58,6 +59,67 @@ class FaultEngine
     void attachRecorder(TimelineRecorder* recorder)
     {
         recorder_ = recorder;
+    }
+
+    /**
+     * Serialize injection progress: RNG stream position, report
+     * counters, and the next-event cursor. The plan itself is rebuilt
+     * from the run configuration at restore.
+     */
+    void
+    saveState(snapshot::Serializer& out) const
+    {
+        out.section("faults");
+        std::uint64_t words[4];
+        rng_.saveState(words);
+        for (const std::uint64_t w : words)
+            out.u64(w);
+        out.u64(report_.faultsInjected);
+        out.u64(report_.linksDown);
+        out.u64(report_.linksDegraded);
+        out.u64(report_.linksRestored);
+        out.u64(report_.reroutes);
+        out.u64(report_.reroutedBytes);
+        out.u64(report_.pcieFallbacks);
+        out.u64(report_.pcieFallbackBytes);
+        out.u64(report_.pagesRetired);
+        out.u64(report_.replicasLost);
+        out.u64(report_.pagesDegraded);
+        out.u64(report_.resubscribes);
+        out.u64(report_.wqSaturations);
+        out.u64(report_.wqSaturatedDrains);
+        out.u64(report_.stallTicks);
+        out.u64(next_);
+    }
+
+    /** Counterpart of saveState; the plan must already match. */
+    void
+    restoreState(snapshot::Deserializer& in)
+    {
+        in.section("faults");
+        std::uint64_t words[4];
+        for (std::uint64_t& w : words)
+            w = in.u64();
+        rng_.restoreState(words);
+        report_.faultsInjected = in.u64();
+        report_.linksDown = in.u64();
+        report_.linksDegraded = in.u64();
+        report_.linksRestored = in.u64();
+        report_.reroutes = in.u64();
+        report_.reroutedBytes = in.u64();
+        report_.pcieFallbacks = in.u64();
+        report_.pcieFallbackBytes = in.u64();
+        report_.pagesRetired = in.u64();
+        report_.replicasLost = in.u64();
+        report_.pagesDegraded = in.u64();
+        report_.resubscribes = in.u64();
+        report_.wqSaturations = in.u64();
+        report_.wqSaturatedDrains = in.u64();
+        report_.stallTicks = in.u64();
+        next_ = in.u64();
+        if (next_ > plan_.events.size())
+            throw snapshot::SnapshotError(
+                "snapshot fault cursor exceeds the configured plan");
     }
 
   private:

@@ -114,6 +114,32 @@ class GpuModel : public SimObject
     void registerMetrics(MetricRegistry& reg) const override;
     void resetStats() override;
 
+    /** Serialize L2, TLB, coalescer, and physical-memory state. */
+    void
+    saveState(snapshot::Serializer& out) const
+    {
+        out.section("gpu");
+        out.u32(id_);
+        l2_->saveState(out);
+        tlb_->saveState(out);
+        coalescer_->saveState(out);
+        memory_->saveState(out);
+    }
+
+    /** Counterpart of saveState. */
+    void
+    restoreState(snapshot::Deserializer& in)
+    {
+        in.section("gpu");
+        if (in.u32() != id_)
+            throw snapshot::SnapshotError(
+                "snapshot GPU id differs from the configured GPU");
+        l2_->restoreState(in);
+        tlb_->restoreState(in);
+        coalescer_->restoreState(in);
+        memory_->restoreState(in);
+    }
+
   private:
     GpuId id_;
     GpuConfig config_;

@@ -17,6 +17,7 @@
 
 #include "common/types.hh"
 #include "sim/sim_object.hh"
+#include "snapshot/serial.hh"
 
 namespace gps
 {
@@ -53,6 +54,37 @@ class StoreCoalescer : public SimObject
     void exportStats(StatSet& out) const override;
     void registerMetrics(MetricRegistry& reg) const override;
     void resetStats() override;
+
+    /** Serialize the resident lines and the counters. */
+    void
+    saveState(snapshot::Serializer& out) const
+    {
+        out.section("coalescer");
+        out.u64(lines_.size());
+        for (const std::uint64_t line : lines_)
+            out.u64(line);
+        out.u32(head_);
+        out.u32(valid_);
+        out.u64(absorbed_);
+        out.u64(forwarded_);
+    }
+
+    /** Counterpart of saveState; depth must match this instance. */
+    void
+    restoreState(snapshot::Deserializer& in)
+    {
+        in.section("coalescer");
+        if (in.u64() != lines_.size())
+            throw snapshot::SnapshotError(
+                "snapshot coalescer depth differs from the configured "
+                "coalescer");
+        for (std::uint64_t& line : lines_)
+            line = in.u64();
+        head_ = in.u32();
+        valid_ = in.u32();
+        absorbed_ = in.u64();
+        forwarded_ = in.u64();
+    }
 
   private:
     std::uint32_t depth_;

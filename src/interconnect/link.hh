@@ -14,6 +14,7 @@
 #include "common/types.hh"
 #include "interconnect/pcie.hh"
 #include "sim/sim_object.hh"
+#include "snapshot/serial.hh"
 
 namespace gps
 {
@@ -44,6 +45,22 @@ class Link : public SimObject
     void exportStats(StatSet& out) const override;
     void registerMetrics(MetricRegistry& reg) const override;
     void resetStats() override;
+
+    /** Serialize lifetime byte/busy accounting. */
+    void
+    saveState(snapshot::Serializer& out) const
+    {
+        out.u64(totalBytes_);
+        out.u64(busyTime_);
+    }
+
+    /** Counterpart of saveState. */
+    void
+    restoreState(snapshot::Deserializer& in)
+    {
+        totalBytes_ = in.u64();
+        busyTime_ = in.u64();
+    }
 
   private:
     const InterconnectSpec* spec_;

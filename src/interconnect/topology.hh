@@ -18,10 +18,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/types.hh"
 #include "interconnect/link.hh"
 #include "interconnect/pcie.hh"
 #include "sim/sim_object.hh"
+#include "snapshot/serial.hh"
 
 namespace gps
 {
@@ -194,6 +197,64 @@ class Topology : public SimObject
      * link-delay histogram.
      */
     void attachProfile(ProfileCollector* profile) { profile_ = profile; }
+
+    /**
+     * Serialize link accounting, lifetime totals, and fault path state
+     * (sorted by path key — the unordered map feeds only key-addressed
+     * lookups, but snapshot bytes must be deterministic).
+     */
+    void
+    saveState(snapshot::Serializer& out) const
+    {
+        out.section("topology");
+        out.u64(numGpus_);
+        for (const auto& link : egress_)
+            link->saveState(out);
+        for (const auto& link : ingress_)
+            link->saveState(out);
+        out.u64(totalBytes_);
+        out.u64(totalPayload_);
+        std::vector<std::uint32_t> keys;
+        keys.reserve(paths_.size());
+        for (const auto& [key, st] : paths_)
+            keys.push_back(key);
+        std::sort(keys.begin(), keys.end());
+        out.u64(keys.size());
+        for (const std::uint32_t key : keys) {
+            const PathState& st = paths_.at(key);
+            out.u32(key);
+            out.u8(static_cast<std::uint8_t>(st.health));
+            out.f64(st.factor);
+        }
+        out.b(pcieFallback_);
+    }
+
+    /** Counterpart of saveState. */
+    void
+    restoreState(snapshot::Deserializer& in)
+    {
+        in.section("topology");
+        if (in.u64() != numGpus_)
+            throw snapshot::SnapshotError(
+                "snapshot GPU count differs from the configured "
+                "topology");
+        for (auto& link : egress_)
+            link->restoreState(in);
+        for (auto& link : ingress_)
+            link->restoreState(in);
+        totalBytes_ = in.u64();
+        totalPayload_ = in.u64();
+        paths_.clear();
+        const std::uint64_t n = in.count(1ULL << 32);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint32_t key = in.u32();
+            PathState st;
+            st.health = static_cast<PathHealth>(in.u8());
+            st.factor = in.f64();
+            paths_.emplace(key, st);
+        }
+        pcieFallback_ = in.b();
+    }
 
   private:
     static std::uint32_t

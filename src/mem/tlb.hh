@@ -15,6 +15,7 @@
 
 #include "common/types.hh"
 #include "sim/sim_object.hh"
+#include "snapshot/serial.hh"
 
 namespace gps
 {
@@ -60,6 +61,45 @@ class Tlb : public SimObject
     void exportStats(StatSet& out) const override;
     void registerMetrics(MetricRegistry& reg) const override;
     void resetStats() override;
+
+    /** Serialize every entry, the LRU clock, and the counters. */
+    void
+    saveState(snapshot::Serializer& out) const
+    {
+        out.section("tlb");
+        out.u64(sets_);
+        out.u64(ways_);
+        for (const Entry& e : entries_) {
+            out.u64(e.vpn);
+            out.b(e.valid);
+            out.u64(e.lastUse);
+        }
+        out.u64(useClock_);
+        out.u64(hits_);
+        out.u64(misses_);
+        out.u64(evictions_);
+        out.u64(shootdowns_);
+    }
+
+    /** Counterpart of saveState; geometry must match this instance. */
+    void
+    restoreState(snapshot::Deserializer& in)
+    {
+        in.section("tlb");
+        if (in.u64() != sets_ || in.u64() != ways_)
+            throw snapshot::SnapshotError(
+                "snapshot TLB geometry differs from the configured TLB");
+        for (Entry& e : entries_) {
+            e.vpn = in.u64();
+            e.valid = in.b();
+            e.lastUse = in.u64();
+        }
+        useClock_ = in.u64();
+        hits_ = in.u64();
+        misses_ = in.u64();
+        evictions_ = in.u64();
+        shootdowns_ = in.u64();
+    }
 
   private:
     struct Entry

@@ -45,6 +45,32 @@ class MemcpyParadigm : public Paradigm
         return lastBarrierBytes_;
     }
 
+    void saveState(snapshot::Serializer& out) const override
+    {
+        out.section("paradigm:memcpy");
+        out.u64(pendingBroadcasts_.size());
+        for (const BroadcastRange& r : pendingBroadcasts_) {
+            out.u32(r.src);
+            out.u64(r.base);
+            out.u64(r.len);
+        }
+        saveDirtyPages(out, dirtyPages_);
+        out.u64(lastBarrierBytes_);
+    }
+
+    void restoreState(snapshot::Deserializer& in) override
+    {
+        in.section("paradigm:memcpy");
+        pendingBroadcasts_.resize(in.count(1ULL << 24));
+        for (BroadcastRange& r : pendingBroadcasts_) {
+            r.src = static_cast<GpuId>(in.u32());
+            r.base = in.u64();
+            r.len = in.u64();
+        }
+        restoreDirtyPages(in, dirtyPages_);
+        lastBarrierBytes_ = in.u64();
+    }
+
   protected:
     void accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
                       PageState& st, bool tlb_miss,

@@ -29,6 +29,18 @@ class RdlParadigm : public Paradigm
     Tick atBarrier(KernelCounters& counters,
                    TrafficMatrix& barrier_traffic) override;
 
+    void saveState(snapshot::Serializer& out) const override
+    {
+        out.section("paradigm:rdl");
+        saveDirtyPages(out, dirtyPages_);
+    }
+
+    void restoreState(snapshot::Deserializer& in) override
+    {
+        in.section("paradigm:rdl");
+        restoreDirtyPages(in, dirtyPages_);
+    }
+
   protected:
     void accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
                       PageState& st, bool tlb_miss,

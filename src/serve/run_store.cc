@@ -234,21 +234,37 @@ RunStore::flush()
 void
 RunStore::quarantine(const std::string& path)
 {
-    std::uint64_t seq = 0;
     {
         const std::lock_guard<std::mutex> lock(mu_);
         ++stats_.quarantined;
-        seq = ++tempSeq_;
     }
-    const std::string aside = path + quarantineSuffix + '.' +
-                              std::to_string(::getpid()) + '.' +
-                              std::to_string(seq);
-    if (::rename(path.c_str(), aside.c_str()) == 0)
-        gps_warn("run store: quarantined corrupt entry '", path, "' -> '",
-                 aside, "'");
-    else if (errno != ENOENT) // a concurrent reader may have moved it
-        gps_warn("run store: cannot quarantine '", path,
-                 "': ", std::strerror(errno));
+    // Claim the first free aside slot with a no-replace link().
+    // rename() silently replaces its target, so a recycled pid (or a
+    // restarted process re-using the same sequence numbers) could
+    // overwrite the forensic copy of an earlier corruption. link()
+    // fails with EEXIST instead, and the loop probes the next slot, so
+    // every quarantined generation of an entry is preserved.
+    constexpr unsigned maxAsides = 10000;
+    for (unsigned n = 0; n < maxAsides; ++n) {
+        const std::string aside =
+            path + quarantineSuffix + '.' + std::to_string(n);
+        if (::link(path.c_str(), aside.c_str()) == 0) {
+            if (::unlink(path.c_str()) != 0 && errno != ENOENT)
+                gps_warn("run store: cannot remove quarantined '", path,
+                         "': ", std::strerror(errno));
+            gps_warn("run store: quarantined corrupt entry '", path,
+                     "' -> '", aside, "'");
+            return;
+        }
+        if (errno == EEXIST)
+            continue; // slot taken by an earlier quarantine
+        if (errno != ENOENT) // a concurrent reader may have moved it
+            gps_warn("run store: cannot quarantine '", path,
+                     "': ", std::strerror(errno));
+        return;
+    }
+    gps_warn("run store: ", maxAsides, " quarantined copies of '", path,
+             "' already exist; leaving it in place");
 }
 
 RunStoreStats

@@ -46,6 +46,29 @@ EventQueue::run(Tick limit)
 }
 
 void
+EventQueue::saveState(snapshot::Serializer& out) const
+{
+    gps_assert(queue_.empty(),
+               "event queue snapshot with ", queue_.size(),
+               " events pending (not a quiescent point)");
+    out.section("events");
+    out.u64(now_);
+    out.u64(seq_);
+    out.u64(executed_);
+}
+
+void
+EventQueue::restoreState(snapshot::Deserializer& in)
+{
+    gps_assert(queue_.empty(), "event queue restore with ",
+               queue_.size(), " events pending");
+    in.section("events");
+    now_ = in.u64();
+    seq_ = in.u64();
+    executed_ = in.u64();
+}
+
+void
 EventQueue::reset()
 {
     queue_ = {};

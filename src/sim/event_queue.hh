@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "snapshot/serial.hh"
 
 namespace gps
 {
@@ -105,6 +106,18 @@ class EventQueue
 
     /** Drop all pending events and reset time to zero. */
     void reset();
+
+    /**
+     * Serialize clock and counters. Events themselves are never
+     * persisted: snapshots are only taken at quiescent points (after a
+     * phase barrier) where the queue has fully drained, so the closure
+     * state captured in pending actions cannot leak into a snapshot.
+     * Asserts the queue is empty.
+     */
+    void saveState(snapshot::Serializer& out) const;
+
+    /** Counterpart of saveState; requires an empty queue. */
+    void restoreState(snapshot::Deserializer& in);
 
   private:
     struct Compare

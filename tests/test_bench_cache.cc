@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the bench-layer run cache and its validated knobs:
+ * GPS_BENCH_CACHE_CAP=0 meaning "caching disabled" (not unbounded),
+ * LRU draining on rebound, and the shared worker-count parser that
+ * rejects "-1"/overflow instead of letting strtoul wrap them into
+ * thousands of threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "../bench/bench_common.hh"
+#include "api/result_export.hh"
+
+namespace gps::bench
+{
+namespace
+{
+
+RunConfig
+tinyConfig(std::size_t gpus = 2)
+{
+    RunConfig config;
+    config.system.numGpus = gpus;
+    config.scale = 0.0625;
+    config.paradigm = ParadigmKind::Memcpy;
+    return config;
+}
+
+/** Reset the process-wide cache around every test. */
+class RunCacheTest : public ::testing::Test
+{
+  protected:
+    RunCacheTest()
+    {
+        RunCache::instance().clear();
+        RunCache::instance().setCapacity(512);
+    }
+    ~RunCacheTest() override
+    {
+        RunCache::instance().clear();
+        RunCache::instance().setCapacity(512);
+    }
+};
+
+TEST_F(RunCacheTest, CapacityZeroDisablesCaching)
+{
+    RunCache& cache = RunCache::instance();
+    cache.setCapacity(0);
+
+    const RunHandle first = cache.get("Jacobi", tinyConfig());
+    const RunHandle second = cache.get("Jacobi", tinyConfig());
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(second, nullptr);
+    EXPECT_NE(first.get(), second.get()); // no sharing when disabled
+    // Recomputing is still deterministic.
+    EXPECT_EQ(resultToJson(*first, true), resultToJson(*second, true));
+
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.counters().misses, 2u);
+    EXPECT_EQ(cache.counters().hits, 0u);
+    // Perf rows are still recorded for BENCH_perf.json.
+    EXPECT_EQ(cache.perf().size(), 2u);
+}
+
+TEST_F(RunCacheTest, BoundedLruCachesAndHits)
+{
+    RunCache& cache = RunCache::instance();
+    const RunHandle cold = cache.get("Jacobi", tinyConfig());
+    const RunHandle warm = cache.get("Jacobi", tinyConfig());
+    EXPECT_EQ(cold.get(), warm.get());
+    EXPECT_EQ(cache.counters().misses, 1u);
+    EXPECT_EQ(cache.counters().hits, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(RunCacheTest, SetCapacityZeroDrainsResidentEntries)
+{
+    RunCache& cache = RunCache::instance();
+    (void)cache.get("Jacobi", tinyConfig(2));
+    (void)cache.get("Jacobi", tinyConfig(4));
+    EXPECT_EQ(cache.size(), 2u);
+    cache.setCapacity(0);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.counters().evictions, 2u);
+}
+
+TEST(ParseWorkerCount, ValidatesAndClamps)
+{
+    EXPECT_EQ(parseWorkerCount("3", 1), 3u);
+    EXPECT_EQ(parseWorkerCount("auto", 1), defaultSweepJobs());
+    EXPECT_EQ(parseWorkerCount(std::to_string(maxSweepJobs), 1),
+              maxSweepJobs);
+
+    // The historical bug: strtoul wraps "-1" to SIZE_MAX and accepts
+    // overflowed digit strings, spawning absurd thread counts. The
+    // validated parser falls back instead.
+    EXPECT_EQ(parseWorkerCount("-1", 1), 1u);
+    EXPECT_EQ(parseWorkerCount("99999999999999999999999999", 2), 2u);
+    EXPECT_EQ(parseWorkerCount(std::to_string(maxSweepJobs + 1), 2), 2u);
+    EXPECT_EQ(parseWorkerCount("0", 3), 3u);
+    EXPECT_EQ(parseWorkerCount("2x", 3), 3u);
+    EXPECT_EQ(parseWorkerCount("", 3), 3u);
+}
+
+TEST(ParseJobs, ReadsArgvAndStripsTheFlag)
+{
+    std::string prog = "bench", flag = "--jobs", val = "2",
+                other = "--rest";
+    char* argv[] = {prog.data(), flag.data(), val.data(), other.data()};
+    int argc = 4;
+    EXPECT_EQ(parseJobs(argc, argv), 2u);
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "--rest");
+}
+
+TEST(ParseJobs, RejectsNegativeArgv)
+{
+    std::string prog = "bench", flag = "--jobs", val = "-1";
+    char* argv[] = {prog.data(), flag.data(), val.data()};
+    int argc = 3;
+    EXPECT_EQ(parseJobs(argc, argv), 1u); // fallback, not SIZE_MAX
+    EXPECT_EQ(argc, 1);
+}
+
+TEST(ParseJobs, ReadsAndValidatesEnvironment)
+{
+    std::string prog = "bench";
+    char* argv[] = {prog.data()};
+
+    ::setenv("GPS_BENCH_JOBS", "3", 1);
+    int argc = 1;
+    EXPECT_EQ(parseJobs(argc, argv), 3u);
+
+    ::setenv("GPS_BENCH_JOBS", "-1", 1);
+    argc = 1;
+    EXPECT_EQ(parseJobs(argc, argv), 1u);
+
+    ::setenv("GPS_BENCH_JOBS", "garbage", 1);
+    argc = 1;
+    EXPECT_EQ(parseJobs(argc, argv), 1u);
+
+    ::unsetenv("GPS_BENCH_JOBS");
+    argc = 1;
+    EXPECT_EQ(parseJobs(argc, argv), 1u);
+}
+
+} // namespace
+} // namespace gps::bench

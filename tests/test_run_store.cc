@@ -277,6 +277,43 @@ TEST_F(RunStoreTest, ConcurrentReadersNeverSeeTornEntries)
     EXPECT_EQ(store.stats().quarantined, 0u);
 }
 
+TEST_F(RunStoreTest, QuarantineNeverClobbersEarlierForensicCopies)
+{
+    // An aside file from an earlier quarantine (same entry, e.g. after
+    // a crash-restart loop with a recycled pid) must survive: the next
+    // quarantine claims the next free slot instead of renaming over it.
+    const std::string key = "repeat-offender";
+    {
+        RunStore store(dir_);
+        store.publish(key, std::string(512, 'a'));
+    }
+    const std::string sentinel = "evidence from a previous incident";
+    writeFile(entryPath(key) + ".quarantined.0", sentinel);
+
+    std::string corrupt = readFile(entryPath(key));
+    corrupt[corrupt.size() - 5] ^= 0x01;
+    writeFile(entryPath(key), corrupt);
+
+    RunStore store(dir_);
+    EXPECT_FALSE(store.lookup(key).has_value());
+    EXPECT_EQ(store.stats().quarantined, 1u);
+
+    // Both generations exist, each with its own bytes.
+    EXPECT_EQ(readFile(entryPath(key) + ".quarantined.0"), sentinel);
+    EXPECT_EQ(readFile(entryPath(key) + ".quarantined.1"), corrupt);
+    EXPECT_EQ(countMatching(".quarantined."), 2u);
+
+    // A third corruption lands in slot 2.
+    store.publish(key, "fresh");
+    std::string again = readFile(entryPath(key));
+    again[0] ^= 0x01;
+    writeFile(entryPath(key), again);
+    EXPECT_FALSE(store.lookup(key).has_value());
+    EXPECT_EQ(readFile(entryPath(key) + ".quarantined.2"), again);
+    EXPECT_EQ(readFile(entryPath(key) + ".quarantined.0"), sentinel);
+    EXPECT_EQ(countMatching(".quarantined."), 3u);
+}
+
 TEST_F(RunStoreTest, EntryNameIsStableAndFilesystemSafe)
 {
     const std::string name = RunStore::entryName("some|key=1");

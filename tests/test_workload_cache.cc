@@ -191,5 +191,38 @@ TEST_F(WorkloadCacheTest, ConcurrentDistinctKeysAllComplete)
     EXPECT_EQ(cache.size(), 3u);
 }
 
+TEST_F(WorkloadCacheTest, CapacityZeroDisablesCaching)
+{
+    // GPS_WORKLOAD_CACHE_CAP=0 means "cache disabled", not "unbounded":
+    // every request builds fresh, stores nothing, and the bytes still
+    // match a direct build.
+    WorkloadCache& cache = WorkloadCache::instance();
+    cache.setCapacity(0);
+    const GraphParams params = cacheParams();
+
+    const auto first = cache.graphBundle(params, 32);
+    const auto second = cache.graphBundle(params, 32);
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(second, nullptr);
+    EXPECT_NE(first.get(), second.get()); // no sharing when disabled
+    EXPECT_EQ(first->graph.rowPtr, second->graph.rowPtr);
+    EXPECT_EQ(first->graph.targets, second->graph.targets);
+
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.counters().misses, 2u);
+    EXPECT_EQ(cache.counters().hits, 0u);
+}
+
+TEST_F(WorkloadCacheTest, SetCapacityZeroDrainsResidentEntries)
+{
+    WorkloadCache& cache = WorkloadCache::instance();
+    (void)cache.graphBundle(cacheParams(1), 32);
+    (void)cache.graphBundle(cacheParams(2), 32);
+    EXPECT_EQ(cache.size(), 2u);
+    cache.setCapacity(0);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.counters().evictions, 2u);
+}
+
 } // namespace
 } // namespace gps::apps

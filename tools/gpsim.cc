@@ -31,6 +31,7 @@
 #include "serve/run_store.hh"
 #include "serve/server.hh"
 #include "serve/service.hh"
+#include "snapshot/snapshot.hh"
 
 namespace
 {
@@ -62,6 +63,9 @@ struct Options
     std::uint64_t profileBucketPages = 1; ///< pages per heat bucket
     bool check = false;          ///< differential validation
     std::uint64_t checkEvery = 0; ///< mid-run invariant cadence
+    std::string snapshotOut;     ///< checkpoint file; empty disables
+    snapshot::SnapshotPoint snapshotAt; ///< when to capture
+    std::string restorePath;     ///< resume from this checkpoint
     bool serve = false;          ///< daemon mode (stdio or socket)
     std::string socketPath;      ///< unix socket; empty: serve stdio
     ServeConfig serveConfig;     ///< scheduler + store settings
@@ -153,6 +157,14 @@ usage(const char* argv0, int exit_code)
         "                            assert runtime invariants (every N\n"
         "                            accesses when given); exit 1 on any\n"
         "                            divergence\n"
+        "  --snapshot-out <file>     write a checkpoint of the full\n"
+        "                            simulator state (see\n"
+        "                            docs/checkpoint.md)\n"
+        "  --snapshot-at <spec>      when to capture: profile |\n"
+        "                            iter:N | phase:N (default profile)\n"
+        "  --restore <file>          resume a run from a checkpoint;\n"
+        "                            results are byte-identical to the\n"
+        "                            uninterrupted run\n"
         "  --serve                   run as a sweep service (see\n"
         "                            docs/service.md): line-delimited\n"
         "                            JSON requests on stdin or --socket\n"
@@ -276,6 +288,17 @@ parseArgs(int argc, char** argv)
                             ? defaultSweepJobs()
                             : std::max<std::uint64_t>(
                                   parseUnsigned("--jobs", v), 1);
+        } else if (arg == "--snapshot-out") {
+            opts.snapshotOut = value(i);
+            if (!opts.snapshotAt.active())
+                opts.snapshotAt = {snapshot::AtKind::Profile, 0};
+        } else if (arg == "--snapshot-at") {
+            const std::string v = value(i);
+            if (!snapshot::parseSnapshotPoint(v, opts.snapshotAt))
+                gps_fatal("invalid --snapshot-at '", v,
+                          "': expected profile, iter:N or phase:N");
+        } else if (arg == "--restore") {
+            opts.restorePath = value(i);
         } else if (arg == "--serve") {
             opts.serve = true;
         } else if (arg == "--socket") {
@@ -493,6 +516,28 @@ main(int argc, char** argv)
         requireWritable("--timeline-out", opts.timelineOut);
         requireWritable("--profile-out", opts.profileOut);
 
+        const bool snapshotting =
+            !opts.snapshotOut.empty() || !opts.restorePath.empty();
+        if (opts.snapshotAt.active() && opts.snapshotOut.empty())
+            gps_fatal("--snapshot-at requires --snapshot-out");
+        if (snapshotting) {
+            // A checkpoint names one exact run; a grid would silently
+            // capture or restore only one of its cells.
+            if (opts.apps.size() != 1 || opts.paradigms.size() != 1 ||
+                !opts.gpuSweep.empty())
+                gps_fatal("--snapshot-out/--restore apply to a single "
+                          "run: one --app, one --paradigm, no "
+                          "--sweep-gpus");
+            if (opts.check)
+                gps_fatal("--snapshot-out/--restore cannot be combined "
+                          "with --check");
+            if (!opts.metricsOut.empty() || !opts.timelineOut.empty() ||
+                !opts.profileOut.empty())
+                gps_fatal("--snapshot-out/--restore cannot be combined "
+                          "with observability outputs");
+            requireWritable("--snapshot-out", opts.snapshotOut);
+        }
+
         std::vector<std::size_t> gpu_counts =
             opts.gpuSweep.empty()
                 ? std::vector<std::size_t>{opts.gpus}
@@ -520,6 +565,11 @@ main(int argc, char** argv)
                     RunConfig config = makeConfig(opts);
                     config.system.numGpus = gpus;
                     config.paradigm = paradigm;
+                    if (snapshotting) {
+                        config.snapshotAt = opts.snapshotAt;
+                        config.snapshotOut = opts.snapshotOut;
+                        config.restoreFrom = opts.restorePath;
+                    }
                     jobs.push_back({app, config, "cell"});
                 }
             }

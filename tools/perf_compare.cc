@@ -215,6 +215,24 @@ main(int argc, char** argv)
     compareMetric(cmp, "total.macc_per_s", base->number("macc_per_s"),
                   cur->number("macc_per_s"), opt.tolerance, false);
 
+    // Warm-start fork efficiency: mean leader wall over mean follower
+    // wall. Falling below the baseline means warm forking stopped
+    // saving wall time. Compared only when both logs carry a nonzero
+    // ratio — older baselines predate the field, and warm-disabled or
+    // followerless runs report 0.
+    const JsonValue* base_warm = base->find("warm");
+    const JsonValue* cur_warm = cur->find("warm");
+    if (base_warm != nullptr && cur_warm != nullptr &&
+        cur_warm->number("fork_speedup") > 0.0)
+        compareMetric(cmp, "warm.fork_speedup",
+                      base_warm->number("fork_speedup"),
+                      cur_warm->number("fork_speedup"), opt.tolerance,
+                      false);
+    else if (base_warm != nullptr && cur_warm != nullptr &&
+             base_warm->number("fork_speedup") > 0.0)
+        cmp.note("warm.fork_speedup",
+                 "baseline forked warm starts, current run did not");
+
     // Per-config rows, matched by label. Rows only in one file are
     // informational: grids legitimately grow and shrink.
     for (const JsonValue& run : base->find("runs")->items()) {
