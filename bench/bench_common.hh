@@ -34,6 +34,8 @@
 #include "common/env.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/units.hh"
+#include "obs/causal/whatif.hh"
 
 namespace gps::bench
 {
@@ -495,6 +497,49 @@ parseJobs(int& argc, char** argv)
     return jobs;
 }
 
+/** One what-if prediction validated against a real re-run. */
+struct WhatIfRow
+{
+    std::string label;
+    std::string spec;
+    double baseMs = 0.0;
+    double predictedMs = 0.0;
+    double actualMs = 0.0;
+    double predictedSpeedup = 1.0;
+    double actualSpeedup = 1.0;
+    double errorPct = 0.0;
+};
+
+/** Rows accumulated by recordWhatIf, emitted into BENCH_perf.json. */
+inline std::vector<WhatIfRow>&
+whatIfRows()
+{
+    static std::vector<WhatIfRow> rows;
+    return rows;
+}
+
+/**
+ * Close the causal-prediction loop for one bench cell: trace, predict
+ * the effect of @p spec, re-run for real, and log the error into the
+ * perf log's "whatif" section (perf_compare can ratchet it).
+ */
+inline void
+recordWhatIf(const std::string& label, const std::string& workload,
+             const RunConfig& config, const WhatIfSpec& spec)
+{
+    const WhatIfValidation v = validateWhatIf(workload, config, spec);
+    WhatIfRow row;
+    row.label = label;
+    row.spec = to_string(spec);
+    row.baseMs = ticksToMs(v.prediction.baseTime);
+    row.predictedMs = ticksToMs(v.prediction.predictedTime);
+    row.actualMs = ticksToMs(v.actualTime);
+    row.predictedSpeedup = v.prediction.speedup;
+    row.actualSpeedup = v.actualSpeedup;
+    row.errorPct = v.errorPct;
+    whatIfRows().push_back(std::move(row));
+}
+
 /**
  * Write BENCH_perf.json: per-config wall seconds and replay throughput
  * (million accesses per second), plus the aggregate over the parallel
@@ -581,6 +626,23 @@ writePerfLog(const std::string& path, std::size_t jobs)
     w.field("evictions", wc.evictions);
     w.field("build_s", wc.buildSeconds);
     w.endObject();
+    // Causal what-if predictions vs measured re-runs (error ratchet).
+    if (!whatIfRows().empty()) {
+        w.key("whatif").beginArray();
+        for (const WhatIfRow& row : whatIfRows()) {
+            w.beginObject();
+            w.field("config", row.label);
+            w.field("spec", row.spec);
+            w.field("base_ms", row.baseMs);
+            w.field("predicted_ms", row.predictedMs);
+            w.field("actual_ms", row.actualMs);
+            w.field("predicted_speedup", row.predictedSpeedup);
+            w.field("actual_speedup", row.actualSpeedup);
+            w.field("error_pct", row.errorPct);
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.endObject();
     if (std::FILE* f = std::fopen(path.c_str(), "w")) {
         std::fputs(w.str().c_str(), f);

@@ -101,6 +101,15 @@ main(int argc, char** argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    // Causal what-if check on one small fig11 cell: predict doubled
+    // link bandwidth, then measure it (error ratchets in perf_compare).
+    {
+        RunConfig small = cellConfig(true);
+        small.scale = 0.0625;
+        WhatIfSpec spec;
+        spec.linkBw = 2.0;
+        recordWhatIf("fig11/Jacobi/small", "Jacobi", small, spec);
+    }
     writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

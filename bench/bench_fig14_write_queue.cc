@@ -117,6 +117,15 @@ main(int argc, char** argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     printTable();
+    // Causal what-if check on one small fig14 cell: predict faster RWQ
+    // drains on a store-dominated app, then measure the real thing.
+    {
+        RunConfig small = cellConfig(512);
+        small.scale = 0.0625;
+        WhatIfSpec spec;
+        spec.rwqDrain = 2.0;
+        recordWhatIf("fig14/CT/small", "CT", small, spec);
+    }
     writePerfLog("BENCH_perf.json", jobs);
     return 0;
 }

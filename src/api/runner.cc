@@ -1,6 +1,7 @@
 #include "api/runner.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 
 #include "check/check.hh"
@@ -13,10 +14,11 @@ namespace gps
 RunResult
 Runner::run(Workload& workload)
 {
-    // Snapshots freeze the bare simulation state; the check and
-    // observability layers keep live external mirrors (reference model,
-    // samplers) that a restore cannot reconstruct, so the combination
-    // is rejected up front.
+    // Snapshots freeze the bare simulation state plus the serializable
+    // collectors (sampler series, timeline, causal graph). The check
+    // layer and the profile collector keep live external mirrors
+    // (reference model, heat maps) without save/restore support, so
+    // those combinations are rejected up front.
     const bool capturing =
         config_.snapshotAt.active() &&
         (!config_.snapshotOut.empty() ||
@@ -26,11 +28,14 @@ Runner::run(Workload& workload)
         snap = snapshot::decodeSnapshot(*config_.restoreBlob);
     else if (!config_.restoreFrom.empty())
         snap = snapshot::readSnapshotFile(config_.restoreFrom);
-    if ((capturing || snap.has_value()) &&
-        (config_.check.enabled || config_.obs.enabled()))
+    if ((capturing || snap.has_value()) && config_.check.enabled)
         throw snapshot::SnapshotError(
             "snapshot capture/restore cannot be combined with the "
-            "check or observability layers");
+            "check layer");
+    if ((capturing || snap.has_value()) && config_.obs.profile)
+        throw snapshot::SnapshotError(
+            "snapshot capture/restore cannot be combined with profile "
+            "collection");
 
     MultiGpuSystem system(config_.system);
     std::unique_ptr<Paradigm> paradigm =
@@ -97,9 +102,32 @@ Runner::run(Workload& workload)
                                          : std::string("<unmapped>");
             });
         }
+        if (CausalRecorder* causal = obs->causal()) {
+            CausalModel model;
+            const InterconnectSpec& spec = system.topology().spec();
+            model.linkBandwidth = spec.bandwidth;
+            model.linkInfinite = spec.infinite;
+            model.linkLatency = spec.latency;
+            model.headerBytes = spec.headerBytes;
+            model.cacheLineBytes = system.config().gpu.cacheLineBytes;
+            model.kernelLaunchOverhead =
+                system.config().gpu.kernelLaunchOverhead;
+            model.wqDrainScale = system.config().gps.wqDrainScale;
+            model.numGpus = system.numGpus();
+            causal->setModel(model);
+            system.installCausal(causal);
+            paradigm->attachCausal(causal);
+            if (fault_engine != nullptr)
+                fault_engine->attachCausal(causal);
+        }
         obs->startSampling(system.events().now());
+        CausalRecorder* causal_feed = obs->causal();
         system.events().setObserver(
-            [&obs](Tick now, const std::string&) { obs->poll(now); });
+            [&obs, causal_feed](Tick now, const std::string& name) {
+                obs->poll(now);
+                if (causal_feed != nullptr)
+                    causal_feed->onEvent(name);
+            });
         obs_ = obs.get();
     }
 
@@ -110,6 +138,9 @@ Runner::run(Workload& workload)
     const std::size_t max_iters = std::max<std::size_t>(eff_requested, 1);
     const std::size_t sim_iters =
         std::min<std::size_t>(1 + config_.steadyIterations, max_iters);
+    if (obs != nullptr && obs->causal() != nullptr)
+        obs->causal()->setEffectiveIterations(
+            std::max<std::uint64_t>(eff_requested, 1));
 
     RunResult result;
     result.workload = workload.name();
@@ -176,6 +207,22 @@ Runner::run(Workload& workload)
                              fault_engine.get(),
                              config_.restoreMutateForTest);
 
+        // Collector state resumes with the machine state so a restored
+        // run's timeline/metrics/causal outputs are byte-identical to
+        // the uninterrupted run's.
+        if (prog.hasObs) {
+            if (obs == nullptr)
+                throw snapshot::SnapshotError(
+                    "snapshot carries observability state but this "
+                    "run has observability off");
+            snapshot::Deserializer obs_in(prog.obsState);
+            obs->restoreState(obs_in);
+        } else if (obs != nullptr) {
+            gps_warn("resuming an observability run from a snapshot "
+                     "without collector state; outputs cover only the "
+                     "resumed window");
+        }
+
         totals = prog.totals;
         iter_time = prog.iterTime;
         iter_bytes = prog.iterBytes;
@@ -224,6 +271,12 @@ Runner::run(Workload& workload)
                  ++i)
                 prog.histBuckets.push_back(
                     result.subscriberHist.bucket(i));
+        if (obs != nullptr) {
+            prog.hasObs = true;
+            snapshot::Serializer obs_out;
+            obs->saveState(obs_out);
+            prog.obsState = obs_out.bytes();
+        }
         const std::string bytes = snapshot::encodeSnapshot(
             system, *paradigm, fault_engine.get(), meta, prog);
         if (!config_.snapshotOut.empty())
@@ -266,6 +319,8 @@ Runner::run(Workload& workload)
                 paradigm->trackingStart();
             t_before = system.events().now();
             b_before = system.topology().totalPayloadBytes();
+            if (obs != nullptr && obs->causal() != nullptr)
+                obs->causal()->beginIteration(iter, t_before);
             phases = workload.iteration(iter, ctx);
         }
 
@@ -291,6 +346,8 @@ Runner::run(Workload& workload)
                 paradigm->fillSubscriberHistogram(result.subscriberHist);
         }
 
+        if (obs != nullptr && obs->causal() != nullptr)
+            obs->causal()->endIteration(system.events().now());
         iter_time.push_back(system.events().now() - t_before);
         iter_bytes.push_back(system.topology().totalPayloadBytes() -
                              b_before);
@@ -382,6 +439,12 @@ Runner::run(Workload& workload)
         if (obs->profile() != nullptr) {
             system.installProfile(nullptr);
             paradigm->attachProfile(nullptr);
+        }
+        if (obs->causal() != nullptr) {
+            system.installCausal(nullptr);
+            paradigm->attachCausal(nullptr);
+            if (fault_engine != nullptr)
+                fault_engine->attachCausal(nullptr);
         }
         obs_ = nullptr;
     }
@@ -515,9 +578,11 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
     // kernelTimeBreakdown().total is exactly kernelTime(); the
     // intermediate terms only leave this loop when profiling is on.
     ProfileCollector* prof = obs_ != nullptr ? obs_->profile() : nullptr;
+    CausalRecorder* causal = obs_ != nullptr ? obs_->causal() : nullptr;
     const Tick launch = system.config().gpu.kernelLaunchOverhead;
     Tick slowest = 0;
     std::vector<Tick> gpu_time(n, 0);
+    std::vector<CausalKernel> causal_kernels;
     for (const Cursor& cursor : cursors) {
         const GpuId gpu = cursor.kernel->gpu;
         const KernelTimeBreakdown bd =
@@ -528,6 +593,33 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
         gpu_time[gpu] =
             std::max({kernel_time, egress_time, ingress_time});
         slowest = std::max(slowest, gpu_time[gpu]);
+        if (causal != nullptr) {
+            // Mirror every input of the timing formula; remote stalls
+            // are kept as round-trip batch counts so the predictor can
+            // re-derive them under a scaled link.
+            const GpuConfig& gcfg = system.config().gpu;
+            CausalKernel ck;
+            ck.gpu = gpu;
+            ck.tCompute = bd.tCompute;
+            ck.tL2 = bd.tL2;
+            ck.tDram = bd.tDram;
+            ck.tWalks = bd.tWalks;
+            if (counters[gpu].remoteLoads > 0)
+                ck.batchesLoads = std::ceil(
+                    static_cast<double>(counters[gpu].remoteLoads) /
+                    static_cast<double>(gcfg.remoteLoadMlp));
+            if (counters[gpu].remoteAtomics > 0)
+                ck.batchesAtomics = std::ceil(
+                    static_cast<double>(counters[gpu].remoteAtomics) /
+                    static_cast<double>(gcfg.remoteAtomicMlp));
+            ck.tFaults = bd.tFaults;
+            ck.tShootdowns = bd.tShootdowns;
+            ck.tWqStall = bd.tWqStall;
+            ck.egressBytes = traffic.egress(gpu);
+            ck.ingressBytes = traffic.ingress(gpu);
+            ck.gpuTime = gpu_time[gpu];
+            causal_kernels.push_back(ck);
+        }
         if (prof != nullptr) {
             BottleneckProfile p;
             p.phase = phase.name;
@@ -564,6 +656,27 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
         topo.applyPhaseTraffic(barrier_traffic) + barrier_overhead;
 
     const Tick phase_time = prefetch_time + slowest + barrier_time;
+
+    if (causal != nullptr) {
+        CausalPhase cp;
+        cp.name = phase.name;
+        cp.iter = causal->currentIteration();
+        cp.start = start;
+        cp.prefetchTime = prefetch_time;
+        cp.barrierOverhead = barrier_overhead;
+        cp.barrierTime = barrier_time;
+        cp.phaseTime = phase_time;
+        cp.kernels = std::move(causal_kernels);
+        cp.barrierEgress.reserve(n);
+        cp.barrierIngress.reserve(n);
+        for (std::size_t g = 0; g < n; ++g) {
+            cp.barrierEgress.push_back(
+                barrier_traffic.egress(static_cast<GpuId>(g)));
+            cp.barrierIngress.push_back(
+                barrier_traffic.ingress(static_cast<GpuId>(g)));
+        }
+        causal->addPhase(std::move(cp));
+    }
 
     // Drive simulated time through the event queue: one completion event
     // per kernel, then the barrier. The name prefix is built once and

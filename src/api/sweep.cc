@@ -172,6 +172,7 @@ configKey(const std::string& workload, const RunConfig& config)
     const SystemConfig& sys = config.system;
     os << sys.numGpus << '|' << static_cast<int>(sys.interconnect) << '|'
        << sys.pageBytes << '|';
+    appendDouble(os, sys.linkBandwidthScale);
 
     const GpuConfig& gpu = sys.gpu;
     os << gpu.cacheLineBytes << '|' << gpu.globalMemoryBytes << '|'
@@ -195,6 +196,7 @@ configKey(const std::string& workload, const RunConfig& config)
        << '|' << gcfg.wqStallPenalty << '|' << gcfg.resubscribeAfter
        << '|' << gcfg.autoUnsubscribe << '|' << gcfg.smCoalescerEnabled
        << '|' << gcfg.virtuallyAddressedWq << '|';
+    appendDouble(os, gcfg.wqDrainScale);
 
     os << static_cast<int>(config.paradigm) << '|';
     appendDouble(os, config.scale);

@@ -18,7 +18,8 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig& config)
             PageGeometry(config.pageBytes)));
     }
     topology_ = std::make_unique<Topology>("interconnect", config.numGpus,
-                                           config.interconnect);
+                                           config.interconnect,
+                                           config.linkBandwidthScale);
     driver_ = std::make_unique<Driver>(vas_, gpus_, *topology_);
 }
 
@@ -101,6 +102,14 @@ MultiGpuSystem::installProfile(ProfileCollector* profile)
     profile_ = profile;
     topology_->attachProfile(profile);
     driver_->attachProfile(profile);
+}
+
+void
+MultiGpuSystem::installCausal(CausalRecorder* causal)
+{
+    causal_ = causal;
+    topology_->attachCausal(causal);
+    driver_->attachCausal(causal);
 }
 
 void

@@ -32,12 +32,20 @@ class FaultEngine;
 class MetricRegistry;
 class TimelineRecorder;
 class ProfileCollector;
+class CausalRecorder;
 
 /** Full system configuration. */
 struct SystemConfig
 {
     std::size_t numGpus = 4;
     InterconnectKind interconnect = InterconnectKind::Pcie3;
+
+    /**
+     * Link-bandwidth multiplier for what-if exploration. 1.0 keeps the
+     * interconnect on its static spec (byte-identical to builds
+     * without the knob).
+     */
+    double linkBandwidthScale = 1.0;
 
     /** GPS allocations use 64 KB pages by default (Section 5.2). */
     std::uint64_t pageBytes = 64 * KiB;
@@ -104,6 +112,16 @@ class MultiGpuSystem
     /** Profile collector currently installed, or nullptr. */
     ProfileCollector* profile() { return profile_; }
 
+    /**
+     * Install the causal dependency recorder on the driver and
+     * topology (nullptr uninstalls). Paradigm-owned components attach
+     * separately through Paradigm::attachCausal.
+     */
+    void installCausal(CausalRecorder* causal);
+
+    /** Causal recorder currently installed, or nullptr. */
+    CausalRecorder* causal() { return causal_; }
+
     void resetStats();
 
   private:
@@ -116,6 +134,7 @@ class MultiGpuSystem
     FaultEngine* faults_ = nullptr;
     TimelineRecorder* recorder_ = nullptr;
     ProfileCollector* profile_ = nullptr;
+    CausalRecorder* causal_ = nullptr;
 };
 
 } // namespace gps

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "common/json.hh"
+
 namespace gps
 {
 namespace detail
@@ -17,6 +19,12 @@ namespace
  * the library's run paths.
  */
 std::atomic<bool> verboseFlag{true};
+
+/** Atomic for the same reason: serve-mode flips it per process. */
+std::atomic<LogFormat> formatFlag{LogFormat::Text};
+
+/** Test-only capture sink; writes stay serialized by logMutex(). */
+std::atomic<void (*)(const std::string&)> sinkHook{nullptr};
 
 /**
  * Serializes warn()/inform() lines so concurrent sweep workers (see
@@ -45,6 +53,54 @@ verbose()
 }
 
 void
+setLogFormat(LogFormat format)
+{
+    formatFlag.store(format, std::memory_order_relaxed);
+}
+
+LogFormat
+logFormat()
+{
+    return formatFlag.load(std::memory_order_relaxed);
+}
+
+void
+setLogSink(void (*sink)(const std::string& line))
+{
+    sinkHook.store(sink, std::memory_order_relaxed);
+}
+
+std::string
+formatLogLine(const char* level, const std::string& msg,
+              LogFormat format)
+{
+    if (format == LogFormat::Text)
+        return std::string(level) + ": " + msg;
+    return std::string("{\"level\":\"") + level + "\",\"msg\":\"" +
+           JsonWriter::escape(msg) + "\"}";
+}
+
+namespace
+{
+
+/** Emit one warn/inform line to its stream or the test sink. */
+void
+emitLine(std::FILE* stream, const char* level, const std::string& msg)
+{
+    const std::string line =
+        formatLogLine(level, msg, logFormat());
+    const std::lock_guard<std::mutex> lock(logMutex());
+    if (void (*sink)(const std::string&) =
+            sinkHook.load(std::memory_order_relaxed)) {
+        sink(line);
+        return;
+    }
+    std::fprintf(stream, "%s\n", line.c_str());
+}
+
+} // namespace
+
+void
 panicImpl(const char* file, int line, const std::string& msg)
 {
     std::fprintf(stderr, "panic: %s [%s:%d]\n", msg.c_str(), file, line);
@@ -63,8 +119,7 @@ fatalImpl(const char* file, int line, const std::string& msg)
 void
 warnImpl(const std::string& msg)
 {
-    const std::lock_guard<std::mutex> lock(logMutex());
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine(stderr, "warn", msg);
 }
 
 void
@@ -72,8 +127,7 @@ informImpl(const std::string& msg)
 {
     if (!verboseFlag.load(std::memory_order_relaxed))
         return;
-    const std::lock_guard<std::mutex> lock(logMutex());
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    emitLine(stdout, "info", msg);
 }
 
 } // namespace detail

@@ -11,6 +11,7 @@
 #ifndef GPS_COMMON_LOGGING_HH
 #define GPS_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -18,6 +19,13 @@
 
 namespace gps
 {
+
+/**
+ * Wire encoding for warn()/inform() lines. Text is the classic
+ * "warn: ..." prefix; Json emits one machine-parseable object per line
+ * ({"level":"warn","msg":"..."}) for log shippers.
+ */
+enum class LogFormat : std::uint8_t { Text, Json };
 
 /** Error thrown by fatal(): the simulation cannot continue, user's fault. */
 class FatalError : public std::runtime_error
@@ -52,6 +60,20 @@ void informImpl(const std::string& msg);
 void setVerbose(bool verbose);
 bool verbose();
 
+/** Global warn()/inform() encoding (atomic; safe to flip anytime). */
+void setLogFormat(LogFormat format);
+LogFormat logFormat();
+
+/** Render one log line in @p format (no trailing newline). */
+std::string formatLogLine(const char* level, const std::string& msg,
+                          LogFormat format);
+
+/**
+ * Test hook: when non-null every warn()/inform() line is handed to
+ * @p sink (under the log mutex) instead of stderr/stdout.
+ */
+void setLogSink(void (*sink)(const std::string& line));
+
 } // namespace detail
 
 /** Enable or disable inform() output. */
@@ -59,6 +81,13 @@ inline void
 setVerbose(bool v)
 {
     detail::setVerbose(v);
+}
+
+/** Select text or JSON log lines (gpsim --log-format). */
+inline void
+setLogFormat(LogFormat format)
+{
+    detail::setLogFormat(format);
 }
 
 } // namespace gps

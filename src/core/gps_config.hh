@@ -53,6 +53,13 @@ struct GpsConfig
     Tick wqStallPenalty = nsToTicks(200);
 
     /**
+     * Drain-speed multiplier for what-if exploration: stall charges
+     * divide by this. 1.0 keeps the exact integer charge arithmetic
+     * (byte-identical to builds without the knob).
+     */
+    double wqDrainScale = 1.0;
+
+    /**
      * Remote accesses to a fault-degraded page before GPS re-subscribes
      * the GPU (0 disables re-subscription).
      */

@@ -5,6 +5,7 @@
 #include "check/sink.hh"
 #include "common/logging.hh"
 #include "fault/fault_engine.hh"
+#include "obs/causal/causal.hh"
 #include "obs/metric_registry.hh"
 #include "obs/profile.hh"
 #include "obs/timeline.hh"
@@ -294,6 +295,8 @@ GpsParadigm::maybeResubscribe(GpuId gpu, PageNum vpn, PageState& st,
         counters.migrationBytes += page_bytes;
     }
     degraded_.erase(it);
+    if (causal_ != nullptr)
+        causal_->noteDep(CausalEdge::MigrationToStall);
     if (FaultEngine* engine = sys().faults())
         ++engine->report().resubscribes;
 }
@@ -306,8 +309,15 @@ GpsParadigm::chargeWqStalls(GpuId gpu, KernelCounters& counters)
         return;
     const std::uint64_t delta = stalls - chargedStallDrains_[gpu];
     chargedStallDrains_[gpu] = stalls;
+    // Exact integer charge at the default scale; the what-if divisor
+    // only perturbs arithmetic when explicitly set away from 1.0.
     const Tick stall_ticks =
-        static_cast<Tick>(delta) * cfg().wqStallPenalty;
+        cfg().wqDrainScale == 1.0
+            ? static_cast<Tick>(delta) * cfg().wqStallPenalty
+            : static_cast<Tick>(
+                  static_cast<double>(delta) *
+                  static_cast<double>(cfg().wqStallPenalty) /
+                  cfg().wqDrainScale);
     counters.wqStallDrains += delta;
     counters.wqStallTicks += stall_ticks;
     if (FaultEngine* engine = sys().faults()) {
@@ -458,6 +468,14 @@ GpsParadigm::attachChecker(GpsCheckSink* sink)
 {
     check_ = sink;
     subs_->attachCheck(sink);
+}
+
+void
+GpsParadigm::attachCausal(CausalRecorder* causal)
+{
+    causal_ = causal;
+    for (auto& queue : queues_)
+        queue->attachCausal(causal);
 }
 
 void

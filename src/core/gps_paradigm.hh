@@ -114,6 +114,12 @@ class GpsParadigm : public Paradigm
     void attachChecker(GpsCheckSink* sink) override;
 
     /**
+     * Forward the causal recorder to every GPU's remote write queue and
+     * note migration->stall edges from §5.3 re-subscriptions.
+     */
+    void attachCausal(CausalRecorder* causal) override;
+
+    /**
      * Serialize the full publish-subscribe machine: GPS page table,
      * subscription counters, access tracker, per-GPU write queues and
      * translation units, the degraded-page access counts, and the
@@ -165,6 +171,9 @@ class GpsParadigm : public Paradigm
 
     /** Differential-validation sink, nullptr when checking is off. */
     GpsCheckSink* check_ = nullptr;
+
+    /** Causal recorder, nullptr when causal tracing is off. */
+    CausalRecorder* causal_ = nullptr;
 
     /** (vpn, gpu) -> remote accesses since the replica was lost. */
     std::unordered_map<std::uint64_t, std::uint32_t> degraded_;

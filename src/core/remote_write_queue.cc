@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/causal/causal.hh"
 #include "obs/metric_registry.hh"
 #include "obs/profile.hh"
 #include "obs/timeline.hh"
@@ -64,6 +65,8 @@ RemoteWriteQueue::insert(Addr addr, std::uint32_t size,
     ++inserts_;
     if (profile_ != nullptr)
         profile_->noteRwqOccupancy(occupancy_);
+    if (causal_ != nullptr)
+        causal_->noteDep(CausalEdge::RwqInsertToDrain);
 
     drainToWatermark();
     return false;
@@ -83,8 +86,11 @@ RemoteWriteQueue::drainToWatermark()
             config_->wqEntries / config_->saturatedWatermarkDivisor);
     while (occupancy_ > watermark && fifo_.size() > 1) {
         ++watermarkDrains_;
-        if (saturated_)
+        if (saturated_) {
             ++stallDrains_;
+            if (causal_ != nullptr)
+                causal_->noteDep(CausalEdge::RwqSaturationStall);
+        }
         drainOne();
     }
 }

@@ -26,6 +26,7 @@ namespace gps
 
 class TimelineRecorder;
 class ProfileCollector;
+class CausalRecorder;
 
 /** One coalescing buffer entry (one cache block). */
 struct WqEntry
@@ -118,6 +119,13 @@ class RemoteWriteQueue : public SimObject
      * insert operations spanned) at each drain.
      */
     void attachProfile(ProfileCollector* profile) { profile_ = profile; }
+
+    /**
+     * Attach the causal recorder (nullptr detaches): new-entry inserts
+     * and drains are then counted as insert->drain dependency edges,
+     * and saturated forced drains as SM-stall edges.
+     */
+    void attachCausal(CausalRecorder* causal) { causal_ = causal; }
 
     /** Drains forced while saturated (each stalls the producing SM). */
     std::uint64_t stallDrains() const { return stallDrains_; }
@@ -250,6 +258,7 @@ class RemoteWriteQueue : public SimObject
     TimelineRecorder* recorder_ = nullptr;
     int recorderTid_ = 0;
     ProfileCollector* profile_ = nullptr;
+    CausalRecorder* causal_ = nullptr;
 };
 
 } // namespace gps

@@ -1,6 +1,7 @@
 #include "driver/driver.hh"
 
 #include "common/logging.hh"
+#include "obs/causal/causal.hh"
 #include "obs/metric_registry.hh"
 #include "obs/profile.hh"
 #include "obs/timeline.hh"
@@ -264,6 +265,8 @@ Driver::migratePage(PageNum vpn, GpuId to, KernelCounters& counters,
     counters.migrationBytes += page_bytes;
     if (profile_ != nullptr)
         profile_->noteMigration(vpn);
+    if (causal_ != nullptr)
+        causal_->noteDep(CausalEdge::MigrationToStall);
     if (recorder_ != nullptr)
         recorder_->instantNow(TimelineRecorder::driverTid, "migrate",
                               "driver",

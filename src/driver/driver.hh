@@ -32,6 +32,7 @@ namespace gps
 
 class TimelineRecorder;
 class ProfileCollector;
+class CausalRecorder;
 
 /** The multi-GPU driver: allocation API plus page-management mechanics. */
 class Driver : public SimObject
@@ -184,6 +185,12 @@ class Driver : public SimObject
      */
     void attachProfile(ProfileCollector* profile) { profile_ = profile; }
 
+    /**
+     * Attach the causal recorder (nullptr detaches); page migrations
+     * are then counted as migration->stall dependency edges.
+     */
+    void attachCausal(CausalRecorder* causal) { causal_ = causal; }
+
   private:
     const Region& allocCommon(std::uint64_t size, MemKind kind,
                               std::string label, GpuId home, bool manual);
@@ -214,6 +221,7 @@ class Driver : public SimObject
     std::uint64_t reclaims_ = 0;
     TimelineRecorder* recorder_ = nullptr;
     ProfileCollector* profile_ = nullptr;
+    CausalRecorder* causal_ = nullptr;
 };
 
 } // namespace gps

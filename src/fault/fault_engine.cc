@@ -3,6 +3,7 @@
 #include "api/system.hh"
 #include "common/logging.hh"
 #include "interconnect/topology.hh"
+#include "obs/causal/causal.hh"
 #include "obs/metric_registry.hh"
 #include "obs/timeline.hh"
 #include "paradigm/paradigm.hh"
@@ -52,6 +53,8 @@ FaultEngine::apply(const FaultEvent& ev, Paradigm& paradigm)
     if (recorder_ != nullptr)
         recorder_->instant(TimelineRecorder::faultTid, ev.describe(),
                            "fault", ev.time);
+    if (causal_ != nullptr)
+        causal_->noteDep(CausalEdge::FaultToReroute);
     Topology& topo = system_->topology();
 
     const auto for_each_pair = [&](auto&& fn) {

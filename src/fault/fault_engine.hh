@@ -21,6 +21,7 @@
 namespace gps
 {
 
+class CausalRecorder;
 class EventQueue;
 class MetricRegistry;
 class MultiGpuSystem;
@@ -60,6 +61,12 @@ class FaultEngine
     {
         recorder_ = recorder;
     }
+
+    /**
+     * Attach the causal recorder (nullptr detaches); each injected
+     * fault is then counted as a fault->reroute dependency edge.
+     */
+    void attachCausal(CausalRecorder* causal) { causal_ = causal; }
 
     /**
      * Serialize injection progress: RNG stream position, report
@@ -131,6 +138,7 @@ class FaultEngine
     FaultReport report_;
     std::size_t next_ = 0;
     TimelineRecorder* recorder_ = nullptr;
+    CausalRecorder* causal_ = nullptr;
 };
 
 } // namespace gps

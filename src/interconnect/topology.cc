@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "fault/fault_plan.hh"
+#include "obs/causal/causal.hh"
 #include "obs/metric_registry.hh"
 #include "obs/profile.hh"
 #include "obs/timeline.hh"
@@ -56,11 +57,18 @@ TrafficMatrix::takeWire(GpuId src, GpuId dst)
 }
 
 Topology::Topology(std::string name, std::size_t num_gpus,
-                   InterconnectKind kind)
+                   InterconnectKind kind, double bandwidth_scale)
     : SimObject(std::move(name)), numGpus_(num_gpus),
       spec_(&interconnectSpec(kind))
 {
     gps_assert(num_gpus >= 1, "topology needs at least one GPU");
+    gps_assert(bandwidth_scale > 0.0,
+               "link bandwidth scale must be positive");
+    if (bandwidth_scale != 1.0 && !spec_->infinite) {
+        ownedSpec_ = *spec_;
+        ownedSpec_.bandwidth *= bandwidth_scale;
+        spec_ = &ownedSpec_;
+    }
     for (std::size_t g = 0; g < num_gpus; ++g) {
         egress_.push_back(std::make_unique<Link>(
             this->name() + ".gpu" + std::to_string(g) + ".egress",
@@ -86,6 +94,8 @@ Topology::applyPhaseTraffic(const TrafficMatrix& traffic)
         ingress_[g]->record(in, in_time);
         worst = std::max({worst, out_time, in_time});
         totalBytes_ += out;
+        if (causal_ != nullptr && out > 0)
+            causal_->noteDep(CausalEdge::LinkToRwqInsert);
         if (profile_ != nullptr) {
             if (out > 0)
                 profile_->noteLinkBusy(out_time);

@@ -32,6 +32,7 @@ namespace gps
 struct FaultReport;
 class TimelineRecorder;
 class ProfileCollector;
+class CausalRecorder;
 
 /** Health of the switched path between one pair of GPUs. */
 enum class PathHealth : std::uint8_t {
@@ -120,8 +121,13 @@ class TrafficMatrix
 class Topology : public SimObject
 {
   public:
+    /**
+     * @param bandwidth_scale what-if multiplier on the spec's link
+     *        bandwidth; at exactly 1.0 the topology keeps pointing at
+     *        the static spec (byte-identical fast path).
+     */
     Topology(std::string name, std::size_t num_gpus,
-             InterconnectKind kind);
+             InterconnectKind kind, double bandwidth_scale = 1.0);
 
     const InterconnectSpec& spec() const { return *spec_; }
     std::size_t numGpus() const { return numGpus_; }
@@ -199,6 +205,13 @@ class Topology : public SimObject
     void attachProfile(ProfileCollector* profile) { profile_ = profile; }
 
     /**
+     * Attach the causal recorder (nullptr detaches); each non-idle
+     * egress direction then contributes a link-transfer dependency
+     * edge to the activity graph.
+     */
+    void attachCausal(CausalRecorder* causal) { causal_ = causal; }
+
+    /**
      * Serialize link accounting, lifetime totals, and fault path state
      * (sorted by path key — the unordered map feeds only key-addressed
      * lookups, but snapshot bytes must be deterministic).
@@ -269,6 +282,9 @@ class Topology : public SimObject
     GpuId findRelay(GpuId src, GpuId dst) const;
 
     std::size_t numGpus_;
+
+    /** Scaled copy backing spec_ when bandwidth_scale != 1.0. */
+    InterconnectSpec ownedSpec_;
     const InterconnectSpec* spec_;
     std::vector<std::unique_ptr<Link>> egress_;
     std::vector<std::unique_ptr<Link>> ingress_;
@@ -278,6 +294,7 @@ class Topology : public SimObject
     bool pcieFallback_ = true;
     TimelineRecorder* recorder_ = nullptr;
     ProfileCollector* profile_ = nullptr;
+    CausalRecorder* causal_ = nullptr;
 };
 
 } // namespace gps

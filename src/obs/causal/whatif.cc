@@ -1,0 +1,227 @@
+#include "obs/causal/whatif.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace gps
+{
+
+bool
+parseWhatIfSpec(const std::string& text, WhatIfSpec& out,
+                std::string& error)
+{
+    out = WhatIfSpec{};
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string item = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            error = "what-if term '" + item + "' is not key=factor";
+            return false;
+        }
+        const std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        if (!val.empty() && (val.back() == 'x' || val.back() == 'X'))
+            val.pop_back();
+        char* end = nullptr;
+        const double factor = std::strtod(val.c_str(), &end);
+        if (val.empty() || end == nullptr || *end != '\0' ||
+            !std::isfinite(factor) || factor <= 0.0) {
+            error = "what-if factor '" + item.substr(eq + 1) +
+                    "' is not a positive number";
+            return false;
+        }
+        if (key == "link_bw") {
+            out.linkBw = factor;
+        } else if (key == "rwq_drain") {
+            out.rwqDrain = factor;
+        } else {
+            error = "unknown what-if key '" + key +
+                    "' (expected link_bw or rwq_drain)";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+to_string(const WhatIfSpec& spec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "link_bw=%gx,rwq_drain=%gx",
+                  spec.linkBw, spec.rwqDrain);
+    return buf;
+}
+
+namespace
+{
+
+/** One phase's end-to-end time under scaled resources. */
+Tick
+predictPhase(const CausalModel& m, const CausalPhase& ph,
+             const WhatIfSpec& spec)
+{
+    const double bw = m.linkBandwidth * spec.linkBw;
+    const auto link_time = [&](std::uint64_t bytes) -> Tick {
+        if (m.linkInfinite)
+            return 0;
+        return transferTicks(bytes, bw);
+    };
+
+    // Remote round-trip under the scaled link, mirroring
+    // GpuModel::kernelTimeBreakdown's casts exactly.
+    Tick round_trip = 0;
+    if (!m.linkInfinite) {
+        const Tick line_time =
+            link_time(m.cacheLineBytes + m.headerBytes);
+        round_trip = 2 * m.linkLatency + line_time;
+    }
+
+    Tick slowest = 0;
+    for (const CausalKernel& k : ph.kernels) {
+        Tick remote = 0;
+        if (!m.linkInfinite) {
+            if (k.batchesLoads > 0.0)
+                remote += static_cast<Tick>(
+                    k.batchesLoads * static_cast<double>(round_trip));
+            if (k.batchesAtomics > 0.0)
+                remote += static_cast<Tick>(
+                    k.batchesAtomics * static_cast<double>(round_trip));
+        }
+        const Tick wq_stall =
+            spec.rwqDrain == 1.0
+                ? k.tWqStall
+                : static_cast<Tick>(static_cast<double>(k.tWqStall) /
+                                    spec.rwqDrain);
+        const Tick kernel_time =
+            std::max({k.tCompute, k.tL2, k.tDram, k.tWalks}) + remote +
+            k.tFaults + k.tShootdowns + wq_stall +
+            m.kernelLaunchOverhead;
+        const Tick gpu_time =
+            std::max({kernel_time, link_time(k.egressBytes),
+                      link_time(k.ingressBytes)});
+        slowest = std::max(slowest, gpu_time);
+    }
+
+    Tick barrier_wire = 0;
+    for (const std::uint64_t bytes : ph.barrierEgress)
+        barrier_wire = std::max(barrier_wire, link_time(bytes));
+    for (const std::uint64_t bytes : ph.barrierIngress)
+        barrier_wire = std::max(barrier_wire, link_time(bytes));
+    return ph.prefetchTime + slowest + barrier_wire +
+           ph.barrierOverhead;
+}
+
+/** End-to-end time under @p spec, mirroring the runner's loop. */
+Tick
+predictTotal(const CausalReport& report, const WhatIfSpec& spec)
+{
+    // Per-iteration predicted phase sum plus the recorded residual
+    // (window time not covered by recorded phases; normally zero).
+    std::map<std::uint64_t, Tick> predicted;
+    std::map<std::uint64_t, Tick> recorded;
+    for (const CausalPhase& ph : report.phases) {
+        predicted[ph.iter] += predictPhase(report.model, ph, spec);
+        recorded[ph.iter] += ph.phaseTime;
+    }
+
+    std::vector<Tick> iter_time;
+    iter_time.reserve(report.iterations.size());
+    for (const CausalIteration& it : report.iterations) {
+        const Tick window = it.end - it.start;
+        const Tick rec = recorded.count(it.iter) ? recorded[it.iter] : 0;
+        const Tick pred =
+            predicted.count(it.iter) ? predicted[it.iter] : 0;
+        const Tick residual = window > rec ? window - rec : 0;
+        iter_time.push_back(pred + residual);
+    }
+
+    // Extrapolation arithmetic copied from Runner::run verbatim.
+    const std::size_t n_sim = iter_time.size();
+    Tick total_time = iter_time.empty() ? 0 : iter_time.front();
+    if (n_sim > 1) {
+        Tick steady_sum = 0;
+        for (std::size_t i = 1; i < n_sim; ++i)
+            steady_sum += iter_time[i];
+        const double steady_count = static_cast<double>(n_sim - 1);
+        const double remaining = static_cast<double>(
+            report.model.effectiveIterations - 1);
+        total_time += static_cast<Tick>(
+            static_cast<double>(steady_sum) / steady_count * remaining);
+    }
+    return total_time;
+}
+
+} // namespace
+
+WhatIfPrediction
+predictWhatIf(const CausalReport& report, const WhatIfSpec& spec)
+{
+    WhatIfPrediction out;
+    out.spec = spec;
+    out.baseTime = predictTotal(report, WhatIfSpec{});
+    out.predictedTime = predictTotal(report, spec);
+    out.speedup = out.baseTime == 0 || out.predictedTime == 0
+                      ? 1.0
+                      : static_cast<double>(out.baseTime) /
+                            static_cast<double>(out.predictedTime);
+    return out;
+}
+
+void
+applyWhatIf(RunConfig& config, const WhatIfSpec& spec)
+{
+    config.system.linkBandwidthScale *= spec.linkBw;
+    config.system.gps.wqDrainScale *= spec.rwqDrain;
+}
+
+WhatIfValidation
+validateWhatIf(const std::string& workload_name, const RunConfig& base,
+               const WhatIfSpec& spec)
+{
+    RunConfig traced = base;
+    traced.obs.causal = true;
+    const RunResult base_result = runWorkload(workload_name, traced);
+    gps_assert(base_result.obs != nullptr && base_result.obs->hasCausal,
+               "what-if base run produced no causal graph");
+
+    WhatIfValidation out;
+    out.traced = base_result.obs->causal;
+    out.prediction = predictWhatIf(base_result.obs->causal, spec);
+    if (out.prediction.baseTime != base_result.totalTime)
+        gps_warn("causal replay covers ", out.prediction.baseTime,
+                 " of ", base_result.totalTime,
+                 " recorded ticks (phases dropped past the cap?); "
+                 "predictions are partial");
+
+    RunConfig scaled = base;
+    scaled.obs = ObsConfig{};
+    applyWhatIf(scaled, spec);
+    const RunResult actual = runWorkload(workload_name, scaled);
+    out.actualTime = actual.totalTime;
+    out.actualSpeedup =
+        actual.totalTime == 0
+            ? 1.0
+            : static_cast<double>(out.prediction.baseTime) /
+                  static_cast<double>(actual.totalTime);
+    out.errorPct =
+        actual.totalTime == 0
+            ? 0.0
+            : std::fabs(static_cast<double>(out.prediction.predictedTime) -
+                        static_cast<double>(actual.totalTime)) /
+                  static_cast<double>(actual.totalTime) * 100.0;
+    return out;
+}
+
+} // namespace gps

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/units.hh"
+#include "obs/causal/causal.hh"
 #include "obs/metric_registry.hh"
 #include "obs/profile.hh"
 #include "obs/sampler.hh"
@@ -52,7 +53,17 @@ struct ObsConfig
     /** Rows kept in the top-N hot-page table. */
     std::size_t profileTopN = 20;
 
-    bool enabled() const { return metrics || timeline || profile; }
+    /** Record the causal dependency graph (see obs/causal/causal.hh). */
+    bool causal = false;
+
+    /** Causal phase cap (see CausalRecorder). */
+    std::size_t maxCausalPhases = 1 << 16;
+
+    bool
+    enabled() const
+    {
+        return metrics || timeline || profile || causal;
+    }
 };
 
 /** Plain-data observability output of one run. */
@@ -76,6 +87,9 @@ struct ObsReport
 
     bool hasProfile = false;
     ProfileReport profile;
+
+    bool hasCausal = false;
+    CausalReport causal;
 };
 
 /** Live collectors for one run. */
@@ -95,6 +109,9 @@ class Observability
     /** Profile collector, or nullptr when profiling is off. */
     ProfileCollector* profile() { return profile_.get(); }
 
+    /** Causal recorder, or nullptr when causal tracing is off. */
+    CausalRecorder* causal() { return causal_.get(); }
+
     /**
      * Freeze registration and start sampling at @p start. Call after
      * every component has registered; records the initial sample.
@@ -112,12 +129,27 @@ class Observability
     /** Take the final sample and distill everything into a report. */
     ObsReport finalize(Tick end);
 
+    /**
+     * Serialize all restart-relevant collector state: sampler series,
+     * timeline recorder, causal recorder. The registry itself persists
+     * nothing — getters re-register against restored components.
+     */
+    void saveState(snapshot::Serializer& out) const;
+
+    /**
+     * Counterpart of saveState. Call after components registered their
+     * metrics; creates the sampler if the snapshot carried one so a
+     * later startSampling() keeps the restored series.
+     */
+    void restoreState(snapshot::Deserializer& in);
+
   private:
     ObsConfig config_;
     MetricRegistry registry_;
     std::unique_ptr<TimelineRecorder> recorder_;
     std::unique_ptr<Sampler> sampler_;
     std::unique_ptr<ProfileCollector> profile_;
+    std::unique_ptr<CausalRecorder> causal_;
 };
 
 /**

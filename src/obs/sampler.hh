@@ -62,6 +62,18 @@ class Sampler
 
     Tick every() const { return every_; }
 
+    /**
+     * Replace the recorded series with checkpointed state (snapshot
+     * restore); the column count must match the registry.
+     */
+    void
+    restore(std::vector<Tick> ticks,
+            std::vector<std::vector<double>> columns)
+    {
+        ticks_ = std::move(ticks);
+        columns_ = std::move(columns);
+    }
+
   private:
     void record(Tick now);
 

@@ -30,7 +30,7 @@ TimelineRecorder::complete(int tid, std::string name, std::string cat,
     if (!admit())
         return;
     events_.push_back({std::move(name), std::move(cat), 'X', tid, start,
-                       dur, std::move(args)});
+                       dur, 0, std::move(args)});
 }
 
 void
@@ -41,7 +41,86 @@ TimelineRecorder::instant(int tid, std::string name, std::string cat,
     if (!admit())
         return;
     events_.push_back({std::move(name), std::move(cat), 'i', tid, ts, 0,
-                       std::move(args)});
+                       0, std::move(args)});
+}
+
+void
+TimelineRecorder::flow(int tid, std::string name, std::string cat,
+                       Tick ts, std::uint64_t id, bool start)
+{
+    if (!admit())
+        return;
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = std::move(cat);
+    ev.ph = start ? 's' : 'f';
+    ev.tid = tid;
+    ev.ts = ts;
+    ev.flowId = id;
+    events_.push_back(std::move(ev));
+}
+
+void
+TimelineRecorder::saveState(snapshot::Serializer& out) const
+{
+    out.section("timeline");
+    out.u64(now_);
+    out.u64(dropped_);
+    out.u64(trackNames_.size());
+    for (const auto& [tid, label] : trackNames_) {
+        out.i64(tid);
+        out.str(label);
+    }
+    out.u64(events_.size());
+    for (const TraceEvent& ev : events_) {
+        out.str(ev.name);
+        out.str(ev.cat);
+        out.u8(static_cast<std::uint8_t>(ev.ph));
+        out.i64(ev.tid);
+        out.u64(ev.ts);
+        out.u64(ev.dur);
+        out.u64(ev.flowId);
+        out.u64(ev.args.size());
+        for (const auto& [name, value] : ev.args) {
+            out.str(name);
+            out.f64(value);
+        }
+    }
+}
+
+void
+TimelineRecorder::restoreState(snapshot::Deserializer& in)
+{
+    in.section("timeline");
+    now_ = in.u64();
+    dropped_ = in.u64();
+    trackNames_.clear();
+    const std::uint64_t n_tracks = in.count(1ULL << 20);
+    for (std::uint64_t i = 0; i < n_tracks; ++i) {
+        const int tid = static_cast<int>(in.i64());
+        trackNames_[tid] = in.str();
+    }
+    events_.clear();
+    const std::uint64_t n_events = in.count(1ULL << 28);
+    events_.reserve(n_events);
+    for (std::uint64_t i = 0; i < n_events; ++i) {
+        TraceEvent ev;
+        ev.name = in.str();
+        ev.cat = in.str();
+        ev.ph = static_cast<char>(in.u8());
+        ev.tid = static_cast<int>(in.i64());
+        ev.ts = in.u64();
+        ev.dur = in.u64();
+        ev.flowId = in.u64();
+        const std::uint64_t n_args = in.count(1ULL << 16);
+        ev.args.reserve(n_args);
+        for (std::uint64_t a = 0; a < n_args; ++a) {
+            std::string name = in.str();
+            const double value = in.f64();
+            ev.args.emplace_back(std::move(name), value);
+        }
+        events_.push_back(std::move(ev));
+    }
 }
 
 void
@@ -102,6 +181,11 @@ timelineToJson(const std::vector<TraceEvent>& events,
             w.field("dur", ticksToUs(ev.dur));
         if (ev.ph == 'i')
             w.field("s", "t"); // thread-scoped instant
+        if (ev.ph == 's' || ev.ph == 'f') {
+            w.field("id", ev.flowId);
+            if (ev.ph == 'f')
+                w.field("bp", "e"); // bind finish to enclosing slice
+        }
         if (!ev.args.empty()) {
             w.key("args").beginObject();
             for (const auto& [name, value] : ev.args)

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "snapshot/serial.hh"
 
 namespace gps
 {
@@ -37,7 +38,10 @@ struct TraceEvent
     std::string name;
     std::string cat;
 
-    /** Phase letter: 'X' complete, 'i' instant, 'C' counter. */
+    /**
+     * Phase letter: 'X' complete, 'i' instant, 'C' counter,
+     * 's'/'f' flow start/finish (Perfetto arrows).
+     */
     char ph = 'X';
 
     /** Track (rendered as a thread row); see TimelineRecorder tids. */
@@ -45,6 +49,9 @@ struct TraceEvent
 
     Tick ts = 0;  ///< start tick
     Tick dur = 0; ///< duration in ticks (complete events only)
+
+    /** Flow-arrow id pairing 's' and 'f' endpoints; 0 elsewhere. */
+    std::uint64_t flowId = 0;
 
     /** Numeric args shown in the event detail pane. */
     std::vector<std::pair<std::string, double>> args;
@@ -91,6 +98,13 @@ class TimelineRecorder
     /** Record a counter ('C') sample at the current stamp. */
     void counterNow(std::string name, double value);
 
+    /**
+     * Record one endpoint of a flow arrow ('s' start / 'f' finish);
+     * both endpoints share @p id, which pairs them in the viewer.
+     */
+    void flow(int tid, std::string name, std::string cat, Tick ts,
+              std::uint64_t id, bool start);
+
     const std::vector<TraceEvent>& events() const { return events_; }
     const std::map<int, std::string>& trackNames() const
     {
@@ -99,6 +113,15 @@ class TimelineRecorder
 
     /** Events discarded after the cap was reached. */
     std::uint64_t dropped() const { return dropped_; }
+
+    /**
+     * Serialize the full recorder state (stamp, events, track names,
+     * drop count) so a restored run replays to an identical trace.
+     */
+    void saveState(snapshot::Serializer& out) const;
+
+    /** Counterpart of saveState. */
+    void restoreState(snapshot::Deserializer& in);
 
   private:
     bool admit();

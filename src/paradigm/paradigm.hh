@@ -34,6 +34,7 @@ struct FaultReport;
 class TimelineRecorder;
 class ProfileCollector;
 class GpsCheckSink;
+class CausalRecorder;
 
 /** The evaluated multi-GPU programming paradigms. */
 enum class ParadigmKind : std::uint8_t {
@@ -219,6 +220,13 @@ class Paradigm : public SimObject
      * without GPS machinery.
      */
     virtual void attachChecker(GpsCheckSink* sink) { (void)sink; }
+
+    /**
+     * Attach the causal dependency recorder to paradigm-owned
+     * components (GPS write queues, re-subscription machinery); a
+     * no-op for paradigms without any.
+     */
+    virtual void attachCausal(CausalRecorder* causal) { (void)causal; }
 
     /**
      * Serialize paradigm-owned mutable state (GPS queues and tables,

@@ -1,9 +1,11 @@
 #include "serve/protocol.hh"
 
+#include <chrono>
 #include <map>
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "obs/metric_registry.hh"
 
 namespace gps
 {
@@ -76,6 +78,10 @@ parseJobSpec(const JsonValue& spec, ServeJob& job, std::string& error)
         if (const JsonValue* v = spec.find("check")) {
             if (v->isBool())
                 config.check.enabled = v->asBool();
+        }
+        if (const JsonValue* v = spec.find("timeline")) {
+            if (v->isBool())
+                config.obs.timeline = v->asBool();
         }
         if (config.system.numGpus < 1 || config.scale <= 0.0) {
             error = "job spec has non-positive \"gpus\" or \"scale\"";
@@ -156,8 +162,8 @@ parseServeRequest(const std::string& line, ServeRequest& out,
             return false;
         }
         out.cancelId = static_cast<std::uint64_t>(target->asNumber());
-    } else if (out.method != "stats" && out.method != "ping" &&
-               out.method != "shutdown") {
+    } else if (out.method != "stats" && out.method != "metrics" &&
+               out.method != "ping" && out.method != "shutdown") {
         error = "unknown method '" + out.method + "'";
         return false;
     }
@@ -223,6 +229,7 @@ statsToJson(std::uint64_t id, const ServiceStats& stats)
     w.field("deadline_expired", stats.expired);
     w.field("rejected", stats.rejected);
     w.field("store_hits", stats.storeHits);
+    w.field("timeline_dropped", stats.timelineDropped);
     w.field("queued", static_cast<std::uint64_t>(stats.queued));
     w.field("running", static_cast<std::uint64_t>(stats.running));
     w.field("draining", stats.draining);
@@ -233,7 +240,41 @@ statsToJson(std::uint64_t id, const ServiceStats& stats)
     w.field("quarantined", stats.store.quarantined);
     w.field("temps_swept", stats.store.tempsSwept);
     w.endObject();
+    w.key("verbs").beginObject();
+    for (const auto& [verb, hist] : stats.verbLatency) {
+        w.key(verb).beginObject();
+        w.field("count", hist.count());
+        w.field("mean_us", hist.mean());
+        w.field("p50_us", hist.percentile(0.5));
+        w.field("p99_us", hist.percentile(0.99));
+        w.field("max_us", hist.max());
+        w.endObject();
+    }
     w.endObject();
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+serveMetricsJson(std::uint64_t id, const SweepService& service)
+{
+    MetricRegistry reg;
+    service.registerMetrics(reg);
+    JsonWriter w;
+    w.beginObject();
+    w.field("id", id);
+    w.field("status", "ok");
+    w.key("metrics").beginArray();
+    for (const MetricValue& m : reg.snapshot()) {
+        w.beginObject();
+        w.field("name", m.name);
+        w.field("kind", to_string(m.kind));
+        w.field("unit", m.unit);
+        w.field("value", m.value);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
     return w.str();
 }
@@ -241,6 +282,25 @@ statsToJson(std::uint64_t id, const ServiceStats& stats)
 LineProtocol::Action
 LineProtocol::handleLine(const std::string& clientId,
                          const std::string& line, Write write)
+{
+    const auto started = std::chrono::steady_clock::now();
+    std::string verb;
+    const Action action = dispatch(clientId, line, write, verb);
+    if (!verb.empty()) {
+        const auto micros =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        service_.recordVerbLatency(
+            verb, static_cast<std::uint64_t>(micros));
+    }
+    return action;
+}
+
+LineProtocol::Action
+LineProtocol::dispatch(const std::string& clientId,
+                       const std::string& line, Write& write,
+                       std::string& verb)
 {
     // Tolerate blank lines and CR line endings from naive clients.
     std::string trimmed = line;
@@ -256,6 +316,7 @@ LineProtocol::handleLine(const std::string& clientId,
         write(protocolErrorJson(request.id, "BadRequest", error));
         return Action::None;
     }
+    verb = request.method;
 
     if (request.method == "ping") {
         JsonWriter w;
@@ -268,6 +329,10 @@ LineProtocol::handleLine(const std::string& clientId,
     }
     if (request.method == "stats") {
         write(statsToJson(request.id, service_.stats()));
+        return Action::None;
+    }
+    if (request.method == "metrics") {
+        write(serveMetricsJson(request.id, service_));
         return Action::None;
     }
     if (request.method == "cancel") {

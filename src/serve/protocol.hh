@@ -10,7 +10,8 @@
  *   batch    params.jobs: array of job specs     -> one response per
  *            job, each echoing the request id plus its "index"
  *   cancel   params.id: request id to cancel     -> one ack response
- *   stats    ->  scheduler + store counters
+ *   stats    ->  scheduler + store counters + per-verb latencies
+ *   metrics  ->  service MetricRegistry snapshot
  *   ping     ->  liveness ack
  *   shutdown ->  ack, then the front end drains and exits
  *
@@ -70,6 +71,10 @@ std::string protocolErrorJson(std::uint64_t id, const std::string& type,
 /** Serialize the stats snapshot. */
 std::string statsToJson(std::uint64_t id, const ServiceStats& stats);
 
+/** Serialize the service's metric-registry snapshot. */
+std::string serveMetricsJson(std::uint64_t id,
+                             const SweepService& service);
+
 /**
  * Transport-independent request dispatcher: parses @p line, drives
  * @p service, and emits every response line through @p write (which
@@ -91,6 +96,10 @@ class LineProtocol
                       const std::string& line, Write write);
 
   private:
+    /** handleLine body; sets @p verb for latency accounting. */
+    Action dispatch(const std::string& clientId, const std::string& line,
+                    Write& write, std::string& verb);
+
     SweepService& service_;
 };
 

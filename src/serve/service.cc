@@ -6,6 +6,8 @@
 #include "api/result_export.hh"
 #include "check/check_config.hh"
 #include "common/logging.hh"
+#include "obs/metric_registry.hh"
+#include "obs/observability.hh"
 
 namespace gps
 {
@@ -270,6 +272,7 @@ SweepService::workerLoop()
         const std::string cfg_key =
             configKey(p.job.workload, p.job.config);
         bool executed = false;
+        std::shared_ptr<const ObsReport> run_obs;
         std::optional<std::string> hit;
         if (store_ != nullptr && !p.job.noCache)
             hit = store_->lookup(cfg_key);
@@ -288,6 +291,7 @@ SweepService::workerLoop()
                 p.job.clientId + '#' + std::to_string(p.job.id);
             const SweepOutcome out = runSweepJob(sweep_job);
             r.runMs = out.wallSeconds * 1e3;
+            run_obs = out.result.obs;
             if (!out.ok()) {
                 if (out.errorType == "Cancelled")
                     r.status = JobStatus::Cancelled;
@@ -321,6 +325,8 @@ SweepService::workerLoop()
         running_.erase(key);
         if (executed && r.status == JobStatus::Ok)
             avgRunMs_ = 0.8 * avgRunMs_ + 0.2 * r.runMs;
+        if (executed && run_obs != nullptr)
+            stats_.timelineDropped += run_obs->timelineDropped;
         lk.unlock();
         finish(p, std::move(r));
         lk.lock();
@@ -407,6 +413,58 @@ SweepService::stats() const
     if (store_ != nullptr)
         out.store = store_->stats();
     return out;
+}
+
+void
+SweepService::recordVerbLatency(const std::string& verb,
+                                std::uint64_t micros)
+{
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_.verbLatency[verb].record(micros);
+}
+
+void
+SweepService::registerMetrics(MetricRegistry& reg) const
+{
+    // One coherent snapshot; every getter reads from the same copy.
+    const auto snap = std::make_shared<const ServiceStats>(stats());
+    const auto jobs = [&reg, &snap](const char* name,
+                                    std::uint64_t ServiceStats::*field) {
+        reg.counter(std::string("serve.jobs.") + name, "jobs",
+                    [snap, field] {
+                        return static_cast<double>((*snap).*field);
+                    });
+    };
+    jobs("submitted", &ServiceStats::submitted);
+    jobs("completed", &ServiceStats::completed);
+    jobs("failed", &ServiceStats::failed);
+    jobs("cancelled", &ServiceStats::cancelled);
+    jobs("deadline_expired", &ServiceStats::expired);
+    jobs("rejected", &ServiceStats::rejected);
+    jobs("store_hits", &ServiceStats::storeHits);
+    reg.gauge("serve.queue.depth", "jobs", [snap] {
+        return static_cast<double>(snap->queued);
+    });
+    reg.gauge("serve.running", "jobs", [snap] {
+        return static_cast<double>(snap->running);
+    });
+    reg.counter("serve.timeline.dropped_events", "events", [snap] {
+        return static_cast<double>(snap->timelineDropped);
+    });
+    reg.counter("serve.store.lookups", "lookups", [snap] {
+        return static_cast<double>(snap->store.lookups);
+    });
+    reg.counter("serve.store.publishes", "results", [snap] {
+        return static_cast<double>(snap->store.publishes);
+    });
+    for (const auto& [verb, hist] : snap->verbLatency) {
+        reg.counter("serve.verb." + verb + ".requests", "requests",
+                    [count = hist.count()] {
+                        return static_cast<double>(count);
+                    });
+        reg.gauge("serve.verb." + verb + ".latency_p99", "us",
+                  [p99 = hist.percentile(0.99)] { return p99; });
+    }
 }
 
 } // namespace gps

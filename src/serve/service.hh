@@ -44,10 +44,13 @@
 #include <vector>
 
 #include "api/sweep.hh"
+#include "obs/histogram.hh"
 #include "serve/run_store.hh"
 
 namespace gps
 {
+
+class MetricRegistry;
 
 /** Scheduler knobs (see gpsim --serve). */
 struct ServeConfig
@@ -134,10 +137,17 @@ struct ServiceStats
     std::uint64_t expired = 0;
     std::uint64_t rejected = 0;
     std::uint64_t storeHits = 0;
+
+    /** Timeline events dropped past the cap, summed over executed runs. */
+    std::uint64_t timelineDropped = 0;
+
     std::size_t queued = 0;  ///< pending right now
     std::size_t running = 0; ///< in flight right now
     bool draining = false;
     RunStoreStats store; ///< zeros when the store is disabled
+
+    /** Request-handling latency per protocol verb, microseconds. */
+    std::map<std::string, LogHistogram> verbLatency;
 };
 
 class SweepService
@@ -183,6 +193,16 @@ class SweepService
     void shutdown(bool cancelPending);
 
     ServiceStats stats() const;
+
+    /** Protocol hook: record one verb's handling latency. */
+    void recordVerbLatency(const std::string& verb, std::uint64_t micros);
+
+    /**
+     * Register the service's aggregate counters on @p reg, frozen at
+     * the current stats() snapshot. Build a fresh registry per metrics
+     * request; the getters do not track later activity.
+     */
+    void registerMetrics(MetricRegistry& reg) const;
 
     /** Null when the store is disabled. */
     RunStore* store() { return store_.get(); }

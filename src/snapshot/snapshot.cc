@@ -148,6 +148,8 @@ saveProgress(Serializer& out, const RunnerProgress& p)
     out.u64(p.histBuckets.size());
     for (const std::uint64_t b : p.histBuckets)
         out.u64(b);
+    out.b(p.hasObs);
+    out.str(p.obsState);
 }
 
 void
@@ -170,6 +172,8 @@ restoreProgress(Deserializer& in, RunnerProgress& p)
     p.histBuckets.assign(in.count(1ULL << 16), 0);
     for (std::uint64_t& b : p.histBuckets)
         b = in.u64();
+    p.hasObs = in.b();
+    p.obsState = in.str();
 }
 
 /** The GPS paradigm behind @p paradigm, or nullptr for others. */

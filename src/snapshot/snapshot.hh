@@ -45,7 +45,7 @@ class FaultEngine;
 namespace gps::snapshot
 {
 
-inline constexpr std::uint32_t snapshotVersion = 1;
+inline constexpr std::uint32_t snapshotVersion = 2;
 
 /** Where in a run a snapshot is (or was) taken. */
 enum class AtKind : std::uint8_t {
@@ -107,6 +107,14 @@ struct RunnerProgress
 
     bool hasSubscriberHist = false;
     std::vector<std::uint64_t> histBuckets;
+
+    /**
+     * Serialized Observability collector state (sampler series,
+     * timeline, causal graph) when the captured run had observability
+     * on; empty otherwise.
+     */
+    bool hasObs = false;
+    std::string obsState;
 };
 
 /** Decoded, CRC-verified snapshot, not yet applied to a system. */

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for structured logging: text/JSON line rendering, escaping,
+ * the global format switch, and thread-safety of concurrent emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace gps
+{
+namespace
+{
+
+/** Process-global capture target for the detail::setLogSink hook. */
+std::mutex capturedMutex;
+std::vector<std::string> captured;
+
+void
+captureLine(const std::string& line)
+{
+    const std::lock_guard<std::mutex> lock(capturedMutex);
+    captured.push_back(line);
+}
+
+/** RAII: route log lines into `captured`, restore defaults on exit. */
+class LogCapture
+{
+  public:
+    LogCapture()
+    {
+        {
+            const std::lock_guard<std::mutex> lock(capturedMutex);
+            captured.clear();
+        }
+        detail::setLogSink(&captureLine);
+    }
+    ~LogCapture()
+    {
+        detail::setLogSink(nullptr);
+        setLogFormat(LogFormat::Text);
+    }
+};
+
+TEST(Logging, FormatsTextAndJsonLines)
+{
+    EXPECT_EQ(detail::formatLogLine("warn", "queue full",
+                                    LogFormat::Text),
+              "warn: queue full");
+    EXPECT_EQ(detail::formatLogLine("warn", "queue full",
+                                    LogFormat::Json),
+              "{\"level\":\"warn\",\"msg\":\"queue full\"}");
+}
+
+TEST(Logging, JsonEscapesControlAndQuoteCharacters)
+{
+    const std::string line = detail::formatLogLine(
+        "info", "path \"a\\b\"\nnext", LogFormat::Json);
+    EXPECT_EQ(line, "{\"level\":\"info\",\"msg\":"
+                    "\"path \\\"a\\\\b\\\"\\nnext\"}");
+}
+
+TEST(Logging, FormatSwitchChangesEmittedLines)
+{
+    LogCapture capture;
+    gps_warn("plain ", 42);
+    setLogFormat(LogFormat::Json);
+    gps_warn("structured ", 42);
+
+    const std::lock_guard<std::mutex> lock(capturedMutex);
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0], "warn: plain 42");
+    EXPECT_EQ(captured[1],
+              "{\"level\":\"warn\",\"msg\":\"structured 42\"}");
+}
+
+TEST(Logging, VerboseGateStillAppliesToInform)
+{
+    LogCapture capture;
+    setVerbose(false);
+    gps_inform("hidden");
+    setVerbose(true);
+    gps_inform("shown");
+
+    const std::lock_guard<std::mutex> lock(capturedMutex);
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0], "info: shown");
+}
+
+TEST(Logging, ConcurrentEmittersNeverTearLines)
+{
+    LogCapture capture;
+    setLogFormat(LogFormat::Json);
+    constexpr int threads = 8;
+    constexpr int lines = 200;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back([t] {
+            for (int i = 0; i < lines; ++i)
+                gps_warn("worker ", t, " line ", i);
+        });
+    for (std::thread& th : pool)
+        th.join();
+
+    const std::lock_guard<std::mutex> lock(capturedMutex);
+    ASSERT_EQ(captured.size(),
+              static_cast<std::size_t>(threads) * lines);
+    for (const std::string& line : captured) {
+        EXPECT_EQ(line.rfind("{\"level\":\"warn\",\"msg\":\"worker ", 0),
+                  0u)
+            << line;
+        EXPECT_EQ(line.back(), '}') << line;
+    }
+}
+
+} // namespace
+} // namespace gps

@@ -187,6 +187,7 @@ TEST(Observability, DisabledPathIsByteIdentical)
     observed_config.obs.metrics = true;
     observed_config.obs.timeline = true;
     observed_config.obs.profile = true;
+    observed_config.obs.causal = true;
     observed_config.obs.sampleEvery = usToTicks(50.0);
     const RunResult observed = runWorkload("Jacobi", observed_config);
 
@@ -293,6 +294,23 @@ TEST(Observability, ExportedJsonIsWellFormed)
     EXPECT_NE(timeline.find("\"traceEvents\":["), std::string::npos);
     EXPECT_NE(timeline.find("\"displayTimeUnit\":\"ms\""),
               std::string::npos);
+}
+
+TEST(Observability, MetricsJsonCarriesTimelineDroppedCount)
+{
+    RunConfig config = obsConfig();
+    config.obs.metrics = true;
+    config.obs.timeline = true;
+    config.obs.maxTimelineEvents = 1; // force overflow
+    const RunResult result = runWorkload("Jacobi", config);
+    ASSERT_NE(result.obs, nullptr);
+    EXPECT_GT(result.obs->timelineDropped, 0u);
+    const std::string json = metricsToJson(*result.obs);
+    EXPECT_NE(json.find("\"timeline_dropped\":"), std::string::npos);
+    // The count itself, not just the key, must be exported.
+    const std::size_t pos = json.find("\"timeline_dropped\":");
+    EXPECT_NE(json[pos + std::string("\"timeline_dropped\":").size()],
+              '0');
 }
 
 TEST(Observability, FaultEventsLandOnTheFaultTrack)

@@ -616,6 +616,116 @@ TEST(ServeProtocol, LineProtocolDrivesServiceEndToEnd)
               std::string::npos);
 }
 
+TEST(ServeProtocol, MetricsVerbExposesServiceCounters)
+{
+    SweepService service({2, 16, 0, ""});
+    LineProtocol protocol(service);
+    std::mutex mu;
+    std::vector<std::string> lines;
+    const LineProtocol::Write write = [&](const std::string& line) {
+        const std::lock_guard<std::mutex> lock(mu);
+        lines.push_back(line);
+    };
+
+    protocol.handleLine(
+        "t",
+        R"({"id":1,"method":"run","params":{"app":"Jacobi",)"
+            R"("gpus":2,"scale":0.0625}})",
+        write);
+    service.awaitIdle();
+    protocol.handleLine("t", R"({"id":2,"method":"metrics"})", write);
+
+    const std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(lines.size(), 2u);
+    const std::string& metrics = lines[1];
+    std::string error;
+    const auto doc = parseJson(metrics, error);
+    ASSERT_NE(doc, nullptr) << error;
+    EXPECT_EQ(doc->string("status"), "ok");
+    const JsonValue* list = doc->find("metrics");
+    ASSERT_NE(list, nullptr);
+    ASSERT_TRUE(list->isArray());
+    double submitted = -1.0, completed = -1.0;
+    bool run_latency = false;
+    for (const JsonValue& m : list->items()) {
+        const std::string name = m.string("name");
+        if (name == "serve.jobs.submitted")
+            submitted = m.number("value", -1.0);
+        if (name == "serve.jobs.completed")
+            completed = m.number("value", -1.0);
+        if (name == "serve.verb.run.latency_p99")
+            run_latency = true;
+    }
+    EXPECT_DOUBLE_EQ(submitted, 1.0);
+    EXPECT_DOUBLE_EQ(completed, 1.0);
+    EXPECT_TRUE(run_latency);
+    service.shutdown(false);
+}
+
+TEST(ServeProtocol, StatsReportsVerbLatencies)
+{
+    SweepService service({1, 16, 0, ""});
+    LineProtocol protocol(service);
+    std::mutex mu;
+    std::vector<std::string> lines;
+    const LineProtocol::Write write = [&](const std::string& line) {
+        const std::lock_guard<std::mutex> lock(mu);
+        lines.push_back(line);
+    };
+
+    protocol.handleLine("t", R"({"id":1,"method":"ping"})", write);
+    protocol.handleLine("t", R"({"id":2,"method":"ping"})", write);
+    protocol.handleLine("t", R"({"id":3,"method":"stats"})", write);
+    // The stats verb's own latency lands after its response; a second
+    // stats call observes it.
+    protocol.handleLine("t", R"({"id":4,"method":"stats"})", write);
+
+    const std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(lines.size(), 4u);
+    std::string error;
+    const auto doc = parseJson(lines[3], error);
+    ASSERT_NE(doc, nullptr) << error;
+    const JsonValue* stats = doc->find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_NE(stats->find("timeline_dropped"), nullptr);
+    const JsonValue* verbs = stats->find("verbs");
+    ASSERT_NE(verbs, nullptr);
+    const JsonValue* ping = verbs->find("ping");
+    ASSERT_NE(ping, nullptr);
+    EXPECT_DOUBLE_EQ(ping->number("count", 0.0), 2.0);
+    const JsonValue* stats_verb = verbs->find("stats");
+    ASSERT_NE(stats_verb, nullptr);
+    EXPECT_GE(stats_verb->number("count", 0.0), 1.0);
+    service.shutdown(false);
+}
+
+TEST(ServeProtocol, JobSpecTimelineFlagFeedsDroppedAccounting)
+{
+    // The spec's "timeline" flag turns the run's recorder on.
+    ServeRequest request;
+    std::string error;
+    ASSERT_TRUE(parseServeRequest(
+        R"({"id":1,"method":"run","params":{"app":"Jacobi",)"
+            R"("gpus":2,"scale":0.0625,"timeline":true}})",
+        request, error))
+        << error;
+    ASSERT_EQ(request.jobs.size(), 1u);
+    EXPECT_TRUE(request.jobs.front().config.obs.timeline);
+
+    // A run with a one-event cap must overflow, and the dropped count
+    // surfaces in the service stats.
+    SweepService service({1, 16, 0, ""});
+    Collector collected;
+    ServeJob job = smokeJob("c", 1);
+    job.config.obs.timeline = true;
+    job.config.obs.maxTimelineEvents = 1;
+    service.submit(std::move(job), collected.callback());
+    collected.waitFor(1);
+    service.awaitIdle();
+    EXPECT_GT(service.stats().timelineDropped, 0u);
+    service.shutdown(false);
+}
+
 TEST(ServeProtocol, NameParsersMatchCliSpellings)
 {
     EXPECT_EQ(interconnectFromName("pcie3"), InterconnectKind::Pcie3);

@@ -325,7 +325,7 @@ TEST_F(SnapshotCorruption, RestoreVerificationCatchesStateDivergence)
                  snapshot::SnapshotError);
 }
 
-TEST_F(SnapshotCorruption, CaptureRefusesCheckAndObsRuns)
+TEST_F(SnapshotCorruption, CaptureRefusesCheckAndProfileRuns)
 {
     RunConfig checked = base_;
     checked.snapshotAt = {snapshot::AtKind::Profile, 0};
@@ -336,11 +336,40 @@ TEST_F(SnapshotCorruption, CaptureRefusesCheckAndObsRuns)
 
     TempFile file;
     writeFile(file.path(), bytes_);
-    RunConfig observed = base_;
-    observed.restoreFrom = file.path();
-    observed.obs.metrics = true;
-    EXPECT_THROW((void)runWorkload("Jacobi", observed),
+    RunConfig profiled = base_;
+    profiled.restoreFrom = file.path();
+    profiled.obs.profile = true;
+    EXPECT_THROW((void)runWorkload("Jacobi", profiled),
                  snapshot::SnapshotError);
+}
+
+// Serializable collectors (metrics, timeline, causal) round-trip with
+// the machine state: a restored observability run reproduces the
+// uninterrupted run's outputs byte for byte.
+TEST(SnapshotObs, RestoredObsRunIsByteIdentical)
+{
+    RunConfig base = smokeConfig();
+    base.obs.metrics = true;
+    base.obs.timeline = true;
+    base.obs.causal = true;
+    base.obs.sampleEvery = 1000;
+
+    RunConfig capture = base;
+    capture.snapshotAt = {snapshot::AtKind::Iter, 2};
+    capture.snapshotSink = std::make_shared<std::string>();
+    const RunResult cold = runWorkload("Jacobi", capture);
+    ASSERT_NE(cold.obs, nullptr);
+
+    RunConfig resume = base;
+    resume.restoreBlob = capture.snapshotSink;
+    const RunResult warm = runWorkload("Jacobi", resume);
+    ASSERT_NE(warm.obs, nullptr);
+
+    EXPECT_EQ(warm.totalTime, cold.totalTime);
+    EXPECT_EQ(metricsToJson(*warm.obs), metricsToJson(*cold.obs));
+    EXPECT_EQ(timelineToJson(*warm.obs), timelineToJson(*cold.obs));
+    EXPECT_EQ(causalToJson(warm.obs->causal),
+              causalToJson(cold.obs->causal));
 }
 
 // ---------------------------------------------------------------------

@@ -27,6 +27,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "fault/fault_plan.hh"
+#include "obs/causal/whatif.hh"
 #include "serve/protocol.hh"
 #include "serve/run_store.hh"
 #include "serve/server.hh"
@@ -57,6 +58,11 @@ struct Options
     std::string metricsOut;  ///< metrics JSON path; empty disables
     std::string timelineOut; ///< trace JSON path; empty disables
     std::string profileOut;  ///< bottleneck profile JSON; empty disables
+    std::string causalOut;   ///< causal graph + critical path JSON
+    std::string whatifSpec;  ///< what-if scaling spec; empty disables
+    double whatifTolerance = 0.0; ///< max error %; 0: report only
+    double linkBwScale = 1.0;     ///< link-bandwidth multiplier
+    double wqDrainScale = 1.0;    ///< RWQ drain-speed multiplier
     Tick sampleEvery = 0;    ///< metric sampling period in ticks
     std::size_t timelineMaxEvents = 1 << 20;
     std::size_t profileTop = 20;         ///< hot-page rows kept
@@ -152,6 +158,23 @@ usage(const char* argv0, int exit_code)
         "  --profile-bucket-pages <n>  pages per heat bucket (default 1)\n"
         "  --sample-every <ticks>    metric sampling period in simulated\n"
         "                            ticks (default 0: final values only)\n"
+        "  --causal-out <file>       record the causal activity graph and\n"
+        "                            write it (with the critical-path\n"
+        "                            attribution) as JSON\n"
+        "  --whatif <spec>           predict the speedup of scaled\n"
+        "                            resources from a causally traced\n"
+        "                            run, then validate against a real\n"
+        "                            re-run, e.g. link_bw=2x,rwq_drain=2x\n"
+        "  --whatif-tolerance <pct>  exit 1 when the what-if prediction\n"
+        "                            error exceeds this percentage\n"
+        "                            (default 0: report only)\n"
+        "  --link-bw-scale <f>       scale every link's bandwidth\n"
+        "                            (default 1.0)\n"
+        "  --wq-drain-scale <f>      scale RWQ drain-stall charges down\n"
+        "                            by this factor (default 1.0)\n"
+        "  --log-format <text|json>  warn/info line encoding (default\n"
+        "                            text; json emits one object per\n"
+        "                            line for log shippers)\n"
         "  --check[=N]               differential validation: replay the\n"
         "                            run through the reference model and\n"
         "                            assert runtime invariants (every N\n"
@@ -257,6 +280,32 @@ parseArgs(int argc, char** argv)
                 gps_fatal("--profile-bucket-pages must be >= 1");
         } else if (arg == "--sample-every") {
             opts.sampleEvery = parseUnsigned("--sample-every", value(i));
+        } else if (arg == "--causal-out") {
+            opts.causalOut = value(i);
+        } else if (arg == "--whatif") {
+            opts.whatifSpec = value(i);
+        } else if (arg == "--whatif-tolerance") {
+            opts.whatifTolerance =
+                parseFloat("--whatif-tolerance", value(i));
+            if (opts.whatifTolerance < 0.0)
+                gps_fatal("--whatif-tolerance must be >= 0");
+        } else if (arg == "--link-bw-scale") {
+            opts.linkBwScale = parseFloat("--link-bw-scale", value(i));
+            if (opts.linkBwScale <= 0.0)
+                gps_fatal("--link-bw-scale must be > 0");
+        } else if (arg == "--wq-drain-scale") {
+            opts.wqDrainScale = parseFloat("--wq-drain-scale", value(i));
+            if (opts.wqDrainScale <= 0.0)
+                gps_fatal("--wq-drain-scale must be > 0");
+        } else if (arg == "--log-format") {
+            const std::string v = value(i);
+            if (v == "text")
+                setLogFormat(LogFormat::Text);
+            else if (v == "json")
+                setLogFormat(LogFormat::Json);
+            else
+                gps_fatal("invalid --log-format '", v,
+                          "': expected text or json");
         } else if (arg == "--check") {
             opts.check = true;
         } else if (arg.rfind("--check=", 0) == 0) {
@@ -350,6 +399,9 @@ makeConfig(const Options& opts)
     config.obs.profile = !opts.profileOut.empty();
     config.obs.profileTopN = opts.profileTop;
     config.obs.profilePagesPerBucket = opts.profileBucketPages;
+    config.obs.causal = !opts.causalOut.empty();
+    config.system.linkBandwidthScale = opts.linkBwScale;
+    config.system.gps.wqDrainScale = opts.wqDrainScale;
     config.check.enabled = opts.check;
     config.check.everyAccesses = opts.checkEvery;
     return config;
@@ -489,6 +541,73 @@ printProfileSummary(const ObsReport& report)
     }
 }
 
+/**
+ * --whatif mode: trace one run causally, predict the effect of the
+ * requested resource scaling, then re-run for real and report the
+ * prediction error. Exit 1 when --whatif-tolerance is exceeded.
+ */
+int
+runWhatIf(const Options& opts)
+{
+    WhatIfSpec spec;
+    std::string error;
+    if (!parseWhatIfSpec(opts.whatifSpec, spec, error))
+        gps_fatal("invalid --whatif '", opts.whatifSpec, "': ", error);
+    if (opts.apps.size() != 1 || opts.paradigms.size() != 1 ||
+        !opts.gpuSweep.empty())
+        gps_fatal("--whatif applies to a single run: one --app, one "
+                  "--paradigm, no --sweep-gpus");
+    if (opts.check || !opts.snapshotOut.empty() ||
+        !opts.restorePath.empty())
+        gps_fatal("--whatif cannot be combined with --check or "
+                  "snapshots");
+
+    RunConfig config = makeConfig(opts);
+    config.paradigm = opts.paradigms.front();
+    const std::string& app = opts.apps.front();
+    const WhatIfValidation v = validateWhatIf(app, config, spec);
+
+    if (!opts.causalOut.empty())
+        writeTextFile(opts.causalOut, causalToJson(v.traced));
+
+    if (opts.json) {
+        JsonWriter w;
+        w.beginObject();
+        w.field("workload", app);
+        w.field("paradigm", to_string(config.paradigm));
+        w.field("whatif", to_string(spec));
+        w.field("base_time_ms", ticksToMs(v.prediction.baseTime));
+        w.field("predicted_time_ms",
+                ticksToMs(v.prediction.predictedTime));
+        w.field("actual_time_ms", ticksToMs(v.actualTime));
+        w.field("predicted_speedup", v.prediction.speedup);
+        w.field("actual_speedup", v.actualSpeedup);
+        w.field("error_pct", v.errorPct);
+        w.endObject();
+        std::printf("%s\n", w.str().c_str());
+    } else {
+        std::printf("%-10s %s what-if %s\n", app.c_str(),
+                    to_string(config.paradigm).c_str(),
+                    to_string(spec).c_str());
+        std::printf("    base:      %10.3f ms\n",
+                    ticksToMs(v.prediction.baseTime));
+        std::printf("    predicted: %10.3f ms  (%.2fx)\n",
+                    ticksToMs(v.prediction.predictedTime),
+                    v.prediction.speedup);
+        std::printf("    actual:    %10.3f ms  (%.2fx)\n",
+                    ticksToMs(v.actualTime), v.actualSpeedup);
+        std::printf("    error:     %9.2f%%\n", v.errorPct);
+    }
+    if (opts.whatifTolerance > 0.0 && v.errorPct > opts.whatifTolerance) {
+        std::fprintf(stderr,
+                     "what-if prediction error %.2f%% exceeds "
+                     "tolerance %.2f%%\n",
+                     v.errorPct, opts.whatifTolerance);
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -515,6 +634,12 @@ main(int argc, char** argv)
         requireWritable("--metrics-out", opts.metricsOut);
         requireWritable("--timeline-out", opts.timelineOut);
         requireWritable("--profile-out", opts.profileOut);
+        requireWritable("--causal-out", opts.causalOut);
+
+        if (!opts.whatifSpec.empty())
+            return runWhatIf(opts);
+        if (opts.whatifTolerance != 0.0)
+            gps_fatal("--whatif-tolerance requires --whatif");
 
         const bool snapshotting =
             !opts.snapshotOut.empty() || !opts.restorePath.empty();
@@ -531,10 +656,9 @@ main(int argc, char** argv)
             if (opts.check)
                 gps_fatal("--snapshot-out/--restore cannot be combined "
                           "with --check");
-            if (!opts.metricsOut.empty() || !opts.timelineOut.empty() ||
-                !opts.profileOut.empty())
+            if (!opts.profileOut.empty())
                 gps_fatal("--snapshot-out/--restore cannot be combined "
-                          "with observability outputs");
+                          "with --profile-out");
             requireWritable("--snapshot-out", opts.snapshotOut);
         }
 
@@ -692,6 +816,9 @@ main(int argc, char** argv)
                               timelineToJson(*last_obs));
             if (!opts.profileOut.empty())
                 writeTextFile(opts.profileOut, profileToJson(*last_obs));
+            if (!opts.causalOut.empty() && last_obs->hasCausal)
+                writeTextFile(opts.causalOut,
+                              causalToJson(last_obs->causal));
             if (last_obs->timelineDropped > 0)
                 gps_warn("timeline truncated: ",
                          last_obs->timelineDropped,
