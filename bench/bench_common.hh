@@ -61,6 +61,9 @@ baselineConfig(const RunConfig& config)
 {
     RunConfig base = config;
     base.system.numGpus = 1;
+    // A single GPU is a single node; keeping a multi-node split would
+    // fail the divisibility check (and would be meaningless anyway).
+    base.system.numNodes = 1;
     base.paradigm = ParadigmKind::Memcpy;
     base.faultPlan = FaultPlan{};
     // GPS structure knobs cannot affect a single-GPU memcpy run; reset

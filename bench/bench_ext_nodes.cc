@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Extension bench: multi-node scaling (2 -> 256 GPUs, 8 GPUs per
+ * NVLink 3.0 node, InfiniBand NDR uplinks). Compares the memcpy
+ * baseline against GPS with flat per-subscriber forwarding and GPS
+ * with hierarchical (per-node proxy) subscription. With the uplink an
+ * order of magnitude thinner than the intra-node tier, flat forwarding
+ * pays the uplink once per remote subscriber while hierarchical
+ * subscription pays it once per remote node — the gap the table
+ * traces. Past one node the hierarchical run must never be slower
+ * than the flat run (hard assert; the simulator is deterministic).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace gps;
+using namespace gps::bench;
+
+const std::vector<std::size_t> gpuCounts = {2, 4, 8, 16, 32, 64, 128,
+                                            256};
+constexpr std::size_t gpusPerNode = 8;
+
+/** Traffic-heavy subset: one stencil, one dense pub-sub workload. */
+const std::vector<std::string> appNames = {"Jacobi", "ALS"};
+
+enum class Mode
+{
+    Memcpy,
+    FlatGps,
+    HierGps,
+};
+
+const std::vector<Mode> modes = {Mode::Memcpy, Mode::FlatGps,
+                                 Mode::HierGps};
+
+std::string
+to_string(Mode mode)
+{
+    switch (mode) {
+      case Mode::Memcpy:
+        return "Memcpy";
+      case Mode::FlatGps:
+        return "FlatGPS";
+      case Mode::HierGps:
+        return "HierGPS";
+    }
+    return "?";
+}
+
+std::size_t
+nodesFor(std::size_t gpus)
+{
+    return gpus > gpusPerNode ? gpus / gpusPerNode : 1;
+}
+
+RunConfig
+cellConfig(std::size_t gpus, Mode mode)
+{
+    RunConfig config = defaultConfig();
+    config.system.numGpus = gpus;
+    config.system.interconnect = InterconnectKind::NvLink3;
+    config.system.numNodes = nodesFor(gpus);
+    config.system.interNode = InterconnectKind::IbNdr;
+    config.paradigm =
+        mode == Mode::Memcpy ? ParadigmKind::Memcpy : ParadigmKind::Gps;
+    config.system.gps.hierarchicalSubscription = mode == Mode::HierGps;
+    // Large fan-outs at a fixed per-GPU problem size: shrink the base
+    // problem so the 256-GPU column stays tractable on CI hardware.
+    config.scale = 0.25;
+    return config;
+}
+
+// gpus -> mode -> per-app speedups (vs the 1-GPU memcpy reference)
+std::map<std::size_t, std::map<std::string, std::vector<double>>>
+    samples;
+// gpus -> mode -> per-app simulated milliseconds
+std::map<std::size_t, std::map<std::string, std::vector<double>>> simMs;
+BaselineCache baselines;
+
+void
+BM_nodes(benchmark::State& state, const std::string& workload,
+         std::size_t gpus, Mode mode)
+{
+    const RunConfig config = cellConfig(gpus, mode);
+    const RunHandle base_h = baselines.get(workload, config);
+    const RunResult& base = *base_h;
+    for (auto _ : state) {
+        const RunHandle result_h = runCached(workload, config);
+        const RunResult& result = *result_h;
+        const double speedup = speedupOver(base, result);
+        samples[gpus][to_string(mode)].push_back(speedup);
+        simMs[gpus][to_string(mode)].push_back(result.timeMs());
+        state.counters["speedup"] = speedup;
+    }
+}
+
+void
+printTable()
+{
+    Table table({"gpus", "nodes", "Memcpy", "FlatGPS", "HierGPS",
+                 "Hier/Flat"});
+    for (const std::size_t gpus : gpuCounts) {
+        const double flat = geomean(samples[gpus]["FlatGPS"]);
+        const double hier = geomean(samples[gpus]["HierGPS"]);
+        table.row({std::to_string(gpus),
+                   std::to_string(nodesFor(gpus)),
+                   fmt(geomean(samples[gpus]["Memcpy"])), fmt(flat),
+                   fmt(hier), fmt(flat == 0.0 ? 0.0 : hier / flat)});
+    }
+    table.print("Extension: multi-node scaling, NVLink 3.0 nodes of " +
+                std::to_string(gpusPerNode) + " + InfiniBand NDR "
+                "uplinks (speedup vs 1-GPU memcpy)");
+}
+
+/**
+ * Past one node the uplink is the bottleneck and hierarchical
+ * subscription crosses it once per remote node instead of once per
+ * remote subscriber, so per cell it must be at least as fast as flat
+ * forwarding. The simulator is deterministic — equality is the only
+ * legitimate edge (no cross-node subscriber sets in the phase).
+ */
+void
+assertHierWins()
+{
+    for (const std::size_t gpus : gpuCounts) {
+        if (nodesFor(gpus) <= 1)
+            continue;
+        const auto& flat = simMs[gpus]["FlatGPS"];
+        const auto& hier = simMs[gpus]["HierGPS"];
+        gps_assert(flat.size() == hier.size(),
+                   "mismatched cell counts at ", gpus, " GPUs");
+        for (std::size_t i = 0; i < flat.size(); ++i)
+            gps_assert(hier[i] <= flat[i],
+                       "hierarchical subscription slower than flat at ",
+                       gpus, " GPUs: ", hier[i], " ms vs ", flat[i],
+                       " ms");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    gps::setVerbose(false);
+    const std::size_t jobs = parseJobs(argc, argv);
+    for (const std::size_t gpus : gpuCounts) {
+        for (const std::string& app : appNames) {
+            for (const Mode mode : modes) {
+                const std::string label = "ext_nodes/g" +
+                                          std::to_string(gpus) + "/" +
+                                          app + "/" + to_string(mode);
+                plan().addWithBaseline(app, cellConfig(gpus, mode),
+                                       label);
+                benchmark::RegisterBenchmark(
+                    label.c_str(),
+                    [app, gpus, mode](benchmark::State& state) {
+                        BM_nodes(state, app, gpus, mode);
+                    })
+                    ->Iterations(1)
+                    ->Unit(benchmark::kMillisecond);
+            }
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    plan().run(jobs);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    assertHierWins();
+    writePerfLog("BENCH_ext_nodes.json", jobs);
+    return 0;
+}

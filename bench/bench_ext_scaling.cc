@@ -1,6 +1,6 @@
 /**
  * @file
- * Extension bench: full strong-scaling curves (1, 2, 4, 8, 16 GPUs) on
+ * Extension bench: full strong-scaling curves (2, 4, 8, 16 GPUs) on
  * projected PCIe 6.0 for GPS, the memcpy baseline and the infinite
  * bandwidth bound. The paper reports the 4-GPU (Fig. 8) and 16-GPU
  * (Fig. 12) endpoints; this traces the curve between them.

@@ -588,8 +588,8 @@ Runner::executePhase(MultiGpuSystem& system, Paradigm& paradigm,
         const KernelTimeBreakdown bd =
             system.gpu(gpu).kernelTimeBreakdown(counters[gpu], topo);
         const Tick kernel_time = bd.total + launch;
-        const Tick egress_time = topo.linkTime(traffic.egress(gpu));
-        const Tick ingress_time = topo.linkTime(traffic.ingress(gpu));
+        const Tick egress_time = topo.egressTime(traffic, gpu);
+        const Tick ingress_time = topo.ingressTime(traffic, gpu);
         gpu_time[gpu] =
             std::max({kernel_time, egress_time, ingress_time});
         slowest = std::max(slowest, gpu_time[gpu]);

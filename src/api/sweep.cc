@@ -171,6 +171,7 @@ configKey(const std::string& workload, const RunConfig& config)
 
     const SystemConfig& sys = config.system;
     os << sys.numGpus << '|' << static_cast<int>(sys.interconnect) << '|'
+       << sys.numNodes << '|' << static_cast<int>(sys.interNode) << '|'
        << sys.pageBytes << '|';
     appendDouble(os, sys.linkBandwidthScale);
 
@@ -195,7 +196,8 @@ configKey(const std::string& workload, const RunConfig& config)
        << gcfg.gpsWalkLatency << '|' << gcfg.saturatedWatermarkDivisor
        << '|' << gcfg.wqStallPenalty << '|' << gcfg.resubscribeAfter
        << '|' << gcfg.autoUnsubscribe << '|' << gcfg.smCoalescerEnabled
-       << '|' << gcfg.virtuallyAddressedWq << '|';
+       << '|' << gcfg.virtuallyAddressedWq << '|'
+       << gcfg.hierarchicalSubscription << '|';
     appendDouble(os, gcfg.wqDrainScale);
 
     os << static_cast<int>(config.paradigm) << '|';

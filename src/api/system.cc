@@ -1,6 +1,7 @@
 #include "api/system.hh"
 
 #include "common/logging.hh"
+#include "interconnect/node_topology.hh"
 #include "obs/metric_registry.hh"
 #include "obs/timeline.hh"
 
@@ -17,9 +18,22 @@ MultiGpuSystem::MultiGpuSystem(const SystemConfig& config)
             static_cast<GpuId>(g), config.gpu,
             PageGeometry(config.pageBytes)));
     }
-    topology_ = std::make_unique<Topology>("interconnect", config.numGpus,
-                                           config.interconnect,
-                                           config.linkBandwidthScale);
+    // numNodes == 1 constructs the plain flat topology rather than a
+    // degenerate NodeTopology, keeping single-node runs byte-identical
+    // to builds without the node tier.
+    if (config.numNodes > 1) {
+        if (config.numGpus % config.numNodes != 0)
+            gps_fatal("GPU count ", config.numGpus,
+                      " not divisible by node count ", config.numNodes);
+        topology_ = std::make_unique<NodeTopology>(
+            "interconnect", config.numGpus, config.numNodes,
+            config.interconnect, config.interNode,
+            config.linkBandwidthScale);
+    } else {
+        topology_ = std::make_unique<Topology>(
+            "interconnect", config.numGpus, config.interconnect,
+            config.linkBandwidthScale);
+    }
     driver_ = std::make_unique<Driver>(vas_, gpus_, *topology_);
 }
 
@@ -63,6 +77,10 @@ MultiGpuSystem::configDump() const
     dump.section("System");
     dump.entry("GPUs", static_cast<std::uint64_t>(config_.numGpus));
     dump.entry("Interconnect", to_string(config_.interconnect));
+    if (config_.numNodes > 1) {
+        dump.entry("Nodes", static_cast<std::uint64_t>(config_.numNodes));
+        dump.entry("Inter-node fabric", to_string(config_.interNode));
+    }
     dump.entry("Page size", std::to_string(config_.pageBytes / KiB) +
                                 " KB");
     return dump;

@@ -41,6 +41,16 @@ struct SystemConfig
     InterconnectKind interconnect = InterconnectKind::Pcie3;
 
     /**
+     * Nodes the GPUs are split across. 1 keeps the flat single-switch
+     * topology (byte-identical to builds without the knob); above 1 the
+     * GPUs divide evenly into nodes joined by interNode uplinks.
+     */
+    std::size_t numNodes = 1;
+
+    /** Inter-node fabric joining the nodes when numNodes > 1. */
+    InterconnectKind interNode = InterconnectKind::IbNdr;
+
+    /**
      * Link-bandwidth multiplier for what-if exploration. 1.0 keeps the
      * interconnect on its static spec (byte-identical to builds
      * without the knob).

@@ -34,10 +34,12 @@ CheckContext::CheckContext(const CheckConfig& config,
                            MultiGpuSystem& system)
     : config_(config), system_(&system)
 {
+    const std::size_t nodes = system.config().numNodes;
     ref_ = std::make_unique<RefModel>(
         system.config().gps, system.geometry(),
         system.config().gpu.cacheLineBytes,
-        system.config().gpu.smCoalescerDepth, system.numGpus());
+        system.config().gpu.smCoalescerDepth, system.numGpus(),
+        nodes > 1 ? system.numGpus() / nodes : 0);
     invariants_ = std::make_unique<InvariantChecker>(system, nullptr);
 }
 
@@ -246,6 +248,11 @@ CheckContext::compareTotals(const KernelCounters& totals,
         compare("stats.gps.wq_forward_hits", invalidGpu, sum.forwardHits,
                 static_cast<std::uint64_t>(
                     stats.get("gps.wq_forward_hits")));
+    if (stats.has("gps.uplink_forwards"))
+        compare("stats.gps.uplink_forwards", invalidGpu,
+                ref_->uplinkForwards(),
+                static_cast<std::uint64_t>(
+                    stats.get("gps.uplink_forwards")));
 }
 
 void

@@ -4,6 +4,7 @@
 
 #include "api/system.hh"
 #include "core/gps_paradigm.hh"
+#include "interconnect/node_topology.hh"
 
 namespace gps
 {
@@ -38,6 +39,7 @@ InvariantChecker::runCheap(const std::string& phase, CheckReport& report)
     checkQueues(phase, report);
     checkFrames(phase, report);
     checkInterconnect(phase, report);
+    checkUplinks(phase, report);
 }
 
 void
@@ -99,6 +101,58 @@ InvariantChecker::checkInterconnect(const std::string& phase,
         addFinding(report,
                    makeFinding("interconnect.egress-vs-ingress",
                                os.str(), phase));
+    }
+}
+
+void
+InvariantChecker::checkUplinks(const std::string& phase,
+                               CheckReport& report)
+{
+    auto* topo = dynamic_cast<NodeTopology*>(&system_->topology());
+    if (topo == nullptr)
+        return;
+    const std::size_t nodes = topo->numNodes();
+    std::uint64_t egress_sum = 0;
+    std::uint64_t ingress_sum = 0;
+    for (std::size_t n = 0; n < nodes; ++n) {
+        std::uint64_t row = 0;
+        std::uint64_t col = 0;
+        for (std::size_t m = 0; m < nodes; ++m) {
+            row += topo->crossNodeBytes(n, m);
+            col += topo->crossNodeBytes(m, n);
+        }
+        const std::uint64_t egress = topo->uplinkEgress(n).totalBytes();
+        const std::uint64_t ingress = topo->uplinkIngress(n).totalBytes();
+        egress_sum += egress;
+        ingress_sum += ingress;
+
+        ++report.invariantChecks;
+        if (egress != row) {
+            std::ostringstream os;
+            os << "node=" << n << " uplink_egress=" << egress
+               << " cross_row_sum=" << row;
+            addFinding(report, makeFinding("uplink.egress-vs-cross",
+                                           os.str(), phase));
+        }
+
+        ++report.invariantChecks;
+        if (ingress != col) {
+            std::ostringstream os;
+            os << "node=" << n << " uplink_ingress=" << ingress
+               << " cross_col_sum=" << col;
+            addFinding(report, makeFinding("uplink.ingress-vs-cross",
+                                           os.str(), phase));
+        }
+    }
+
+    // Every byte that leaves a node arrives at exactly one other node.
+    ++report.invariantChecks;
+    if (egress_sum != ingress_sum) {
+        std::ostringstream os;
+        os << "sum_uplink_egress=" << egress_sum
+           << " sum_uplink_ingress=" << ingress_sum;
+        addFinding(report, makeFinding("uplink.egress-vs-ingress",
+                                       os.str(), phase));
     }
 }
 

@@ -10,6 +10,11 @@
  *    occupancy == sum of resident entry weights (Section 5.2).
  *  - Interconnect conservation: run-total wire bytes equal the sum of
  *    per-link egress bytes, which equal the sum of ingress bytes.
+ *  - Uplink conservation (multi-node topologies): each node's uplink
+ *    egress bytes equal the bytes the cross-node matrix says left that
+ *    node (row sum), its uplink ingress equals the matrix column sum,
+ *    and total uplink egress equals total uplink ingress — every byte
+ *    that crosses a node boundary does so exactly once.
  *  - Subscription consistency: GPS page-table replicas are a subset of
  *    the driver's PageState::subscribers, no replica sits on an
  *    unallocated (e.g. retired) frame, and the GPS bit is set exactly
@@ -53,6 +58,7 @@ class InvariantChecker
 
     void checkQueues(const std::string& phase, CheckReport& report);
     void checkInterconnect(const std::string& phase, CheckReport& report);
+    void checkUplinks(const std::string& phase, CheckReport& report);
     void checkSubscriptions(const std::string& phase,
                             CheckReport& report);
     void checkFrames(const std::string& phase, CheckReport& report);

@@ -7,9 +7,12 @@ namespace gps
 
 RefModel::RefModel(const GpsConfig& config, PageGeometry geometry,
                    std::uint32_t line_bytes,
-                   std::uint32_t coalescer_depth, std::size_t num_gpus)
+                   std::uint32_t coalescer_depth, std::size_t num_gpus,
+                   std::size_t gpus_per_node)
     : config_(config), geometry_(geometry), lineBytes_(line_bytes),
-      coalescerDepth_(coalescer_depth), gpus_(num_gpus)
+      coalescerDepth_(coalescer_depth),
+      gpusPerNode_(gpus_per_node >= num_gpus ? 0 : gpus_per_node),
+      gpus_(num_gpus)
 {
     for (GpuState& gs : gpus_)
         gs.coalLines.assign(coalescer_depth, 0);
@@ -159,6 +162,7 @@ RefModel::replay(GpuId gpu, const MemAccess& access, PageNum vpn)
         ++gs.counters.atomicBypass;
         pushedStoreBytes_ += static_cast<std::uint64_t>(access.size) *
                              maskCount(remote);
+        countUplinkForwards(gpu, remote);
         return;
     }
 
@@ -288,6 +292,33 @@ RefModel::forwardDrained(GpuId gpu, const RefWqEntry& entry)
     const GpuMask remote = maskClear(pit->second.subscribers, gpu);
     pushedStoreBytes_ +=
         static_cast<std::uint64_t>(lineBytes_) * maskCount(remote);
+    countUplinkForwards(gpu, remote);
+}
+
+void
+RefModel::countUplinkForwards(GpuId producer, const GpuMask& remote)
+{
+    if (gpusPerNode_ == 0)
+        return;
+    const std::size_t home = producer / gpusPerNode_;
+    if (config_.hierarchicalSubscription) {
+        // One message per distinct remote node; nodes are contiguous id
+        // ranges, so ascending iteration visits them consecutively.
+        std::size_t last = home;
+        maskForEach(remote, [&](GpuId sub) {
+            const std::size_t node = sub / gpusPerNode_;
+            if (node != home && node != last) {
+                last = node;
+                ++uplinkForwards_;
+            }
+        });
+        return;
+    }
+    // Flat forwarding: one message per remote-node subscriber.
+    maskForEach(remote, [&](GpuId sub) {
+        if (sub / gpusPerNode_ != home)
+            ++uplinkForwards_;
+    });
 }
 
 } // namespace gps

@@ -63,9 +63,16 @@ class RefModel
         std::uint64_t smCoalesced = 0;
     };
 
+    /**
+     * @p gpus_per_node mirrors the node tier: 0 (or >= the GPU count)
+     * means a flat single-node topology; otherwise GPUs divide into
+     * contiguous nodes of that size and the reference independently
+     * re-counts cross-node remote-write messages for comparison against
+     * the simulator's gps.uplink_forwards.
+     */
     RefModel(const GpsConfig& config, PageGeometry geometry,
              std::uint32_t line_bytes, std::uint32_t coalescer_depth,
-             std::size_t num_gpus);
+             std::size_t num_gpus, std::size_t gpus_per_node = 0);
 
     // --- Page seeding (lazy, from driver truth at first sighting) ---
     bool knows(PageNum vpn) const { return pages_.count(vpn) != 0; }
@@ -103,6 +110,7 @@ class RefModel
         return gpus_.at(gpu).coalAbsorbed;
     }
     std::uint64_t pushedStoreBytes() const { return pushedStoreBytes_; }
+    std::uint64_t uplinkForwards() const { return uplinkForwards_; }
     std::uint64_t unmodeledAccesses() const { return unmodeled_; }
 
     /** Protocol violations noticed during replay (drains the list). */
@@ -153,10 +161,14 @@ class RefModel
     void drainOldest(GpuId gpu);
     void forwardDrained(GpuId gpu, const RefWqEntry& entry);
 
+    /** Count cross-node messages for one forwarded line or atomic. */
+    void countUplinkForwards(GpuId producer, const GpuMask& remote);
+
     GpsConfig config_;
     PageGeometry geometry_;
     std::uint32_t lineBytes_;
     std::uint32_t coalescerDepth_;
+    std::size_t gpusPerNode_;
 
     std::vector<GpuState> gpus_;
 
@@ -164,6 +176,7 @@ class RefModel
     std::map<PageNum, RefPage> pages_;
 
     std::uint64_t pushedStoreBytes_ = 0;
+    std::uint64_t uplinkForwards_ = 0;
     std::uint64_t unmodeled_ = 0;
     std::vector<RefViolation> violations_;
 };

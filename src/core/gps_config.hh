@@ -78,6 +78,18 @@ struct GpsConfig
      * (line, subscriber), shrinking effective capacity.
      */
     bool virtuallyAddressedWq = true;
+
+    /**
+     * Hierarchical subscription on multi-node topologies: remote-write
+     * drains send one copy per remote node to a proxy subscriber, which
+     * fans the line out to its node's other subscribers over the local
+     * NVLink tier — each remote write crosses the node uplink exactly
+     * once. When false (or on a flat topology) every remote subscriber
+     * is sent its own copy from the producer. Total lines delivered and
+     * payload bytes are identical either way; only where the wire
+     * occupancy lands changes.
+     */
+    bool hierarchicalSubscription = true;
 };
 
 } // namespace gps

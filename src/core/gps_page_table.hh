@@ -150,7 +150,7 @@ class GpsPageTable : public SimObject
 
   private:
     /** A replica list can never exceed the mask width. */
-    static constexpr std::uint64_t maxGpusPerReplicaList = 64;
+    static constexpr std::uint64_t maxGpusPerReplicaList = maxGpus;
 
     /** Slot for @p vpn, growing the dense array to cover it. */
     GpsPte& slot(PageNum vpn);

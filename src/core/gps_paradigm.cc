@@ -5,6 +5,7 @@
 #include "check/sink.hh"
 #include "common/logging.hh"
 #include "fault/fault_engine.hh"
+#include "interconnect/node_topology.hh"
 #include "obs/causal/causal.hh"
 #include "obs/metric_registry.hh"
 #include "obs/profile.hh"
@@ -34,6 +35,7 @@ GpsParadigm::GpsParadigm(MultiGpuSystem& system)
             [this, gpu](const WqEntry& entry) { onDrain(gpu, entry); });
     }
     chargedStallDrains_.assign(system.numGpus(), 0);
+    hierTopo_ = dynamic_cast<const NodeTopology*>(&system.topology());
 }
 
 void
@@ -115,13 +117,8 @@ GpsParadigm::accessShared(GpuId gpu, const MemAccess& access, PageNum vpn,
         queues_[gpu]->noteAtomicBypass();
         ++counters.wqAtomicBypass;
         units_[gpu]->translate(vpn, counters);
-        maskForEach(remote, [&](GpuId sub) {
-            traffic.add(gpu, sub, access.size + headerBytes(),
-                        access.size);
-            counters.pushedStoreBytes += access.size;
-            if (profile_ != nullptr)
-                profile_->noteRemoteWriteForward(vpn, access.size);
-        });
+        forwardToSubscribers(gpu, remote, vpn, access.size, counters,
+                             traffic);
         return;
     }
 
@@ -156,16 +153,53 @@ GpsParadigm::onDrain(GpuId producer, const WqEntry& entry)
     // W6: one cache-block message per remote subscriber (interconnect
     // transfers are block-granular; §7.5 discusses the waste).
     const PageState& st = drv().state(entry.vpn);
-    const std::uint32_t line = lineBytes();
-    maskForEach(st.subscribers, [&](GpuId sub) {
+    forwardToSubscribers(producer, st.subscribers, entry.vpn, lineBytes(),
+                         *ctxCounters_, *ctxTraffic_);
+    ++ctxCounters_->wqDrains;
+}
+
+void
+GpsParadigm::forwardToSubscribers(GpuId producer,
+                                  const GpuMask& subscribers, PageNum vpn,
+                                  std::uint32_t payload,
+                                  KernelCounters& counters,
+                                  TrafficMatrix& traffic)
+{
+    const bool hier =
+        hierTopo_ != nullptr && cfg().hierarchicalSubscription;
+    const std::size_t home =
+        hierTopo_ != nullptr ? hierTopo_->nodeOf(producer) : 0;
+    // maskForEach visits ascending GPU ids and nodes are contiguous id
+    // ranges, so each remote node's subscribers arrive consecutively:
+    // tracking only the most recent proxy suffices.
+    GpuId proxy = invalidGpu;
+    std::size_t proxy_node = 0;
+    maskForEach(subscribers, [&](GpuId sub) {
         if (sub == producer)
             return;
-        ctxTraffic_->add(producer, sub, line + headerBytes(), line);
-        ctxCounters_->pushedStoreBytes += line;
+        GpuId src = producer;
+        if (hierTopo_ != nullptr) {
+            const std::size_t node = hierTopo_->nodeOf(sub);
+            if (node != home) {
+                if (!hier) {
+                    ++uplinkForwards_;
+                } else if (proxy == invalidGpu || node != proxy_node) {
+                    // First subscriber on this remote node becomes the
+                    // node's proxy: one copy crosses the uplink...
+                    proxy = sub;
+                    proxy_node = node;
+                    ++uplinkForwards_;
+                } else {
+                    // ...and the proxy fans out to its node-mates.
+                    src = proxy;
+                }
+            }
+        }
+        traffic.add(src, sub, payload + headerBytes(), payload);
+        counters.pushedStoreBytes += payload;
         if (profile_ != nullptr)
-            profile_->noteRemoteWriteForward(entry.vpn, line);
+            profile_->noteRemoteWriteForward(vpn, payload);
     });
-    ++ctxCounters_->wqDrains;
 }
 
 void
@@ -421,6 +455,8 @@ GpsParadigm::exportStats(StatSet& out) const
     for (const auto& queue : queues_)
         forward_hits += queue->forwardHits();
     out.set("gps.wq_forward_hits", static_cast<double>(forward_hits));
+    out.set("gps.uplink_forwards",
+            static_cast<double>(uplinkForwards_));
     out.set("gps.wq_hit_rate", wqHitRate());
     out.set("gps.gps_tlb_hit_rate", gpsTlbHitRate());
 }
@@ -440,6 +476,9 @@ GpsParadigm::registerMetrics(MetricRegistry& reg) const
         for (const auto& queue : queues_)
             forward_hits += queue->forwardHits();
         return static_cast<double>(forward_hits);
+    });
+    reg.counter("gps.uplink_forwards", "messages", [this] {
+        return static_cast<double>(uplinkForwards_);
     });
     reg.gauge("gps.wq_hit_rate", "ratio",
               [this] { return wqHitRate(); });
@@ -504,6 +543,7 @@ GpsParadigm::saveState(snapshot::Serializer& out) const
     out.u64(chargedStallDrains_.size());
     for (const std::uint64_t charged : chargedStallDrains_)
         out.u64(charged);
+    out.u64(uplinkForwards_);
 }
 
 void
@@ -536,6 +576,7 @@ GpsParadigm::restoreState(snapshot::Deserializer& in)
     chargedStallDrains_.assign(in.count(1ULL << 20), 0);
     for (std::uint64_t& charged : chargedStallDrains_)
         charged = in.u64();
+    uplinkForwards_ = in.u64();
 }
 
 } // namespace gps

@@ -30,6 +30,8 @@
 namespace gps
 {
 
+class NodeTopology;
+
 /** Publish-subscribe multi-GPU memory management. */
 class GpsParadigm : public Paradigm
 {
@@ -92,6 +94,15 @@ class GpsParadigm : public Paradigm
     /** Aggregate write-queue hit rate across all GPUs (Fig. 14). */
     double wqHitRate() const;
 
+    /**
+     * Remote-write messages whose source and destination GPU live in
+     * different nodes (drains and atomic bypasses). On a hierarchical
+     * subscription this is one per remote node per forwarded line; flat
+     * forwarding pays one per remote-node subscriber. Always 0 on a
+     * single-node topology.
+     */
+    std::uint64_t uplinkForwards() const { return uplinkForwards_; }
+
     /** Aggregate GPS-TLB hit rate (Section 7.4). */
     double gpsTlbHitRate() const;
 
@@ -136,6 +147,18 @@ class GpsParadigm : public Paradigm
 
   private:
     void onDrain(GpuId producer, const WqEntry& entry);
+
+    /**
+     * Deliver one forwarded line (or atomic payload) to every subscriber
+     * other than the producer. On a multi-node topology with
+     * hierarchicalSubscription enabled, each remote node receives exactly
+     * one copy over the uplink (to a proxy subscriber) and the proxy
+     * fans the line out to its node-mates over the local tier.
+     */
+    void forwardToSubscribers(GpuId producer, const GpuMask& subscribers,
+                              PageNum vpn, std::uint32_t payload,
+                              KernelCounters& counters,
+                              TrafficMatrix& traffic);
     void handleSysWrite(GpuId gpu, const MemAccess& access, PageNum vpn,
                         KernelCounters& counters, TrafficMatrix& traffic);
 
@@ -151,7 +174,7 @@ class GpsParadigm : public Paradigm
     static std::uint64_t
     degradedKey(PageNum vpn, GpuId gpu)
     {
-        return (vpn << 6) | gpu;
+        return (vpn << 8) | gpu;
     }
 
     const GpsConfig& cfg() const { return sys().config().gps; }
@@ -180,6 +203,12 @@ class GpsParadigm : public Paradigm
 
     /** Per-GPU stallDrains() already charged to kernel counters. */
     std::vector<std::uint64_t> chargedStallDrains_;
+
+    /** Node-aware topology, nullptr when the system is single-node. */
+    const NodeTopology* hierTopo_ = nullptr;
+
+    /** Cross-node remote-write messages (see uplinkForwards()). */
+    std::uint64_t uplinkForwards_ = 0;
 };
 
 } // namespace gps

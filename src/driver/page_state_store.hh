@@ -144,15 +144,15 @@ class PageStateStore
             for (const PageState& st : slab.states) {
                 out.u8(static_cast<std::uint8_t>(st.kind));
                 out.u32(st.location);
-                out.u32(st.mapped);
-                out.u32(st.backed);
+                maskSave(out, st.mapped);
+                maskSave(out, st.backed);
                 out.u32(st.preferredLocation);
-                out.u32(st.accessedBy);
+                maskSave(out, st.accessedBy);
                 out.b(st.readMostly);
-                out.u32(st.readCopies);
+                maskSave(out, st.readCopies);
                 out.u32(st.lastWriter);
                 out.b(st.dirtySinceBarrier);
-                out.u32(st.subscribers);
+                maskSave(out, st.subscribers);
                 out.b(st.gpsBitSet);
                 out.b(st.collapsed);
             }
@@ -176,15 +176,15 @@ class PageStateStore
             for (PageState& st : slab.states) {
                 st.kind = static_cast<MemKind>(in.u8());
                 st.location = static_cast<GpuId>(in.u32());
-                st.mapped = in.u32();
-                st.backed = in.u32();
+                st.mapped = maskLoad(in);
+                st.backed = maskLoad(in);
                 st.preferredLocation = static_cast<GpuId>(in.u32());
-                st.accessedBy = in.u32();
+                st.accessedBy = maskLoad(in);
                 st.readMostly = in.b();
-                st.readCopies = in.u32();
+                st.readCopies = maskLoad(in);
                 st.lastWriter = static_cast<GpuId>(in.u32());
                 st.dirtySinceBarrier = in.b();
-                st.subscribers = in.u32();
+                st.subscribers = maskLoad(in);
                 st.gpsBitSet = in.b();
                 st.collapsed = in.b();
             }

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "interconnect/platforms.hh"
 
 namespace gps
 {
@@ -37,6 +38,10 @@ const InterconnectSpec&
 interconnectSpec(InterconnectKind kind)
 {
     for (const auto& spec : specs) {
+        if (spec.kind == kind)
+            return spec;
+    }
+    for (const auto& spec : interNodeFabrics()) {
         if (spec.kind == kind)
             return spec;
     }

@@ -28,6 +28,12 @@ enum class InterconnectKind : std::uint8_t {
     NvLink2,
     NvLink3,
     Infinite,   ///< zero transfer time, upper-bound comparison
+
+    // Inter-node fabrics (see platforms.cc): per-node uplinks joining
+    // NVLink/NVSwitch islands in a hierarchical topology.
+    IbHdr,      ///< InfiniBand HDR, 200 Gb/s per port
+    IbNdr,      ///< InfiniBand NDR, 400 Gb/s per port
+    PcieFabric, ///< PCIe-switch fabric between nodes
 };
 
 /** Static description of one interconnect generation. */

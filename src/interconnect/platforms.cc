@@ -1,5 +1,7 @@
 #include "interconnect/platforms.hh"
 
+#include "common/units.hh"
+
 namespace gps
 {
 
@@ -17,6 +19,34 @@ figure3Platforms()
         {"DGX-A100/Ampere/NVLink3+NVSwitch", 1555.0, 600.0},
     };
     return platforms;
+}
+
+const std::vector<InterconnectSpec>&
+interNodeFabrics()
+{
+    // Per-direction payload bandwidth of one node uplink. InfiniBand
+    // quotes signalling rate per port: HDR 200 Gb/s ~ 25 GB/s, NDR
+    // 400 Gb/s ~ 50 GB/s. Latencies are one-way through one fabric
+    // switch hop; headers approximate the IB transport / PCIe TLP
+    // overhead per message.
+    static const std::vector<InterconnectSpec> fabrics = {
+        {InterconnectKind::IbHdr, "InfiniBand HDR", 25.0 * GBps,
+         nsToTicks(1000), 30, false},
+        {InterconnectKind::IbNdr, "InfiniBand NDR", 50.0 * GBps,
+         nsToTicks(900), 30, false},
+        {InterconnectKind::PcieFabric, "PCIe fabric", 32.0 * GBps,
+         nsToTicks(800), 24, false},
+    };
+    return fabrics;
+}
+
+bool
+isInterNodeKind(InterconnectKind kind)
+{
+    for (const InterconnectSpec& spec : interNodeFabrics())
+        if (spec.kind == kind)
+            return true;
+    return false;
 }
 
 } // namespace gps

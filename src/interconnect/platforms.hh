@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "interconnect/pcie.hh"
+
 namespace gps
 {
 
@@ -25,6 +27,16 @@ struct PlatformSpec
 
 /** The five platforms plotted in Figure 3, in chronological order. */
 const std::vector<PlatformSpec>& figure3Platforms();
+
+/**
+ * Inter-node fabric spec rows: the per-node uplinks that join
+ * NVLink/NVSwitch islands in a hierarchical (DGX-pod-style) system.
+ * Resolved through interconnectSpec() like the intra-node generations.
+ */
+const std::vector<InterconnectSpec>& interNodeFabrics();
+
+/** Whether @p kind names an inter-node fabric (vs. an intra-node link). */
+bool isInterNodeKind(InterconnectKind kind);
 
 } // namespace gps
 

@@ -259,6 +259,8 @@ void
 Topology::exportStats(StatSet& out) const
 {
     out.set(name() + ".total_bytes", static_cast<double>(totalBytes_));
+    out.set(name() + ".total_payload_bytes",
+            static_cast<double>(totalPayload_));
     for (const auto& link : egress_)
         link->exportStats(out);
     for (const auto& link : ingress_)
@@ -285,6 +287,7 @@ void
 Topology::resetStats()
 {
     totalBytes_ = 0;
+    totalPayload_ = 0;
     for (auto& link : egress_)
         link->resetStats();
     for (auto& link : ingress_)

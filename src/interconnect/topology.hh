@@ -129,6 +129,8 @@ class Topology : public SimObject
     Topology(std::string name, std::size_t num_gpus,
              InterconnectKind kind, double bandwidth_scale = 1.0);
 
+    ~Topology() override = default;
+
     const InterconnectSpec& spec() const { return *spec_; }
     std::size_t numGpus() const { return numGpus_; }
 
@@ -140,7 +142,25 @@ class Topology : public SimObject
      * time the busiest link needs: max over GPUs of
      * max(egress_time, ingress_time).
      */
-    Tick applyPhaseTraffic(const TrafficMatrix& traffic);
+    virtual Tick applyPhaseTraffic(const TrafficMatrix& traffic);
+
+    /**
+     * Time @p gpu needs to push its share of @p traffic out: the egress
+     * link serialization, plus (in tiered topologies) any shared uplink
+     * serialization its cross-node flows contend for.
+     */
+    virtual Tick
+    egressTime(const TrafficMatrix& traffic, GpuId gpu) const
+    {
+        return linkTime(traffic.egress(gpu));
+    }
+
+    /** Ingress-side counterpart of egressTime. */
+    virtual Tick
+    ingressTime(const TrafficMatrix& traffic, GpuId gpu) const
+    {
+        return linkTime(traffic.ingress(gpu));
+    }
 
     /** Time to move @p bytes over one link direction. */
     Tick linkTime(std::uint64_t bytes) const;
@@ -192,7 +212,7 @@ class Topology : public SimObject
      * transfers are then recorded as complete events at the recorder's
      * current stamp (the enclosing phase's start tick).
      */
-    void attachRecorder(TimelineRecorder* recorder)
+    virtual void attachRecorder(TimelineRecorder* recorder)
     {
         recorder_ = recorder;
     }
@@ -216,7 +236,7 @@ class Topology : public SimObject
      * (sorted by path key — the unordered map feeds only key-addressed
      * lookups, but snapshot bytes must be deterministic).
      */
-    void
+    virtual void
     saveState(snapshot::Serializer& out) const
     {
         out.section("topology");
@@ -243,7 +263,7 @@ class Topology : public SimObject
     }
 
     /** Counterpart of saveState. */
-    void
+    virtual void
     restoreState(snapshot::Deserializer& in)
     {
         in.section("topology");
@@ -262,14 +282,28 @@ class Topology : public SimObject
         for (std::uint64_t i = 0; i < n; ++i) {
             const std::uint32_t key = in.u32();
             PathState st;
-            st.health = static_cast<PathHealth>(in.u8());
+            st.health = decodePathHealth(in.u8());
             st.factor = in.f64();
             paths_.emplace(key, st);
         }
         pcieFallback_ = in.b();
     }
 
-  private:
+  protected:
+    /**
+     * Validate a serialized PathHealth: a corrupt or hand-edited
+     * snapshot must not resume with an out-of-range enum (every switch
+     * over the health would be undefined behavior).
+     */
+    static PathHealth
+    decodePathHealth(std::uint8_t raw)
+    {
+        if (raw > static_cast<std::uint8_t>(PathHealth::Down))
+            throw snapshot::SnapshotError(
+                "corrupt snapshot: path health value out of range");
+        return static_cast<PathHealth>(raw);
+    }
+
     static std::uint32_t
     pathKey(GpuId a, GpuId b)
     {

@@ -70,6 +70,9 @@ class TimelineRecorder
     static constexpr int faultTid = 1001;   ///< fault injections
     static constexpr int driverTid = 1002;  ///< migrations, prefetches
 
+    /** Per-node uplink lanes: node @c n records at uplinkTidBase + n. */
+    static constexpr int uplinkTidBase = 1100;
+
     /** Advance the stamp components record stampless events against. */
     void advanceTo(Tick now) { now_ = now; }
     Tick now() const { return now_; }

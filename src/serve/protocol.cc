@@ -21,6 +21,9 @@ interconnectFromName(const std::string& name)
         {"nvlink2", InterconnectKind::NvLink2},
         {"nvlink3", InterconnectKind::NvLink3},
         {"infinite", InterconnectKind::Infinite},
+        {"ib-hdr", InterconnectKind::IbHdr},
+        {"ib-ndr", InterconnectKind::IbNdr},
+        {"pcie-fabric", InterconnectKind::PcieFabric},
     };
     auto it = kinds.find(name);
     if (it == kinds.end())

@@ -423,8 +423,8 @@ applyState(const Snapshot& snap, MultiGpuSystem& system,
                             "the summary section");
 
     if (mutateForTest) {
-        // Seeded divergence for the verification tests: bump one page's
-        // subscriber count so the summary comparison below must trip.
+        // Seeded divergence for the verification tests: flip one bit of
+        // a page's subscriber set so the summary comparison must trip.
         PageNum victim = 0;
         bool found = false;
         system.driver().pageStates().forEach(
@@ -435,7 +435,7 @@ applyState(const Snapshot& snap, MultiGpuSystem& system,
                 }
             });
         if (found)
-            ++system.driver().state(victim).subscribers;
+            system.driver().state(victim).subscribers ^= gpuBit(0);
     }
 
     const std::string live = buildSummary(system, paradigm);

@@ -45,6 +45,8 @@ struct Options
     std::vector<ParadigmKind> paradigms{ParadigmKind::Gps};
     std::size_t gpus = 4;
     InterconnectKind interconnect = InterconnectKind::Pcie3;
+    std::size_t nodes = 1;
+    InterconnectKind interNode = InterconnectKind::IbNdr;
     std::uint64_t pageBytes = 64 * KiB;
     double scale = 1.0;
     std::uint32_t wqEntries = 512;
@@ -126,6 +128,13 @@ usage(const char* argv0, int exit_code)
         "  --gpus <n>                GPU count (default 4)\n"
         "  --interconnect <k>        pcie3|pcie4|pcie5|pcie6|nvlink2|"
         "nvlink3|infinite\n"
+        "  --nodes <n>               split the GPUs across n nodes "
+        "joined by\n"
+        "                            --inter-node uplinks (default 1: "
+        "flat)\n"
+        "  --inter-node <k>          inter-node fabric: ib-hdr|ib-ndr|"
+        "pcie-fabric\n"
+        "                            (default ib-ndr)\n"
         "  --page-kb <n>             page size in KiB (default 64)\n"
         "  --scale <f>               problem scale factor (default 1.0)\n"
         "  --wq-entries <n>          GPS remote write queue size "
@@ -242,6 +251,12 @@ parseArgs(int argc, char** argv)
             opts.gpus = parseUnsigned("--gpus", value(i));
         } else if (arg == "--interconnect") {
             opts.interconnect = interconnectFromName(value(i));
+        } else if (arg == "--nodes") {
+            opts.nodes =
+                std::max<std::uint64_t>(parseUnsigned("--nodes",
+                                                      value(i)), 1);
+        } else if (arg == "--inter-node") {
+            opts.interNode = interconnectFromName(value(i));
         } else if (arg == "--page-kb") {
             opts.pageBytes = parseUnsigned("--page-kb", value(i)) * KiB;
         } else if (arg == "--scale") {
@@ -387,6 +402,8 @@ makeConfig(const Options& opts)
     RunConfig config;
     config.system.numGpus = opts.gpus;
     config.system.interconnect = opts.interconnect;
+    config.system.numNodes = opts.nodes;
+    config.system.interNode = opts.interNode;
     config.system.pageBytes = opts.pageBytes;
     config.system.gps.wqEntries = opts.wqEntries;
     config.system.gps.autoUnsubscribe = opts.autoUnsubscribe;
@@ -680,6 +697,7 @@ main(int argc, char** argv)
         for (const std::string& app : opts.apps) {
             RunConfig base_config = makeConfig(opts);
             base_config.system.numGpus = 1;
+            base_config.system.numNodes = 1;
             base_config.paradigm = ParadigmKind::Memcpy;
             base_config.faultPlan = FaultPlan{}; // fault-free reference
             base_config.obs = ObsConfig{}; // observe only the cells
